@@ -1,0 +1,47 @@
+// ABLATION A (not in the paper): simulated annealing vs uniform random
+// search vs restarted hill climbing, same measurement objective, same
+// evaluation budgets. Justifies the paper's choice of SA for this space.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "opt/baselines.hpp"
+#include "opt/genetic.hpp"
+
+int main() {
+  using namespace hetopt;
+  const bench::Env env;
+  const core::Workload human("human", 3170.0);
+  const auto em = core::run_em(env.space, env.machine, human);
+  const auto objective = core::measurement_objective(env.machine, human);
+  constexpr int kSeeds = 7;
+
+  util::Table table("Ablation A: search strategies on the 19926-point space (human)");
+  table.header({"Budget", "SA %diff vs EM", "GA %diff", "RandomSearch %diff",
+                "HillClimb %diff"});
+  for (const std::size_t budget : {250u, 500u, 1000u, 2000u}) {
+    double sa_sum = 0.0;
+    double ga_sum = 0.0;
+    double rs_sum = 0.0;
+    double hc_sum = 0.0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      const auto u = static_cast<std::uint64_t>(seed);
+      sa_sum += core::run_sam(env.space, env.machine, human,
+                              core::sa_params_for_iterations(budget, u * 71 + 1))
+                    .measured_time;
+      opt::GaParams ga;
+      ga.max_evaluations = budget;
+      ga.seed = u * 71 + 4;
+      ga_sum += opt::genetic_algorithm(env.space, objective, ga).best_energy;
+      rs_sum += opt::random_search(env.space, objective, budget, u * 71 + 2).best_energy;
+      hc_sum += opt::hill_climbing(env.space, objective, budget, u * 71 + 3).best_energy;
+    }
+    const auto pct = [&](double sum) {
+      return bench::num(100.0 * (sum / kSeeds - em.measured_time) / em.measured_time, 2);
+    };
+    table.row({std::to_string(budget), pct(sa_sum), pct(ga_sum), pct(rs_sum), pct(hc_sum)});
+  }
+  table.note("EM optimum: " + bench::num(em.measured_time) + " s; averaged over " +
+             std::to_string(kSeeds) + " seeds");
+  table.print(std::cout);
+  return 0;
+}

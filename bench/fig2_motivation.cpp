@@ -1,0 +1,63 @@
+// Fig. 2 (a,b,c): the motivational experiments. Execution time of the DNA
+// application across 11 work-distribution ratios for three scenarios,
+// normalized into the paper's 1-10 range.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/common.hpp"
+
+namespace {
+
+struct Scenario {
+  const char* title;
+  double size_mb;
+  int host_threads;
+};
+
+}  // namespace
+
+int main() {
+  using namespace hetopt;
+  const bench::Env env;
+
+  const Scenario scenarios[] = {
+      {"Fig 2a: Size=190MB,  #CPU Threads=48", 190.0, 48},
+      {"Fig 2b: Size=3250MB, #CPU Threads=48", 3250.0, 48},
+      {"Fig 2c: Size=3250MB, #CPU Threads=4", 3250.0, 4},
+  };
+
+  for (const Scenario& s : scenarios) {
+    // 11 ratios: CPU only, 90/10, ..., 10/90, Phi only.
+    std::vector<double> times;
+    std::vector<std::string> labels;
+    for (int host_pct = 100; host_pct >= 0; host_pct -= 10) {
+      const double t = env.machine.measure_combined(
+          s.size_mb, host_pct, s.host_threads, parallel::HostAffinity::kScatter, 240,
+          parallel::DeviceAffinity::kBalanced);
+      times.push_back(t);
+      labels.push_back(host_pct == 100  ? "CPU only"
+                       : host_pct == 0 ? "Phi only"
+                                       : std::to_string(host_pct) + "/" +
+                                             std::to_string(100 - host_pct));
+    }
+    const double lo = *std::min_element(times.begin(), times.end());
+    const double hi = *std::max_element(times.begin(), times.end());
+
+    util::Table table(s.title);
+    table.header({"Work distribution (host/device)", "Time [s]", "Normalized (1-10)"});
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      if (times[i] < times[best]) best = i;
+    }
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      const double norm = hi > lo ? 1.0 + 9.0 * (times[i] - lo) / (hi - lo) : 1.0;
+      table.row({labels[i] + (i == best ? "  <-- best" : ""), bench::num(times[i]),
+                 bench::num(norm, 2)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Paper shapes: 2a -> CPU-only optimal; 2b -> 60/40-70/30 optimal; "
+               "2c -> device-heavy (~30/70) optimal.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 5: measured vs predicted execution time on the host CPUs, scatter
+// affinity, for 6/12/24/48 threads across file sizes. Protocol: the 2880
+// host experiments are split half train / half eval; rows below are eval
+// points only (unseen configurations).
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace hetopt;
+  const bench::Env env;
+  const core::TrainingData data = bench::paper_training_data(env);
+  const auto [train_host, eval_host] = data.host.split_half(2016);
+  const auto [train_device, eval_device] = data.device.split_half(2016);
+  core::PerformancePredictor predictor;
+  predictor.train(train_host, train_device);
+
+  const auto points = bench::evaluate_host_rows(predictor, eval_host);
+
+  // Group eval points with scatter affinity by size, columns by threads.
+  constexpr std::size_t kScatterIdx = 1;  // kAllHostAffinities order
+  const std::vector<int> wanted_threads{6, 12, 24, 48};
+  std::map<double, std::map<int, const bench::EvalPoint*>> by_size;
+  for (const auto& p : points) {
+    if (p.affinity_index != kScatterIdx) continue;
+    if (std::find(wanted_threads.begin(), wanted_threads.end(), p.threads) ==
+        wanted_threads.end()) {
+      continue;
+    }
+    by_size[p.size_mb][p.threads] = &p;
+  }
+
+  util::Table table(
+      "Fig 5: host prediction accuracy (thread affinity = scatter, eval half)");
+  std::vector<std::string> header{"File size [MB]"};
+  for (int t : wanted_threads) {
+    header.push_back(std::to_string(t) + "t measured");
+    header.push_back(std::to_string(t) + "t predicted");
+  }
+  table.header(std::move(header));
+
+  for (const auto& [size, cols] : by_size) {
+    std::vector<std::string> row{bench::num(size, 0)};
+    for (int t : wanted_threads) {
+      const auto it = cols.find(t);
+      if (it == cols.end()) {
+        row.push_back("-");
+        row.push_back("-");
+      } else {
+        row.push_back(bench::num(it->second->measured));
+        row.push_back(bench::num(it->second->predicted));
+      }
+    }
+    table.row(std::move(row));
+  }
+  table.note("total host experiments: " + std::to_string(data.host.size()) +
+             " (train " + std::to_string(train_host.size()) + " / eval " +
+             std::to_string(eval_host.size()) + ")");
+  table.note("'-' : configuration landed in the training half for this split seed");
+  table.print(std::cout);
+  return 0;
+}

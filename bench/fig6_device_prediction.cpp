@@ -1,0 +1,61 @@
+// Fig. 6: measured vs predicted execution time on the Xeon Phi device,
+// balanced affinity, for 30/60/120/240 threads across file sizes (eval half
+// of the 4320 device experiments).
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace hetopt;
+  const bench::Env env;
+  const core::TrainingData data = bench::paper_training_data(env);
+  const auto [train_host, eval_host] = data.host.split_half(2016);
+  const auto [train_device, eval_device] = data.device.split_half(2016);
+  core::PerformancePredictor predictor;
+  predictor.train(train_host, train_device);
+
+  const auto points = bench::evaluate_device_rows(predictor, eval_device);
+
+  constexpr std::size_t kBalancedIdx = 0;  // kAllDeviceAffinities order
+  const std::vector<int> wanted_threads{30, 60, 120, 240};
+  std::map<double, std::map<int, const bench::EvalPoint*>> by_size;
+  for (const auto& p : points) {
+    if (p.affinity_index != kBalancedIdx) continue;
+    if (std::find(wanted_threads.begin(), wanted_threads.end(), p.threads) ==
+        wanted_threads.end()) {
+      continue;
+    }
+    by_size[p.size_mb][p.threads] = &p;
+  }
+
+  util::Table table(
+      "Fig 6: device prediction accuracy (thread affinity = balanced, eval half)");
+  std::vector<std::string> header{"File size [MB]"};
+  for (int t : wanted_threads) {
+    header.push_back(std::to_string(t) + "t measured");
+    header.push_back(std::to_string(t) + "t predicted");
+  }
+  table.header(std::move(header));
+
+  for (const auto& [size, cols] : by_size) {
+    std::vector<std::string> row{bench::num(size, 0)};
+    for (int t : wanted_threads) {
+      const auto it = cols.find(t);
+      if (it == cols.end()) {
+        row.push_back("-");
+        row.push_back("-");
+      } else {
+        row.push_back(bench::num(it->second->measured));
+        row.push_back(bench::num(it->second->predicted));
+      }
+    }
+    table.row(std::move(row));
+  }
+  table.note("total device experiments: " + std::to_string(data.device.size()) +
+             " (train " + std::to_string(train_device.size()) + " / eval " +
+             std::to_string(eval_device.size()) + ")");
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 7: histogram of absolute prediction errors on the host eval half,
+// with the paper's (irregular) bin edges 0.01 ... 0.2 s.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace hetopt;
+  const bench::Env env;
+  const core::TrainingData data = bench::paper_training_data(env);
+  const auto [train_host, eval_host] = data.host.split_half(2016);
+  const auto [train_device, eval_device] = data.device.split_half(2016);
+  core::PerformancePredictor predictor;
+  predictor.train(train_host, train_device);
+
+  util::Histogram hist({0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.08, 0.1, 0.15, 0.2});
+  for (const auto& p : bench::evaluate_host_rows(predictor, eval_host)) {
+    hist.add(std::abs(p.measured - p.predicted));
+  }
+
+  util::Table table("Fig 7: error histogram, host predictions (eval half)");
+  table.header({"Absolute error [s]", "Frequency", "Bar"});
+  for (std::size_t i = 0; i < hist.bin_count(); ++i) {
+    const std::size_t c = hist.count(i);
+    table.row({hist.label(i), std::to_string(c),
+               std::string(std::min<std::size_t>(60, c / 5), '#')});
+  }
+  table.note("eval points: " + std::to_string(hist.total()) +
+             "; paper shape: mass concentrated below 0.02 s, long thin tail");
+  table.print(std::cout);
+  return 0;
+}

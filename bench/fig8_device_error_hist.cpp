@@ -1,0 +1,34 @@
+// Fig. 8: histogram of absolute prediction errors on the device eval half.
+// The device bins extend to 2.5 s because device times span 0.9-42 s.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace hetopt;
+  const bench::Env env;
+  const core::TrainingData data = bench::paper_training_data(env);
+  const auto [train_host, eval_host] = data.host.split_half(2016);
+  const auto [train_device, eval_device] = data.device.split_half(2016);
+  core::PerformancePredictor predictor;
+  predictor.train(train_host, train_device);
+
+  util::Histogram hist(
+      {0.015, 0.03, 0.04, 0.05, 0.08, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 1.0, 1.5, 2.5});
+  for (const auto& p : bench::evaluate_device_rows(predictor, eval_device)) {
+    hist.add(std::abs(p.measured - p.predicted));
+  }
+
+  util::Table table("Fig 8: error histogram, device predictions (eval half)");
+  table.header({"Absolute error [s]", "Frequency", "Bar"});
+  for (std::size_t i = 0; i < hist.bin_count(); ++i) {
+    const std::size_t c = hist.count(i);
+    table.row({hist.label(i), std::to_string(c),
+               std::string(std::min<std::size_t>(60, c / 5), '#')});
+  }
+  table.note("eval points: " + std::to_string(hist.total()) +
+             "; wider error span than Fig 7 because device times span 0.9-42 s");
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// google-benchmark microbenchmarks for the ML substrate: tree/boosting fit
+// and predict costs at the scales the SAML pipeline uses (thousands of rows,
+// hundreds of boosting rounds, single-row predicts inside the SA loop).
+#include <benchmark/benchmark.h>
+
+#include "ml/boosted_trees.hpp"
+#include "ml/linear_regression.hpp"
+#include "ml/regression_tree.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hetopt;
+
+ml::Dataset synthetic(std::size_t rows) {
+  ml::Dataset d({"size_mb", "threads", "a0", "a1", "a2"});
+  util::Xoshiro256 rng(1);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double mb = rng.uniform(10, 3200);
+    const double threads = static_cast<double>(1 << rng.bounded(6));
+    const auto aff = rng.bounded(3);
+    const std::vector<double> row{mb, threads, aff == 0 ? 1.0 : 0.0,
+                                  aff == 1 ? 1.0 : 0.0, aff == 2 ? 1.0 : 0.0};
+    d.add(row, 0.02 + mb / 1024.0 / (0.3 * threads / (1 + 0.04 * threads)));
+  }
+  return d;
+}
+
+void BM_TreeFit(benchmark::State& state) {
+  const ml::Dataset data = synthetic(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ml::RegressionTree tree(ml::TreeParams{6, 3, 6});
+    tree.fit(data);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_TreeFit)->Arg(500)->Arg(1440)->Arg(2880);
+
+void BM_BoostedFit(benchmark::State& state) {
+  const ml::Dataset data = synthetic(1440);  // the paper's host train half
+  ml::BoostedTreesParams params;
+  params.rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ml::BoostedTreesRegressor model(params);
+    model.fit(data);
+    benchmark::DoNotOptimize(model.trained_rounds());
+  }
+}
+BENCHMARK(BM_BoostedFit)->Arg(50)->Arg(150)->Arg(300);
+
+void BM_BoostedPredict(benchmark::State& state) {
+  const ml::Dataset data = synthetic(1440);
+  ml::BoostedTreesRegressor model;
+  model.fit(data);
+  const std::vector<double> query{1500.0, 24.0, 0.0, 1.0, 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(query));
+  }
+}
+BENCHMARK(BM_BoostedPredict);
+
+void BM_LinearFit(benchmark::State& state) {
+  const ml::Dataset data = synthetic(2880);
+  for (auto _ : state) {
+    ml::LinearRegressor model;
+    model.fit(data);
+    benchmark::DoNotOptimize(model.coefficients());
+  }
+}
+BENCHMARK(BM_LinearFit);
+
+void BM_PoissonFit(benchmark::State& state) {
+  const ml::Dataset data = synthetic(2880);
+  for (auto _ : state) {
+    ml::PoissonRegressor model;
+    model.fit(data);
+    benchmark::DoNotOptimize(model.fitted());
+  }
+}
+BENCHMARK(BM_PoissonFit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Table I: the configuration parameter space, plus the Eq. 1 space size the
+// enumeration approach must cover (19 926 experiments).
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace hetopt;
+  const bench::Env env;
+
+  util::Table table("Table I: system configuration parameters (paper Table I)");
+  table.header({"Parameter", "Host", "Device"});
+
+  const auto join_ints = [](const std::vector<int>& v) {
+    std::vector<std::string> parts;
+    parts.reserve(v.size());
+    for (int x : v) parts.push_back(std::to_string(x));
+    return util::join(parts, ", ");
+  };
+  table.row({"Threads", join_ints(env.space.host_threads()),
+             join_ints(env.space.device_threads())});
+  table.row({"Affinity", "none, scatter, compact", "balanced, scatter, compact"});
+  table.row({"Workload fraction", "0..100 in steps of 2.5",
+             "100 - host fraction"});
+
+  table.note("|space| = 6 x 3 x 9 x 3 x 41 = " + std::to_string(env.space.size()) +
+             " configurations (the paper's 19926 enumeration experiments)");
+  table.print(std::cout);
+  return 0;
+}

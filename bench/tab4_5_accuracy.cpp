@@ -1,0 +1,64 @@
+// Tables IV and V: prediction accuracy (mean absolute error [s] and mean
+// percent error [%]) grouped by thread count, for host and device.
+// Paper averages: host 0.027 s / 5.239 %; device 0.074 s / 3.132 %.
+#include <iostream>
+#include <map>
+
+#include "bench/common.hpp"
+#include "ml/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+void print_accuracy_table(const char* title,
+                          const std::vector<hetopt::bench::EvalPoint>& points) {
+  using namespace hetopt;
+  std::map<int, std::pair<util::RunningStats, util::RunningStats>> by_threads;
+  util::RunningStats all_abs;
+  util::RunningStats all_pct;
+  for (const auto& p : points) {
+    const double abs_err = ml::absolute_error(p.measured, p.predicted);
+    const double pct_err = ml::percent_error(p.measured, p.predicted);
+    by_threads[p.threads].first.add(abs_err);
+    by_threads[p.threads].second.add(pct_err);
+    all_abs.add(abs_err);
+    all_pct.add(pct_err);
+  }
+
+  util::Table table(title);
+  std::vector<std::string> header{"Threads"};
+  std::vector<std::string> abs_row{"absolute [s]"};
+  std::vector<std::string> pct_row{"percent [%]"};
+  for (const auto& [threads, stats] : by_threads) {
+    header.push_back(std::to_string(threads));
+    abs_row.push_back(bench::num(stats.first.mean()));
+    pct_row.push_back(bench::num(stats.second.mean(), 2));
+  }
+  header.push_back("avg");
+  abs_row.push_back(bench::num(all_abs.mean()));
+  pct_row.push_back(bench::num(all_pct.mean(), 2));
+  table.header(std::move(header));
+  table.row(std::move(abs_row));
+  table.row(std::move(pct_row));
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace hetopt;
+  const bench::Env env;
+  const core::TrainingData data = bench::paper_training_data(env);
+  const auto [train_host, eval_host] = data.host.split_half(2016);
+  const auto [train_device, eval_device] = data.device.split_half(2016);
+  core::PerformancePredictor predictor;
+  predictor.train(train_host, train_device);
+
+  print_accuracy_table("Table IV: prediction accuracy per thread count (host)",
+                       bench::evaluate_host_rows(predictor, eval_host));
+  print_accuracy_table("Table V: prediction accuracy per thread count (device)",
+                       bench::evaluate_device_rows(predictor, eval_device));
+  std::cout << "Paper averages: host 0.027 s / 5.239 %; device 0.074 s / 3.132 %.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Domain example: real finite-automata motif search over a synthetic genome,
+// using the full engine stack (IUPAC regex -> NFA -> DFA -> minimization ->
+// chunk-parallel matching) and the heterogeneous executor to split the scan
+// between the "host" and the emulated "device" exactly as the tuned
+// configuration dictates.
+//
+// Run:  ./dna_search [--genome=human] [--mb=64] [--host-percent=60]
+//                    [--motif=TATAWAW --motif2=GGGNCC]
+#include <iostream>
+
+#include "automata/hopcroft.hpp"
+#include "automata/regex.hpp"
+#include "automata/scanner.hpp"
+#include "automata/subset.hpp"
+#include "core/executor.hpp"
+#include "dna/catalog.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetopt;
+  const util::CliArgs args(argc, argv);
+  const std::string genome = args.get("genome", std::string("human"));
+  const double mb = args.get("mb", 64.0);
+  const double host_percent = args.get("host-percent", 60.0);
+  const std::vector<std::string> motifs{
+      args.get("motif", std::string("TATAWAW")),   // TATA box (IUPAC W = A/T)
+      args.get("motif2", std::string("GGGCGG")),   // GC box (Sp1 site)
+  };
+
+  std::cout << "Compiling motifs:";
+  for (const auto& m : motifs) std::cout << ' ' << m;
+  std::cout << '\n';
+  const auto compiled = automata::compile_motifs(motifs);
+  automata::DenseDfa dfa =
+      automata::determinize(compiled.nfa, compiled.synchronization_bound);
+  const std::uint32_t before = dfa.state_count();
+  dfa = automata::minimize(dfa);
+  std::cout << "  DFA: " << before << " states -> " << dfa.state_count()
+            << " after Hopcroft minimization; synchronization bound "
+            << dfa.synchronization_bound() << " bp\n";
+
+  const dna::GenomeCatalog catalog;
+  std::cout << "Generating " << mb << " MB of synthetic " << genome << " sequence...\n";
+  const auto bytes = static_cast<std::size_t>(mb * 1024.0 * 1024.0);
+  const dna::Sequence seq = catalog.materialize(genome, bytes);
+
+  core::HeterogeneousExecutor exec(dfa, /*host_threads=*/8, /*device_threads=*/8);
+  util::Timer timer;
+  const core::ExecutionReport report = exec.run(seq.view(), host_percent);
+  const double wall = timer.seconds();
+
+  std::cout << "Scan complete in " << wall << " s ("
+            << mb / wall << " MB/s overlapped)\n"
+            << "  host share:   " << report.host_bytes << " bytes, "
+            << report.host_matches << " motif hits, " << report.host_seconds << " s\n"
+            << "  device share: " << report.device_bytes << " bytes, "
+            << report.device_matches << " motif hits, " << report.device_seconds << " s\n"
+            << "  total motif occurrences: " << report.total_matches() << "\n";
+
+  // Cross-check against a plain sequential scan.
+  const std::uint64_t sequential = automata::count_matches(dfa, seq.view());
+  std::cout << "  sequential verification: " << sequential
+            << (sequential == report.total_matches() ? "  [OK]" : "  [MISMATCH!]") << '\n';
+  return sequential == report.total_matches() ? 0 : 1;
+}

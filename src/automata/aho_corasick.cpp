@@ -1,0 +1,92 @@
+#include "automata/aho_corasick.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <stdexcept>
+
+namespace hetopt::automata {
+
+DenseDfa build_aho_corasick(const std::vector<std::string>& patterns) {
+  if (patterns.empty()) throw std::invalid_argument("aho_corasick: no patterns");
+
+  // --- Trie construction ----------------------------------------------------
+  struct Node {
+    std::array<std::int64_t, dna::kAlphabetSize> child;
+    std::uint32_t fail = 0;
+    std::uint64_t mask = 0;        // patterns ending exactly here (ids < 64)
+    std::uint32_t count = 0;       // number of patterns ending exactly here
+    Node() { child.fill(-1); }
+  };
+  std::vector<Node> trie(1);
+  std::size_t max_len = 0;
+
+  for (std::size_t pid = 0; pid < patterns.size(); ++pid) {
+    const std::string& pat = patterns[pid];
+    if (pat.empty()) throw std::invalid_argument("aho_corasick: empty pattern");
+    std::size_t node = 0;
+    for (char raw : pat) {
+      const auto base = dna::base_from_char(raw);
+      if (!base) {
+        throw std::invalid_argument("aho_corasick: pattern '" + pat +
+                                    "' contains non-ACGT character");
+      }
+      const auto b = static_cast<std::size_t>(*base);
+      if (trie[node].child[b] < 0) {
+        trie[node].child[b] = static_cast<std::int64_t>(trie.size());
+        trie.emplace_back();
+      }
+      node = static_cast<std::size_t>(trie[node].child[b]);
+    }
+    if (pid < kMaxPatterns) trie[node].mask |= (1ULL << pid);
+    ++trie[node].count;
+    max_len = std::max(max_len, pat.size());
+  }
+
+  // --- BFS: failure links + dense goto --------------------------------------
+  // After this pass child[] holds the complete transition function
+  // delta(s, c) = goto(s, c) if defined else delta(fail(s), c).
+  std::deque<std::uint32_t> queue;
+  for (std::size_t b = 0; b < dna::kAlphabetSize; ++b) {
+    if (trie[0].child[b] < 0) {
+      trie[0].child[b] = 0;
+    } else {
+      const auto ch = static_cast<std::uint32_t>(trie[0].child[b]);
+      trie[ch].fail = 0;
+      queue.push_back(ch);
+    }
+  }
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    // Accumulate accepts along the suffix link so one table lookup suffices.
+    trie[u].mask |= trie[trie[u].fail].mask;
+    trie[u].count += trie[trie[u].fail].count;
+    for (std::size_t b = 0; b < dna::kAlphabetSize; ++b) {
+      const std::int64_t v = trie[u].child[b];
+      const auto fallback = static_cast<std::uint32_t>(trie[trie[u].fail].child[b]);
+      if (v < 0) {
+        trie[u].child[b] = fallback;
+      } else {
+        trie[static_cast<std::size_t>(v)].fail = fallback;
+        queue.push_back(static_cast<std::uint32_t>(v));
+      }
+    }
+  }
+
+  // --- Emit dense automaton --------------------------------------------------
+  DenseDfa dfa(static_cast<std::uint32_t>(trie.size()));
+  for (std::uint32_t s = 0; s < trie.size(); ++s) {
+    for (std::size_t b = 0; b < dna::kAlphabetSize; ++b) {
+      dfa.set_transition(s, static_cast<dna::Base>(b),
+                         static_cast<StateId>(trie[s].child[b]));
+    }
+    if (trie[s].count != 0) dfa.set_accept(s, trie[s].mask, trie[s].count);
+  }
+  dfa.set_start(0);
+  dfa.set_synchronization_bound(max_len);
+  dfa.set_pattern_count(patterns.size());
+  return dfa;
+}
+
+}  // namespace hetopt::automata

@@ -1,0 +1,23 @@
+// Aho–Corasick multi-pattern automaton for literal (plain-ACGT) motifs,
+// converted into the dense table form shared by all matchers.
+//
+// Counting semantics match the subset-construction path: accept_count(s) is
+// the number of pattern occurrences ending when the automaton sits in s
+// (accumulated along suffix links, so duplicated patterns each count).
+// Pattern-identity masks cover the first kMaxPatterns patterns; automata with
+// more patterns still count exactly but mask bits saturate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "automata/dense_dfa.hpp"
+
+namespace hetopt::automata {
+
+/// Builds the AC automaton for the given literal patterns. Patterns must be
+/// non-empty plain ACGT strings (case-insensitive). Duplicates are allowed
+/// and count separately. Throws std::invalid_argument on bad input.
+[[nodiscard]] DenseDfa build_aho_corasick(const std::vector<std::string>& patterns);
+
+}  // namespace hetopt::automata

@@ -1,0 +1,94 @@
+#include "automata/bitap.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hetopt::automata {
+
+BitapMatcher::BitapMatcher(const std::vector<std::string>& patterns) {
+  if (patterns.empty()) throw std::invalid_argument("BitapMatcher: no patterns");
+
+  std::size_t total_bits = 0;
+  for (const std::string& p : patterns) total_bits += p.size();
+  if (total_bits == 0) throw std::invalid_argument("BitapMatcher: empty pattern");
+  if (total_bits > 64) {
+    throw std::invalid_argument("BitapMatcher: summed pattern lengths " +
+                                std::to_string(total_bits) + " exceed 64 bits");
+  }
+
+  final_bit_to_pattern_.assign(64, 0);
+  std::size_t bit = 0;
+  for (std::size_t pid = 0; pid < patterns.size(); ++pid) {
+    const std::string& p = patterns[pid];
+    if (p.empty()) throw std::invalid_argument("BitapMatcher: empty pattern");
+    initial_ |= (1ULL << bit);
+    for (std::size_t i = 0; i < p.size(); ++i, ++bit) {
+      const auto cls = dna::iupac_from_char(p[i]);
+      if (!cls) {
+        throw std::invalid_argument("BitapMatcher: invalid IUPAC character in '" + p + "'");
+      }
+      for (std::size_t b = 0; b < dna::kAlphabetSize; ++b) {
+        if (cls->contains(static_cast<dna::Base>(b))) {
+          cls_mask_[b] |= (1ULL << bit);
+        }
+      }
+    }
+    final_ |= (1ULL << (bit - 1));
+    final_bit_to_pattern_[bit - 1] = pid;
+    max_len_ = std::max(max_len_, p.size());
+  }
+  final_masks_count_ = patterns.size();
+
+  // A final bit shifting left lands on the next pattern's initial bit; since
+  // substring search restarts every pattern at every position, that bit is
+  // OR-ed in anyway, so adjacent packing needs no separator bits.
+}
+
+std::uint64_t BitapMatcher::scan(std::string_view text, std::uint64_t& d) const {
+  std::uint64_t count = 0;
+  std::uint64_t state = d;
+  for (char c : text) {
+    const auto base = dna::base_from_char(c);
+    if (!base) {
+      throw std::invalid_argument("BitapMatcher: invalid base '" + std::string(1, c) + "'");
+    }
+    // Shift-And step: advance every live prefix by one position, restart all
+    // patterns at their initial bit, keep only positions whose class accepts
+    // the current character.
+    state = ((state << 1) | initial_) & cls_mask_[static_cast<std::size_t>(*base)];
+    count += static_cast<std::uint64_t>(std::popcount(state & final_));
+  }
+  d = state;
+  return count;
+}
+
+std::uint64_t BitapMatcher::count(std::string_view text) const {
+  std::uint64_t state = 0;
+  return scan(text, state);
+}
+
+void BitapMatcher::collect(std::string_view text, std::size_t base_offset,
+                           std::vector<Match>& out) const {
+  std::uint64_t state = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const auto base = dna::base_from_char(text[i]);
+    if (!base) {
+      throw std::invalid_argument("BitapMatcher: invalid base '" +
+                                  std::string(1, text[i]) + "'");
+    }
+    state = ((state << 1) | initial_) & cls_mask_[static_cast<std::size_t>(*base)];
+    std::uint64_t hits = state & final_;
+    if (hits != 0) {
+      std::uint64_t pattern_mask = 0;
+      while (hits != 0) {
+        const int bit = std::countr_zero(hits);
+        const std::uint64_t pid = final_bit_to_pattern_[static_cast<std::size_t>(bit)];
+        if (pid < kMaxPatterns) pattern_mask |= (1ULL << pid);
+        hits &= hits - 1;
+      }
+      out.push_back(Match{base_offset + i + 1, pattern_mask});
+    }
+  }
+}
+
+}  // namespace hetopt::automata

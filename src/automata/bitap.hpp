@@ -1,0 +1,56 @@
+// Bit-parallel multi-pattern matcher (multi-pattern Shift-And, Baeza-Yates &
+// Gonnet / Wu-Manber style). This is the SIMD-flavoured counterpart of the
+// table-driven DFA: one 64-bit word carries the match state of *all*
+// patterns simultaneously, advancing with two ANDs, a shift and an OR per
+// input byte — the same "wide registers do the work" idea the paper invokes
+// for the Xeon Phi's 512-bit vector units, scaled to portable C++.
+//
+// Constraints: plain/IUPAC patterns without regex operators; the summed
+// pattern lengths must fit in 64 bits. Match semantics are identical to the
+// DFA engines (count every occurrence by end position; per-pattern ids).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/dense_dfa.hpp"
+#include "dna/alphabet.hpp"
+
+namespace hetopt::automata {
+
+class BitapMatcher {
+ public:
+  /// Compiles IUPAC patterns (classes allowed, no operators). Throws
+  /// std::invalid_argument if a pattern is empty/invalid or the summed
+  /// lengths exceed 64 bits.
+  explicit BitapMatcher(const std::vector<std::string>& patterns);
+
+  [[nodiscard]] std::size_t pattern_count() const noexcept { return final_masks_count_; }
+  /// Longest pattern (the warm-up bound, like DenseDfa's).
+  [[nodiscard]] std::size_t synchronization_bound() const noexcept { return max_len_; }
+
+  /// Counts occurrences (every pattern, every end position).
+  [[nodiscard]] std::uint64_t count(std::string_view text) const;
+
+  /// Collects match events compatible with the DFA scanners.
+  void collect(std::string_view text, std::size_t base_offset,
+               std::vector<Match>& out) const;
+
+  /// Resumable scanning: feeds `text` through state `d` (0 = fresh start),
+  /// accumulating occurrences into `matches`. Enables chunked scans with a
+  /// warm-up prefix, mirroring ParallelMatcher::kWarmup.
+  [[nodiscard]] std::uint64_t scan(std::string_view text, std::uint64_t& d) const;
+
+ private:
+  // cls_mask_[base] has bit b set if pattern position b accepts `base`.
+  std::uint64_t cls_mask_[dna::kAlphabetSize]{};
+  std::uint64_t initial_ = 0;  // bits at each pattern's first position
+  std::uint64_t final_ = 0;    // bits at each pattern's last position
+  std::vector<std::uint64_t> final_bit_to_pattern_;  // map final-bit index -> pattern id
+  std::size_t max_len_ = 0;
+  std::size_t final_masks_count_ = 0;
+};
+
+}  // namespace hetopt::automata

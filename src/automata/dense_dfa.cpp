@@ -1,0 +1,60 @@
+#include "automata/dense_dfa.hpp"
+
+#include <stdexcept>
+
+namespace hetopt::automata {
+
+DenseDfa::DenseDfa(std::uint32_t num_states)
+    : next_(static_cast<std::size_t>(num_states) * dna::kAlphabetSize, 0),
+      accept_mask_(num_states, 0),
+      accept_count_(num_states, 0) {}
+
+void DenseDfa::set_start(StateId s) {
+  if (s >= state_count()) throw std::out_of_range("DenseDfa: bad start state");
+  start_ = s;
+}
+
+void DenseDfa::set_transition(StateId from, dna::Base on, StateId to) {
+  if (from >= state_count() || to >= state_count()) {
+    throw std::out_of_range("DenseDfa: transition state out of range");
+  }
+  next_[from * dna::kAlphabetSize + static_cast<std::size_t>(on)] = to;
+}
+
+void DenseDfa::set_accept(StateId s, std::uint64_t mask, std::uint32_t count) {
+  if (s >= state_count()) throw std::out_of_range("DenseDfa: accept state out of range");
+  accept_mask_.at(s) = mask;
+  accept_count_.at(s) = count;
+}
+
+StateId DenseDfa::run(StateId state, std::string_view text) const {
+  if (state >= state_count()) throw std::out_of_range("DenseDfa::run: bad state");
+  for (char c : text) {
+    const auto base = dna::base_from_char(c);
+    if (!base) {
+      throw std::invalid_argument("DenseDfa::run: invalid base '" + std::string(1, c) + "'");
+    }
+    state = step(state, *base);
+  }
+  return state;
+}
+
+std::string DenseDfa::validate() const {
+  if (state_count() == 0) return "automaton has no states";
+  if (start_ >= state_count()) return "start state out of range";
+  for (std::size_t i = 0; i < next_.size(); ++i) {
+    if (next_[i] >= state_count()) {
+      return "transition " + std::to_string(i) + " out of range";
+    }
+  }
+  for (StateId s = 0; s < state_count(); ++s) {
+    const bool has_mask = accept_mask_[s] != 0;
+    const bool has_count = accept_count_[s] != 0;
+    if (has_mask != has_count) {
+      return "state " + std::to_string(s) + ": accept mask/count disagree";
+    }
+  }
+  return {};
+}
+
+}  // namespace hetopt::automata

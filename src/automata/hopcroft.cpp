@@ -1,0 +1,121 @@
+#include "automata/hopcroft.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace hetopt::automata {
+
+DenseDfa minimize(const DenseDfa& dfa) {
+  const std::uint32_t n = dfa.state_count();
+  if (n == 0) throw std::invalid_argument("minimize: empty automaton");
+
+  // --- Initial partition by accept signature -------------------------------
+  // block_of[s] = index of the block containing s.
+  std::vector<std::uint32_t> block_of(n, 0);
+  {
+    std::map<std::pair<std::uint64_t, std::uint32_t>, std::uint32_t> sig_to_block;
+    for (StateId s = 0; s < n; ++s) {
+      const auto sig = std::make_pair(dfa.accept_mask(s), dfa.accept_count(s));
+      const auto [it, inserted] =
+          sig_to_block.emplace(sig, static_cast<std::uint32_t>(sig_to_block.size()));
+      block_of[s] = it->second;
+    }
+  }
+
+  // blocks as member lists (rebuilt on each split; simple and fast enough for
+  // the automata sizes in this project — thousands of states).
+  std::uint32_t num_blocks = 1 + *std::max_element(block_of.begin(), block_of.end());
+
+  // Pre-compute inverse transitions: inv[c][t] = states s with step(s,c)==t.
+  std::array<std::vector<std::vector<StateId>>, dna::kAlphabetSize> inv;
+  for (std::size_t c = 0; c < dna::kAlphabetSize; ++c) {
+    inv[c].assign(n, {});
+    for (StateId s = 0; s < n; ++s) {
+      inv[c][dfa.step(s, static_cast<dna::Base>(c))].push_back(s);
+    }
+  }
+
+  // Worklist of (block, character) pairs. Hopcroft's "smaller half" trick is
+  // replaced by enqueueing all blocks — asymptotically worse but simpler and
+  // robust; automata here are small.
+  std::deque<std::pair<std::uint32_t, std::size_t>> work;
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    for (std::size_t c = 0; c < dna::kAlphabetSize; ++c) work.emplace_back(b, c);
+  }
+
+  while (!work.empty()) {
+    const auto [splitter, c] = work.front();
+    work.pop_front();
+
+    // X = states whose c-transition lands in the splitter block.
+    std::vector<StateId> x;
+    for (StateId t = 0; t < n; ++t) {
+      if (block_of[t] == splitter) {
+        x.insert(x.end(), inv[c][t].begin(), inv[c][t].end());
+      }
+    }
+    if (x.empty()) continue;
+
+    // Group X members by their current block; any block partially covered by
+    // X splits into (in X) / (not in X).
+    std::vector<std::uint32_t> touched;  // blocks intersecting X
+    std::vector<std::uint32_t> in_x_count(num_blocks, 0);
+    std::vector<char> in_x(n, 0);
+    for (StateId s : x) {
+      if (!in_x[s]) {
+        in_x[s] = 1;
+        if (in_x_count[block_of[s]]++ == 0) touched.push_back(block_of[s]);
+      }
+    }
+    // Block sizes.
+    std::vector<std::uint32_t> block_size(num_blocks, 0);
+    for (StateId s = 0; s < n; ++s) ++block_size[block_of[s]];
+
+    for (std::uint32_t b : touched) {
+      if (in_x_count[b] == block_size[b]) continue;  // fully inside X: no split
+      const std::uint32_t fresh = num_blocks++;
+      for (StateId s = 0; s < n; ++s) {
+        if (block_of[s] == b && in_x[s]) block_of[s] = fresh;
+      }
+      for (std::size_t ch = 0; ch < dna::kAlphabetSize; ++ch) {
+        work.emplace_back(fresh, ch);
+        work.emplace_back(b, ch);
+      }
+    }
+  }
+
+  // --- Emit the quotient automaton ----------------------------------------
+  // Renumber blocks in order of first occurrence for determinism.
+  std::vector<std::uint32_t> renum(num_blocks, static_cast<std::uint32_t>(-1));
+  std::uint32_t next_id = 0;
+  for (StateId s = 0; s < n; ++s) {
+    if (renum[block_of[s]] == static_cast<std::uint32_t>(-1)) renum[block_of[s]] = next_id++;
+  }
+
+  DenseDfa out(next_id);
+  std::vector<char> emitted(next_id, 0);
+  for (StateId s = 0; s < n; ++s) {
+    const std::uint32_t b = renum[block_of[s]];
+    if (emitted[b]) continue;
+    emitted[b] = 1;
+    for (std::size_t c = 0; c < dna::kAlphabetSize; ++c) {
+      out.set_transition(b, static_cast<dna::Base>(c),
+                         renum[block_of[dfa.step(s, static_cast<dna::Base>(c))]]);
+    }
+    if (dfa.accept_mask(s) != 0) {
+      out.set_accept(b, dfa.accept_mask(s), dfa.accept_count(s));
+    }
+  }
+  out.set_start(renum[block_of[dfa.start()]]);
+  out.set_synchronization_bound(dfa.synchronization_bound());
+  out.set_pattern_count(dfa.pattern_count());
+  return out;
+}
+
+}  // namespace hetopt::automata

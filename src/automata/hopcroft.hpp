@@ -1,0 +1,15 @@
+// Hopcroft's DFA minimization (O(n·k·log n) partition refinement).
+// Initial partition groups states by their (accept_mask, accept_count)
+// signature so pattern identities survive minimization.
+#pragma once
+
+#include "automata/dense_dfa.hpp"
+
+namespace hetopt::automata {
+
+/// Returns the minimal automaton equivalent to `dfa` (same accept signatures
+/// along every input). All states of the input are assumed reachable — the
+/// constructions in this project only produce reachable states.
+[[nodiscard]] DenseDfa minimize(const DenseDfa& dfa);
+
+}  // namespace hetopt::automata

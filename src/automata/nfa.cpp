@@ -1,0 +1,86 @@
+#include "automata/nfa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string_view>
+
+namespace hetopt::automata {
+
+StateId Nfa::add_state() {
+  const auto id = static_cast<StateId>(transitions_.size());
+  transitions_.emplace_back();
+  epsilons_.emplace_back();
+  accept_mask_.push_back(0);
+  return id;
+}
+
+void Nfa::add_transition(StateId from, dna::BaseSet on, StateId to) {
+  if (on.empty()) throw std::invalid_argument("Nfa: empty character class");
+  transitions_.at(from).push_back(Transition{on, to});
+  if (to >= state_count()) throw std::out_of_range("Nfa: transition to unknown state");
+}
+
+void Nfa::add_epsilon(StateId from, StateId to) {
+  epsilons_.at(from).push_back(to);
+  if (to >= state_count()) throw std::out_of_range("Nfa: epsilon to unknown state");
+}
+
+void Nfa::set_accepting(StateId s, std::size_t pattern_id) {
+  if (pattern_id >= kMaxPatterns) {
+    throw std::out_of_range("Nfa: pattern id exceeds kMaxPatterns");
+  }
+  accept_mask_.at(s) |= (1ULL << pattern_id);
+}
+
+std::vector<StateId> Nfa::epsilon_closure(std::vector<StateId> states) const {
+  std::vector<bool> seen(state_count(), false);
+  std::vector<StateId> stack;
+  for (StateId s : states) {
+    if (s >= state_count()) throw std::out_of_range("Nfa: unknown state in closure");
+    if (!seen[s]) {
+      seen[s] = true;
+      stack.push_back(s);
+    }
+  }
+  std::vector<StateId> result = stack;
+  while (!stack.empty()) {
+    const StateId s = stack.back();
+    stack.pop_back();
+    for (StateId t : epsilons_[s]) {
+      if (!seen[t]) {
+        seen[t] = true;
+        stack.push_back(t);
+        result.push_back(t);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::uint64_t Nfa::simulate(std::string_view text) const {
+  if (start_ == kInvalidState) throw std::logic_error("Nfa: no start state");
+  std::vector<StateId> current = epsilon_closure({start_});
+  std::uint64_t seen_accepts = 0;
+  const auto accumulate = [&](const std::vector<StateId>& states) {
+    for (StateId s : states) seen_accepts |= accept_mask_[s];
+  };
+  accumulate(current);
+  for (char c : text) {
+    const auto base = dna::base_from_char(c);
+    if (!base) throw std::invalid_argument("Nfa::simulate: invalid base");
+    std::vector<StateId> next;
+    for (StateId s : current) {
+      for (const Transition& t : transitions_[s]) {
+        if (t.on.contains(*base)) next.push_back(t.to);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    current = epsilon_closure(std::move(next));
+    accumulate(current);
+  }
+  return seen_accepts;
+}
+
+}  // namespace hetopt::automata

@@ -1,0 +1,66 @@
+// Thompson-style nondeterministic finite automaton over the DNA alphabet.
+// Transitions are labelled with BaseSet character classes (so IUPAC codes are
+// first-class); epsilon edges support the usual regex constructions.
+// Accepting states carry a pattern id so multi-pattern automata can report
+// which motif matched.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "dna/alphabet.hpp"
+
+namespace hetopt::automata {
+
+using StateId = std::uint32_t;
+inline constexpr StateId kInvalidState = static_cast<StateId>(-1);
+
+/// Maximum number of distinct patterns an automaton can report (accept sets
+/// are stored as 64-bit masks).
+inline constexpr std::size_t kMaxPatterns = 64;
+
+class Nfa {
+ public:
+  struct Transition {
+    dna::BaseSet on;
+    StateId to = kInvalidState;
+  };
+
+  /// Adds a state; returns its id.
+  StateId add_state();
+
+  /// Adds a labelled transition from -> to on the given class.
+  void add_transition(StateId from, dna::BaseSet on, StateId to);
+  /// Adds an epsilon transition.
+  void add_epsilon(StateId from, StateId to);
+  /// Marks `s` accepting for pattern `pattern_id` (< kMaxPatterns).
+  void set_accepting(StateId s, std::size_t pattern_id);
+
+  void set_start(StateId s) { start_ = s; }
+  [[nodiscard]] StateId start() const noexcept { return start_; }
+  [[nodiscard]] std::size_t state_count() const noexcept { return transitions_.size(); }
+  [[nodiscard]] const std::vector<Transition>& transitions(StateId s) const {
+    return transitions_.at(s);
+  }
+  [[nodiscard]] const std::vector<StateId>& epsilons(StateId s) const {
+    return epsilons_.at(s);
+  }
+  /// Bitmask of pattern ids accepted at `s` (0 when non-accepting).
+  [[nodiscard]] std::uint64_t accept_mask(StateId s) const { return accept_mask_.at(s); }
+
+  /// Epsilon closure of a state set (sorted, deduplicated).
+  [[nodiscard]] std::vector<StateId> epsilon_closure(std::vector<StateId> states) const;
+
+  /// Direct NFA simulation; returns the accept mask after consuming `text`
+  /// tracking all live states (slow; used as a test oracle).
+  [[nodiscard]] std::uint64_t simulate(std::string_view text) const;
+
+ private:
+  std::vector<std::vector<Transition>> transitions_;
+  std::vector<std::vector<StateId>> epsilons_;
+  std::vector<std::uint64_t> accept_mask_;
+  StateId start_ = kInvalidState;
+};
+
+}  // namespace hetopt::automata

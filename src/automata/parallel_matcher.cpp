@@ -1,0 +1,104 @@
+#include "automata/parallel_matcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "parallel/partitioner.hpp"
+
+namespace hetopt::automata {
+
+ParallelMatcher::ParallelMatcher(const DenseDfa& dfa, parallel::ThreadPool& pool)
+    : dfa_(dfa), pool_(pool) {
+  const std::string err = dfa.validate();
+  if (!err.empty()) throw std::invalid_argument("ParallelMatcher: " + err);
+}
+
+ParallelScanStats ParallelMatcher::count(std::string_view text, std::size_t chunks,
+                                         ParallelStrategy strategy) const {
+  return run(text, chunks, strategy, /*want_matches=*/false, nullptr);
+}
+
+ParallelScanStats ParallelMatcher::collect(std::string_view text, std::size_t chunks,
+                                           std::vector<Match>& out,
+                                           ParallelStrategy strategy) const {
+  return run(text, chunks, strategy, /*want_matches=*/true, &out);
+}
+
+ParallelScanStats ParallelMatcher::run(std::string_view text, std::size_t chunks,
+                                       ParallelStrategy strategy, bool want_matches,
+                                       std::vector<Match>* out) const {
+  ParallelScanStats stats;
+  if (text.empty()) return stats;
+  chunks = std::max<std::size_t>(1, std::min(chunks, text.size()));
+
+  if (strategy == ParallelStrategy::kWarmup && dfa_.synchronization_bound() == 0) {
+    strategy = ParallelStrategy::kSpeculative;
+  }
+
+  const auto ranges = parallel::make_chunks(text.size(), chunks, /*halo=*/0);
+  stats.chunks = ranges.size();
+  std::vector<ChunkResult> results(ranges.size());
+
+  if (strategy == ParallelStrategy::kWarmup) {
+    const std::size_t warmup = dfa_.synchronization_bound() - 1;
+    pool_.parallel_for(ranges.size(), [&](std::size_t i) {
+      const auto& r = ranges[i];
+      // Warm up from the start state over the bytes preceding the chunk.
+      const std::size_t lead = std::min(warmup, r.begin);
+      StateId state = dfa_.start();
+      if (lead > 0) {
+        state = scan_count(dfa_, text.substr(r.begin - lead, lead), state).final_state;
+      }
+      if (want_matches) {
+        results[i].scan = scan_collect(dfa_, text.substr(r.begin, r.end - r.begin), state,
+                                       r.begin, results[i].matches);
+      } else {
+        results[i].scan = scan_count(dfa_, text.substr(r.begin, r.end - r.begin), state);
+      }
+    });
+  } else {
+    // Phase 1: optimistic parallel scan, every chunk entered at start state.
+    pool_.parallel_for(ranges.size(), [&](std::size_t i) {
+      const auto& r = ranges[i];
+      if (want_matches) {
+        results[i].scan = scan_collect(dfa_, text.substr(r.begin, r.end - r.begin),
+                                       dfa_.start(), r.begin, results[i].matches);
+      } else {
+        results[i].scan =
+            scan_count(dfa_, text.substr(r.begin, r.end - r.begin), dfa_.start());
+      }
+    });
+    // Phase 2: propagate true entry states; re-scan mispredicted chunks.
+    StateId entry = dfa_.start();
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      if (entry != dfa_.start()) {
+        const auto& r = ranges[i];
+        results[i].matches.clear();
+        if (want_matches) {
+          results[i].scan = scan_collect(dfa_, text.substr(r.begin, r.end - r.begin),
+                                         entry, r.begin, results[i].matches);
+        } else {
+          results[i].scan =
+              scan_count(dfa_, text.substr(r.begin, r.end - r.begin), entry);
+        }
+        ++stats.rescanned_chunks;
+      }
+      entry = results[i].scan.final_state;
+    }
+  }
+
+  for (const auto& r : results) stats.match_count += r.scan.match_count;
+  if (want_matches && out != nullptr) {
+    std::size_t total = out->size();
+    for (const auto& r : results) total += r.matches.size();
+    out->reserve(total);
+    for (auto& r : results) {
+      out->insert(out->end(), r.matches.begin(), r.matches.end());
+    }
+    std::sort(out->begin(), out->end(),
+              [](const Match& a, const Match& b) { return a.end < b.end; });
+  }
+  return stats;
+}
+
+}  // namespace hetopt::automata

@@ -1,0 +1,74 @@
+// PaREM-style chunk-parallel finite-automaton matching (Memeti & Pllana,
+// CSE 2014). The input is cut into contiguous chunks, one per worker; the
+// difficulty is that a chunk's correct entry state depends on all preceding
+// text. Two resolution strategies are provided:
+//
+//  kWarmup      Exact, one pass. Usable when the automaton has a finite
+//               synchronization bound L (= longest motif): the scan state at
+//               any position is fully determined by the previous L-1 bytes,
+//               so each worker "warms up" from the start state over the L-1
+//               bytes before its chunk and then counts only inside the chunk.
+//
+//  kSpeculative Exact, two phases. Phase 1 scans every chunk from the start
+//               state in parallel (a guess) and records exit states. Phase 2
+//               walks chunks in order, re-scanning only those whose true
+//               entry state differs from the guess; because motif automata
+//               synchronize quickly, corrected exits almost always equal the
+//               recorded ones and the propagation stops. Works for unbounded
+//               patterns ('*'/'+') where no warm-up bound exists.
+//
+// Both strategies return byte-identical results to a sequential scan (this is
+// property-tested across chunk counts).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "automata/dense_dfa.hpp"
+#include "automata/scanner.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace hetopt::automata {
+
+enum class ParallelStrategy { kWarmup, kSpeculative };
+
+struct ParallelScanStats {
+  std::uint64_t match_count = 0;
+  std::size_t chunks = 0;
+  std::size_t rescanned_chunks = 0;  // speculative only
+};
+
+class ParallelMatcher {
+ public:
+  /// The matcher borrows the automaton and pool; both must outlive it.
+  ParallelMatcher(const DenseDfa& dfa, parallel::ThreadPool& pool);
+
+  /// Counts occurrences in `text` using `chunks` parallel chunks.
+  /// Falls back to kSpeculative when kWarmup is requested but the automaton
+  /// has no synchronization bound.
+  [[nodiscard]] ParallelScanStats count(std::string_view text, std::size_t chunks,
+                                        ParallelStrategy strategy =
+                                            ParallelStrategy::kWarmup) const;
+
+  /// Counts and also collects match events (sorted by end offset).
+  [[nodiscard]] ParallelScanStats collect(std::string_view text, std::size_t chunks,
+                                          std::vector<Match>& out,
+                                          ParallelStrategy strategy =
+                                              ParallelStrategy::kWarmup) const;
+
+ private:
+  struct ChunkResult {
+    ScanResult scan;
+    std::vector<Match> matches;
+  };
+
+  [[nodiscard]] ParallelScanStats run(std::string_view text, std::size_t chunks,
+                                      ParallelStrategy strategy, bool want_matches,
+                                      std::vector<Match>* out) const;
+
+  const DenseDfa& dfa_;
+  parallel::ThreadPool& pool_;
+};
+
+}  // namespace hetopt::automata

@@ -1,0 +1,168 @@
+#include "automata/regex.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hetopt::automata {
+
+namespace {
+
+/// An NFA fragment under construction: entry state and a single exit state
+/// (Thompson construction keeps one of each by inserting epsilons).
+struct Fragment {
+  StateId entry = kInvalidState;
+  StateId exit = kInvalidState;
+  LengthRange len;
+};
+
+constexpr std::size_t kUnb = LengthRange::kUnbounded;
+
+[[nodiscard]] std::size_t add_len(std::size_t a, std::size_t b) noexcept {
+  return (a == kUnb || b == kUnb) ? kUnb : a + b;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view pattern, Nfa& nfa) : pattern_(pattern), nfa_(nfa) {}
+
+  Fragment parse() {
+    if (pattern_.empty()) fail("empty pattern");
+    Fragment f = parse_expr();
+    if (pos_ != pattern_.size()) fail("unexpected character");
+    return f;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("motif '" + std::string(pattern_) + "': " + what +
+                                " at position " + std::to_string(pos_));
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= pattern_.size(); }
+  [[nodiscard]] char peek() const noexcept { return pattern_[pos_]; }
+
+  Fragment parse_expr() {
+    Fragment first = parse_term();
+    if (eof() || peek() != '|') return first;
+    // Alternation: fresh entry/exit with epsilons to/from each branch.
+    const StateId entry = nfa_.add_state();
+    const StateId exit = nfa_.add_state();
+    nfa_.add_epsilon(entry, first.entry);
+    nfa_.add_epsilon(first.exit, exit);
+    LengthRange len = first.len;
+    while (!eof() && peek() == '|') {
+      ++pos_;
+      Fragment branch = parse_term();
+      nfa_.add_epsilon(entry, branch.entry);
+      nfa_.add_epsilon(branch.exit, exit);
+      len.min_len = std::min(len.min_len, branch.len.min_len);
+      len.max_len = (len.max_len == kUnb || branch.len.max_len == kUnb)
+                        ? kUnb
+                        : std::max(len.max_len, branch.len.max_len);
+    }
+    return Fragment{entry, exit, len};
+  }
+
+  Fragment parse_term() {
+    // A term may be empty (e.g. "(|A)"): create a pass-through fragment.
+    Fragment acc;
+    acc.entry = nfa_.add_state();
+    acc.exit = acc.entry;
+    acc.len = LengthRange{0, 0};
+    while (!eof() && peek() != '|' && peek() != ')') {
+      Fragment f = parse_factor();
+      nfa_.add_epsilon(acc.exit, f.entry);
+      acc.exit = f.exit;
+      acc.len.min_len = add_len(acc.len.min_len, f.len.min_len);
+      acc.len.max_len = add_len(acc.len.max_len, f.len.max_len);
+    }
+    return acc;
+  }
+
+  Fragment parse_factor() {
+    Fragment atom = parse_atom();
+    if (eof()) return atom;
+    const char op = peek();
+    if (op != '?' && op != '*' && op != '+') return atom;
+    ++pos_;
+    const StateId entry = nfa_.add_state();
+    const StateId exit = nfa_.add_state();
+    nfa_.add_epsilon(entry, atom.entry);
+    nfa_.add_epsilon(atom.exit, exit);
+    LengthRange len = atom.len;
+    if (op == '?' || op == '*') {
+      nfa_.add_epsilon(entry, exit);
+      len.min_len = 0;
+    }
+    if (op == '*' || op == '+') {
+      nfa_.add_epsilon(atom.exit, atom.entry);
+      len.max_len = (atom.len.max_len == 0) ? 0 : kUnb;
+    }
+    return Fragment{entry, exit, len};
+  }
+
+  Fragment parse_atom() {
+    if (eof()) fail("expected atom");
+    const char c = peek();
+    if (c == '(') {
+      ++pos_;
+      Fragment inner = parse_expr();
+      if (eof() || peek() != ')') fail("missing ')'");
+      ++pos_;
+      return inner;
+    }
+    if (c == ')' || c == '|' || c == '?' || c == '*' || c == '+') fail("unexpected operator");
+    const auto cls = dna::iupac_from_char(c);
+    if (!cls) fail("invalid IUPAC character '" + std::string(1, c) + "'");
+    ++pos_;
+    const StateId entry = nfa_.add_state();
+    const StateId exit = nfa_.add_state();
+    nfa_.add_transition(entry, *cls, exit);
+    return Fragment{entry, exit, LengthRange{1, 1}};
+  }
+
+  std::string_view pattern_;
+  Nfa& nfa_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+CompiledMotifs compile_motifs(const std::vector<std::string>& patterns) {
+  if (patterns.empty()) throw std::invalid_argument("compile_motifs: no patterns");
+  if (patterns.size() > kMaxPatterns) {
+    throw std::invalid_argument("compile_motifs: more than " +
+                                std::to_string(kMaxPatterns) + " patterns");
+  }
+  CompiledMotifs out;
+  Nfa& nfa = out.nfa;
+
+  // Σ* prefix: start state loops on every base, then forks into each pattern.
+  const StateId start = nfa.add_state();
+  nfa.set_start(start);
+  nfa.add_transition(start, dna::BaseSet::all(), start);
+
+  std::size_t sync = 0;
+  bool bounded = true;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    Parser parser(patterns[i], nfa);
+    const Fragment frag = parser.parse();
+    if (frag.len.min_len == 0) {
+      throw std::invalid_argument("motif '" + patterns[i] +
+                                  "': may match the empty string, which is not a "
+                                  "meaningful motif");
+    }
+    nfa.add_epsilon(start, frag.entry);
+    nfa.set_accepting(frag.exit, i);
+    out.lengths.push_back(frag.len);
+    if (frag.len.max_len == LengthRange::kUnbounded) {
+      bounded = false;
+    } else {
+      sync = std::max(sync, frag.len.max_len);
+    }
+  }
+  out.synchronization_bound = bounded ? sync : 0;
+  return out;
+}
+
+}  // namespace hetopt::automata

@@ -1,0 +1,48 @@
+// Compiler from a motif expression language to a Thompson NFA.
+//
+// The language is a regex subset over IUPAC nucleotide classes, sufficient
+// for the motif searches the paper's DNA application performs (PaREM is a
+// "parallel regular expression matching" engine):
+//
+//   expr    := term ('|' term)*
+//   term    := factor*
+//   factor  := atom ('?' | '*' | '+')?
+//   atom    := IUPAC-char | '(' expr ')'
+//
+// Examples: "TATAWAW", "GGG(ACG)?TTT", "GC(N)*GC", "CCWGG|GGWCC".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/nfa.hpp"
+
+namespace hetopt::automata {
+
+/// Length metadata of a compiled expression: [min_len, max_len]; max_len of
+/// SIZE_MAX means unbounded ('*' or '+' present).
+struct LengthRange {
+  std::size_t min_len = 0;
+  std::size_t max_len = 0;
+  static constexpr std::size_t kUnbounded = static_cast<std::size_t>(-1);
+};
+
+/// A set of motif patterns compiled into one NFA that recognizes
+/// "Σ* (p_0 | ... | p_{k-1})", with accepting states tagged by pattern index.
+/// Scanning the resulting automaton over a text reports, at every position,
+/// which patterns end there.
+struct CompiledMotifs {
+  Nfa nfa;
+  std::vector<LengthRange> lengths;  // per pattern
+  /// Longest bounded pattern, or 0 when any pattern is unbounded. This is the
+  /// synchronization bound used by the chunk-parallel matcher.
+  std::size_t synchronization_bound = 0;
+};
+
+/// Compiles the given motif expressions (at most kMaxPatterns). Throws
+/// std::invalid_argument with a position-annotated message on syntax errors.
+[[nodiscard]] CompiledMotifs compile_motifs(const std::vector<std::string>& patterns);
+
+}  // namespace hetopt::automata

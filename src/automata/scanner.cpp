@@ -1,0 +1,53 @@
+#include "automata/scanner.hpp"
+
+#include <stdexcept>
+
+namespace hetopt::automata {
+
+namespace {
+
+[[nodiscard]] dna::Base require_base(char c) {
+  const auto b = dna::base_from_char(c);
+  if (!b) {
+    throw std::invalid_argument("scan: invalid base '" + std::string(1, c) + "'");
+  }
+  return *b;
+}
+
+}  // namespace
+
+ScanResult scan_count(const DenseDfa& dfa, std::string_view text, StateId state) {
+  if (state >= dfa.state_count()) throw std::out_of_range("scan_count: bad state");
+  std::uint64_t count = 0;
+  for (char c : text) {
+    state = dfa.step(state, require_base(c));
+    count += dfa.accept_count(state);
+  }
+  return ScanResult{state, count};
+}
+
+ScanResult scan_collect(const DenseDfa& dfa, std::string_view text, StateId state,
+                        std::size_t base_offset, std::vector<Match>& out) {
+  if (state >= dfa.state_count()) throw std::out_of_range("scan_collect: bad state");
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    state = dfa.step(state, require_base(text[i]));
+    const std::uint32_t c = dfa.accept_count(state);
+    if (c != 0) {
+      count += c;
+      out.push_back(Match{base_offset + i + 1, dfa.accept_mask(state)});
+    }
+  }
+  return ScanResult{state, count};
+}
+
+std::uint64_t naive_count(std::string_view text, std::string_view pattern) {
+  if (pattern.empty() || pattern.size() > text.size()) return 0;
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i + pattern.size() <= text.size(); ++i) {
+    if (text.compare(i, pattern.size(), pattern) == 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace hetopt::automata

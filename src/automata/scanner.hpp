@@ -1,0 +1,39 @@
+// Sequential scanning primitives over a DenseDfa. These are the inner loops
+// every matcher (and the real DNA application kernel) runs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "automata/dense_dfa.hpp"
+
+namespace hetopt::automata {
+
+/// Result of scanning a text range.
+struct ScanResult {
+  StateId final_state = 0;
+  std::uint64_t match_count = 0;  // occurrences (sum of accept counts)
+};
+
+/// Scans `text` from `state`, summing accept counts at every position.
+/// Throws std::invalid_argument on non-ACGT characters.
+[[nodiscard]] ScanResult scan_count(const DenseDfa& dfa, std::string_view text,
+                                    StateId state);
+
+/// Convenience: scan from the start state.
+[[nodiscard]] inline std::uint64_t count_matches(const DenseDfa& dfa, std::string_view text) {
+  return scan_count(dfa, text, dfa.start()).match_count;
+}
+
+/// Scans and records every match event. `base_offset` is added to reported
+/// end positions so chunked callers can report global offsets.
+[[nodiscard]] ScanResult scan_collect(const DenseDfa& dfa, std::string_view text,
+                                      StateId state, std::size_t base_offset,
+                                      std::vector<Match>& out);
+
+/// Naive oracle: counts occurrences of literal `pattern` in `text` by direct
+/// comparison (overlapping occurrences included). Used by property tests.
+[[nodiscard]] std::uint64_t naive_count(std::string_view text, std::string_view pattern);
+
+}  // namespace hetopt::automata

@@ -1,0 +1,83 @@
+#include "automata/subset.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hetopt::automata {
+
+namespace {
+
+struct VectorHash {
+  std::size_t operator()(const std::vector<StateId>& v) const noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (StateId s : v) h = util::hash_combine(h, s);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+DenseDfa determinize(const Nfa& nfa, std::size_t synchronization_bound) {
+  if (nfa.start() == kInvalidState) throw std::logic_error("determinize: NFA has no start");
+
+  std::unordered_map<std::vector<StateId>, StateId, VectorHash> ids;
+  std::vector<std::vector<StateId>> sets;
+  std::vector<std::uint64_t> masks;
+
+  const auto intern = [&](std::vector<StateId> set) -> StateId {
+    const auto it = ids.find(set);
+    if (it != ids.end()) return it->second;
+    const auto id = static_cast<StateId>(sets.size());
+    std::uint64_t mask = 0;
+    for (StateId s : set) mask |= nfa.accept_mask(s);
+    ids.emplace(set, id);
+    sets.push_back(std::move(set));
+    masks.push_back(mask);
+    return id;
+  };
+
+  const StateId start = intern(nfa.epsilon_closure({nfa.start()}));
+
+  // BFS over reachable subsets; transition rows filled as we go.
+  std::vector<std::array<StateId, dna::kAlphabetSize>> rows;
+  for (StateId current = 0; current < sets.size(); ++current) {
+    std::array<StateId, dna::kAlphabetSize> row{};
+    for (std::size_t b = 0; b < dna::kAlphabetSize; ++b) {
+      const auto base = static_cast<dna::Base>(b);
+      std::vector<StateId> next;
+      for (StateId s : sets[current]) {
+        for (const Nfa::Transition& t : nfa.transitions(s)) {
+          if (t.on.contains(base)) next.push_back(t.to);
+        }
+      }
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      row[b] = intern(nfa.epsilon_closure(std::move(next)));
+    }
+    rows.push_back(row);
+    if (sets.size() > 4'000'000) {
+      throw std::runtime_error("determinize: state explosion (>4M states)");
+    }
+  }
+
+  DenseDfa dfa(static_cast<std::uint32_t>(sets.size()));
+  for (StateId s = 0; s < rows.size(); ++s) {
+    for (std::size_t b = 0; b < dna::kAlphabetSize; ++b) {
+      dfa.set_transition(s, static_cast<dna::Base>(b), rows[s][b]);
+    }
+    if (masks[s] != 0) {
+      dfa.set_accept(s, masks[s], static_cast<std::uint32_t>(std::popcount(masks[s])));
+    }
+  }
+  dfa.set_start(start);
+  dfa.set_synchronization_bound(synchronization_bound);
+  return dfa;
+}
+
+}  // namespace hetopt::automata

@@ -1,0 +1,15 @@
+// Subset construction: determinizes a (motif) NFA into a DenseDfa.
+#pragma once
+
+#include "automata/dense_dfa.hpp"
+#include "automata/nfa.hpp"
+
+namespace hetopt::automata {
+
+/// Determinizes `nfa`. The resulting DFA's accept mask at a state is the OR
+/// of the NFA accept masks of its member states, and accept_count is the
+/// popcount of that mask (one occurrence per pattern per end position).
+/// `synchronization_bound` is copied into the result as matcher metadata.
+[[nodiscard]] DenseDfa determinize(const Nfa& nfa, std::size_t synchronization_bound = 0);
+
+}  // namespace hetopt::automata

@@ -1,0 +1,42 @@
+#include "core/autotuner.hpp"
+
+#include <stdexcept>
+
+namespace hetopt::core {
+
+Autotuner::Autotuner(sim::Machine machine, opt::ConfigSpace space, AutotunerOptions options)
+    : machine_(std::move(machine)),
+      space_(std::move(space)),
+      options_(std::move(options)),
+      predictor_(options_.predictor) {}
+
+std::size_t Autotuner::train(const dna::GenomeCatalog& catalog) {
+  const TrainingData data = generate_training_data(machine_, catalog, options_.sweep);
+  predictor_.train(data.host, data.device);
+  return data.host.size() + data.device.size();
+}
+
+MethodResult Autotuner::tune(const Workload& workload, Method method) const {
+  return tune_with_budget(workload, method, options_.sa_iterations);
+}
+
+MethodResult Autotuner::tune_with_budget(const Workload& workload, Method method,
+                                         std::size_t sa_iterations) const {
+  switch (method) {
+    case Method::kEM:
+      return run_em(space_, machine_, workload);
+    case Method::kEML:
+      if (!trained()) throw std::logic_error("Autotuner: EML requires train() first");
+      return run_eml(space_, machine_, workload, predictor_);
+    case Method::kSAM:
+      return run_sam(space_, machine_, workload,
+                     sa_params_for_iterations(sa_iterations, options_.seed));
+    case Method::kSAML:
+      if (!trained()) throw std::logic_error("Autotuner: SAML requires train() first");
+      return run_saml(space_, machine_, workload, predictor_,
+                      sa_params_for_iterations(sa_iterations, options_.seed));
+  }
+  throw std::logic_error("Autotuner: unknown method");
+}
+
+}  // namespace hetopt::core

@@ -1,0 +1,50 @@
+// Facade over the whole pipeline: train the predictor once, then tune any
+// workload with any of the four methods. This is the API the quickstart
+// example uses.
+#pragma once
+
+#include <optional>
+
+#include "core/methods.hpp"
+#include "core/training.hpp"
+#include "dna/catalog.hpp"
+#include "opt/config_space.hpp"
+#include "sim/machine.hpp"
+
+namespace hetopt::core {
+
+struct AutotunerOptions {
+  TrainingSweepOptions sweep = TrainingSweepOptions::paper();
+  PredictorOptions predictor = PredictorOptions::defaults();
+  std::size_t sa_iterations = 1000;  // the paper's "about 5% of experiments"
+  std::uint64_t seed = 0x7475ULL;
+};
+
+class Autotuner {
+ public:
+  Autotuner(sim::Machine machine, opt::ConfigSpace space,
+            AutotunerOptions options = {});
+
+  /// Runs the training sweep and fits the predictor (needed by EML/SAML).
+  /// Returns the number of training experiments performed.
+  std::size_t train(const dna::GenomeCatalog& catalog);
+  [[nodiscard]] bool trained() const noexcept { return predictor_.trained(); }
+
+  /// Tunes a workload; EML/SAML require train() first.
+  [[nodiscard]] MethodResult tune(const Workload& workload, Method method) const;
+  /// Like tune() but with an explicit SA iteration budget (SAM/SAML only).
+  [[nodiscard]] MethodResult tune_with_budget(const Workload& workload, Method method,
+                                              std::size_t sa_iterations) const;
+
+  [[nodiscard]] const sim::Machine& machine() const noexcept { return machine_; }
+  [[nodiscard]] const opt::ConfigSpace& space() const noexcept { return space_; }
+  [[nodiscard]] const PerformancePredictor& predictor() const noexcept { return predictor_; }
+
+ private:
+  sim::Machine machine_;
+  opt::ConfigSpace space_;
+  AutotunerOptions options_;
+  PerformancePredictor predictor_;
+};
+
+}  // namespace hetopt::core

@@ -1,0 +1,79 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <future>
+#include <stdexcept>
+
+#include "automata/scanner.hpp"
+#include "parallel/partitioner.hpp"
+#include "util/timer.hpp"
+
+namespace hetopt::core {
+
+HeterogeneousExecutor::HeterogeneousExecutor(const automata::DenseDfa& dfa,
+                                             std::size_t host_threads,
+                                             std::size_t device_threads)
+    : dfa_(dfa),
+      host_pool_(host_threads),
+      device_pool_(device_threads),
+      host_matcher_(dfa, host_pool_),
+      device_matcher_(dfa, device_pool_) {}
+
+ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_percent) {
+  const auto split = parallel::split_by_percent(text.size(), host_percent);
+  ExecutionReport report;
+  report.host_bytes = split.host_bytes;
+  report.device_bytes = split.device_bytes;
+  if (text.empty()) return report;
+
+  const std::string_view host_part = text.substr(0, split.host_bytes);
+  // The device part starts earlier by the warm-up so motifs spanning the cut
+  // are counted on the device side exactly once: the device share owns match
+  // end positions in [host_bytes, size).
+  const std::string_view device_part = text.substr(split.host_bytes);
+
+  // Launch the device share asynchronously (the "offload"), scan the host
+  // share on the calling thread's pool, then join — overlapped execution.
+  auto device_future = std::async(std::launch::async, [&]() {
+    util::Timer timer;
+    std::uint64_t matches = 0;
+    if (!device_part.empty()) {
+      if (dfa_.synchronization_bound() > 0) {
+        // Warm up over the host-side boundary bytes so motifs spanning the
+        // cut are counted: scan from (host_bytes - lead) and subtract the
+        // matches that end inside the warm-up prefix (the host owns those).
+        const std::size_t lead =
+            std::min(dfa_.synchronization_bound() - 1, split.host_bytes);
+        const auto stats = device_matcher_.count(text.substr(split.host_bytes - lead),
+                                                 device_pool_.thread_count());
+        const auto lead_matches =
+            automata::scan_count(dfa_, text.substr(split.host_bytes - lead, lead),
+                                 dfa_.start())
+                .match_count;
+        matches = stats.match_count - lead_matches;
+      } else {
+        // Unbounded patterns: the entry state depends on the whole prefix,
+        // so derive it by replaying the host share, then scan sequentially.
+        const automata::StateId entry =
+            dfa_.run(dfa_.start(), host_part);
+        matches = automata::scan_count(dfa_, device_part, entry).match_count;
+      }
+    }
+    return std::pair<std::uint64_t, double>(matches, timer.seconds());
+  });
+
+  util::Timer host_timer;
+  if (!host_part.empty()) {
+    report.host_matches =
+        host_matcher_.count(host_part, host_pool_.thread_count()).match_count;
+  }
+  report.host_seconds = host_timer.seconds();
+
+  const auto [device_matches, device_seconds] = device_future.get();
+  report.device_matches = device_matches;
+  report.device_seconds = device_seconds;
+  report.total_seconds = std::max(report.host_seconds, report.device_seconds);
+  return report;
+}
+
+}  // namespace hetopt::core

@@ -1,0 +1,56 @@
+// The real (non-simulated) heterogeneous execution path: given a compiled
+// motif automaton and a physical DNA sequence, split the input by the
+// configured fraction and scan the host share and the device share
+// *concurrently*, mirroring the paper's overlapped offload model.
+//
+// Substitution note: with no Xeon Phi present, the "device" share runs on an
+// emulated device — a second thread pool on the host. Results (match counts,
+// positions) are exactly what the offloaded code would produce; *performance*
+// of a real device is the business of hetopt::sim, not this class.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "automata/dense_dfa.hpp"
+#include "automata/parallel_matcher.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace hetopt::core {
+
+struct ExecutionReport {
+  std::uint64_t host_matches = 0;
+  std::uint64_t device_matches = 0;
+  std::size_t host_bytes = 0;
+  std::size_t device_bytes = 0;
+  double host_seconds = 0.0;    // wall time of the host share
+  double device_seconds = 0.0;  // wall time of the emulated-device share
+  double total_seconds = 0.0;   // max of the two (overlapped execution)
+
+  [[nodiscard]] std::uint64_t total_matches() const noexcept {
+    return host_matches + device_matches;
+  }
+};
+
+class HeterogeneousExecutor {
+ public:
+  /// `host_threads` / `device_threads` size the two worker pools. The
+  /// automaton must outlive the executor.
+  HeterogeneousExecutor(const automata::DenseDfa& dfa, std::size_t host_threads,
+                        std::size_t device_threads);
+
+  /// Scans `text`, assigning `host_percent` of the bytes to the host pool
+  /// and the remainder to the device pool, both running concurrently.
+  /// Match counts are exact across the split boundary (chunk-parallel
+  /// matching with warm-up handles motifs spanning the cut).
+  [[nodiscard]] ExecutionReport run(std::string_view text, double host_percent);
+
+ private:
+  const automata::DenseDfa& dfa_;
+  parallel::ThreadPool host_pool_;
+  parallel::ThreadPool device_pool_;
+  automata::ParallelMatcher host_matcher_;
+  automata::ParallelMatcher device_matcher_;
+};
+
+}  // namespace hetopt::core

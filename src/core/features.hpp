@@ -1,0 +1,26 @@
+// Feature encoding for the performance-prediction models. The paper trains
+// on "the input size, the available computing resources, and the thread
+// allocation strategies" (§III-B); we encode these as
+//   [ size_mb, threads, one-hot affinity (3) ]
+// separately per environment (host / device), mirroring the paper's two
+// models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "parallel/affinity.hpp"
+
+namespace hetopt::core {
+
+inline constexpr std::size_t kFeatureCount = 5;
+
+[[nodiscard]] std::vector<std::string> host_feature_names();
+[[nodiscard]] std::vector<std::string> device_feature_names();
+
+[[nodiscard]] std::vector<double> host_features(double size_mb, int threads,
+                                                parallel::HostAffinity affinity);
+[[nodiscard]] std::vector<double> device_features(double size_mb, int threads,
+                                                  parallel::DeviceAffinity affinity);
+
+}  // namespace hetopt::core

@@ -1,0 +1,26 @@
+// Umbrella header: the public API of the hetopt library.
+//
+// hetopt reproduces "Combinatorial Optimization of Work Distribution on
+// Heterogeneous Systems" (Memeti & Pllana, ICPPW 2016): simulated annealing
+// explores the (threads, affinity, workload-fraction) configuration space of
+// a CPU + accelerator platform while boosted decision tree regression
+// predicts each candidate's execution time.
+//
+// Layering (bottom to top):
+//   util      RNG, statistics, tables
+//   dna       sequences, synthetic genomes, FASTA
+//   automata  NFA/DFA motif matching engine (the application kernel)
+//   parallel  thread pool, affinity vocabulary, partitioning
+//   sim       the simulated Xeon E5 + Xeon Phi platform (time surface)
+//   ml        datasets, boosted trees, linear/Poisson baselines, metrics
+//   opt       configuration space, simulated annealing, enumeration
+//   core      training sweep, predictor, EM/EML/SAM/SAML, autotuner
+#pragma once
+
+#include "core/autotuner.hpp"       // IWYU pragma: export
+#include "core/executor.hpp"        // IWYU pragma: export
+#include "core/features.hpp"        // IWYU pragma: export
+#include "core/methods.hpp"         // IWYU pragma: export
+#include "core/predictor.hpp"       // IWYU pragma: export
+#include "core/training.hpp"        // IWYU pragma: export
+#include "core/workload.hpp"        // IWYU pragma: export

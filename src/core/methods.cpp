@@ -1,0 +1,176 @@
+#include "core/methods.hpp"
+
+#include <stdexcept>
+
+#include "opt/enumeration.hpp"
+
+namespace hetopt::core {
+
+std::string_view to_string(Method m) noexcept {
+  switch (m) {
+    case Method::kEM: return "EM";
+    case Method::kEML: return "EML";
+    case Method::kSAM: return "SAM";
+    case Method::kSAML: return "SAML";
+  }
+  return "?";
+}
+
+opt::Objective measurement_objective(const sim::Machine& machine, const Workload& workload,
+                                     bool fresh_noise) {
+  // Repetition 0 is the scoring/enumeration stream; the training sweep uses
+  // 1; live re-measurements during an SA search start at 2.
+  auto counter = std::make_shared<std::uint64_t>(1);
+  return [&machine, workload, fresh_noise, counter](const opt::SystemConfig& c) {
+    const std::uint64_t repetition = fresh_noise ? ++*counter : 0;
+    return machine.measure_combined(workload.size_mb, c.host_percent, c.host_threads,
+                                    c.host_affinity, c.device_threads, c.device_affinity,
+                                    repetition);
+  };
+}
+
+opt::Objective prediction_objective(const PerformancePredictor& predictor,
+                                    const Workload& workload) {
+  if (!predictor.trained()) {
+    throw std::logic_error("prediction_objective: predictor not trained");
+  }
+  return [&predictor, workload](const opt::SystemConfig& c) {
+    return predictor.predict_combined(c, workload.size_mb);
+  };
+}
+
+namespace {
+
+/// Measures the final configuration once — the common scoring step.
+[[nodiscard]] double score(const sim::Machine& machine, const Workload& workload,
+                           const opt::SystemConfig& c) {
+  return machine.measure_combined(workload.size_mb, c.host_percent, c.host_threads,
+                                  c.host_affinity, c.device_threads, c.device_affinity);
+}
+
+}  // namespace
+
+MethodResult run_em(const opt::ConfigSpace& space, const sim::Machine& machine,
+                    const Workload& workload) {
+  const auto res = opt::enumerate_best(space, measurement_objective(machine, workload));
+  MethodResult r;
+  r.method = Method::kEM;
+  r.config = res.best;
+  r.search_energy = res.best_energy;
+  r.measured_time = res.best_energy;  // the search already measured it
+  r.evaluations = res.evaluations;
+  return r;
+}
+
+MethodResult run_eml(const opt::ConfigSpace& space, const sim::Machine& machine,
+                     const Workload& workload, const PerformancePredictor& predictor) {
+  const auto res = opt::enumerate_best(space, prediction_objective(predictor, workload));
+  MethodResult r;
+  r.method = Method::kEML;
+  r.config = res.best;
+  r.search_energy = res.best_energy;
+  r.measured_time = score(machine, workload, res.best);
+  r.evaluations = res.evaluations;
+  return r;
+}
+
+MethodResult run_sam(const opt::ConfigSpace& space, const sim::Machine& machine,
+                     const Workload& workload, const opt::SaParams& sa) {
+  // SAM measures on the same one-experiment-per-configuration stream as EM
+  // (re-running an already-logged experiment would be wasted effort), so its
+  // best-so-far is a subset-minimum of EM's stream: always >= EM's optimum
+  // and decreasing in the iteration budget — exactly Fig. 9's SAM curve.
+  const auto res =
+      opt::simulated_annealing(space, measurement_objective(machine, workload), sa);
+  MethodResult r;
+  r.method = Method::kSAM;
+  r.config = res.best;
+  r.search_energy = res.best_energy;
+  r.measured_time = res.best_energy;
+  r.evaluations = res.evaluations;
+  return r;
+}
+
+MethodResult run_saml(const opt::ConfigSpace& space, const sim::Machine& machine,
+                      const Workload& workload, const PerformancePredictor& predictor,
+                      const opt::SaParams& sa) {
+  const auto res = opt::simulated_annealing(space, prediction_objective(predictor, workload), sa);
+  MethodResult r;
+  r.method = Method::kSAML;
+  r.config = res.best;
+  r.search_energy = res.best_energy;
+  r.measured_time = score(machine, workload, res.best);
+  r.evaluations = res.evaluations;
+  return r;
+}
+
+opt::SaParams sa_params_for_iterations(std::size_t iterations, std::uint64_t seed) {
+  opt::SaParams p;
+  p.initial_temperature = 2.0;
+  p.min_temperature = 1e-3;
+  p.cooling_rate =
+      opt::SaParams::cooling_rate_for(p.initial_temperature, p.min_temperature, iterations);
+  p.max_iterations = iterations;
+  p.seed = seed;
+  return p;
+}
+
+namespace {
+
+[[nodiscard]] MethodResult one_sided_baseline(const opt::ConfigSpace& space,
+                                              const sim::Machine& machine,
+                                              const Workload& workload, bool host_side) {
+  // Fix the fraction to 100 (host-only) or 0 (device-only) and the busy
+  // side's thread count to its maximum; measure all affinities of the busy
+  // side. The idle side's parameters are irrelevant (zero bytes).
+  MethodResult r;
+  r.method = Method::kEM;
+  bool first = true;
+  opt::SystemConfig c;
+  c.host_threads = space.host_threads().back();
+  c.device_threads = space.device_threads().back();
+  c.host_percent = host_side ? 100.0 : 0.0;
+  if (host_side) {
+    for (parallel::HostAffinity a : space.host_affinities()) {
+      c.host_affinity = a;
+      const double t = machine.measure_combined(workload.size_mb, c.host_percent,
+                                                c.host_threads, c.host_affinity,
+                                                c.device_threads, c.device_affinity);
+      ++r.evaluations;
+      if (first || t < r.measured_time) {
+        first = false;
+        r.measured_time = t;
+        r.config = c;
+      }
+    }
+  } else {
+    for (parallel::DeviceAffinity a : space.device_affinities()) {
+      c.device_affinity = a;
+      const double t = machine.measure_combined(workload.size_mb, c.host_percent,
+                                                c.host_threads, c.host_affinity,
+                                                c.device_threads, c.device_affinity);
+      ++r.evaluations;
+      if (first || t < r.measured_time) {
+        first = false;
+        r.measured_time = t;
+        r.config = c;
+      }
+    }
+  }
+  r.search_energy = r.measured_time;
+  return r;
+}
+
+}  // namespace
+
+MethodResult host_only_baseline(const opt::ConfigSpace& space, const sim::Machine& machine,
+                                const Workload& workload) {
+  return one_sided_baseline(space, machine, workload, /*host_side=*/true);
+}
+
+MethodResult device_only_baseline(const opt::ConfigSpace& space, const sim::Machine& machine,
+                                  const Workload& workload) {
+  return one_sided_baseline(space, machine, workload, /*host_side=*/false);
+}
+
+}  // namespace hetopt::core

@@ -1,0 +1,140 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/features.hpp"
+#include "ml/serialize.hpp"
+
+namespace hetopt::core {
+
+PredictorOptions PredictorOptions::defaults() {
+  PredictorOptions o;
+  o.host_params.rounds = 300;
+  o.host_params.learning_rate = 0.08;
+  o.host_params.tree.max_depth = 6;
+  o.host_params.tree.min_samples_leaf = 3;
+  o.host_params.tree.min_samples_split = 6;
+  o.device_params = o.host_params;
+  return o;
+}
+
+PerformancePredictor::PerformancePredictor(PredictorOptions options)
+    : options_(options),
+      host_model_(options.host_params),
+      device_model_(options.device_params) {}
+
+void PerformancePredictor::train(const ml::Dataset& host_data,
+                                 const ml::Dataset& device_data) {
+  if (host_data.empty() || device_data.empty()) {
+    throw std::invalid_argument("PerformancePredictor::train: empty dataset");
+  }
+  if (host_data.feature_count() != kFeatureCount ||
+      device_data.feature_count() != kFeatureCount) {
+    throw std::invalid_argument("PerformancePredictor::train: unexpected feature layout");
+  }
+  const auto prepare = [this](const ml::Dataset& data,
+                              const ml::Normalizer& norm) -> ml::Dataset {
+    const ml::Dataset base = options_.normalize ? norm.transform(data) : data;
+    if (!options_.log_target) return base;
+    ml::Dataset logged(base.feature_names());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      const double t = base.target(i);
+      if (t <= 0.0) {
+        throw std::invalid_argument(
+            "PerformancePredictor: log_target requires positive times");
+      }
+      logged.add(base.row(i), std::log(t));
+    }
+    return logged;
+  };
+
+  if (options_.normalize) {
+    host_norm_.fit(host_data);
+    device_norm_.fit(device_data);
+  }
+  host_model_.fit(prepare(host_data, host_norm_));
+  device_model_.fit(prepare(device_data, device_norm_));
+  trained_ = true;
+}
+
+double PerformancePredictor::predict_host(double size_mb, int threads,
+                                          parallel::HostAffinity affinity) const {
+  if (!trained_) throw std::logic_error("PerformancePredictor: predict before train");
+  if (size_mb <= 0.0) return 0.0;
+  std::vector<double> f = host_features(size_mb, threads, affinity);
+  if (options_.normalize) {
+    std::vector<double> norm(f.size());
+    host_norm_.transform_row(f, norm);
+    f = std::move(norm);
+  }
+  const double raw = host_model_.predict(f);
+  // Times are positive; in log space exponentiate, otherwise clamp tiny
+  // negative ensemble outputs.
+  return options_.log_target ? std::exp(raw) : std::max(0.0, raw);
+}
+
+double PerformancePredictor::predict_device(double size_mb, int threads,
+                                            parallel::DeviceAffinity affinity) const {
+  if (!trained_) throw std::logic_error("PerformancePredictor: predict before train");
+  if (size_mb <= 0.0) return 0.0;
+  std::vector<double> f = device_features(size_mb, threads, affinity);
+  if (options_.normalize) {
+    std::vector<double> norm(f.size());
+    device_norm_.transform_row(f, norm);
+    f = std::move(norm);
+  }
+  const double raw = device_model_.predict(f);
+  return options_.log_target ? std::exp(raw) : std::max(0.0, raw);
+}
+
+void PerformancePredictor::save(std::ostream& os) const {
+  if (!trained_) throw std::runtime_error("PerformancePredictor::save: not trained");
+  os << "hetopt-predictor-v1 " << (options_.normalize ? 1 : 0) << ' '
+     << (options_.log_target ? 1 : 0) << '\n';
+  if (options_.normalize) {
+    ml::save(os, host_norm_);
+    ml::save(os, device_norm_);
+  }
+  ml::save(os, host_model_);
+  ml::save(os, device_model_);
+}
+
+PerformancePredictor PerformancePredictor::load(std::istream& is) {
+  std::string magic;
+  int normalize = 0;
+  int log_target = 0;
+  if (!(is >> magic >> normalize >> log_target) || magic != "hetopt-predictor-v1") {
+    throw std::runtime_error("PerformancePredictor::load: bad header");
+  }
+  PredictorOptions options = PredictorOptions::defaults();
+  options.normalize = normalize != 0;
+  options.log_target = log_target != 0;
+  PerformancePredictor p(options);
+  if (options.normalize) {
+    p.host_norm_ = ml::load_normalizer(is);
+    p.device_norm_ = ml::load_normalizer(is);
+  }
+  p.host_model_ = ml::load_boosted_trees(is);
+  p.device_model_ = ml::load_boosted_trees(is);
+  p.trained_ = true;
+  return p;
+}
+
+double PerformancePredictor::predict_combined(const opt::SystemConfig& config,
+                                              double total_mb) const {
+  if (total_mb <= 0.0) throw std::invalid_argument("predict_combined: non-positive size");
+  const double host_mb = total_mb * config.host_percent / 100.0;
+  const double device_mb = total_mb - host_mb;
+  const double t_host =
+      predict_host(host_mb, config.host_threads, config.host_affinity);
+  const double t_device =
+      predict_device(device_mb, config.device_threads, config.device_affinity);
+  return std::max(t_host, t_device);
+}
+
+}  // namespace hetopt::core

@@ -1,0 +1,68 @@
+// The paper's Fig. 4 pipeline: normalize -> train Boosted Decision Tree
+// Regression -> predict unseen configurations. One model per environment
+// (host, device); the combined estimate is Eq. 2, max of the two sides.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "core/workload.hpp"
+#include "ml/boosted_trees.hpp"
+#include "ml/dataset.hpp"
+#include "opt/config.hpp"
+
+namespace hetopt::core {
+
+struct PredictorOptions {
+  ml::BoostedTreesParams host_params;
+  ml::BoostedTreesParams device_params;
+  bool normalize = true;  // the Fig. 4 "Normalize Data" stage
+  /// Fit in log-time space. Execution times span two orders of magnitude
+  /// (0.02 s .. 42 s); least-squares boosting on raw seconds spends all its
+  /// capacity on the slow corner. Log targets make residuals relative, which
+  /// is what the paper's percent-error metric rewards.
+  bool log_target = true;
+
+  [[nodiscard]] static PredictorOptions defaults();
+};
+
+class PerformancePredictor {
+ public:
+  explicit PerformancePredictor(PredictorOptions options = PredictorOptions::defaults());
+
+  /// Trains both environment models. Datasets must use the feature layout of
+  /// core/features.hpp.
+  void train(const ml::Dataset& host_data, const ml::Dataset& device_data);
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+  [[nodiscard]] double predict_host(double size_mb, int threads,
+                                    parallel::HostAffinity affinity) const;
+  [[nodiscard]] double predict_device(double size_mb, int threads,
+                                      parallel::DeviceAffinity affinity) const;
+
+  /// Eq. 2 over a configuration: split the workload by the configured
+  /// fraction and take the slower side. Zero-byte sides predict 0.
+  [[nodiscard]] double predict_combined(const opt::SystemConfig& config,
+                                        double total_mb) const;
+
+  [[nodiscard]] const ml::BoostedTreesRegressor& host_model() const { return host_model_; }
+  [[nodiscard]] const ml::BoostedTreesRegressor& device_model() const {
+    return device_model_;
+  }
+
+  /// Persists a trained predictor (normalizers + both ensembles + options),
+  /// so the 7200-experiment sweep runs once per platform, ever. Throws
+  /// std::runtime_error on malformed input / untrained predictors.
+  void save(std::ostream& os) const;
+  [[nodiscard]] static PerformancePredictor load(std::istream& is);
+
+ private:
+  PredictorOptions options_;
+  ml::Normalizer host_norm_;
+  ml::Normalizer device_norm_;
+  ml::BoostedTreesRegressor host_model_;
+  ml::BoostedTreesRegressor device_model_;
+  bool trained_ = false;
+};
+
+}  // namespace hetopt::core

@@ -1,0 +1,56 @@
+#include "core/training.hpp"
+
+#include <stdexcept>
+
+#include "core/features.hpp"
+
+namespace hetopt::core {
+
+TrainingSweepOptions TrainingSweepOptions::paper() {
+  TrainingSweepOptions o;
+  for (int i = 1; i <= 40; ++i) o.fractions.push_back(2.5 * i);
+  o.host_threads = {2, 6, 12, 24, 36, 48};
+  o.device_threads = {2, 4, 8, 16, 30, 60, 120, 180, 240};
+  return o;
+}
+
+TrainingSweepOptions TrainingSweepOptions::tiny() {
+  TrainingSweepOptions o;
+  o.fractions = {25.0, 50.0, 75.0, 100.0};
+  o.host_threads = {4, 24};
+  o.device_threads = {30, 120};
+  return o;
+}
+
+TrainingData generate_training_data(const sim::Machine& machine,
+                                    const dna::GenomeCatalog& catalog,
+                                    const TrainingSweepOptions& options) {
+  if (options.fractions.empty() || options.host_threads.empty() ||
+      options.device_threads.empty()) {
+    throw std::invalid_argument("generate_training_data: empty sweep axis");
+  }
+  TrainingData data{ml::Dataset(host_feature_names()), ml::Dataset(device_feature_names())};
+
+  for (const dna::GenomeInfo& genome : catalog.all()) {
+    for (double fraction : options.fractions) {
+      const double mb = genome.size_mb * fraction / 100.0;
+      for (int threads : options.host_threads) {
+        for (parallel::HostAffinity affinity : parallel::kAllHostAffinities) {
+          const double seconds =
+              machine.measure_host(mb, threads, affinity, options.repetition);
+          data.host.add(host_features(mb, threads, affinity), seconds);
+        }
+      }
+      for (int threads : options.device_threads) {
+        for (parallel::DeviceAffinity affinity : parallel::kAllDeviceAffinities) {
+          const double seconds =
+              machine.measure_device(mb, threads, affinity, options.repetition);
+          data.device.add(device_features(mb, threads, affinity), seconds);
+        }
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace hetopt::core

@@ -1,0 +1,45 @@
+// The training-data sweep of §IV-B: 7200 experiments — 2880 on the host
+// (4 genomes x 40 fractions x 6 thread counts x 3 affinities) and 4320 on
+// the device (4 x 40 x 9 x 3). Each experiment "runs" the application via
+// the simulated machine and records (features, measured seconds).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "dna/catalog.hpp"
+#include "ml/dataset.hpp"
+#include "opt/config_space.hpp"
+#include "sim/machine.hpp"
+
+namespace hetopt::core {
+
+struct TrainingData {
+  ml::Dataset host;    // 2880 rows for the paper's sweep
+  ml::Dataset device;  // 4320 rows
+};
+
+struct TrainingSweepOptions {
+  /// Fractions of each genome to measure, in percent. The paper uses
+  /// 2.5..100 in 2.5 steps (40 values).
+  std::vector<double> fractions;
+  /// Thread axes (defaults = the paper's Table I values, 6 host / 9 device).
+  std::vector<int> host_threads;
+  std::vector<int> device_threads;
+  /// Noise epoch of the sweep. Training experiments are separate runs from
+  /// the optimizers' experiments, so they must not share noise draws —
+  /// otherwise the learner can memorize the "measurement noise" and every
+  /// ML method becomes unrealistically exact.
+  std::uint64_t repetition = 1;
+
+  [[nodiscard]] static TrainingSweepOptions paper();
+  /// A reduced sweep for fast unit tests.
+  [[nodiscard]] static TrainingSweepOptions tiny();
+};
+
+/// Runs the sweep on `machine` for every genome in `catalog`.
+[[nodiscard]] TrainingData generate_training_data(const sim::Machine& machine,
+                                                  const dna::GenomeCatalog& catalog,
+                                                  const TrainingSweepOptions& options);
+
+}  // namespace hetopt::core

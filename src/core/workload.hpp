@@ -1,0 +1,20 @@
+// A divisible workload to be shared between host and device: for the paper's
+// application this is "scan `size_mb` of the named DNA sequence".
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hetopt::core {
+
+struct Workload {
+  std::string name;     // e.g. "human"
+  double size_mb = 0.0; // logical input size
+
+  Workload() = default;
+  Workload(std::string n, double mb) : name(std::move(n)), size_mb(mb) {
+    if (!(mb > 0.0)) throw std::invalid_argument("Workload: size must be positive");
+  }
+};
+
+}  // namespace hetopt::core

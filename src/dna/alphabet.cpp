@@ -1,0 +1,65 @@
+#include "dna/alphabet.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace hetopt::dna {
+
+std::optional<Base> base_from_char(char c) noexcept {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'A': return Base::A;
+    case 'C': return Base::C;
+    case 'G': return Base::G;
+    case 'T': return Base::T;
+    default: return std::nullopt;
+  }
+}
+
+std::optional<BaseSet> iupac_from_char(char c) noexcept {
+  constexpr std::uint8_t A = 1, C = 2, G = 4, T = 8;
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'A': return BaseSet(A);
+    case 'C': return BaseSet(C);
+    case 'G': return BaseSet(G);
+    case 'T': case 'U': return BaseSet(T);
+    case 'R': return BaseSet(A | G);   // puRine
+    case 'Y': return BaseSet(C | T);   // pYrimidine
+    case 'S': return BaseSet(C | G);   // Strong
+    case 'W': return BaseSet(A | T);   // Weak
+    case 'K': return BaseSet(G | T);   // Keto
+    case 'M': return BaseSet(A | C);   // aMino
+    case 'B': return BaseSet(C | G | T);
+    case 'D': return BaseSet(A | G | T);
+    case 'H': return BaseSet(A | C | T);
+    case 'V': return BaseSet(A | C | G);
+    case 'N': return BaseSet::all();
+    default: return std::nullopt;
+  }
+}
+
+std::string validate_motif(std::string_view motif) {
+  if (motif.empty()) return "motif is empty";
+  for (std::size_t i = 0; i < motif.size(); ++i) {
+    if (!iupac_from_char(motif[i])) {
+      return "invalid IUPAC character '" + std::string(1, motif[i]) + "' at position " +
+             std::to_string(i);
+    }
+  }
+  return {};
+}
+
+std::string reverse_complement(std::string_view seq) {
+  std::string out;
+  out.reserve(seq.size());
+  for (auto it = seq.rbegin(); it != seq.rend(); ++it) {
+    const auto b = base_from_char(*it);
+    if (!b) {
+      throw std::invalid_argument("reverse_complement: invalid base '" +
+                                  std::string(1, *it) + "'");
+    }
+    out.push_back(to_char(complement(*b)));
+  }
+  return out;
+}
+
+}  // namespace hetopt::dna

@@ -1,0 +1,69 @@
+// DNA alphabet: 2-bit base codes plus IUPAC ambiguity codes used to express
+// motifs (search patterns) such as "TATAWAW".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hetopt::dna {
+
+/// Canonical nucleotide codes. Values are indices into transition tables.
+enum class Base : std::uint8_t { A = 0, C = 1, G = 2, T = 3 };
+
+inline constexpr std::size_t kAlphabetSize = 4;
+inline constexpr std::array<char, kAlphabetSize> kBaseChars{'A', 'C', 'G', 'T'};
+
+[[nodiscard]] constexpr char to_char(Base b) noexcept {
+  return kBaseChars[static_cast<std::size_t>(b)];
+}
+
+/// Maps an upper- or lower-case base character to its code; nullopt otherwise.
+[[nodiscard]] std::optional<Base> base_from_char(char c) noexcept;
+
+/// A set of bases encoded as a 4-bit mask (bit i = base i allowed).
+/// IUPAC codes map to masks, e.g. 'N' -> 0b1111, 'R' (puRine) -> {A,G}.
+class BaseSet {
+ public:
+  constexpr BaseSet() noexcept = default;
+  explicit constexpr BaseSet(std::uint8_t mask) noexcept : mask_(mask & 0xF) {}
+  static constexpr BaseSet single(Base b) noexcept {
+    return BaseSet(static_cast<std::uint8_t>(1U << static_cast<unsigned>(b)));
+  }
+  static constexpr BaseSet all() noexcept { return BaseSet(0xF); }
+
+  [[nodiscard]] constexpr bool contains(Base b) const noexcept {
+    return (mask_ >> static_cast<unsigned>(b)) & 1U;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept { return mask_ == 0; }
+  [[nodiscard]] constexpr std::uint8_t mask() const noexcept { return mask_; }
+  [[nodiscard]] constexpr std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (unsigned i = 0; i < kAlphabetSize; ++i) n += (mask_ >> i) & 1U;
+    return n;
+  }
+  friend constexpr bool operator==(BaseSet, BaseSet) noexcept = default;
+
+ private:
+  std::uint8_t mask_ = 0;
+};
+
+/// IUPAC nucleotide ambiguity code -> base set. Accepts upper/lower case.
+/// Returns nullopt for characters outside the IUPAC alphabet.
+[[nodiscard]] std::optional<BaseSet> iupac_from_char(char c) noexcept;
+
+/// Validates a motif pattern (IUPAC alphabet). Returns an error message or
+/// empty string when valid.
+[[nodiscard]] std::string validate_motif(std::string_view motif);
+
+/// Watson–Crick complement.
+[[nodiscard]] constexpr Base complement(Base b) noexcept {
+  return static_cast<Base>(3 - static_cast<std::uint8_t>(b));
+}
+
+/// Reverse complement of a plain ACGT string; throws on invalid characters.
+[[nodiscard]] std::string reverse_complement(std::string_view seq);
+
+}  // namespace hetopt::dna

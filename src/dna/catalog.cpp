@@ -1,0 +1,41 @@
+#include "dna/catalog.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace hetopt::dna {
+
+GenomeCatalog::GenomeCatalog() {
+  // Logical sizes follow the paper: human 3.17 GB, mouse 2.77 GB,
+  // cat 2.43 GB, dog 2.38 GB (Section IV-A). GC contents are the published
+  // genome-wide averages for these organisms (approximate).
+  const auto mk = [](std::string name, double mb, double gc) {
+    GenomeInfo info;
+    info.seed = util::hash_string(name);
+    info.name = std::move(name);
+    info.size_mb = mb;
+    info.markov.gc_content = gc;
+    return info;
+  };
+  genomes_.push_back(mk("human", 3170.0, 0.41));
+  genomes_.push_back(mk("mouse", 2770.0, 0.42));
+  genomes_.push_back(mk("cat", 2430.0, 0.42));
+  genomes_.push_back(mk("dog", 2380.0, 0.41));
+}
+
+const GenomeInfo& GenomeCatalog::get(std::string_view name) const {
+  for (const auto& g : genomes_) {
+    if (g.name == name) return g;
+  }
+  throw std::out_of_range("GenomeCatalog: unknown organism '" + std::string(name) + "'");
+}
+
+Sequence GenomeCatalog::materialize(std::string_view name, std::size_t physical_bytes,
+                                    const std::vector<PlantedMotif>& motifs) const {
+  const GenomeInfo& info = get(name);
+  const GenomeGenerator gen(info.markov);
+  return gen.generate_with_motifs(info.name, physical_bytes, info.seed, motifs);
+}
+
+}  // namespace hetopt::dna

@@ -1,0 +1,46 @@
+// The paper's four evaluation genomes, with their *logical* sizes (what the
+// performance model sees — identical to the paper's x-axes) and a recipe to
+// materialize a *physical* scaled-down synthetic sequence for real runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dna/generator.hpp"
+#include "dna/sequence.hpp"
+
+namespace hetopt::dna {
+
+struct GenomeInfo {
+  std::string name;        // "human", "mouse", "cat", "dog"
+  double size_mb;          // logical size, as in the paper (e.g. human 3170 MB)
+  MarkovParams markov;     // organism-flavoured composition
+  std::uint64_t seed;      // generation seed (derived from the name)
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return static_cast<std::size_t>(size_mb * 1024.0 * 1024.0);
+  }
+};
+
+/// Registry of the paper's genomes.
+class GenomeCatalog {
+ public:
+  GenomeCatalog();
+
+  [[nodiscard]] const std::vector<GenomeInfo>& all() const noexcept { return genomes_; }
+  /// Lookup by name; throws std::out_of_range for unknown organisms.
+  [[nodiscard]] const GenomeInfo& get(std::string_view name) const;
+
+  /// Materializes a physical synthetic sequence of `physical_bytes` bases for
+  /// the named organism (deterministic). Used by examples and tests; the
+  /// simulator never needs physical bases.
+  [[nodiscard]] Sequence materialize(std::string_view name, std::size_t physical_bytes,
+                                     const std::vector<PlantedMotif>& motifs = {}) const;
+
+ private:
+  std::vector<GenomeInfo> genomes_;
+};
+
+}  // namespace hetopt::dna

@@ -1,0 +1,72 @@
+#include "dna/fasta.hpp"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace hetopt::dna {
+
+void write_fasta(std::ostream& os, const std::vector<Sequence>& seqs,
+                 std::size_t line_width) {
+  if (line_width == 0) throw std::invalid_argument("write_fasta: line_width == 0");
+  for (const auto& seq : seqs) {
+    os << '>' << seq.name() << '\n';
+    const std::string& b = seq.bases();
+    for (std::size_t i = 0; i < b.size(); i += line_width) {
+      os.write(b.data() + i, static_cast<std::streamsize>(std::min(line_width, b.size() - i)));
+      os << '\n';
+    }
+  }
+}
+
+std::vector<Sequence> read_fasta(std::istream& is, AmbiguityPolicy policy) {
+  std::vector<Sequence> out;
+  std::string name;
+  std::string bases;
+  util::Xoshiro256 rng(0xFA57Aull);
+
+  const auto flush = [&] {
+    if (!name.empty() || !bases.empty()) {
+      out.emplace_back(name.empty() ? "unnamed" : name, std::move(bases));
+      bases.clear();
+    }
+  };
+
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      name = line.substr(1);
+      // Keep only the first whitespace-delimited token as the record name.
+      const std::size_t ws = name.find_first_of(" \t");
+      if (ws != std::string::npos) name.resize(ws);
+      continue;
+    }
+    for (char c : line) {
+      const char upper = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      if (base_from_char(upper)) {
+        bases.push_back(upper);
+      } else {
+        switch (policy) {
+          case AmbiguityPolicy::kReject:
+            throw std::invalid_argument("read_fasta: non-ACGT base '" + std::string(1, c) +
+                                        "' in record '" + name + "'");
+          case AmbiguityPolicy::kSkip:
+            break;
+          case AmbiguityPolicy::kRandomize:
+            bases.push_back(kBaseChars[rng.bounded(kAlphabetSize)]);
+            break;
+        }
+      }
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace hetopt::dna

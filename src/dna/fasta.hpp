@@ -1,0 +1,28 @@
+// Minimal FASTA reader/writer so example applications can exchange
+// sequences with standard bioinformatics tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dna/sequence.hpp"
+
+namespace hetopt::dna {
+
+/// Writes sequences in FASTA format with the given line width.
+void write_fasta(std::ostream& os, const std::vector<Sequence>& seqs,
+                 std::size_t line_width = 70);
+
+/// Reads all records from a FASTA stream. Characters other than ACGT
+/// (e.g. 'N' runs in real assemblies) are handled per `policy`.
+enum class AmbiguityPolicy {
+  kReject,     // throw on any non-ACGT base
+  kSkip,       // drop non-ACGT characters
+  kRandomize,  // replace with a deterministic pseudo-random base
+};
+
+[[nodiscard]] std::vector<Sequence> read_fasta(std::istream& is,
+                                               AmbiguityPolicy policy = AmbiguityPolicy::kSkip);
+
+}  // namespace hetopt::dna

@@ -1,0 +1,110 @@
+#include "dna/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hetopt::dna {
+
+GenomeGenerator::GenomeGenerator(MarkovParams params) : params_(params) {
+  if (params_.gc_content <= 0.0 || params_.gc_content >= 1.0) {
+    throw std::invalid_argument("GenomeGenerator: gc_content must be in (0,1)");
+  }
+  if (params_.autocorrelation < 0.0 || params_.autocorrelation >= 1.0) {
+    throw std::invalid_argument("GenomeGenerator: autocorrelation must be in [0,1)");
+  }
+  if (params_.cpg_suppression <= 0.0 || params_.cpg_suppression > 1.0) {
+    throw std::invalid_argument("GenomeGenerator: cpg_suppression must be in (0,1]");
+  }
+
+  // Base composition: GC split evenly between G and C, AT between A and T.
+  stationary_ = {(1.0 - params_.gc_content) / 2.0, params_.gc_content / 2.0,
+                 params_.gc_content / 2.0, (1.0 - params_.gc_content) / 2.0};
+
+  // Row i: (1 - rho) * stationary + rho * delta_i, then CpG suppression on
+  // P(G | C), then renormalize each row.
+  const double rho = params_.autocorrelation;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      matrix_[i][j] = (1.0 - rho) * stationary_[j] + (i == j ? rho : 0.0);
+    }
+  }
+  constexpr auto C = static_cast<std::size_t>(Base::C);
+  constexpr auto G = static_cast<std::size_t>(Base::G);
+  matrix_[C][G] *= params_.cpg_suppression;
+  for (auto& row : matrix_) {
+    double sum = 0.0;
+    for (double v : row) sum += v;
+    for (double& v : row) v /= sum;
+  }
+}
+
+std::string GenomeGenerator::generate(std::size_t length, std::uint64_t seed) const {
+  std::string out;
+  out.resize(length);
+  if (length == 0) return out;
+
+  util::Xoshiro256 rng(seed);
+
+  // First base from the stationary distribution.
+  const auto sample = [&rng](const std::array<double, 4>& probs) {
+    const double u = rng.uniform();
+    double acc = 0.0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      acc += probs[j];
+      if (u < acc) return j;
+    }
+    return static_cast<std::size_t>(3);
+  };
+
+  std::size_t prev = sample(stationary_);
+  out[0] = kBaseChars[prev];
+  for (std::size_t i = 1; i < length; ++i) {
+    prev = sample(matrix_[prev]);
+    out[i] = kBaseChars[prev];
+  }
+  return out;
+}
+
+Sequence GenomeGenerator::generate_with_motifs(std::string name, std::size_t length,
+                                               std::uint64_t seed,
+                                               const std::vector<PlantedMotif>& motifs) const {
+  std::string bases = generate(length, seed);
+  util::Xoshiro256 rng(util::hash_combine(seed, 0x706c616e74ULL));  // "plant"
+
+  // Track occupied intervals so planted copies never overlap each other.
+  std::vector<std::pair<std::size_t, std::size_t>> used;  // [start, end)
+  const auto overlaps = [&used](std::size_t start, std::size_t end) {
+    return std::any_of(used.begin(), used.end(), [&](const auto& iv) {
+      return start < iv.second && iv.first < end;
+    });
+  };
+
+  for (const auto& motif : motifs) {
+    if (motif.pattern.empty() || motif.pattern.size() > length) {
+      throw std::invalid_argument("generate_with_motifs: motif '" + motif.pattern +
+                                  "' does not fit in sequence of length " +
+                                  std::to_string(length));
+    }
+    for (char c : motif.pattern) {
+      if (!base_from_char(c)) {
+        throw std::invalid_argument("generate_with_motifs: motif must be plain ACGT, got '" +
+                                    motif.pattern + "'");
+      }
+    }
+    const std::size_t span = motif.pattern.size();
+    for (std::size_t k = 0; k < motif.occurrences; ++k) {
+      bool placed = false;
+      for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+        const auto start = static_cast<std::size_t>(rng.bounded(length - span + 1));
+        if (overlaps(start, start + span)) continue;
+        std::copy(motif.pattern.begin(), motif.pattern.end(), bases.begin() + static_cast<std::ptrdiff_t>(start));
+        used.emplace_back(start, start + span);
+        placed = true;
+      }
+      // Best effort: extremely dense planting may fail to find a slot.
+    }
+  }
+  return Sequence(std::move(name), std::move(bases));
+}
+
+}  // namespace hetopt::dna

@@ -1,0 +1,65 @@
+// Synthetic genome generation.
+//
+// The paper uses real GenBank genomes (human 3.17 GB, mouse 2.77 GB,
+// cat 2.43 GB, dog 2.38 GB) which we cannot ship. We substitute an order-1
+// Markov base generator whose stationary composition and transition
+// structure are parameterised per organism, plus optional motif planting so
+// pattern-matching examples find a controllable number of hits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dna/sequence.hpp"
+#include "util/rng.hpp"
+
+namespace hetopt::dna {
+
+/// Parameters of the order-1 Markov chain over {A,C,G,T}.
+struct MarkovParams {
+  /// Target GC fraction in (0,1).
+  double gc_content = 0.41;
+  /// Dinucleotide "stickiness" in [0,1): probability mass added to
+  /// self-transitions (runs of the same base), as real genomes are not iid.
+  double autocorrelation = 0.15;
+  /// CpG suppression factor in (0,1]: multiplies P(G | C), mimicking the
+  /// well-known CpG depletion of vertebrate genomes.
+  double cpg_suppression = 0.25;
+};
+
+/// A motif to plant into a generated sequence.
+struct PlantedMotif {
+  std::string pattern;       // plain ACGT (instantiated, not IUPAC)
+  std::size_t occurrences;   // how many copies to plant
+};
+
+/// Generates reproducible synthetic DNA.
+class GenomeGenerator {
+ public:
+  explicit GenomeGenerator(MarkovParams params = {});
+
+  /// The row-stochastic 4x4 transition matrix implied by the parameters.
+  [[nodiscard]] const std::array<std::array<double, 4>, 4>& transition_matrix()
+      const noexcept {
+    return matrix_;
+  }
+
+  /// Generates `length` bases; deterministic in (params, seed).
+  [[nodiscard]] std::string generate(std::size_t length, std::uint64_t seed) const;
+
+  /// Generates a sequence and plants the given motifs at non-overlapping
+  /// uniformly random positions (best effort: skips a copy if no free slot is
+  /// found after a bounded number of tries). Throws if a motif is longer than
+  /// the sequence or not plain ACGT.
+  [[nodiscard]] Sequence generate_with_motifs(std::string name, std::size_t length,
+                                              std::uint64_t seed,
+                                              const std::vector<PlantedMotif>& motifs) const;
+
+ private:
+  MarkovParams params_;
+  std::array<std::array<double, 4>, 4> matrix_{};
+  std::array<double, 4> stationary_{};
+};
+
+}  // namespace hetopt::dna

@@ -1,0 +1,41 @@
+#include "dna/sequence.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace hetopt::dna {
+
+Sequence::Sequence(std::string name, std::string bases)
+    : name_(std::move(name)), bases_(std::move(bases)) {
+  for (std::size_t i = 0; i < bases_.size(); ++i) {
+    const char upper = static_cast<char>(std::toupper(static_cast<unsigned char>(bases_[i])));
+    if (!base_from_char(upper)) {
+      throw std::invalid_argument("Sequence '" + name_ + "': invalid base '" +
+                                  std::string(1, bases_[i]) + "' at position " +
+                                  std::to_string(i));
+    }
+    bases_[i] = upper;
+  }
+}
+
+std::string_view Sequence::slice(std::size_t offset, std::size_t length) const noexcept {
+  if (offset >= bases_.size()) return {};
+  return std::string_view(bases_).substr(offset, length);
+}
+
+double Sequence::gc_content() const noexcept {
+  if (bases_.empty()) return 0.0;
+  std::size_t gc = 0;
+  for (char c : bases_) gc += (c == 'G' || c == 'C') ? 1U : 0U;
+  return static_cast<double>(gc) / static_cast<double>(bases_.size());
+}
+
+std::array<std::size_t, kAlphabetSize> Sequence::base_counts() const noexcept {
+  std::array<std::size_t, kAlphabetSize> counts{};
+  for (char c : bases_) {
+    if (const auto b = base_from_char(c)) ++counts[static_cast<std::size_t>(*b)];
+  }
+  return counts;
+}
+
+}  // namespace hetopt::dna

@@ -1,0 +1,43 @@
+// A DNA sequence: a named, validated string of A/C/G/T characters.
+// Physically small (MBs) in tests/examples; the simulator reasons about
+// *logical* sizes (GBs) separately via GenomeInfo.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "dna/alphabet.hpp"
+
+namespace hetopt::dna {
+
+class Sequence {
+ public:
+  Sequence() = default;
+  /// Validates that `bases` contains only ACGT (case-insensitive; stored
+  /// upper-case). Throws std::invalid_argument otherwise.
+  Sequence(std::string name, std::string bases);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& bases() const noexcept { return bases_; }
+  [[nodiscard]] std::string_view view() const noexcept { return bases_; }
+  [[nodiscard]] std::size_t size() const noexcept { return bases_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return bases_.empty(); }
+  [[nodiscard]] char operator[](std::size_t i) const noexcept { return bases_[i]; }
+
+  /// Contiguous sub-range [offset, offset+length); clamps to the end.
+  [[nodiscard]] std::string_view slice(std::size_t offset, std::size_t length) const noexcept;
+
+  /// Fraction of G/C bases in [0,1]; 0 for empty sequences.
+  [[nodiscard]] double gc_content() const noexcept;
+
+  /// Per-base counts in A,C,G,T order.
+  [[nodiscard]] std::array<std::size_t, kAlphabetSize> base_counts() const noexcept;
+
+ private:
+  std::string name_;
+  std::string bases_;
+};
+
+}  // namespace hetopt::dna

@@ -1,0 +1,56 @@
+#include "ml/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hetopt::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+std::vector<double> solve(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) throw std::invalid_argument("solve: shape mismatch");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) pivot = r;
+    }
+    if (std::abs(a.at(pivot, col)) < 1e-12) {
+      throw std::runtime_error("solve: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(pivot, c), a.at(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) / a.at(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= factor * a.at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a.at(i, c) * x[c];
+    x[i] = acc / a.at(i, i);
+  }
+  return x;
+}
+
+}  // namespace hetopt::ml

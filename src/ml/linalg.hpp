@@ -1,0 +1,31 @@
+// Small dense linear algebra: just enough to fit linear and Poisson
+// regression by (weighted) normal equations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hetopt::ml {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Throws std::runtime_error when A is (numerically) singular.
+[[nodiscard]] std::vector<double> solve(Matrix a, std::vector<double> b);
+
+}  // namespace hetopt::ml

@@ -1,0 +1,49 @@
+// Ordinary least squares with optional L2 regularization, and Poisson
+// regression (log-link GLM fitted by IRLS). Both were "considered" by the
+// paper before it settled on boosted trees; we keep them as comparison
+// baselines (bench/ablation_models).
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/regressor.hpp"
+
+namespace hetopt::ml {
+
+class LinearRegressor final : public Regressor {
+ public:
+  /// `ridge_lambda` >= 0 adds lambda*I to the normal equations (also rescues
+  /// collinear feature sets from singularity).
+  explicit LinearRegressor(double ridge_lambda = 1e-8);
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] bool fitted() const noexcept override { return !coef_.empty(); }
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+  [[nodiscard]] std::string name() const override { return "LinearRegression"; }
+
+  /// Coefficients: [intercept, w_0, ..., w_{k-1}].
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept { return coef_; }
+
+ private:
+  double lambda_;
+  std::vector<double> coef_;
+};
+
+class PoissonRegressor final : public Regressor {
+ public:
+  /// Targets must be strictly positive (execution times are).
+  explicit PoissonRegressor(int max_iterations = 50, double tolerance = 1e-8);
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] bool fitted() const noexcept override { return !coef_.empty(); }
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+  [[nodiscard]] std::string name() const override { return "PoissonRegression"; }
+
+ private:
+  int max_iter_;
+  double tol_;
+  std::vector<double> coef_;  // [intercept, w...] in log space
+};
+
+}  // namespace hetopt::ml

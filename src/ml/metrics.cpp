@@ -1,0 +1,58 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hetopt::ml {
+
+double absolute_error(double measured, double predicted) noexcept {
+  return std::abs(measured - predicted);
+}
+
+double percent_error(double measured, double predicted) {
+  if (measured == 0.0) throw std::invalid_argument("percent_error: measured == 0");
+  return 100.0 * absolute_error(measured, predicted) / std::abs(measured);
+}
+
+ErrorSummary summarize_errors(std::span<const double> measured,
+                              std::span<const double> predicted) {
+  if (measured.size() != predicted.size()) {
+    throw std::invalid_argument("summarize_errors: size mismatch");
+  }
+  if (measured.empty()) throw std::invalid_argument("summarize_errors: empty input");
+  ErrorSummary s;
+  s.count = measured.size();
+  double sq = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const double abs_err = absolute_error(measured[i], predicted[i]);
+    s.mean_absolute += abs_err;
+    s.mean_percent += percent_error(measured[i], predicted[i]);
+    s.max_absolute = std::max(s.max_absolute, abs_err);
+    sq += abs_err * abs_err;
+  }
+  const auto n = static_cast<double>(s.count);
+  s.mean_absolute /= n;
+  s.mean_percent /= n;
+  s.rmse = std::sqrt(sq / n);
+  return s;
+}
+
+ErrorSummary evaluate(const Regressor& model, const Dataset& eval,
+                      std::vector<double>* abs_errors_out) {
+  if (eval.empty()) throw std::invalid_argument("evaluate: empty dataset");
+  std::vector<double> measured(eval.size());
+  std::vector<double> predicted(eval.size());
+  for (std::size_t i = 0; i < eval.size(); ++i) {
+    measured[i] = eval.target(i);
+    predicted[i] = model.predict(eval.row(i));
+  }
+  if (abs_errors_out != nullptr) {
+    abs_errors_out->resize(eval.size());
+    for (std::size_t i = 0; i < eval.size(); ++i) {
+      (*abs_errors_out)[i] = absolute_error(measured[i], predicted[i]);
+    }
+  }
+  return summarize_errors(measured, predicted);
+}
+
+}  // namespace hetopt::ml

@@ -1,0 +1,35 @@
+// Prediction-accuracy metrics exactly as the paper defines them:
+//   absolute error = |T_measured - T_predicted|                     (Eq. 5)
+//   percent  error = 100 * absolute_error / T_measured              (Eq. 6)
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/regressor.hpp"
+
+namespace hetopt::ml {
+
+struct ErrorSummary {
+  double mean_absolute = 0.0;   // the paper's "absolute [s]"
+  double mean_percent = 0.0;    // the paper's "percent [%]"
+  double rmse = 0.0;
+  double max_absolute = 0.0;
+  std::size_t count = 0;
+};
+
+[[nodiscard]] double absolute_error(double measured, double predicted) noexcept;
+/// Percent error; measured must be nonzero (callers guarantee positive times).
+[[nodiscard]] double percent_error(double measured, double predicted);
+
+/// Pairwise summary; spans must be equal-length and non-empty.
+[[nodiscard]] ErrorSummary summarize_errors(std::span<const double> measured,
+                                            std::span<const double> predicted);
+
+/// Evaluates a fitted regressor on a dataset; returns per-row absolute
+/// errors via `abs_errors_out` when non-null.
+[[nodiscard]] ErrorSummary evaluate(const Regressor& model, const Dataset& eval,
+                                    std::vector<double>* abs_errors_out = nullptr);
+
+}  // namespace hetopt::ml

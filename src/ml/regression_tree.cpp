@@ -1,0 +1,211 @@
+#include "ml/regression_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace hetopt::ml {
+
+RegressionTree::RegressionTree(TreeParams params) : params_(params) {
+  if (params_.max_depth < 0) throw std::invalid_argument("RegressionTree: max_depth < 0");
+  if (params_.min_samples_leaf < 1) {
+    throw std::invalid_argument("RegressionTree: min_samples_leaf < 1");
+  }
+}
+
+void RegressionTree::fit(const Dataset& data) { fit_targets(data, data.targets()); }
+
+void RegressionTree::fit_targets(const Dataset& data, std::span<const double> targets) {
+  if (data.empty()) throw std::invalid_argument("RegressionTree::fit: empty dataset");
+  if (targets.size() != data.size()) {
+    throw std::invalid_argument("RegressionTree::fit: target size mismatch");
+  }
+  nodes_.clear();
+  feature_count_ = data.feature_count();
+  std::vector<std::size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  build(data, targets, indices, 0, data.size(), 0);
+}
+
+std::int32_t RegressionTree::build(const Dataset& data, std::span<const double> targets,
+                                   std::vector<std::size_t>& indices, std::size_t begin,
+                                   std::size_t end, int depth) {
+  const std::size_t n = end - begin;
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += targets[indices[i]];
+  const double node_mean = sum / static_cast<double>(n);
+
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_id].value = node_mean;
+
+  if (depth >= params_.max_depth || n < params_.min_samples_split ||
+      n < 2 * params_.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Best split over all features: minimize total SSE of the two children.
+  // Scanning sorted values with prefix sums gives each candidate in O(1).
+  double best_gain = 0.0;
+  std::int32_t best_feature = -1;
+  double best_threshold = 0.0;
+
+  double node_sse = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double d = targets[indices[i]] - node_mean;
+    node_sse += d * d;
+  }
+  if (node_sse <= 1e-24) return node_id;  // pure node
+
+  std::vector<std::size_t> sorted(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                                  indices.begin() + static_cast<std::ptrdiff_t>(end));
+  for (std::size_t f = 0; f < data.feature_count(); ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+      return data.row(a)[f] < data.row(b)[f];
+    });
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    double total_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double y = targets[sorted[i]];
+      total_sq += y * y;
+    }
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const double y = targets[sorted[i]];
+      left_sum += y;
+      left_sq += y * y;
+      const double left_val = data.row(sorted[i])[f];
+      const double right_val = data.row(sorted[i + 1])[f];
+      if (left_val == right_val) continue;  // cannot split between equal values
+      const std::size_t left_n = i + 1;
+      const std::size_t right_n = n - left_n;
+      if (left_n < params_.min_samples_leaf || right_n < params_.min_samples_leaf) continue;
+      const double right_sum = sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      // SSE = sum(y^2) - (sum y)^2 / n for each side.
+      const double sse_left = left_sq - left_sum * left_sum / static_cast<double>(left_n);
+      const double sse_right =
+          right_sq - right_sum * right_sum / static_cast<double>(right_n);
+      const double gain = node_sse - (sse_left + sse_right);
+      if (gain > best_gain + 1e-15) {
+        best_gain = gain;
+        best_feature = static_cast<std::int32_t>(f);
+        best_threshold = 0.5 * (left_val + right_val);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  // Partition indices[begin,end) by the chosen split (stable to keep the
+  // construction deterministic).
+  std::vector<std::size_t> left_part;
+  std::vector<std::size_t> right_part;
+  left_part.reserve(n);
+  right_part.reserve(n);
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t idx = indices[i];
+    (data.row(idx)[static_cast<std::size_t>(best_feature)] < best_threshold ? left_part
+                                                                            : right_part)
+        .push_back(idx);
+  }
+  if (left_part.empty() || right_part.empty()) return node_id;  // numeric edge case
+  std::copy(left_part.begin(), left_part.end(),
+            indices.begin() + static_cast<std::ptrdiff_t>(begin));
+  std::copy(right_part.begin(), right_part.end(),
+            indices.begin() + static_cast<std::ptrdiff_t>(begin + left_part.size()));
+
+  const std::size_t mid = begin + left_part.size();
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const std::int32_t left_id = build(data, targets, indices, begin, mid, depth + 1);
+  nodes_[node_id].left = left_id;
+  const std::int32_t right_id = build(data, targets, indices, mid, end, depth + 1);
+  nodes_[node_id].right = right_id;
+  return node_id;
+}
+
+double RegressionTree::predict(std::span<const double> features) const {
+  if (!fitted()) throw std::logic_error("RegressionTree: predict before fit");
+  if (features.size() != feature_count_) {
+    throw std::invalid_argument("RegressionTree: feature count mismatch");
+  }
+  std::int32_t node = 0;
+  while (nodes_[node].left >= 0) {
+    node = features[static_cast<std::size_t>(nodes_[node].feature)] < nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+std::size_t RegressionTree::leaf_count() const noexcept {
+  std::size_t leaves = 0;
+  for (const Node& n : nodes_) leaves += (n.left < 0) ? 1U : 0U;
+  return leaves;
+}
+
+void RegressionTree::accumulate_split_counts(std::span<std::size_t> counts) const {
+  for (const Node& n : nodes_) {
+    if (n.left >= 0) {
+      const auto f = static_cast<std::size_t>(n.feature);
+      if (f < counts.size()) ++counts[f];
+    }
+  }
+}
+
+std::vector<RegressionTree::ExportedNode> RegressionTree::export_nodes() const {
+  std::vector<ExportedNode> out;
+  out.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    out.push_back(ExportedNode{n.feature, n.threshold, n.left, n.right, n.value});
+  }
+  return out;
+}
+
+RegressionTree RegressionTree::from_nodes(TreeParams params,
+                                          std::vector<ExportedNode> nodes,
+                                          std::size_t feature_count) {
+  if (nodes.empty()) throw std::invalid_argument("RegressionTree::from_nodes: no nodes");
+  RegressionTree tree(params);
+  tree.feature_count_ = feature_count;
+  tree.nodes_.reserve(nodes.size());
+  const auto n = static_cast<std::int32_t>(nodes.size());
+  for (const ExportedNode& e : nodes) {
+    const bool is_leaf = e.left < 0;
+    if (is_leaf != (e.right < 0)) {
+      throw std::invalid_argument("RegressionTree::from_nodes: half-leaf node");
+    }
+    if (!is_leaf) {
+      if (e.left >= n || e.right >= n) {
+        throw std::invalid_argument("RegressionTree::from_nodes: child out of range");
+      }
+      if (e.feature < 0 || static_cast<std::size_t>(e.feature) >= feature_count) {
+        throw std::invalid_argument("RegressionTree::from_nodes: feature out of range");
+      }
+    }
+    tree.nodes_.push_back(Node{e.feature, e.threshold, e.left, e.right, e.value});
+  }
+  return tree;
+}
+
+int RegressionTree::depth() const noexcept {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the implicit tree structure.
+  std::vector<std::pair<std::int32_t, int>> stack{{0, 1}};
+  int depth = 0;
+  while (!stack.empty()) {
+    const auto [node, d] = stack.back();
+    stack.pop_back();
+    depth = std::max(depth, d);
+    if (nodes_[node].left >= 0) {
+      stack.emplace_back(nodes_[node].left, d + 1);
+      stack.emplace_back(nodes_[node].right, d + 1);
+    }
+  }
+  return depth;
+}
+
+}  // namespace hetopt::ml

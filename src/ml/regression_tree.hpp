@@ -1,0 +1,78 @@
+// CART regression tree: axis-aligned binary splits minimizing the sum of
+// squared errors. Used standalone and as the weak learner inside the
+// boosted ensemble.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/regressor.hpp"
+
+namespace hetopt::ml {
+
+struct TreeParams {
+  int max_depth = 6;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+};
+
+class RegressionTree final : public Regressor {
+ public:
+  explicit RegressionTree(TreeParams params = {});
+
+  void fit(const Dataset& data) override;
+  /// Fits against externally supplied targets (boosting residuals); `data`'s
+  /// own targets are ignored.
+  void fit_targets(const Dataset& data, std::span<const double> targets);
+
+  [[nodiscard]] bool fitted() const noexcept override { return !nodes_.empty(); }
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+  [[nodiscard]] std::string name() const override { return "RegressionTree"; }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  /// Width of feature rows this tree was fitted/rebuilt with.
+  [[nodiscard]] std::size_t feature_count() const noexcept { return feature_count_; }
+  [[nodiscard]] std::size_t leaf_count() const noexcept;
+  [[nodiscard]] int depth() const noexcept;
+
+  /// Adds this tree's split counts into `counts` (size >= feature_count).
+  /// Used for ensemble feature importance.
+  void accumulate_split_counts(std::span<std::size_t> counts) const;
+
+  /// Flat node record for (de)serialization.
+  struct ExportedNode {
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double value = 0.0;
+    friend bool operator==(const ExportedNode&, const ExportedNode&) = default;
+  };
+  [[nodiscard]] std::vector<ExportedNode> export_nodes() const;
+  /// Rebuilds a tree from exported nodes; validates indices.
+  [[nodiscard]] static RegressionTree from_nodes(TreeParams params,
+                                                 std::vector<ExportedNode> nodes,
+                                                 std::size_t feature_count);
+
+ private:
+  struct Node {
+    // Internal node: split on feature < threshold -> left else right.
+    // Leaf: left == -1.
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double value = 0.0;  // leaf prediction (mean of targets)
+  };
+
+  std::int32_t build(const Dataset& data, std::span<const double> targets,
+                     std::vector<std::size_t>& indices, std::size_t begin, std::size_t end,
+                     int depth);
+
+  TreeParams params_;
+  std::vector<Node> nodes_;
+  std::size_t feature_count_ = 0;
+};
+
+}  // namespace hetopt::ml

@@ -1,0 +1,27 @@
+// Common interface of every performance-prediction model (the paper's
+// Fig. 4 "Train Model" / "Predictive Model" boxes).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+namespace hetopt::ml {
+
+class Dataset;
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fits the model; throws std::invalid_argument on empty/degenerate data.
+  virtual void fit(const Dataset& data) = 0;
+  [[nodiscard]] virtual bool fitted() const noexcept = 0;
+
+  /// Predicts the target for one feature row. Requires fitted().
+  [[nodiscard]] virtual double predict(std::span<const double> features) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace hetopt::ml

@@ -1,0 +1,26 @@
+// Text (de)serialization for trained models, so a predictor trained once on
+// the 7200-experiment sweep can be shipped and reused without re-measuring —
+// the deployment mode the paper's Table II attributes to the ML methods
+// ("once the model is trained one can easily increase the number of
+// iterations", §IV-C).
+//
+// Format: line-oriented, versioned, locale-independent (numbers are printed
+// with max_digits10 round-trip precision).
+#pragma once
+
+#include <iosfwd>
+
+#include "ml/boosted_trees.hpp"
+#include "ml/dataset.hpp"
+
+namespace hetopt::ml {
+
+/// Writes/reads a normalizer. Throws std::runtime_error on malformed input.
+void save(std::ostream& os, const Normalizer& normalizer);
+[[nodiscard]] Normalizer load_normalizer(std::istream& is);
+
+/// Writes/reads a boosted ensemble (params, base prediction, every tree).
+void save(std::ostream& os, const BoostedTreesRegressor& model);
+[[nodiscard]] BoostedTreesRegressor load_boosted_trees(std::istream& is);
+
+}  // namespace hetopt::ml

@@ -1,0 +1,69 @@
+#include "opt/baselines.hpp"
+
+#include <stdexcept>
+
+namespace hetopt::opt {
+
+SearchResult random_search(const ConfigSpace& space, const Objective& objective,
+                           std::size_t budget, std::uint64_t seed) {
+  if (!objective) throw std::invalid_argument("random_search: null objective");
+  if (budget == 0) throw std::invalid_argument("random_search: zero budget");
+  util::Xoshiro256 rng(seed);
+  SearchResult result;
+  for (std::size_t i = 0; i < budget; ++i) {
+    const SystemConfig c = space.random(rng);
+    const double e = objective(c);
+    ++result.evaluations;
+    if (i == 0 || e < result.best_energy) {
+      result.best = c;
+      result.best_energy = e;
+    }
+  }
+  return result;
+}
+
+SearchResult hill_climbing(const ConfigSpace& space, const Objective& objective,
+                           std::size_t budget, std::uint64_t seed, std::size_t patience) {
+  if (!objective) throw std::invalid_argument("hill_climbing: null objective");
+  if (budget == 0) throw std::invalid_argument("hill_climbing: zero budget");
+  util::Xoshiro256 rng(seed);
+  SearchResult result;
+
+  SystemConfig current = space.random(rng);
+  double current_energy = objective(current);
+  ++result.evaluations;
+  result.best = current;
+  result.best_energy = current_energy;
+  std::size_t failures = 0;
+
+  while (result.evaluations < budget) {
+    if (failures >= patience) {
+      current = space.random(rng);
+      current_energy = objective(current);
+      ++result.evaluations;
+      failures = 0;
+      if (current_energy < result.best_energy) {
+        result.best = current;
+        result.best_energy = current_energy;
+      }
+      continue;
+    }
+    const SystemConfig candidate = space.neighbor(current, rng);
+    const double e = objective(candidate);
+    ++result.evaluations;
+    if (e < current_energy) {
+      current = candidate;
+      current_energy = e;
+      failures = 0;
+      if (e < result.best_energy) {
+        result.best = candidate;
+        result.best_energy = e;
+      }
+    } else {
+      ++failures;
+    }
+  }
+  return result;
+}
+
+}  // namespace hetopt::opt

@@ -1,0 +1,33 @@
+// Ablation baselines for the search-strategy comparison (bench/ablation_search):
+// uniform random search and restarted first-improvement hill climbing.
+// Both honour the same evaluation budget as simulated annealing so the
+// comparison is apples-to-apples.
+#pragma once
+
+#include <cstdint>
+
+#include "opt/config.hpp"
+#include "opt/config_space.hpp"
+#include "opt/objective.hpp"
+
+namespace hetopt::opt {
+
+struct SearchResult {
+  SystemConfig best;
+  double best_energy = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Uniformly samples `budget` configurations; keeps the best.
+[[nodiscard]] SearchResult random_search(const ConfigSpace& space, const Objective& objective,
+                                         std::size_t budget, std::uint64_t seed);
+
+/// First-improvement hill climbing with random restarts. Each step proposes
+/// a neighbour; improving moves are taken, otherwise after
+/// `patience` consecutive failures the walk restarts from a random point.
+/// Stops when `budget` evaluations are spent.
+[[nodiscard]] SearchResult hill_climbing(const ConfigSpace& space, const Objective& objective,
+                                         std::size_t budget, std::uint64_t seed,
+                                         std::size_t patience = 25);
+
+}  // namespace hetopt::opt

@@ -1,0 +1,24 @@
+#include "opt/config.hpp"
+
+#include "util/strings.hpp"
+
+namespace hetopt::opt {
+
+std::string to_string(const SystemConfig& c) {
+  std::string out = "host ";
+  out += std::to_string(c.host_threads);
+  out += "t/";
+  out += parallel::to_string(c.host_affinity);
+  out += ' ';
+  out += util::format_trimmed(c.host_percent, 1);
+  out += "% | device ";
+  out += std::to_string(c.device_threads);
+  out += "t/";
+  out += parallel::to_string(c.device_affinity);
+  out += ' ';
+  out += util::format_trimmed(100.0 - c.host_percent, 1);
+  out += '%';
+  return out;
+}
+
+}  // namespace hetopt::opt

@@ -1,0 +1,28 @@
+// A system configuration — the point the optimizers move through:
+// (host threads, host affinity, device threads, device affinity,
+//  workload fraction), exactly the paper's Table I.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "parallel/affinity.hpp"
+
+namespace hetopt::opt {
+
+struct SystemConfig {
+  int host_threads = 1;
+  parallel::HostAffinity host_affinity = parallel::HostAffinity::kNone;
+  int device_threads = 1;
+  parallel::DeviceAffinity device_affinity = parallel::DeviceAffinity::kBalanced;
+  /// Percentage of the workload executed on the host; the device gets
+  /// 100 - host_percent (Table I: "Workload Fraction").
+  double host_percent = 50.0;
+
+  friend bool operator==(const SystemConfig&, const SystemConfig&) = default;
+};
+
+/// "host 24t/scatter 70% | device 60t/balanced 30%"
+[[nodiscard]] std::string to_string(const SystemConfig& c);
+
+}  // namespace hetopt::opt

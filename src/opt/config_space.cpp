@@ -1,0 +1,186 @@
+#include "opt/config_space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hetopt::opt {
+
+namespace {
+
+template <typename T>
+void require_sorted_unique(const std::vector<T>& v, const char* what) {
+  if (v.empty()) throw std::invalid_argument(std::string("ConfigSpace: empty axis ") + what);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (!(v[i - 1] < v[i])) {
+      throw std::invalid_argument(std::string("ConfigSpace: axis ") + what +
+                                  " must be strictly increasing");
+    }
+  }
+}
+
+template <typename T>
+std::size_t axis_index(const std::vector<T>& axis, const T& value, const char* what) {
+  const auto it = std::find(axis.begin(), axis.end(), value);
+  if (it == axis.end()) {
+    throw std::invalid_argument(std::string("ConfigSpace: value not on axis ") + what);
+  }
+  return static_cast<std::size_t>(it - axis.begin());
+}
+
+/// Ordered-axis step: move ±1..±3 positions, clamped to the axis.
+template <typename T>
+std::size_t step_index(const std::vector<T>& axis, std::size_t current,
+                       util::Xoshiro256& rng) {
+  if (axis.size() == 1) return current;
+  const auto span = static_cast<std::int64_t>(rng.range(1, 3));
+  const std::int64_t dir = rng.bernoulli(0.5) ? 1 : -1;
+  std::int64_t next = static_cast<std::int64_t>(current) + dir * span;
+  next = std::clamp<std::int64_t>(next, 0, static_cast<std::int64_t>(axis.size()) - 1);
+  if (static_cast<std::size_t>(next) == current) {
+    // Clamped into place: move one step the other way instead so the move
+    // never degenerates to a no-op on axis boundaries.
+    next = static_cast<std::int64_t>(current) - dir;
+    next = std::clamp<std::int64_t>(next, 0, static_cast<std::int64_t>(axis.size()) - 1);
+  }
+  return static_cast<std::size_t>(next);
+}
+
+}  // namespace
+
+ConfigSpace::ConfigSpace(std::vector<int> host_threads,
+                         std::vector<parallel::HostAffinity> host_affinities,
+                         std::vector<int> device_threads,
+                         std::vector<parallel::DeviceAffinity> device_affinities,
+                         std::vector<double> fractions)
+    : host_threads_(std::move(host_threads)),
+      host_affinities_(std::move(host_affinities)),
+      device_threads_(std::move(device_threads)),
+      device_affinities_(std::move(device_affinities)),
+      fractions_(std::move(fractions)) {
+  require_sorted_unique(host_threads_, "host_threads");
+  require_sorted_unique(device_threads_, "device_threads");
+  require_sorted_unique(fractions_, "fractions");
+  if (host_affinities_.empty() || device_affinities_.empty()) {
+    throw std::invalid_argument("ConfigSpace: empty affinity axis");
+  }
+  for (double f : fractions_) {
+    if (f < 0.0 || f > 100.0) {
+      throw std::invalid_argument("ConfigSpace: fraction outside [0,100]");
+    }
+  }
+}
+
+ConfigSpace ConfigSpace::paper() {
+  std::vector<double> fractions;
+  for (int i = 0; i <= 40; ++i) fractions.push_back(2.5 * i);
+  return ConfigSpace(
+      {2, 6, 12, 24, 36, 48},
+      {parallel::HostAffinity::kNone, parallel::HostAffinity::kScatter,
+       parallel::HostAffinity::kCompact},
+      {2, 4, 8, 16, 30, 60, 120, 180, 240},
+      {parallel::DeviceAffinity::kBalanced, parallel::DeviceAffinity::kScatter,
+       parallel::DeviceAffinity::kCompact},
+      std::move(fractions));
+}
+
+ConfigSpace ConfigSpace::tiny() {
+  return ConfigSpace({4, 8},
+                     {parallel::HostAffinity::kScatter, parallel::HostAffinity::kCompact},
+                     {30, 60},
+                     {parallel::DeviceAffinity::kBalanced, parallel::DeviceAffinity::kCompact},
+                     {0.0, 25.0, 50.0, 75.0, 100.0});
+}
+
+std::size_t ConfigSpace::size() const noexcept {
+  return host_threads_.size() * host_affinities_.size() * device_threads_.size() *
+         device_affinities_.size() * fractions_.size();
+}
+
+SystemConfig ConfigSpace::at(std::size_t flat_index) const {
+  if (flat_index >= size()) throw std::out_of_range("ConfigSpace::at");
+  SystemConfig c;
+  c.host_threads = host_threads_[flat_index % host_threads_.size()];
+  flat_index /= host_threads_.size();
+  c.host_affinity = host_affinities_[flat_index % host_affinities_.size()];
+  flat_index /= host_affinities_.size();
+  c.device_threads = device_threads_[flat_index % device_threads_.size()];
+  flat_index /= device_threads_.size();
+  c.device_affinity = device_affinities_[flat_index % device_affinities_.size()];
+  flat_index /= device_affinities_.size();
+  c.host_percent = fractions_[flat_index];
+  return c;
+}
+
+std::size_t ConfigSpace::index_of(const SystemConfig& config) const {
+  const std::size_t i0 = axis_index(host_threads_, config.host_threads, "host_threads");
+  const std::size_t i1 = axis_index(host_affinities_, config.host_affinity, "host_affinity");
+  const std::size_t i2 = axis_index(device_threads_, config.device_threads, "device_threads");
+  const std::size_t i3 =
+      axis_index(device_affinities_, config.device_affinity, "device_affinity");
+  const std::size_t i4 = axis_index(fractions_, config.host_percent, "fractions");
+  std::size_t idx = i4;
+  idx = idx * device_affinities_.size() + i3;
+  idx = idx * device_threads_.size() + i2;
+  idx = idx * host_affinities_.size() + i1;
+  idx = idx * host_threads_.size() + i0;
+  return idx;
+}
+
+bool ConfigSpace::contains(const SystemConfig& config) const noexcept {
+  try {
+    (void)index_of(config);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+SystemConfig ConfigSpace::random(util::Xoshiro256& rng) const {
+  return at(static_cast<std::size_t>(rng.bounded(size())));
+}
+
+SystemConfig ConfigSpace::neighbor(const SystemConfig& config, util::Xoshiro256& rng) const {
+  SystemConfig next = config;
+  const std::uint64_t axis = rng.bounded(5);
+  switch (axis) {
+    case 0: {
+      const std::size_t i = axis_index(host_threads_, config.host_threads, "host_threads");
+      next.host_threads = host_threads_[step_index(host_threads_, i, rng)];
+      break;
+    }
+    case 1: {
+      if (host_affinities_.size() > 1) {
+        const std::size_t i =
+            axis_index(host_affinities_, config.host_affinity, "host_affinity");
+        std::size_t j = static_cast<std::size_t>(rng.bounded(host_affinities_.size() - 1));
+        if (j >= i) ++j;
+        next.host_affinity = host_affinities_[j];
+      }
+      break;
+    }
+    case 2: {
+      const std::size_t i =
+          axis_index(device_threads_, config.device_threads, "device_threads");
+      next.device_threads = device_threads_[step_index(device_threads_, i, rng)];
+      break;
+    }
+    case 3: {
+      if (device_affinities_.size() > 1) {
+        const std::size_t i =
+            axis_index(device_affinities_, config.device_affinity, "device_affinity");
+        std::size_t j = static_cast<std::size_t>(rng.bounded(device_affinities_.size() - 1));
+        if (j >= i) ++j;
+        next.device_affinity = device_affinities_[j];
+      }
+      break;
+    }
+    default: {
+      const std::size_t i = axis_index(fractions_, config.host_percent, "fractions");
+      next.host_percent = fractions_[step_index(fractions_, i, rng)];
+      break;
+    }
+  }
+  return next;
+}
+
+}  // namespace hetopt::opt

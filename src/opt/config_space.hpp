@@ -1,0 +1,68 @@
+// The discrete configuration space (Eq. 1: |space| = product of the value
+// ranges). Provides flat indexing for enumeration, uniform sampling, and the
+// neighbour move used by simulated annealing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/config.hpp"
+#include "util/rng.hpp"
+
+namespace hetopt::opt {
+
+class ConfigSpace {
+ public:
+  /// Axes must be non-empty; numeric axes strictly increasing.
+  ConfigSpace(std::vector<int> host_threads,
+              std::vector<parallel::HostAffinity> host_affinities,
+              std::vector<int> device_threads,
+              std::vector<parallel::DeviceAffinity> device_affinities,
+              std::vector<double> fractions);
+
+  /// The paper's space: host threads {2,6,12,24,36,48} x 3 affinities x
+  /// device threads {2,4,8,16,30,60,120,180,240} x 3 affinities x
+  /// fractions {0, 2.5, ..., 100} = 19 926 configurations (see DESIGN.md).
+  [[nodiscard]] static ConfigSpace paper();
+
+  /// A reduced space for fast tests: 2 x 2 x 2 x 2 x 5 = 80 configurations.
+  [[nodiscard]] static ConfigSpace tiny();
+
+  [[nodiscard]] std::size_t size() const noexcept;
+  /// Mixed-radix decode of a flat index in [0, size()).
+  [[nodiscard]] SystemConfig at(std::size_t flat_index) const;
+  /// Inverse of at(); throws std::invalid_argument when a component is not
+  /// one of the axis values.
+  [[nodiscard]] std::size_t index_of(const SystemConfig& config) const;
+  [[nodiscard]] bool contains(const SystemConfig& config) const noexcept;
+
+  [[nodiscard]] SystemConfig random(util::Xoshiro256& rng) const;
+
+  /// Simulated-annealing move: pick one parameter uniformly; ordered axes
+  /// (threads, fraction) step to a nearby value (±1..±3 positions), the
+  /// categorical affinity axes jump to a different value.
+  [[nodiscard]] SystemConfig neighbor(const SystemConfig& config,
+                                      util::Xoshiro256& rng) const;
+
+  [[nodiscard]] const std::vector<int>& host_threads() const noexcept { return host_threads_; }
+  [[nodiscard]] const std::vector<parallel::HostAffinity>& host_affinities() const noexcept {
+    return host_affinities_;
+  }
+  [[nodiscard]] const std::vector<int>& device_threads() const noexcept {
+    return device_threads_;
+  }
+  [[nodiscard]] const std::vector<parallel::DeviceAffinity>& device_affinities()
+      const noexcept {
+    return device_affinities_;
+  }
+  [[nodiscard]] const std::vector<double>& fractions() const noexcept { return fractions_; }
+
+ private:
+  std::vector<int> host_threads_;
+  std::vector<parallel::HostAffinity> host_affinities_;
+  std::vector<int> device_threads_;
+  std::vector<parallel::DeviceAffinity> device_affinities_;
+  std::vector<double> fractions_;
+};
+
+}  // namespace hetopt::opt

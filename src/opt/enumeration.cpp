@@ -1,0 +1,29 @@
+#include "opt/enumeration.hpp"
+
+#include <stdexcept>
+
+namespace hetopt::opt {
+
+EnumerationResult enumerate_best(
+    const ConfigSpace& space, const Objective& objective,
+    const std::function<void(const SystemConfig&, double)>& visitor) {
+  if (!objective) throw std::invalid_argument("enumerate_best: null objective");
+  if (space.size() == 0) throw std::invalid_argument("enumerate_best: empty space");
+
+  EnumerationResult result;
+  bool first = true;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const SystemConfig config = space.at(i);
+    const double energy = objective(config);
+    ++result.evaluations;
+    if (visitor) visitor(config, energy);
+    if (first || energy < result.best_energy) {
+      first = false;
+      result.best = config;
+      result.best_energy = energy;
+    }
+  }
+  return result;
+}
+
+}  // namespace hetopt::opt

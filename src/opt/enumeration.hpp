@@ -1,0 +1,27 @@
+// Exhaustive search ("Enumeration" / brute force): certainly finds the
+// optimum at the cost of |space| evaluations (19 926 for the paper's space).
+#pragma once
+
+#include <functional>
+
+#include "opt/config.hpp"
+#include "opt/config_space.hpp"
+#include "opt/objective.hpp"
+
+namespace hetopt::opt {
+
+struct EnumerationResult {
+  SystemConfig best;
+  double best_energy = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Evaluates every configuration; ties resolve to the lowest flat index.
+/// `visitor` (optional) is invoked with (config, energy) for every point —
+/// the training-data generator and figure harnesses use it to record the
+/// full surface.
+[[nodiscard]] EnumerationResult enumerate_best(
+    const ConfigSpace& space, const Objective& objective,
+    const std::function<void(const SystemConfig&, double)>& visitor = nullptr);
+
+}  // namespace hetopt::opt

@@ -1,0 +1,101 @@
+#include "opt/genetic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace hetopt::opt {
+
+namespace {
+
+struct Individual {
+  SystemConfig config;
+  double energy = 0.0;
+};
+
+/// Per-axis uniform crossover: each of the five parameters comes from one
+/// parent chosen by a fair coin.
+[[nodiscard]] SystemConfig crossover(const SystemConfig& a, const SystemConfig& b,
+                                     util::Xoshiro256& rng) {
+  SystemConfig child;
+  child.host_threads = rng.bernoulli(0.5) ? a.host_threads : b.host_threads;
+  child.host_affinity = rng.bernoulli(0.5) ? a.host_affinity : b.host_affinity;
+  child.device_threads = rng.bernoulli(0.5) ? a.device_threads : b.device_threads;
+  child.device_affinity = rng.bernoulli(0.5) ? a.device_affinity : b.device_affinity;
+  child.host_percent = rng.bernoulli(0.5) ? a.host_percent : b.host_percent;
+  return child;
+}
+
+[[nodiscard]] const Individual& tournament_pick(const std::vector<Individual>& pop,
+                                                std::size_t k, util::Xoshiro256& rng) {
+  const Individual* best = &pop[rng.bounded(pop.size())];
+  for (std::size_t i = 1; i < k; ++i) {
+    const Individual& challenger = pop[rng.bounded(pop.size())];
+    if (challenger.energy < best->energy) best = &challenger;
+  }
+  return *best;
+}
+
+}  // namespace
+
+GaResult genetic_algorithm(const ConfigSpace& space, const Objective& objective,
+                           const GaParams& params) {
+  if (!objective) throw std::invalid_argument("genetic_algorithm: null objective");
+  if (params.population < 2) throw std::invalid_argument("genetic_algorithm: population < 2");
+  if (params.tournament < 1) throw std::invalid_argument("genetic_algorithm: tournament < 1");
+  if (params.elites >= params.population) {
+    throw std::invalid_argument("genetic_algorithm: elites must be < population");
+  }
+  if (params.max_evaluations < params.population) {
+    throw std::invalid_argument("genetic_algorithm: budget smaller than one population");
+  }
+
+  util::Xoshiro256 rng(params.seed);
+  CountingObjective counted(objective);
+  GaResult result;
+
+  std::vector<Individual> population;
+  population.reserve(params.population);
+  for (std::size_t i = 0; i < params.population; ++i) {
+    Individual ind;
+    ind.config = space.random(rng);
+    ind.energy = counted(ind.config);
+    population.push_back(ind);
+  }
+
+  const auto by_energy = [](const Individual& a, const Individual& b) {
+    return a.energy < b.energy;
+  };
+  std::sort(population.begin(), population.end(), by_energy);
+  result.best = population.front().config;
+  result.best_energy = population.front().energy;
+
+  while (counted.count() + (params.population - params.elites) <= params.max_evaluations) {
+    std::vector<Individual> next(population.begin(),
+                                 population.begin() + static_cast<std::ptrdiff_t>(params.elites));
+    while (next.size() < params.population) {
+      const Individual& pa = tournament_pick(population, params.tournament, rng);
+      const Individual& pb = tournament_pick(population, params.tournament, rng);
+      SystemConfig child = rng.bernoulli(params.crossover_rate)
+                               ? crossover(pa.config, pb.config, rng)
+                               : pa.config;
+      if (rng.bernoulli(params.mutation_rate)) child = space.neighbor(child, rng);
+      Individual ind;
+      ind.config = child;
+      ind.energy = counted(ind.config);
+      next.push_back(ind);
+    }
+    population = std::move(next);
+    std::sort(population.begin(), population.end(), by_energy);
+    if (population.front().energy < result.best_energy) {
+      result.best = population.front().config;
+      result.best_energy = population.front().energy;
+    }
+    ++result.generations;
+  }
+
+  result.evaluations = counted.count();
+  return result;
+}
+
+}  // namespace hetopt::opt

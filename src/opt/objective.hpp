@@ -1,0 +1,41 @@
+// Objective functions map a SystemConfig to an energy (the paper's Eq. 2:
+// predicted or measured execution time, E = max(T_host, T_device)).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include "opt/config.hpp"
+
+namespace hetopt::opt {
+
+using Objective = std::function<double(const SystemConfig&)>;
+
+/// Wraps an objective and counts evaluations (the paper's "number of
+/// experiments"). Rejects non-finite energies.
+class CountingObjective {
+ public:
+  explicit CountingObjective(Objective inner) : inner_(std::move(inner)) {
+    if (!inner_) throw std::invalid_argument("CountingObjective: null objective");
+  }
+
+  double operator()(const SystemConfig& c) {
+    ++count_;
+    const double e = inner_(c);
+    if (!(e == e) || e < 0.0) {  // NaN or negative time
+      throw std::runtime_error("objective returned invalid energy");
+    }
+    return e;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  Objective inner_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace hetopt::opt

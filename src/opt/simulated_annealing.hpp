@@ -1,0 +1,59 @@
+// Simulated annealing, structured exactly like the paper's Fig. 3:
+//
+//   set initial/best solution & temperature
+//   loop until T < T_min:
+//     generate a neighbour solution
+//     evaluate it (measurement or ML prediction)
+//     accept if better, or with probability p = exp((E - E') / T)   (Eq. 4)
+//     update current/best
+//     T = T * (1 - coolingRate)                                     (Eq. 3)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/config.hpp"
+#include "opt/config_space.hpp"
+#include "opt/objective.hpp"
+
+namespace hetopt::opt {
+
+struct SaParams {
+  double initial_temperature = 2.0;
+  double min_temperature = 1e-3;
+  double cooling_rate = 0.0076;  // ~1000 iterations with the defaults
+  /// Optional hard cap on iterations (0 = schedule decides).
+  std::size_t max_iterations = 0;
+  std::uint64_t seed = 0x5A5AULL;
+
+  /// Computes the cooling rate that makes the schedule run for exactly
+  /// `iterations` steps between the two temperatures (Eq. 3 geometric decay).
+  [[nodiscard]] static double cooling_rate_for(double initial_temperature,
+                                               double min_temperature,
+                                               std::size_t iterations);
+};
+
+struct SaTracePoint {
+  std::size_t iteration = 0;
+  double temperature = 0.0;
+  double current_energy = 0.0;
+  double best_energy = 0.0;
+  bool accepted = false;
+  bool accepted_worse = false;
+};
+
+struct SaResult {
+  SystemConfig best;
+  double best_energy = 0.0;
+  std::size_t iterations = 0;
+  std::size_t evaluations = 0;
+  std::size_t accepted_worse = 0;  // uphill moves taken (local-optimum escapes)
+  std::vector<SaTracePoint> trace;
+};
+
+/// Runs simulated annealing over `space` minimizing `objective`.
+/// Deterministic in params.seed.
+[[nodiscard]] SaResult simulated_annealing(const ConfigSpace& space, const Objective& objective,
+                                           const SaParams& params = {});
+
+}  // namespace hetopt::opt

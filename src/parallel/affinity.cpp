@@ -1,0 +1,39 @@
+#include "parallel/affinity.hpp"
+
+#include <stdexcept>
+
+namespace hetopt::parallel {
+
+std::string_view to_string(HostAffinity a) noexcept {
+  switch (a) {
+    case HostAffinity::kNone: return "none";
+    case HostAffinity::kScatter: return "scatter";
+    case HostAffinity::kCompact: return "compact";
+  }
+  return "?";
+}
+
+std::string_view to_string(DeviceAffinity a) noexcept {
+  switch (a) {
+    case DeviceAffinity::kBalanced: return "balanced";
+    case DeviceAffinity::kScatter: return "scatter";
+    case DeviceAffinity::kCompact: return "compact";
+  }
+  return "?";
+}
+
+HostAffinity host_affinity_from_string(std::string_view s) {
+  if (s == "none") return HostAffinity::kNone;
+  if (s == "scatter") return HostAffinity::kScatter;
+  if (s == "compact") return HostAffinity::kCompact;
+  throw std::invalid_argument("unknown host affinity '" + std::string(s) + "'");
+}
+
+DeviceAffinity device_affinity_from_string(std::string_view s) {
+  if (s == "balanced") return DeviceAffinity::kBalanced;
+  if (s == "scatter") return DeviceAffinity::kScatter;
+  if (s == "compact") return DeviceAffinity::kCompact;
+  throw std::invalid_argument("unknown device affinity '" + std::string(s) + "'");
+}
+
+}  // namespace hetopt::parallel

@@ -1,0 +1,30 @@
+// Thread-affinity vocabulary shared by the runtime, the performance model
+// and the optimizer. Matches Table I of the paper:
+//   host   affinity in {none, scatter, compact}
+//   device affinity in {balanced, scatter, compact}   (Intel KMP_AFFINITY)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hetopt::parallel {
+
+enum class HostAffinity : std::uint8_t { kNone = 0, kScatter = 1, kCompact = 2 };
+enum class DeviceAffinity : std::uint8_t { kBalanced = 0, kScatter = 1, kCompact = 2 };
+
+inline constexpr std::array<HostAffinity, 3> kAllHostAffinities{
+    HostAffinity::kNone, HostAffinity::kScatter, HostAffinity::kCompact};
+inline constexpr std::array<DeviceAffinity, 3> kAllDeviceAffinities{
+    DeviceAffinity::kBalanced, DeviceAffinity::kScatter, DeviceAffinity::kCompact};
+
+[[nodiscard]] std::string_view to_string(HostAffinity a) noexcept;
+[[nodiscard]] std::string_view to_string(DeviceAffinity a) noexcept;
+
+/// Parses the lower-case names used throughout ("none", "scatter", ...).
+/// Throws std::invalid_argument on unknown names.
+[[nodiscard]] HostAffinity host_affinity_from_string(std::string_view s);
+[[nodiscard]] DeviceAffinity device_affinity_from_string(std::string_view s);
+
+}  // namespace hetopt::parallel

@@ -1,0 +1,37 @@
+#include "parallel/partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/thread_pool.hpp"
+
+namespace hetopt::parallel {
+
+FractionSplit split_by_percent(std::size_t total, double host_percent) {
+  if (host_percent < 0.0 || host_percent > 100.0) {
+    throw std::invalid_argument("split_by_percent: percent out of [0,100]");
+  }
+  FractionSplit s;
+  s.host_bytes = std::min(
+      total, static_cast<std::size_t>(
+                 std::llround(static_cast<double>(total) * host_percent / 100.0)));
+  s.device_bytes = total - s.host_bytes;
+  return s;
+}
+
+std::vector<Chunk> make_chunks(std::size_t total, std::size_t count, std::size_t halo) {
+  std::vector<Chunk> chunks;
+  if (total == 0 || count == 0) return chunks;
+  count = std::min(count, total);
+  chunks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Chunk c;
+    c.begin = chunk_begin(total, count, i);
+    c.end = chunk_begin(total, count, i + 1);
+    c.scan_end = std::min(total, c.end + halo);
+    chunks.push_back(c);
+  }
+  return chunks;
+}
+
+}  // namespace hetopt::parallel

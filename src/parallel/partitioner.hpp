@@ -1,0 +1,37 @@
+// Work partitioning: fraction split between host and device (the paper's
+// "DNA sequence fraction" parameter) and overlapped chunking with a halo so
+// pattern matches spanning the cut are not lost.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace hetopt::parallel {
+
+/// The host/device byte split for a given workload fraction.
+struct FractionSplit {
+  std::size_t host_bytes = 0;
+  std::size_t device_bytes = 0;
+};
+
+/// Splits `total` items so the host receives round(total * percent / 100).
+/// `host_percent` must be in [0, 100].
+[[nodiscard]] FractionSplit split_by_percent(std::size_t total, double host_percent);
+
+/// A contiguous piece of the input assigned to one worker, with `halo`
+/// extra trailing bytes (capped at the input end) so a scanner can complete
+/// matches that start near the chunk boundary. Matches are attributed to a
+/// chunk by their *start* offset, which keeps counts exact.
+struct Chunk {
+  std::size_t begin = 0;       // first owned byte
+  std::size_t end = 0;         // one past last owned byte
+  std::size_t scan_end = 0;    // end + halo, clamped to total
+};
+
+/// Splits [0, total) into `count` chunks (fewer if total < count) with the
+/// given halo. Chunks tile the range exactly: chunk[i].end == chunk[i+1].begin.
+[[nodiscard]] std::vector<Chunk> make_chunks(std::size_t total, std::size_t count,
+                                             std::size_t halo);
+
+}  // namespace hetopt::parallel

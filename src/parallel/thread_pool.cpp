@@ -1,0 +1,71 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace hetopt::parallel {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  const std::size_t n = std::max<std::size_t>(1, thread_count);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  parallel_chunks(n, thread_count(),
+                  [&body](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) body(i);
+                  });
+}
+
+void ThreadPool::parallel_chunks(
+    std::size_t n, std::size_t chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (n == 0 || chunks == 0) return;
+  chunks = std::min(chunks, n);
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = chunk_begin(n, chunks, c);
+    const std::size_t end = chunk_begin(n, chunks, c + 1);
+    futures.push_back(submit([&body, c, begin, end] { body(c, begin, end); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace hetopt::parallel

@@ -1,0 +1,79 @@
+// A fixed-size thread pool with a mutex/condvar task queue.
+//
+// Design notes (cf. C++ Core Guidelines CP.*):
+//  - threads are joined in the destructor (CP.23/CP.25: no detach);
+//  - tasks are passed by value (CP.31);
+//  - the queue mutex protects exactly the data it is declared next to (CP.50);
+//  - waiting always happens under a condition (CP.42).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hetopt::parallel {
+
+class ThreadPool {
+ public:
+  /// Creates `thread_count` workers (at least 1).
+  explicit ThreadPool(std::size_t thread_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs body(i) for i in [0, n) across the pool and blocks until all
+  /// iterations finish. Iterations are grouped into contiguous chunks, one
+  /// per worker (static schedule — the paper's workloads are uniform).
+  /// Exceptions from the body are propagated (the first one).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Runs body(chunk_index, begin, end) over [0, n) split into `chunks`
+  /// contiguous ranges. Useful when the body wants the whole range at once.
+  void parallel_chunks(std::size_t n, std::size_t chunks,
+                       const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;  // guards queue_ and stopping_
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+/// Splits n items into k contiguous chunks as evenly as possible.
+/// Chunk i covers [chunk_begin(n,k,i), chunk_begin(n,k,i+1)). The first
+/// (n mod k) chunks get one extra item. chunk_begin(n,k,k) == n.
+[[nodiscard]] constexpr std::size_t chunk_begin(std::size_t n, std::size_t k,
+                                                std::size_t i) noexcept {
+  if (k == 0) return 0;
+  const std::size_t base = n / k;
+  const std::size_t extra = n % k;
+  return i * base + (i < extra ? i : extra);
+}
+
+}  // namespace hetopt::parallel

@@ -1,0 +1,80 @@
+#include "sim/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hetopt::sim {
+
+namespace {
+
+/// Spread placement: one thread per core until all cores have one, then
+/// round-robin extra threads (each contributing smt_yield units).
+[[nodiscard]] Placement spread(const ProcessorSpec& spec, int threads) {
+  Placement p;
+  p.cores_used = std::min(threads, spec.cores);
+  const int extra = threads - p.cores_used;
+  p.thread_units = static_cast<double>(p.cores_used) + spec.smt_yield * extra;
+  return p;
+}
+
+/// Packed placement: fill each core's SMT ways before opening a new core.
+[[nodiscard]] Placement packed(const ProcessorSpec& spec, int threads) {
+  Placement p;
+  p.cores_used = std::min(spec.cores, (threads + spec.smt_ways - 1) / spec.smt_ways);
+  const int extra = threads - p.cores_used;  // threads beyond the first on a core
+  p.thread_units = static_cast<double>(p.cores_used) + spec.smt_yield * extra;
+  return p;
+}
+
+void check_threads(const ProcessorSpec& spec, int threads) {
+  if (threads < 1) throw std::invalid_argument("placement: threads < 1");
+  if (threads > spec.max_threads()) {
+    throw std::invalid_argument("placement: " + std::to_string(threads) +
+                                " threads exceed " + spec.name + " capacity of " +
+                                std::to_string(spec.max_threads()));
+  }
+}
+
+}  // namespace
+
+Placement host_placement(const ProcessorSpec& spec, int threads,
+                         parallel::HostAffinity affinity) {
+  check_threads(spec, threads);
+  switch (affinity) {
+    case parallel::HostAffinity::kScatter:
+      return spread(spec, threads);
+    case parallel::HostAffinity::kCompact:
+      return packed(spec, threads);
+    case parallel::HostAffinity::kNone: {
+      Placement p = spread(spec, threads);
+      p.penalty = 0.96;  // OS migrations / imbalance
+      return p;
+    }
+  }
+  throw std::logic_error("host_placement: bad affinity");
+}
+
+Placement device_placement(const ProcessorSpec& spec, int threads,
+                           parallel::DeviceAffinity affinity) {
+  check_threads(spec, threads);
+  switch (affinity) {
+    case parallel::DeviceAffinity::kBalanced:
+      return spread(spec, threads);
+    case parallel::DeviceAffinity::kScatter: {
+      Placement p = spread(spec, threads);
+      p.penalty = 0.985;  // slightly worse cache-neighbour locality
+      return p;
+    }
+    case parallel::DeviceAffinity::kCompact:
+      return packed(spec, threads);
+  }
+  throw std::logic_error("device_placement: bad affinity");
+}
+
+double throughput_gbps(const ProcessorSpec& spec, const Placement& p) {
+  if (p.cores_used < 1) throw std::invalid_argument("throughput: no cores used");
+  const double contention = 1.0 + spec.contention_beta * (p.cores_used - 1);
+  return spec.per_thread_gbps * p.thread_units / contention * p.penalty;
+}
+
+}  // namespace hetopt::sim

@@ -1,0 +1,36 @@
+#include "sim/spec.hpp"
+
+namespace hetopt::sim {
+
+MachineSpec emil_spec() {
+  MachineSpec m;
+
+  m.host.name = "2x Intel Xeon E5-2695v2";
+  m.host.cores = 24;  // 2 sockets x 12 cores
+  m.host.smt_ways = 2;
+  m.host.per_thread_gbps = 0.30;
+  m.host.smt_yield = 0.22;
+  m.host.contention_beta = 0.045;
+  m.host.serial_overhead_s = 0.02;
+
+  m.device.name = "Intel Xeon Phi 7120P";
+  m.device.cores = 60;  // 61 minus the core running the uOS
+  m.device.smt_ways = 4;
+  m.device.per_thread_gbps = 0.0377;
+  m.device.smt_yield = 0.35;
+  m.device.contention_beta = 0.00488;
+  m.device.serial_overhead_s = 0.0;  // folded into launch latency
+
+  m.offload.launch_latency_s = 0.068;
+  m.offload.pcie_gbps = 6.2;
+  m.offload.non_overlapped_fraction = 0.08;
+
+  m.host_noise.sigma = 0.045;
+  m.host_noise.unpinned_multiplier = 1.5;
+  m.device_noise.sigma = 0.027;
+  m.device_noise.unpinned_multiplier = 1.0;  // the device runtime always pins
+
+  return m;
+}
+
+}  // namespace hetopt::sim

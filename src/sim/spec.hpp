@@ -1,0 +1,71 @@
+// Hardware specifications for the simulated heterogeneous platform.
+//
+// The paper's testbed ("Emil") is two 12-core Intel Xeon E5-2695v2 CPUs
+// (48 HW threads) plus one Intel Xeon Phi 7120P (61 cores, 244 HW threads,
+// one core reserved for the µOS). We do not have that hardware, so the
+// `sim` library models the *time surface* T(config, bytes) those machines
+// produce. All constants below are calibrated against numbers the paper
+// reports (see DESIGN.md §5):
+//
+//   * host execution-time span 0.74–5.5 s over full genomes
+//       -> per_thread_gbps = 0.30, contention_beta = 0.045, smt_yield = 0.22
+//          (2 threads on 3.17 GB = 5.52 s; 48 threads = 0.73 s)
+//   * device span 0.9–42 s
+//       -> per_thread_gbps = 0.0377, smt_yield = 0.35, contention_beta = 0.00488
+//          (2 threads on 3.17 GB = 42.3 s; 240 threads ≈ 0.88 s compute)
+//   * Fig. 2 crossovers (190 MB -> CPU-only; 3250 MB/48 t -> ~70/30;
+//     3250 MB/4 t -> ~30/70) -> launch_latency 0.068 s, streaming offload
+//     overlap with PCIe at 6.2 GB/s
+//   * prediction percent errors (5.2 % host, 3.1 % device)
+//       -> lognormal noise sigma 0.045 / 0.027
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hetopt::sim {
+
+/// Scaling model of one processor (a multicore CPU or a many-core device).
+struct ProcessorSpec {
+  std::string name;
+  int cores = 1;            // physical cores available for work
+  int smt_ways = 1;         // hardware threads per core
+  double per_thread_gbps = 0.1;  // scan throughput of 1 thread alone on 1 core
+  double smt_yield = 0.3;   // marginal throughput of each extra thread on a core
+  double contention_beta = 0.01;  // shared-resource slowdown per extra active core
+  double serial_overhead_s = 0.0; // fixed runtime startup cost per execution
+
+  [[nodiscard]] int max_threads() const noexcept { return cores * smt_ways; }
+};
+
+/// Offload path (PCIe) between host and device.
+struct OffloadSpec {
+  double launch_latency_s = 0.068;  // offload pragma + runtime launch
+  double pcie_gbps = 6.2;          // effective transfer bandwidth
+  /// Fraction of the transfer that cannot be overlapped with device compute
+  /// (first buffer fill before compute can start).
+  double non_overlapped_fraction = 0.08;
+};
+
+/// Multiplicative lognormal measurement noise (median 1).
+struct NoiseSpec {
+  double sigma = 0.05;
+  /// Extra variance multiplier when the OS places threads freely
+  /// (host affinity "none").
+  double unpinned_multiplier = 1.5;
+};
+
+/// A full machine: host + device + interconnect + noise.
+struct MachineSpec {
+  ProcessorSpec host;
+  ProcessorSpec device;
+  OffloadSpec offload;
+  NoiseSpec host_noise;
+  NoiseSpec device_noise;
+  std::uint64_t seed = 0x454d494cULL;  // "EMIL"
+};
+
+/// The paper's evaluation platform.
+[[nodiscard]] MachineSpec emil_spec();
+
+}  // namespace hetopt::sim

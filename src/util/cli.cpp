@@ -1,0 +1,46 @@
+#include "util/cli.hpp"
+
+#include "util/strings.hpp"
+
+namespace hetopt::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      flags_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      flags_.emplace(std::string(arg), std::string(argv[++i]));
+    } else {
+      flags_.emplace(std::string(arg), "true");
+    }
+  }
+}
+
+bool CliArgs::has(std::string_view name) const {
+  return flags_.find(name) != flags_.end();
+}
+
+std::string CliArgs::get(std::string_view name, std::string fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? std::move(fallback) : it->second;
+}
+
+double CliArgs::get(std::string_view name, double fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : parse_double(it->second);
+}
+
+std::int64_t CliArgs::get(std::string_view name, std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : parse_int(it->second);
+}
+
+}  // namespace hetopt::util

@@ -1,0 +1,35 @@
+// Minimal command-line flag parser for the examples and bench harnesses.
+// Supports --name=value, --name value, and boolean --flag forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetopt::util {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::string get(std::string_view name, std::string fallback) const;
+  [[nodiscard]] double get(std::string_view name, double fallback) const;
+  [[nodiscard]] std::int64_t get(std::string_view name, std::int64_t fallback) const;
+  [[nodiscard]] bool flag(std::string_view name) const { return has(name); }
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hetopt::util

@@ -1,0 +1,20 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hetopt::util {
+
+double Xoshiro256::normal() noexcept {
+  // Box–Muller. Guard u1 away from zero so log() is finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Xoshiro256::lognormal_factor(double sigma) noexcept {
+  return std::exp(sigma * normal());
+}
+
+}  // namespace hetopt::util

@@ -1,0 +1,148 @@
+// Deterministic pseudo-random number generation for hetopt.
+//
+// Everything in this project that is stochastic (measurement noise, simulated
+// annealing moves, synthetic genomes, train/test splits) draws from these
+// generators so that experiments are bit-reproducible given a seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace hetopt::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state and
+/// to hash arbitrary integers into well-mixed 64-bit values.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mix a 64-bit value (stateless convenience over splitmix64).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// Combine two 64-bit values into one well-mixed value. Order-sensitive.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// FNV-1a hash of a string, for deriving seeds from names ("human", "mouse", ...).
+[[nodiscard]] constexpr std::uint64_t hash_string(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna. Fast, high-quality, 2^256-1 period.
+/// Satisfies UniformRandomBitGenerator so it can feed <random> distributions,
+/// though the member helpers below avoid libstdc++ distribution variance
+/// across versions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words by running SplitMix64 on `seed`.
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1). Uses the top 53 bits.
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Lemire's unbiased bounded method (simplified
+  /// rejection-free variant is fine here: 64-bit multiply-shift with
+  /// negligible bias for the small n used in this project, but we keep the
+  /// rejection loop for exactness).
+  [[nodiscard]] std::uint64_t bounded(std::uint64_t n) noexcept {
+    if (n == 0) return 0;
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    if (hi <= lo) return lo;
+    return lo + static_cast<std::int64_t>(
+                    bounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal variate via Box–Muller (stateless variant: one value per
+  /// call, discarding the pair's sibling keeps the generator stream simple to
+  /// reason about in tests).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Lognormal multiplicative factor with median 1 and log-space sigma.
+  /// Used by the measurement-noise model.
+  [[nodiscard]] double lognormal_factor(double sigma) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Fork a statistically independent child generator; `tag` distinguishes
+  /// children forked from the same parent state.
+  [[nodiscard]] Xoshiro256 fork(std::uint64_t tag) noexcept {
+    return Xoshiro256(hash_combine((*this)(), tag));
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Fisher–Yates shuffle of an indexable container using Xoshiro256.
+template <typename Container>
+void shuffle(Container& c, Xoshiro256& rng) {
+  const auto n = c.size();
+  if (n < 2) return;
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.bounded(i + 1));
+    using std::swap;
+    swap(c[i], c[j]);
+  }
+}
+
+}  // namespace hetopt::util

@@ -1,0 +1,115 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace hetopt::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty span");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double min_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+Histogram::Histogram(std::vector<double> upper_edges) : edges_(std::move(upper_edges)) {
+  if (edges_.empty()) throw std::invalid_argument("Histogram: no edges");
+  if (!std::is_sorted(edges_.begin(), edges_.end()) ||
+      std::adjacent_find(edges_.begin(), edges_.end()) != edges_.end()) {
+    throw std::invalid_argument("Histogram: edges must be strictly increasing");
+  }
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - edges_.begin());
+  ++counts_[idx];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+std::string Histogram::label(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::label");
+  std::string out = (i == edges_.size()) ? ">" : "<=";
+  out += format_double(i == edges_.size() ? edges_.back() : edges_[i], 3);
+  return out;
+}
+
+}  // namespace hetopt::util

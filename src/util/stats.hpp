@@ -1,0 +1,71 @@
+// Descriptive statistics and histogram utilities used by the ML error
+// analysis (Figs. 7/8, Tables IV/V) and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hetopt::util {
+
+/// Welford online mean/variance accumulator. Numerically stable; O(1) space.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+/// Linear-interpolated percentile, p in [0,100]. Copies and sorts.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+[[nodiscard]] double median(std::span<const double> xs);
+[[nodiscard]] double min_of(std::span<const double> xs) noexcept;
+[[nodiscard]] double max_of(std::span<const double> xs) noexcept;
+
+/// Histogram with explicit (irregular) bin upper edges, matching the paper's
+/// Figs. 7 and 8 which use hand-picked edges like
+/// {0.01, 0.02, 0.03, ..., 0.2}. A final overflow bin catches the rest.
+class Histogram {
+ public:
+  /// `upper_edges` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> upper_edges);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  /// Count in bin i; bin i covers (edge[i-1], edge[i]] with edge[-1] = -inf;
+  /// the last bin is the overflow bin (> last edge).
+  [[nodiscard]] std::size_t count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] const std::vector<std::size_t>& counts() const noexcept { return counts_; }
+  [[nodiscard]] const std::vector<double>& edges() const noexcept { return edges_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Human-readable label for bin i, e.g. "<=0.01" or ">0.2".
+  [[nodiscard]] std::string label(std::size_t i) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::size_t> counts_;  // edges_.size() + 1 (overflow)
+  std::size_t total_ = 0;
+};
+
+}  // namespace hetopt::util

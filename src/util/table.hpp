@@ -1,0 +1,39 @@
+// Plain-text table and CSV rendering. Every benchmark harness prints its
+// paper table/figure through this so the output format is uniform and easy
+// to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hetopt::util {
+
+/// Column-aligned ASCII table with a title, header row and footer notes.
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  Table& header(std::vector<std::string> cells);
+  Table& row(std::vector<std::string> cells);
+  Table& note(std::string line);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
+  /// Renders with ' | ' separators and a rule under the header.
+  [[nodiscard]] std::string render() const;
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace hetopt::util

@@ -1,0 +1,113 @@
+#include "automata/aho_corasick.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/regex.hpp"
+#include "automata/scanner.hpp"
+#include "automata/subset.hpp"
+#include "dna/generator.hpp"
+
+namespace hetopt::automata {
+namespace {
+
+TEST(AhoCorasick, SinglePatternEqualsNaive) {
+  const DenseDfa dfa = build_aho_corasick({"GATTACA"});
+  const dna::GenomeGenerator gen;
+  const std::string text = gen.generate(30000, 1);
+  EXPECT_EQ(count_matches(dfa, text), naive_count(text, "GATTACA"));
+  EXPECT_EQ(dfa.synchronization_bound(), 7u);
+  EXPECT_EQ(dfa.pattern_count(), 1u);
+}
+
+TEST(AhoCorasick, MultiPatternEqualsSumOfNaive) {
+  const std::vector<std::string> patterns{"ACG", "TTT", "GGGG", "CACA"};
+  const DenseDfa dfa = build_aho_corasick(patterns);
+  const dna::GenomeGenerator gen;
+  const std::string text = gen.generate(20000, 2);
+  std::uint64_t expected = 0;
+  for (const auto& p : patterns) expected += naive_count(text, p);
+  EXPECT_EQ(count_matches(dfa, text), expected);
+}
+
+TEST(AhoCorasick, SuffixPatternsBothCount) {
+  // "ACGT" contains suffix "GT": both must fire when ACGT occurs.
+  const DenseDfa dfa = build_aho_corasick({"ACGT", "GT"});
+  EXPECT_EQ(count_matches(dfa, "ACGT"), 2u);
+  EXPECT_EQ(count_matches(dfa, "AGTC"), 1u);  // only "GT"
+}
+
+TEST(AhoCorasick, DuplicatePatternsCountSeparately) {
+  const DenseDfa dfa = build_aho_corasick({"ACG", "ACG"});
+  EXPECT_EQ(count_matches(dfa, "TACGT"), 2u);
+}
+
+TEST(AhoCorasick, OverlappingOccurrences) {
+  const DenseDfa dfa = build_aho_corasick({"ATA"});
+  EXPECT_EQ(count_matches(dfa, "ATATATA"), 3u);
+}
+
+TEST(AhoCorasick, CaseInsensitivePatterns) {
+  const DenseDfa dfa = build_aho_corasick({"acgt"});
+  EXPECT_EQ(count_matches(dfa, "ACGT"), 1u);
+}
+
+TEST(AhoCorasick, AgreesWithSubsetConstruction) {
+  const std::vector<std::string> patterns{"GGC", "TATA", "CCGG"};
+  const DenseDfa ac = build_aho_corasick(patterns);
+  const auto compiled = compile_motifs(patterns);
+  const DenseDfa subset = determinize(compiled.nfa, compiled.synchronization_bound);
+  const dna::GenomeGenerator gen;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const std::string text = gen.generate(8000, seed + 100);
+    EXPECT_EQ(count_matches(ac, text), count_matches(subset, text)) << "seed " << seed;
+  }
+}
+
+TEST(AhoCorasick, MatchEventsCarryPatternIds) {
+  const DenseDfa dfa = build_aho_corasick({"AC", "CG"});
+  std::vector<Match> matches;
+  (void)scan_collect(dfa, "ACG", dfa.start(), 0, matches);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].pattern_mask, 1ULL << 0);
+  EXPECT_EQ(matches[1].pattern_mask, 1ULL << 1);
+}
+
+TEST(AhoCorasick, RejectsBadInput) {
+  EXPECT_THROW((void)build_aho_corasick({}), std::invalid_argument);
+  EXPECT_THROW((void)build_aho_corasick({""}), std::invalid_argument);
+  EXPECT_THROW((void)build_aho_corasick({"ACNT"}), std::invalid_argument);
+}
+
+TEST(AhoCorasick, ValidatesStructure) {
+  const DenseDfa dfa = build_aho_corasick({"ACGT", "TTTT", "GG"});
+  EXPECT_TRUE(dfa.validate().empty());
+}
+
+class AcVsNaiveSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AcVsNaiveSweep, RandomPatternSetsMatchNaive) {
+  const std::uint64_t seed = GetParam();
+  util::Xoshiro256 rng(seed);
+  const dna::GenomeGenerator gen;
+  // Draw 1-6 random patterns of length 2-8 from the same alphabet.
+  std::vector<std::string> patterns;
+  const auto n_patterns = static_cast<std::size_t>(rng.range(1, 6));
+  for (std::size_t i = 0; i < n_patterns; ++i) {
+    const auto len = static_cast<std::size_t>(rng.range(2, 8));
+    std::string p;
+    for (std::size_t j = 0; j < len; ++j) {
+      p.push_back(dna::kBaseChars[rng.bounded(4)]);
+    }
+    patterns.push_back(std::move(p));
+  }
+  const DenseDfa dfa = build_aho_corasick(patterns);
+  const std::string text = gen.generate(4000, seed * 31 + 7);
+  std::uint64_t expected = 0;
+  for (const auto& p : patterns) expected += naive_count(text, p);
+  EXPECT_EQ(count_matches(dfa, text), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcVsNaiveSweep, ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace hetopt::automata

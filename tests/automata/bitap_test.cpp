@@ -1,0 +1,127 @@
+#include "automata/bitap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/aho_corasick.hpp"
+#include "automata/regex.hpp"
+#include "automata/scanner.hpp"
+#include "automata/subset.hpp"
+#include "dna/generator.hpp"
+
+namespace hetopt::automata {
+namespace {
+
+TEST(Bitap, SinglePatternEqualsNaive) {
+  const BitapMatcher m({"GATTACA"});
+  const dna::GenomeGenerator gen;
+  const std::string text = gen.generate(30000, 1);
+  EXPECT_EQ(m.count(text), naive_count(text, "GATTACA"));
+  EXPECT_EQ(m.synchronization_bound(), 7u);
+  EXPECT_EQ(m.pattern_count(), 1u);
+}
+
+TEST(Bitap, MultiPatternEqualsAhoCorasick) {
+  const std::vector<std::string> patterns{"ACG", "TTT", "GGGG", "CACA"};
+  const BitapMatcher m(patterns);
+  const DenseDfa ac = build_aho_corasick(patterns);
+  const dna::GenomeGenerator gen;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const std::string text = gen.generate(10000, seed);
+    EXPECT_EQ(m.count(text), count_matches(ac, text)) << "seed " << seed;
+  }
+}
+
+TEST(Bitap, IupacClassesEqualSubsetConstruction) {
+  const std::vector<std::string> patterns{"TATAWAW", "GGNCC"};
+  const BitapMatcher m(patterns);
+  const auto compiled = compile_motifs(patterns);
+  const DenseDfa dfa = determinize(compiled.nfa, compiled.synchronization_bound);
+  const dna::GenomeGenerator gen;
+  const std::string text = gen.generate(50000, 5);
+  EXPECT_EQ(m.count(text), count_matches(dfa, text));
+}
+
+TEST(Bitap, OverlappingOccurrences) {
+  const BitapMatcher m({"AAA"});
+  EXPECT_EQ(m.count("AAAAA"), 3u);
+}
+
+TEST(Bitap, SuffixPatternsBothFire) {
+  const BitapMatcher m({"ACGT", "GT"});
+  EXPECT_EQ(m.count("ACGT"), 2u);
+}
+
+TEST(Bitap, AdjacentPackingDoesNotBleed) {
+  // Two patterns packed back-to-back in the state word: a final bit of the
+  // first must not fake a prefix of the second.
+  const BitapMatcher m({"AC", "GT"});
+  EXPECT_EQ(m.count("ACGT"), 2u);   // both real
+  EXPECT_EQ(m.count("ACTT"), 1u);   // only AC
+  EXPECT_EQ(m.count("AGTT"), 1u);   // only GT
+  EXPECT_EQ(m.count("AATT"), 0u);
+}
+
+TEST(Bitap, CollectMatchesDfaEvents) {
+  const std::vector<std::string> patterns{"AC", "CG"};
+  const BitapMatcher m(patterns);
+  const DenseDfa ac = build_aho_corasick(patterns);
+  const dna::GenomeGenerator gen;
+  const std::string text = gen.generate(5000, 9);
+  std::vector<Match> bitap_events;
+  m.collect(text, 0, bitap_events);
+  std::vector<Match> dfa_events;
+  (void)scan_collect(ac, text, ac.start(), 0, dfa_events);
+  EXPECT_EQ(bitap_events, dfa_events);
+}
+
+TEST(Bitap, ResumableScanComposes) {
+  const BitapMatcher m({"ACGT"});
+  const std::string text = "TTACGTATACGTT";
+  std::uint64_t state = 0;
+  const std::uint64_t first = m.scan(text.substr(0, 6), state);
+  const std::uint64_t second = m.scan(text.substr(6), state);
+  EXPECT_EQ(first + second, m.count(text));
+}
+
+TEST(Bitap, CapacityLimit64Bits) {
+  EXPECT_NO_THROW(BitapMatcher({std::string(64, 'A')}));
+  EXPECT_THROW(BitapMatcher({std::string(65, 'A')}), std::invalid_argument);
+  EXPECT_THROW(BitapMatcher({std::string(33, 'A'), std::string(32, 'C')}),
+               std::invalid_argument);
+}
+
+TEST(Bitap, InputValidation) {
+  EXPECT_THROW(BitapMatcher({}), std::invalid_argument);
+  EXPECT_THROW(BitapMatcher({""}), std::invalid_argument);
+  EXPECT_THROW(BitapMatcher({"AC?T"}), std::invalid_argument);  // no operators
+  const BitapMatcher m({"AC"});
+  EXPECT_THROW((void)m.count("AXC"), std::invalid_argument);
+}
+
+class BitapVsDfaSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitapVsDfaSweep, RandomPatternsAgreeWithAhoCorasick) {
+  const std::uint64_t seed = GetParam();
+  util::Xoshiro256 rng(seed * 7919 + 3);
+  std::vector<std::string> patterns;
+  std::size_t budget = 64;
+  const auto n_patterns = static_cast<std::size_t>(rng.range(1, 5));
+  for (std::size_t i = 0; i < n_patterns && budget > 1; ++i) {
+    const auto len = static_cast<std::size_t>(
+        rng.range(2, static_cast<std::int64_t>(std::min<std::size_t>(10, budget))));
+    std::string p;
+    for (std::size_t j = 0; j < len; ++j) p.push_back(dna::kBaseChars[rng.bounded(4)]);
+    budget -= len;
+    patterns.push_back(std::move(p));
+  }
+  const BitapMatcher m(patterns);
+  const DenseDfa ac = build_aho_corasick(patterns);
+  const dna::GenomeGenerator gen;
+  const std::string text = gen.generate(6000, seed + 500);
+  EXPECT_EQ(m.count(text), count_matches(ac, text));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitapVsDfaSweep, ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace hetopt::automata

@@ -1,0 +1,89 @@
+#include "automata/hopcroft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/aho_corasick.hpp"
+#include "automata/regex.hpp"
+#include "automata/scanner.hpp"
+#include "automata/subset.hpp"
+#include "dna/generator.hpp"
+
+namespace hetopt::automata {
+namespace {
+
+TEST(Minimize, NeverGrowsAndStaysValid) {
+  const auto compiled = compile_motifs({"GGATCC", "GAATTC", "AAGCTT"});
+  const DenseDfa dfa = determinize(compiled.nfa, compiled.synchronization_bound);
+  const DenseDfa min = minimize(dfa);
+  EXPECT_LE(min.state_count(), dfa.state_count());
+  EXPECT_TRUE(min.validate().empty());
+  EXPECT_EQ(min.synchronization_bound(), dfa.synchronization_bound());
+}
+
+TEST(Minimize, PreservesMatchCountsOnRandomTexts) {
+  const auto compiled = compile_motifs({"TATAWAW", "GGC"});
+  const DenseDfa dfa = determinize(compiled.nfa, compiled.synchronization_bound);
+  const DenseDfa min = minimize(dfa);
+  const dna::GenomeGenerator gen;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const std::string text = gen.generate(5000, seed);
+    EXPECT_EQ(count_matches(min, text), count_matches(dfa, text)) << "seed " << seed;
+  }
+}
+
+TEST(Minimize, PreservesMatchEventsExactly) {
+  const auto compiled = compile_motifs({"ACG", "CGT"});
+  const DenseDfa dfa = determinize(compiled.nfa, compiled.synchronization_bound);
+  const DenseDfa min = minimize(dfa);
+  const dna::GenomeGenerator gen;
+  const std::string text = gen.generate(2000, 17);
+  std::vector<Match> a;
+  std::vector<Match> b;
+  (void)scan_collect(dfa, text, dfa.start(), 0, a);
+  (void)scan_collect(min, text, min.start(), 0, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Minimize, CollapsesRedundantStates) {
+  // Build a DFA with two identical accepting sinks; minimization must merge
+  // them.
+  DenseDfa dfa(4);
+  // state 0: on A -> 1, else 0; state 1: on C -> 2 or 3 alternating, else 0.
+  for (std::size_t b = 0; b < dna::kAlphabetSize; ++b) {
+    dfa.set_transition(0, static_cast<dna::Base>(b), 0);
+    dfa.set_transition(1, static_cast<dna::Base>(b), 0);
+    dfa.set_transition(2, static_cast<dna::Base>(b), 0);
+    dfa.set_transition(3, static_cast<dna::Base>(b), 0);
+  }
+  dfa.set_transition(0, dna::Base::A, 1);
+  dfa.set_transition(1, dna::Base::C, 2);
+  dfa.set_transition(1, dna::Base::G, 3);
+  dfa.set_accept(2, 1, 1);
+  dfa.set_accept(3, 1, 1);  // identical signature to state 2
+  dfa.set_start(0);
+  const DenseDfa min = minimize(dfa);
+  EXPECT_EQ(min.state_count(), 3u);
+}
+
+TEST(Minimize, IdempotentOnMinimalAutomata) {
+  const auto compiled = compile_motifs({"ACGT"});
+  const DenseDfa min1 = minimize(determinize(compiled.nfa, 4));
+  const DenseDfa min2 = minimize(min1);
+  EXPECT_EQ(min2.state_count(), min1.state_count());
+}
+
+TEST(Minimize, AhoCorasickAlreadyNearMinimal) {
+  const DenseDfa ac = build_aho_corasick({"ACGT", "GT"});
+  const DenseDfa min = minimize(ac);
+  EXPECT_LE(min.state_count(), ac.state_count());
+  const dna::GenomeGenerator gen;
+  const std::string text = gen.generate(3000, 23);
+  EXPECT_EQ(count_matches(min, text), count_matches(ac, text));
+}
+
+TEST(Minimize, RejectsEmptyAutomaton) {
+  EXPECT_THROW((void)minimize(DenseDfa{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetopt::automata

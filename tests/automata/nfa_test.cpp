@@ -1,0 +1,85 @@
+#include "automata/nfa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetopt::automata {
+namespace {
+
+/// NFA recognizing Σ* "AC": start loops on all, then A then C accept.
+Nfa make_ac_nfa() {
+  Nfa nfa;
+  const StateId s0 = nfa.add_state();
+  const StateId s1 = nfa.add_state();
+  const StateId s2 = nfa.add_state();
+  nfa.set_start(s0);
+  nfa.add_transition(s0, dna::BaseSet::all(), s0);
+  nfa.add_transition(s0, dna::BaseSet::single(dna::Base::A), s1);
+  nfa.add_transition(s1, dna::BaseSet::single(dna::Base::C), s2);
+  nfa.set_accepting(s2, 0);
+  return nfa;
+}
+
+TEST(NfaTest, StatesAndTransitions) {
+  Nfa nfa;
+  const StateId a = nfa.add_state();
+  const StateId b = nfa.add_state();
+  EXPECT_EQ(nfa.state_count(), 2u);
+  nfa.add_transition(a, dna::BaseSet::single(dna::Base::G), b);
+  EXPECT_EQ(nfa.transitions(a).size(), 1u);
+  EXPECT_TRUE(nfa.transitions(b).empty());
+}
+
+TEST(NfaTest, RejectsEmptyClassAndUnknownStates) {
+  Nfa nfa;
+  const StateId a = nfa.add_state();
+  EXPECT_THROW(nfa.add_transition(a, dna::BaseSet(), a), std::invalid_argument);
+  EXPECT_THROW(nfa.add_transition(a, dna::BaseSet::all(), 99), std::out_of_range);
+  EXPECT_THROW(nfa.add_epsilon(a, 99), std::out_of_range);
+}
+
+TEST(NfaTest, AcceptMaskPerPattern) {
+  Nfa nfa;
+  const StateId a = nfa.add_state();
+  nfa.set_accepting(a, 0);
+  nfa.set_accepting(a, 5);
+  EXPECT_EQ(nfa.accept_mask(a), (1ULL << 0) | (1ULL << 5));
+  EXPECT_THROW(nfa.set_accepting(a, kMaxPatterns), std::out_of_range);
+}
+
+TEST(NfaTest, EpsilonClosureFollowsChains) {
+  Nfa nfa;
+  const StateId a = nfa.add_state();
+  const StateId b = nfa.add_state();
+  const StateId c = nfa.add_state();
+  const StateId d = nfa.add_state();
+  nfa.add_epsilon(a, b);
+  nfa.add_epsilon(b, c);
+  nfa.add_epsilon(c, a);  // cycle must terminate
+  const auto closure = nfa.epsilon_closure({a});
+  EXPECT_EQ(closure, (std::vector<StateId>{a, b, c}));
+  const auto lone = nfa.epsilon_closure({d});
+  EXPECT_EQ(lone, (std::vector<StateId>{d}));
+}
+
+TEST(NfaTest, SimulateFindsSubstring) {
+  const Nfa nfa = make_ac_nfa();
+  EXPECT_EQ(nfa.simulate("AC"), 1u);
+  EXPECT_EQ(nfa.simulate("TTACTT"), 1u);
+  EXPECT_EQ(nfa.simulate("AAAA"), 0u);
+  EXPECT_EQ(nfa.simulate(""), 0u);
+  EXPECT_EQ(nfa.simulate("CA"), 0u);
+}
+
+TEST(NfaTest, SimulateRejectsInvalidInput) {
+  const Nfa nfa = make_ac_nfa();
+  EXPECT_THROW((void)nfa.simulate("AXC"), std::invalid_argument);
+}
+
+TEST(NfaTest, SimulateWithoutStartThrows) {
+  Nfa nfa;
+  (void)nfa.add_state();
+  EXPECT_THROW((void)nfa.simulate("A"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hetopt::automata

@@ -1,0 +1,141 @@
+// Property tests for the PaREM-style chunk-parallel matcher: for every
+// strategy and chunk count, the parallel result must be byte-identical to a
+// sequential scan.
+#include "automata/parallel_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/aho_corasick.hpp"
+#include "automata/regex.hpp"
+#include "automata/subset.hpp"
+#include "dna/generator.hpp"
+
+namespace hetopt::automata {
+namespace {
+
+class ParallelMatcherFixture : public ::testing::Test {
+ protected:
+  parallel::ThreadPool pool_{8};
+  dna::GenomeGenerator gen_;
+};
+
+TEST_F(ParallelMatcherFixture, WarmupMatchesSequentialCounts) {
+  const DenseDfa dfa = build_aho_corasick({"GATTACA", "TTT"});
+  const std::string text = gen_.generate(100000, 5);
+  const std::uint64_t expected = count_matches(dfa, text);
+  ParallelMatcher matcher(dfa, pool_);
+  for (std::size_t chunks : {1u, 2u, 3u, 8u, 17u, 64u}) {
+    const auto stats = matcher.count(text, chunks, ParallelStrategy::kWarmup);
+    EXPECT_EQ(stats.match_count, expected) << "chunks=" << chunks;
+    EXPECT_EQ(stats.chunks, chunks);
+  }
+}
+
+TEST_F(ParallelMatcherFixture, SpeculativeMatchesSequentialCounts) {
+  const DenseDfa dfa = build_aho_corasick({"GATTACA", "TTT"});
+  const std::string text = gen_.generate(100000, 5);
+  const std::uint64_t expected = count_matches(dfa, text);
+  ParallelMatcher matcher(dfa, pool_);
+  for (std::size_t chunks : {1u, 2u, 3u, 8u, 17u, 64u}) {
+    const auto stats = matcher.count(text, chunks, ParallelStrategy::kSpeculative);
+    EXPECT_EQ(stats.match_count, expected) << "chunks=" << chunks;
+  }
+}
+
+TEST_F(ParallelMatcherFixture, UnboundedPatternFallsBackToSpeculative) {
+  const auto compiled = compile_motifs({"GC(A)*GC"});
+  const DenseDfa dfa = determinize(compiled.nfa, compiled.synchronization_bound);
+  ASSERT_EQ(dfa.synchronization_bound(), 0u);
+  const std::string text = gen_.generate(40000, 9);
+  const std::uint64_t expected = count_matches(dfa, text);
+  ParallelMatcher matcher(dfa, pool_);
+  // Requesting warm-up must silently use the exact speculative path.
+  const auto stats = matcher.count(text, 16, ParallelStrategy::kWarmup);
+  EXPECT_EQ(stats.match_count, expected);
+}
+
+TEST_F(ParallelMatcherFixture, CollectReturnsSortedIdenticalEvents) {
+  const DenseDfa dfa = build_aho_corasick({"ACG", "CGT", "TT"});
+  const std::string text = gen_.generate(30000, 11);
+  std::vector<Match> sequential;
+  (void)scan_collect(dfa, text, dfa.start(), 0, sequential);
+
+  ParallelMatcher matcher(dfa, pool_);
+  for (const auto strategy :
+       {ParallelStrategy::kWarmup, ParallelStrategy::kSpeculative}) {
+    std::vector<Match> par;
+    (void)matcher.collect(text, 13, par, strategy);
+    EXPECT_EQ(par, sequential);
+  }
+}
+
+TEST_F(ParallelMatcherFixture, MatchSpanningChunkBoundaryIsCounted) {
+  // Construct a text whose only match straddles the cut between two chunks.
+  const DenseDfa dfa = build_aho_corasick({"ACGTACGT"});
+  std::string text(1000, 'T');
+  text.replace(496, 8, "ACGTACGT");  // crosses the 500-byte midpoint
+  ParallelMatcher matcher(dfa, pool_);
+  for (const auto strategy :
+       {ParallelStrategy::kWarmup, ParallelStrategy::kSpeculative}) {
+    EXPECT_EQ(matcher.count(text, 2, strategy).match_count, 1u);
+  }
+}
+
+TEST_F(ParallelMatcherFixture, EmptyTextYieldsNothing) {
+  const DenseDfa dfa = build_aho_corasick({"AC"});
+  ParallelMatcher matcher(dfa, pool_);
+  const auto stats = matcher.count("", 8);
+  EXPECT_EQ(stats.match_count, 0u);
+  EXPECT_EQ(stats.chunks, 0u);
+}
+
+TEST_F(ParallelMatcherFixture, MoreChunksThanBytesClamps) {
+  const DenseDfa dfa = build_aho_corasick({"A"});
+  ParallelMatcher matcher(dfa, pool_);
+  const auto stats = matcher.count("AAA", 100);
+  EXPECT_EQ(stats.match_count, 3u);
+  EXPECT_LE(stats.chunks, 3u);
+}
+
+TEST_F(ParallelMatcherFixture, SpeculativeReportsRescans) {
+  // A pattern automaton rarely mispredicts; force it with a text that keeps
+  // the automaton mid-pattern at chunk boundaries.
+  const DenseDfa dfa = build_aho_corasick({"AAAAAAAA"});
+  const std::string text(64, 'A');  // every boundary is mid-pattern
+  ParallelMatcher matcher(dfa, pool_);
+  const auto stats = matcher.count(text, 8, ParallelStrategy::kSpeculative);
+  EXPECT_EQ(stats.match_count, 64u - 8u + 1u);
+  EXPECT_GT(stats.rescanned_chunks, 0u);
+}
+
+/// Exhaustive sweep: strategy x chunk count x several seeds, mixed motif set
+/// with IUPAC classes via subset construction.
+struct SweepParam {
+  std::uint64_t seed;
+  std::size_t chunks;
+};
+
+class MatcherSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MatcherSweep, ParallelEqualsSequential) {
+  const auto [seed, chunks] = GetParam();
+  parallel::ThreadPool pool(4);
+  const auto compiled = compile_motifs({"TATAWAW", "GGN?CC", "ACGT"});
+  const DenseDfa dfa = determinize(compiled.nfa, compiled.synchronization_bound);
+  const dna::GenomeGenerator gen;
+  const std::string text = gen.generate(20000 + 137 * seed, seed);
+  const std::uint64_t expected = count_matches(dfa, text);
+  ParallelMatcher matcher(dfa, pool);
+  EXPECT_EQ(matcher.count(text, chunks, ParallelStrategy::kWarmup).match_count, expected);
+  EXPECT_EQ(matcher.count(text, chunks, ParallelStrategy::kSpeculative).match_count,
+            expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndChunks, MatcherSweep,
+    ::testing::Values(SweepParam{1, 1}, SweepParam{1, 4}, SweepParam{2, 7},
+                      SweepParam{3, 16}, SweepParam{4, 33}, SweepParam{5, 64},
+                      SweepParam{6, 5}, SweepParam{7, 12}));
+
+}  // namespace
+}  // namespace hetopt::automata

@@ -1,0 +1,102 @@
+#include "automata/regex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetopt::automata {
+namespace {
+
+TEST(RegexCompile, LiteralPattern) {
+  const auto compiled = compile_motifs({"ACGT"});
+  EXPECT_EQ(compiled.lengths.size(), 1u);
+  EXPECT_EQ(compiled.lengths[0].min_len, 4u);
+  EXPECT_EQ(compiled.lengths[0].max_len, 4u);
+  EXPECT_EQ(compiled.synchronization_bound, 4u);
+  EXPECT_EQ(compiled.nfa.simulate("TTACGTTT"), 1u);
+  EXPECT_EQ(compiled.nfa.simulate("ACG"), 0u);
+}
+
+TEST(RegexCompile, IupacClasses) {
+  // W = A or T.
+  const auto compiled = compile_motifs({"AWA"});
+  EXPECT_EQ(compiled.nfa.simulate("AAA"), 1u);
+  EXPECT_EQ(compiled.nfa.simulate("ATA"), 1u);
+  EXPECT_EQ(compiled.nfa.simulate("AGA"), 0u);
+}
+
+TEST(RegexCompile, Alternation) {
+  const auto compiled = compile_motifs({"CCC|GGG"});
+  EXPECT_EQ(compiled.nfa.simulate("ACCCA"), 1u);
+  EXPECT_EQ(compiled.nfa.simulate("AGGGA"), 1u);
+  EXPECT_EQ(compiled.nfa.simulate("ACGCA"), 0u);
+  EXPECT_EQ(compiled.lengths[0].min_len, 3u);
+  EXPECT_EQ(compiled.lengths[0].max_len, 3u);
+}
+
+TEST(RegexCompile, OptionalAndGroups) {
+  const auto compiled = compile_motifs({"GG(AC)?TT"});
+  EXPECT_EQ(compiled.nfa.simulate("GGTT"), 1u);
+  EXPECT_EQ(compiled.nfa.simulate("GGACTT"), 1u);
+  EXPECT_EQ(compiled.nfa.simulate("GGATT"), 0u);
+  EXPECT_EQ(compiled.lengths[0].min_len, 4u);
+  EXPECT_EQ(compiled.lengths[0].max_len, 6u);
+  EXPECT_EQ(compiled.synchronization_bound, 6u);
+}
+
+TEST(RegexCompile, StarIsUnbounded) {
+  const auto compiled = compile_motifs({"GC(A)*GC"});
+  EXPECT_EQ(compiled.nfa.simulate("GCGC"), 1u);
+  EXPECT_EQ(compiled.nfa.simulate("GCAGC"), 1u);
+  EXPECT_EQ(compiled.nfa.simulate("GCAAAAAGC"), 1u);
+  EXPECT_EQ(compiled.nfa.simulate("GCTGC"), 0u);
+  EXPECT_EQ(compiled.lengths[0].max_len, LengthRange::kUnbounded);
+  EXPECT_EQ(compiled.synchronization_bound, 0u);  // unbounded disables warm-up
+}
+
+TEST(RegexCompile, PlusRequiresOne) {
+  const auto compiled = compile_motifs({"GA+T"});
+  EXPECT_EQ(compiled.nfa.simulate("GAT"), 1u);
+  EXPECT_EQ(compiled.nfa.simulate("GAAAT"), 1u);
+  EXPECT_EQ(compiled.nfa.simulate("GT"), 0u);
+  EXPECT_EQ(compiled.lengths[0].min_len, 3u);
+}
+
+TEST(RegexCompile, MultiplePatternsGetDistinctIds) {
+  const auto compiled = compile_motifs({"AAA", "CCC"});
+  EXPECT_EQ(compiled.nfa.simulate("AAA"), 1ULL << 0);
+  EXPECT_EQ(compiled.nfa.simulate("CCC"), 1ULL << 1);
+  EXPECT_EQ(compiled.nfa.simulate("AAACCC"), 3u);
+  EXPECT_EQ(compiled.synchronization_bound, 3u);
+}
+
+TEST(RegexCompile, SyntaxErrorsCarryPosition) {
+  EXPECT_THROW((void)compile_motifs({"AC(GT"}), std::invalid_argument);
+  EXPECT_THROW((void)compile_motifs({"AC)GT"}), std::invalid_argument);
+  EXPECT_THROW((void)compile_motifs({"*AC"}), std::invalid_argument);
+  EXPECT_THROW((void)compile_motifs({"ACZT"}), std::invalid_argument);
+  EXPECT_THROW((void)compile_motifs({""}), std::invalid_argument);
+}
+
+TEST(RegexCompile, EmptyMatchingPatternsRejected) {
+  EXPECT_THROW((void)compile_motifs({"A*"}), std::invalid_argument);
+  EXPECT_THROW((void)compile_motifs({"(A?)"}), std::invalid_argument);
+}
+
+TEST(RegexCompile, NoPatternsRejected) {
+  EXPECT_THROW((void)compile_motifs({}), std::invalid_argument);
+}
+
+TEST(RegexCompile, TooManyPatternsRejected) {
+  std::vector<std::string> many(kMaxPatterns + 1, "ACGT");
+  EXPECT_THROW((void)compile_motifs(many), std::invalid_argument);
+}
+
+TEST(RegexCompile, NestedGroupsAndAlternation) {
+  const auto compiled = compile_motifs({"A(C|G(T|A))C"});
+  EXPECT_EQ(compiled.nfa.simulate("ACC"), 1u);
+  EXPECT_EQ(compiled.nfa.simulate("AGTC"), 1u);
+  EXPECT_EQ(compiled.nfa.simulate("AGAC"), 1u);
+  EXPECT_EQ(compiled.nfa.simulate("AGC"), 0u);
+}
+
+}  // namespace
+}  // namespace hetopt::automata

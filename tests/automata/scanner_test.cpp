@@ -1,0 +1,82 @@
+#include "automata/scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/aho_corasick.hpp"
+
+namespace hetopt::automata {
+namespace {
+
+TEST(ScanCount, EmptyTextLeavesStateAndCountsNothing) {
+  const DenseDfa dfa = build_aho_corasick({"AC"});
+  const auto r = scan_count(dfa, "", dfa.start());
+  EXPECT_EQ(r.final_state, dfa.start());
+  EXPECT_EQ(r.match_count, 0u);
+}
+
+TEST(ScanCount, FinalStateComposes) {
+  const DenseDfa dfa = build_aho_corasick({"ACGT"});
+  const std::string text = "TTACGTATACGTT";
+  const auto whole = scan_count(dfa, text, dfa.start());
+  const auto first = scan_count(dfa, text.substr(0, 6), dfa.start());
+  const auto second = scan_count(dfa, text.substr(6), first.final_state);
+  EXPECT_EQ(first.match_count + second.match_count, whole.match_count);
+  EXPECT_EQ(second.final_state, whole.final_state);
+}
+
+TEST(ScanCount, RejectsBadStateAndBadBases) {
+  const DenseDfa dfa = build_aho_corasick({"AC"});
+  EXPECT_THROW((void)scan_count(dfa, "AC", 999), std::out_of_range);
+  EXPECT_THROW((void)scan_count(dfa, "AXC", dfa.start()), std::invalid_argument);
+}
+
+TEST(ScanCollect, EndOffsetsAreOnePastMatch) {
+  const DenseDfa dfa = build_aho_corasick({"CG"});
+  std::vector<Match> matches;
+  (void)scan_collect(dfa, "ACGACG", dfa.start(), 0, matches);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].end, 3u);
+  EXPECT_EQ(matches[1].end, 6u);
+}
+
+TEST(ScanCollect, BaseOffsetShiftsReports) {
+  const DenseDfa dfa = build_aho_corasick({"CG"});
+  std::vector<Match> matches;
+  (void)scan_collect(dfa, "ACG", dfa.start(), 1000, matches);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].end, 1003u);
+}
+
+TEST(ScanCollect, AppendsToExistingVector) {
+  const DenseDfa dfa = build_aho_corasick({"A"});
+  std::vector<Match> matches{Match{0, 0}};
+  (void)scan_collect(dfa, "AA", dfa.start(), 0, matches);
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST(NaiveCount, ReferenceBehaviour) {
+  EXPECT_EQ(naive_count("AAAA", "AA"), 3u);
+  EXPECT_EQ(naive_count("ACGT", "ACGT"), 1u);
+  EXPECT_EQ(naive_count("ACGT", "TTTTT"), 0u);
+  EXPECT_EQ(naive_count("ACGT", ""), 0u);
+  EXPECT_EQ(naive_count("", "A"), 0u);
+}
+
+TEST(DenseDfaRun, FollowsTransitions) {
+  const DenseDfa dfa = build_aho_corasick({"ACG"});
+  const StateId end = dfa.run(dfa.start(), "AC");
+  // From that state, G must complete the match.
+  EXPECT_GT(dfa.accept_count(dfa.step(end, dna::Base::G)), 0u);
+}
+
+TEST(DenseDfaValidate, CatchesCorruption) {
+  DenseDfa dfa(2);
+  dfa.set_accept(1, 1, 1);
+  EXPECT_TRUE(dfa.validate().empty());
+  DenseDfa broken(1);
+  broken.set_accept(0, 5, 0);  // mask without count
+  EXPECT_FALSE(broken.validate().empty());
+}
+
+}  // namespace
+}  // namespace hetopt::automata

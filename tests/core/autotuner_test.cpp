@@ -1,0 +1,68 @@
+#include "core/autotuner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetopt::core {
+namespace {
+
+AutotunerOptions fast_options() {
+  AutotunerOptions o;
+  o.sweep = TrainingSweepOptions::tiny();
+  o.predictor.host_params.rounds = 60;
+  o.predictor.device_params.rounds = 60;
+  o.sa_iterations = 300;
+  return o;
+}
+
+TEST(AutotunerTest, SamWorksWithoutTraining) {
+  Autotuner tuner(sim::emil_machine(), opt::ConfigSpace::paper(), fast_options());
+  EXPECT_FALSE(tuner.trained());
+  const MethodResult r = tuner.tune(Workload("human", 3170.0), Method::kSAM);
+  EXPECT_GT(r.measured_time, 0.0);
+  EXPECT_LE(r.evaluations, 301u);
+}
+
+TEST(AutotunerTest, MlMethodsRequireTraining) {
+  Autotuner tuner(sim::emil_machine(), opt::ConfigSpace::paper(), fast_options());
+  EXPECT_THROW((void)tuner.tune(Workload("human", 3170.0), Method::kSAML),
+               std::logic_error);
+  EXPECT_THROW((void)tuner.tune(Workload("human", 3170.0), Method::kEML),
+               std::logic_error);
+}
+
+TEST(AutotunerTest, TrainReportsExperimentCount) {
+  Autotuner tuner(sim::emil_machine(), opt::ConfigSpace::paper(), fast_options());
+  const dna::GenomeCatalog catalog;
+  const std::size_t experiments = tuner.train(catalog);
+  // tiny sweep: 4 genomes x 4 fractions x (2 host threads x 3 aff +
+  // 2 device threads x 3 aff) = 16 * 12 = 192.
+  EXPECT_EQ(experiments, 192u);
+  EXPECT_TRUE(tuner.trained());
+}
+
+TEST(AutotunerTest, SamlRecommendsASharedConfiguration) {
+  Autotuner tuner(sim::emil_machine(), opt::ConfigSpace::paper(), fast_options());
+  const dna::GenomeCatalog catalog;
+  (void)tuner.train(catalog);
+  const MethodResult r = tuner.tune(Workload("mouse", 2770.0), Method::kSAML);
+  // A large workload should be genuinely shared: fraction strictly inside
+  // (0, 100) — the whole point of the paper.
+  EXPECT_GT(r.config.host_percent, 0.0);
+  EXPECT_LT(r.config.host_percent, 100.0);
+}
+
+TEST(AutotunerTest, BudgetOverrideControlsEvaluations) {
+  Autotuner tuner(sim::emil_machine(), opt::ConfigSpace::paper(), fast_options());
+  const MethodResult r =
+      tuner.tune_with_budget(Workload("cat", 2430.0), Method::kSAM, 100);
+  EXPECT_LE(r.evaluations, 101u);
+}
+
+TEST(AutotunerTest, AccessorsExposeComponents) {
+  Autotuner tuner(sim::emil_machine(), opt::ConfigSpace::tiny(), fast_options());
+  EXPECT_EQ(tuner.space().size(), opt::ConfigSpace::tiny().size());
+  EXPECT_EQ(tuner.machine().spec().host.cores, 24);
+}
+
+}  // namespace
+}  // namespace hetopt::core

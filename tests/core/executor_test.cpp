@@ -1,0 +1,105 @@
+#include "core/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/aho_corasick.hpp"
+#include "automata/regex.hpp"
+#include "automata/scanner.hpp"
+#include "automata/subset.hpp"
+#include "dna/generator.hpp"
+
+namespace hetopt::core {
+namespace {
+
+class ExecutorFixture : public ::testing::Test {
+ protected:
+  dna::GenomeGenerator gen_;
+};
+
+TEST_F(ExecutorFixture, TotalMatchesEqualSequentialScan) {
+  const automata::DenseDfa dfa = automata::build_aho_corasick({"GATTACA", "CCGG"});
+  const std::string text = gen_.generate(200000, 1);
+  const std::uint64_t expected = automata::count_matches(dfa, text);
+  HeterogeneousExecutor exec(dfa, 4, 4);
+  for (double pct : {0.0, 10.0, 37.5, 50.0, 90.0, 100.0}) {
+    const ExecutionReport r = exec.run(text, pct);
+    EXPECT_EQ(r.total_matches(), expected) << "host% = " << pct;
+    EXPECT_EQ(r.host_bytes + r.device_bytes, text.size());
+  }
+}
+
+TEST_F(ExecutorFixture, MatchSpanningTheSplitIsCountedOnce) {
+  const automata::DenseDfa dfa = automata::build_aho_corasick({"ACGTACGT"});
+  std::string text(1000, 'T');
+  text.replace(496, 8, "ACGTACGT");  // straddles the 50% cut
+  HeterogeneousExecutor exec(dfa, 2, 2);
+  const ExecutionReport r = exec.run(text, 50.0);
+  EXPECT_EQ(r.total_matches(), 1u);
+  // The match ends at position 504 > 500, so the device side owns it.
+  EXPECT_EQ(r.device_matches, 1u);
+  EXPECT_EQ(r.host_matches, 0u);
+}
+
+TEST_F(ExecutorFixture, UnboundedPatternsStillExact) {
+  const auto compiled = automata::compile_motifs({"GC(A)*GC"});
+  const automata::DenseDfa dfa =
+      automata::determinize(compiled.nfa, compiled.synchronization_bound);
+  const std::string text = gen_.generate(50000, 7);
+  const std::uint64_t expected = automata::count_matches(dfa, text);
+  HeterogeneousExecutor exec(dfa, 3, 3);
+  for (double pct : {0.0, 33.0, 66.0, 100.0}) {
+    EXPECT_EQ(exec.run(text, pct).total_matches(), expected) << pct;
+  }
+}
+
+TEST_F(ExecutorFixture, EmptyTextProducesEmptyReport) {
+  const automata::DenseDfa dfa = automata::build_aho_corasick({"AC"});
+  HeterogeneousExecutor exec(dfa, 2, 2);
+  const ExecutionReport r = exec.run("", 50.0);
+  EXPECT_EQ(r.total_matches(), 0u);
+  EXPECT_EQ(r.host_bytes, 0u);
+  EXPECT_EQ(r.device_bytes, 0u);
+}
+
+TEST_F(ExecutorFixture, TimersArePopulated) {
+  const automata::DenseDfa dfa = automata::build_aho_corasick({"ACG"});
+  const std::string text = gen_.generate(500000, 3);
+  HeterogeneousExecutor exec(dfa, 4, 4);
+  const ExecutionReport r = exec.run(text, 60.0);
+  EXPECT_GT(r.host_seconds, 0.0);
+  EXPECT_GT(r.device_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.total_seconds, std::max(r.host_seconds, r.device_seconds));
+}
+
+TEST_F(ExecutorFixture, FractionEndpointsRouteAllBytesToOneSide) {
+  const automata::DenseDfa dfa = automata::build_aho_corasick({"TTT"});
+  const std::string text = gen_.generate(10000, 9);
+  HeterogeneousExecutor exec(dfa, 2, 2);
+  const ExecutionReport host_all = exec.run(text, 100.0);
+  EXPECT_EQ(host_all.device_bytes, 0u);
+  EXPECT_EQ(host_all.device_matches, 0u);
+  const ExecutionReport device_all = exec.run(text, 0.0);
+  EXPECT_EQ(device_all.host_bytes, 0u);
+  EXPECT_EQ(device_all.host_matches, 0u);
+  EXPECT_EQ(host_all.total_matches(), device_all.total_matches());
+}
+
+class SplitSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitSweep, CountsInvariantUnderSplit) {
+  const double pct = GetParam();
+  const dna::GenomeGenerator gen;
+  const automata::DenseDfa dfa =
+      automata::build_aho_corasick({"TATA", "GGCC", "AAAAA"});
+  const std::string text = gen.generate(60000, 42);
+  const std::uint64_t expected = automata::count_matches(dfa, text);
+  HeterogeneousExecutor exec(dfa, 3, 5);
+  EXPECT_EQ(exec.run(text, pct).total_matches(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SplitSweep,
+                         ::testing::Values(0.0, 2.5, 25.0, 49.9, 50.0, 50.1, 75.0,
+                                           97.5, 100.0));
+
+}  // namespace
+}  // namespace hetopt::core

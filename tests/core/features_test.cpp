@@ -1,0 +1,56 @@
+#include "core/features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetopt::core {
+namespace {
+
+TEST(Features, HostLayout) {
+  const auto f = host_features(1500.0, 24, parallel::HostAffinity::kScatter);
+  ASSERT_EQ(f.size(), kFeatureCount);
+  EXPECT_DOUBLE_EQ(f[0], 1500.0);
+  EXPECT_DOUBLE_EQ(f[1], 24.0);
+  EXPECT_DOUBLE_EQ(f[2], 0.0);  // none
+  EXPECT_DOUBLE_EQ(f[3], 1.0);  // scatter
+  EXPECT_DOUBLE_EQ(f[4], 0.0);  // compact
+}
+
+TEST(Features, DeviceLayout) {
+  const auto f = device_features(800.0, 120, parallel::DeviceAffinity::kCompact);
+  ASSERT_EQ(f.size(), kFeatureCount);
+  EXPECT_DOUBLE_EQ(f[0], 800.0);
+  EXPECT_DOUBLE_EQ(f[1], 120.0);
+  EXPECT_DOUBLE_EQ(f[2], 0.0);  // balanced
+  EXPECT_DOUBLE_EQ(f[3], 0.0);  // scatter
+  EXPECT_DOUBLE_EQ(f[4], 1.0);  // compact
+}
+
+TEST(Features, OneHotIsExclusive) {
+  for (parallel::HostAffinity a : parallel::kAllHostAffinities) {
+    const auto f = host_features(1.0, 2, a);
+    EXPECT_DOUBLE_EQ(f[2] + f[3] + f[4], 1.0);
+  }
+  for (parallel::DeviceAffinity a : parallel::kAllDeviceAffinities) {
+    const auto f = device_features(1.0, 2, a);
+    EXPECT_DOUBLE_EQ(f[2] + f[3] + f[4], 1.0);
+  }
+}
+
+TEST(Features, NamesMatchLayoutWidth) {
+  EXPECT_EQ(host_feature_names().size(), kFeatureCount);
+  EXPECT_EQ(device_feature_names().size(), kFeatureCount);
+  EXPECT_EQ(host_feature_names()[0], "size_mb");
+  EXPECT_EQ(device_feature_names()[2], "affinity_balanced");
+}
+
+TEST(Features, Validation) {
+  EXPECT_THROW((void)host_features(-1.0, 2, parallel::HostAffinity::kNone),
+               std::invalid_argument);
+  EXPECT_THROW((void)host_features(1.0, 0, parallel::HostAffinity::kNone),
+               std::invalid_argument);
+  EXPECT_THROW((void)device_features(-1.0, 2, parallel::DeviceAffinity::kBalanced),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetopt::core

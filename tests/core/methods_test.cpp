@@ -1,0 +1,138 @@
+#include "core/methods.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/training.hpp"
+
+namespace hetopt::core {
+namespace {
+
+class MethodsFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    machine_ = new sim::Machine(sim::emil_machine());
+    space_ = new opt::ConfigSpace(opt::ConfigSpace::paper());
+    const dna::GenomeCatalog catalog;
+    const TrainingData data =
+        generate_training_data(*machine_, catalog, TrainingSweepOptions::paper());
+    predictor_ = new PerformancePredictor();
+    predictor_->train(data.host, data.device);
+  }
+  static void TearDownTestSuite() {
+    delete predictor_;
+    delete space_;
+    delete machine_;
+    predictor_ = nullptr;
+    space_ = nullptr;
+    machine_ = nullptr;
+  }
+
+  static sim::Machine* machine_;
+  static opt::ConfigSpace* space_;
+  static PerformancePredictor* predictor_;
+  Workload human_{"human", 3170.0};
+};
+
+sim::Machine* MethodsFixture::machine_ = nullptr;
+opt::ConfigSpace* MethodsFixture::space_ = nullptr;
+PerformancePredictor* MethodsFixture::predictor_ = nullptr;
+
+TEST_F(MethodsFixture, EmEvaluatesEntireSpace) {
+  const MethodResult em = run_em(*space_, *machine_, human_);
+  EXPECT_EQ(em.evaluations, 19926u);
+  EXPECT_GT(em.measured_time, 0.0);
+  EXPECT_EQ(em.method, Method::kEM);
+}
+
+TEST_F(MethodsFixture, EmBeatsBothSingleDeviceBaselines) {
+  const MethodResult em = run_em(*space_, *machine_, human_);
+  const MethodResult host = host_only_baseline(*space_, *machine_, human_);
+  const MethodResult device = device_only_baseline(*space_, *machine_, human_);
+  EXPECT_LT(em.measured_time, host.measured_time);
+  EXPECT_LT(em.measured_time, device.measured_time);
+  // The paper's headline speedups: >1.5x vs host, >2x vs device.
+  EXPECT_GT(host.measured_time / em.measured_time, 1.4);
+  EXPECT_GT(device.measured_time / em.measured_time, 1.9);
+}
+
+TEST_F(MethodsFixture, BaselinesFixFractionAndMaxThreads) {
+  const MethodResult host = host_only_baseline(*space_, *machine_, human_);
+  EXPECT_DOUBLE_EQ(host.config.host_percent, 100.0);
+  EXPECT_EQ(host.config.host_threads, 48);
+  const MethodResult device = device_only_baseline(*space_, *machine_, human_);
+  EXPECT_DOUBLE_EQ(device.config.host_percent, 0.0);
+  EXPECT_EQ(device.config.device_threads, 240);
+}
+
+TEST_F(MethodsFixture, SamUsesExactlyTheIterationBudget) {
+  const auto sa = sa_params_for_iterations(500, 1);
+  const MethodResult sam = run_sam(*space_, *machine_, human_, sa);
+  EXPECT_EQ(sam.evaluations, 501u);  // initial + 500 iterations
+  EXPECT_EQ(sam.method, Method::kSAM);
+}
+
+TEST_F(MethodsFixture, SamlSearchEnergyIsPredictionButScoreIsMeasured) {
+  const auto sa = sa_params_for_iterations(500, 2);
+  const MethodResult saml = run_saml(*space_, *machine_, human_, *predictor_, sa);
+  EXPECT_GT(saml.measured_time, 0.0);
+  EXPECT_GT(saml.search_energy, 0.0);
+  // Prediction and measurement agree only approximately.
+  EXPECT_NE(saml.search_energy, saml.measured_time);
+  EXPECT_NEAR(saml.search_energy / saml.measured_time, 1.0, 0.35);
+}
+
+TEST_F(MethodsFixture, SamWithGenerousBudgetApproachesEm) {
+  const MethodResult em = run_em(*space_, *machine_, human_);
+  const MethodResult sam =
+      run_sam(*space_, *machine_, human_, sa_params_for_iterations(2000, 3));
+  // Table VI: ~7% difference at 2000 iterations; allow 25% headroom.
+  EXPECT_LT(sam.measured_time, em.measured_time * 1.25);
+}
+
+TEST_F(MethodsFixture, SamlFindsConfigurationsNearEm) {
+  const MethodResult em = run_em(*space_, *machine_, human_);
+  const MethodResult saml =
+      run_saml(*space_, *machine_, human_, *predictor_, sa_params_for_iterations(1000, 4));
+  // Result 3: ~10% difference at 1000 iterations; allow headroom for seeds.
+  EXPECT_LT(saml.measured_time, em.measured_time * 1.35);
+  EXPECT_LE(saml.evaluations, 1001u);
+}
+
+TEST_F(MethodsFixture, EmlEvaluatesWholeSpaceWithPredictions) {
+  const MethodResult eml = run_eml(*space_, *machine_, human_, *predictor_);
+  EXPECT_EQ(eml.evaluations, 19926u);
+  EXPECT_GT(eml.measured_time, 0.0);
+  const MethodResult em = run_em(*space_, *machine_, human_);
+  // EML picks by prediction; its measured score is never better than EM's
+  // optimum by more than noise.
+  EXPECT_GT(eml.measured_time, em.measured_time * 0.9);
+}
+
+TEST_F(MethodsFixture, MethodNamesRoundTrip) {
+  EXPECT_EQ(to_string(Method::kEM), "EM");
+  EXPECT_EQ(to_string(Method::kEML), "EML");
+  EXPECT_EQ(to_string(Method::kSAM), "SAM");
+  EXPECT_EQ(to_string(Method::kSAML), "SAML");
+}
+
+TEST_F(MethodsFixture, PredictionObjectiveRequiresTrainedPredictor) {
+  PerformancePredictor untrained;
+  EXPECT_THROW((void)prediction_objective(untrained, human_), std::logic_error);
+}
+
+TEST_F(MethodsFixture, ObjectivesAgreeWithMachine) {
+  const auto obj = measurement_objective(*machine_, human_);
+  const opt::SystemConfig c = space_->at(1234);
+  const double direct = machine_->measure_combined(
+      human_.size_mb, c.host_percent, c.host_threads, c.host_affinity, c.device_threads,
+      c.device_affinity);
+  EXPECT_DOUBLE_EQ(obj(c), direct);
+}
+
+TEST(WorkloadTest, RejectsNonPositiveSizes) {
+  EXPECT_THROW(Workload("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(Workload("x", -5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetopt::core

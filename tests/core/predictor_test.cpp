@@ -1,0 +1,170 @@
+#include "core/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/training.hpp"
+#include "ml/metrics.hpp"
+
+namespace hetopt::core {
+namespace {
+
+class PredictorFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    machine_ = new sim::Machine(sim::emil_machine());
+    catalog_ = new dna::GenomeCatalog();
+    data_ = new TrainingData(
+        generate_training_data(*machine_, *catalog_, TrainingSweepOptions::paper()));
+    predictor_ = new PerformancePredictor();
+    predictor_->train(data_->host, data_->device);
+  }
+  static void TearDownTestSuite() {
+    delete predictor_;
+    delete data_;
+    delete catalog_;
+    delete machine_;
+    predictor_ = nullptr;
+    data_ = nullptr;
+    catalog_ = nullptr;
+    machine_ = nullptr;
+  }
+
+  static sim::Machine* machine_;
+  static dna::GenomeCatalog* catalog_;
+  static TrainingData* data_;
+  static PerformancePredictor* predictor_;
+};
+
+sim::Machine* PredictorFixture::machine_ = nullptr;
+dna::GenomeCatalog* PredictorFixture::catalog_ = nullptr;
+TrainingData* PredictorFixture::data_ = nullptr;
+PerformancePredictor* PredictorFixture::predictor_ = nullptr;
+
+TEST_F(PredictorFixture, HostPredictionsTrackModelWithinTenPercent) {
+  // Probe unseen sizes (not on the training fraction grid).
+  double pct_sum = 0.0;
+  int n = 0;
+  for (double mb : {333.0, 1001.0, 1777.0, 2999.0}) {
+    for (int threads : {6, 24, 48}) {
+      const double truth =
+          machine_->host_time_model(mb, threads, parallel::HostAffinity::kScatter);
+      const double pred =
+          predictor_->predict_host(mb, threads, parallel::HostAffinity::kScatter);
+      pct_sum += ml::percent_error(truth, pred);
+      ++n;
+    }
+  }
+  EXPECT_LT(pct_sum / n, 10.0);
+}
+
+TEST_F(PredictorFixture, DevicePredictionsTrackModelWithinTenPercent) {
+  double pct_sum = 0.0;
+  int n = 0;
+  for (double mb : {333.0, 1001.0, 1777.0, 2999.0}) {
+    for (int threads : {30, 120, 240}) {
+      const double truth =
+          machine_->device_time_model(mb, threads, parallel::DeviceAffinity::kBalanced);
+      const double pred =
+          predictor_->predict_device(mb, threads, parallel::DeviceAffinity::kBalanced);
+      pct_sum += ml::percent_error(truth, pred);
+      ++n;
+    }
+  }
+  EXPECT_LT(pct_sum / n, 10.0);
+}
+
+TEST_F(PredictorFixture, CombinedIsMaxOfSides) {
+  opt::SystemConfig c;
+  c.host_threads = 24;
+  c.host_affinity = parallel::HostAffinity::kScatter;
+  c.device_threads = 120;
+  c.device_affinity = parallel::DeviceAffinity::kBalanced;
+  c.host_percent = 60.0;
+  const double combined = predictor_->predict_combined(c, 2000.0);
+  const double host = predictor_->predict_host(1200.0, 24, parallel::HostAffinity::kScatter);
+  const double device =
+      predictor_->predict_device(800.0, 120, parallel::DeviceAffinity::kBalanced);
+  EXPECT_DOUBLE_EQ(combined, std::max(host, device));
+}
+
+TEST_F(PredictorFixture, ZeroByteSidesPredictZero) {
+  EXPECT_EQ(predictor_->predict_host(0.0, 24, parallel::HostAffinity::kScatter), 0.0);
+  EXPECT_EQ(predictor_->predict_device(0.0, 60, parallel::DeviceAffinity::kBalanced), 0.0);
+  opt::SystemConfig c;
+  c.host_threads = 48;
+  c.host_percent = 100.0;
+  c.device_threads = 240;
+  const double t = predictor_->predict_combined(c, 1000.0);
+  EXPECT_DOUBLE_EQ(
+      t, predictor_->predict_host(1000.0, 48, parallel::HostAffinity::kNone));
+}
+
+TEST_F(PredictorFixture, PredictionsNonNegativeEverywhere) {
+  for (double mb : {1.0, 50.0, 5000.0}) {
+    for (int threads : {2, 48}) {
+      EXPECT_GE(predictor_->predict_host(mb, threads, parallel::HostAffinity::kCompact), 0.0);
+    }
+  }
+}
+
+TEST(PredictorUsage, ErrorsBeforeTraining) {
+  PerformancePredictor p;
+  EXPECT_FALSE(p.trained());
+  EXPECT_THROW((void)p.predict_host(1.0, 2, parallel::HostAffinity::kNone),
+               std::logic_error);
+  EXPECT_THROW(p.train(ml::Dataset({"x"}), ml::Dataset({"x"})), std::invalid_argument);
+}
+
+TEST(PredictorUsage, RejectsWrongFeatureLayout) {
+  PerformancePredictor p;
+  ml::Dataset bad({"a", "b"});
+  bad.add(std::vector<double>{1.0, 2.0}, 1.0);
+  EXPECT_THROW(p.train(bad, bad), std::invalid_argument);
+}
+
+TEST(PredictorUsage, SaveLoadRoundTripPredictsIdentically) {
+  const sim::Machine machine = sim::emil_machine();
+  const dna::GenomeCatalog catalog;
+  const TrainingData data =
+      generate_training_data(machine, catalog, TrainingSweepOptions::tiny());
+  PerformancePredictor original;
+  original.train(data.host, data.device);
+
+  std::stringstream ss;
+  original.save(ss);
+  const PerformancePredictor loaded = PerformancePredictor::load(ss);
+  EXPECT_TRUE(loaded.trained());
+  for (double mb : {100.0, 999.0, 3170.0}) {
+    for (int threads : {2, 24, 48}) {
+      EXPECT_DOUBLE_EQ(
+          loaded.predict_host(mb, threads, parallel::HostAffinity::kScatter),
+          original.predict_host(mb, threads, parallel::HostAffinity::kScatter));
+    }
+    EXPECT_DOUBLE_EQ(
+        loaded.predict_device(mb, 120, parallel::DeviceAffinity::kBalanced),
+        original.predict_device(mb, 120, parallel::DeviceAffinity::kBalanced));
+  }
+}
+
+TEST(PredictorUsage, SaveLoadErrors) {
+  PerformancePredictor untrained;
+  std::stringstream ss;
+  EXPECT_THROW(untrained.save(ss), std::runtime_error);
+  std::stringstream bad("not-a-predictor 1 1");
+  EXPECT_THROW((void)PerformancePredictor::load(bad), std::runtime_error);
+}
+
+TEST(PredictorUsage, CombinedRejectsNonPositiveTotal) {
+  PerformancePredictor p;
+  const sim::Machine machine = sim::emil_machine();
+  const dna::GenomeCatalog catalog;
+  const TrainingData data =
+      generate_training_data(machine, catalog, TrainingSweepOptions::tiny());
+  p.train(data.host, data.device);
+  EXPECT_THROW((void)p.predict_combined(opt::SystemConfig{}, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetopt::core

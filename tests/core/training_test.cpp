@@ -1,0 +1,75 @@
+#include "core/training.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetopt::core {
+namespace {
+
+TEST(TrainingSweep, PaperCountsAre2880And4320) {
+  // §IV-B: 7200 experiments = 2880 host + 4320 device.
+  const auto options = TrainingSweepOptions::paper();
+  EXPECT_EQ(options.fractions.size(), 40u);
+  EXPECT_EQ(options.host_threads.size(), 6u);
+  EXPECT_EQ(options.device_threads.size(), 9u);
+
+  const sim::Machine machine = sim::emil_machine();
+  const dna::GenomeCatalog catalog;
+  const TrainingData data = generate_training_data(machine, catalog, options);
+  EXPECT_EQ(data.host.size(), 2880u);
+  EXPECT_EQ(data.device.size(), 4320u);
+  EXPECT_EQ(data.host.size() + data.device.size(), 7200u);
+}
+
+TEST(TrainingSweep, TargetsArePositiveAndFinite) {
+  const sim::Machine machine = sim::emil_machine();
+  const dna::GenomeCatalog catalog;
+  const TrainingData data =
+      generate_training_data(machine, catalog, TrainingSweepOptions::tiny());
+  for (std::size_t i = 0; i < data.host.size(); ++i) {
+    EXPECT_GT(data.host.target(i), 0.0);
+  }
+  for (std::size_t i = 0; i < data.device.size(); ++i) {
+    EXPECT_GT(data.device.target(i), 0.0);
+  }
+}
+
+TEST(TrainingSweep, FeatureRangesCoverTableOne) {
+  const sim::Machine machine = sim::emil_machine();
+  const dna::GenomeCatalog catalog;
+  const TrainingData data =
+      generate_training_data(machine, catalog, TrainingSweepOptions::paper());
+  double max_threads = 0.0;
+  double max_mb = 0.0;
+  for (std::size_t i = 0; i < data.host.size(); ++i) {
+    max_threads = std::max(max_threads, data.host.row(i)[1]);
+    max_mb = std::max(max_mb, data.host.row(i)[0]);
+  }
+  EXPECT_DOUBLE_EQ(max_threads, 48.0);
+  EXPECT_DOUBLE_EQ(max_mb, 3170.0);  // 100% of human
+}
+
+TEST(TrainingSweep, DeterministicAcrossRuns) {
+  const sim::Machine machine = sim::emil_machine();
+  const dna::GenomeCatalog catalog;
+  const auto tiny = TrainingSweepOptions::tiny();
+  const TrainingData a = generate_training_data(machine, catalog, tiny);
+  const TrainingData b = generate_training_data(machine, catalog, tiny);
+  ASSERT_EQ(a.host.size(), b.host.size());
+  for (std::size_t i = 0; i < a.host.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.host.target(i), b.host.target(i));
+  }
+}
+
+TEST(TrainingSweep, EmptyAxesRejected) {
+  const sim::Machine machine = sim::emil_machine();
+  const dna::GenomeCatalog catalog;
+  TrainingSweepOptions bad = TrainingSweepOptions::tiny();
+  bad.fractions.clear();
+  EXPECT_THROW((void)generate_training_data(machine, catalog, bad), std::invalid_argument);
+  bad = TrainingSweepOptions::tiny();
+  bad.host_threads.clear();
+  EXPECT_THROW((void)generate_training_data(machine, catalog, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetopt::core

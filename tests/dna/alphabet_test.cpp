@@ -1,0 +1,92 @@
+#include "dna/alphabet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetopt::dna {
+namespace {
+
+TEST(BaseCodes, RoundTrip) {
+  for (const Base b : {Base::A, Base::C, Base::G, Base::T}) {
+    const auto back = base_from_char(to_char(b));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, b);
+  }
+}
+
+TEST(BaseCodes, CaseInsensitive) {
+  EXPECT_EQ(base_from_char('a'), Base::A);
+  EXPECT_EQ(base_from_char('t'), Base::T);
+}
+
+TEST(BaseCodes, RejectsNonBases) {
+  EXPECT_FALSE(base_from_char('N').has_value());
+  EXPECT_FALSE(base_from_char('X').has_value());
+  EXPECT_FALSE(base_from_char(' ').has_value());
+}
+
+TEST(BaseSetTest, SingleAndAll) {
+  const BaseSet a = BaseSet::single(Base::A);
+  EXPECT_TRUE(a.contains(Base::A));
+  EXPECT_FALSE(a.contains(Base::C));
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(BaseSet::all().size(), 4u);
+  EXPECT_TRUE(BaseSet().empty());
+}
+
+TEST(Iupac, CanonicalCodes) {
+  EXPECT_EQ(iupac_from_char('A')->size(), 1u);
+  EXPECT_EQ(iupac_from_char('N')->size(), 4u);
+  EXPECT_EQ(iupac_from_char('R')->size(), 2u);  // A,G
+  EXPECT_TRUE(iupac_from_char('R')->contains(Base::A));
+  EXPECT_TRUE(iupac_from_char('R')->contains(Base::G));
+  EXPECT_EQ(iupac_from_char('B')->size(), 3u);  // not A
+  EXPECT_FALSE(iupac_from_char('B')->contains(Base::A));
+  EXPECT_EQ(iupac_from_char('u'), iupac_from_char('T'));  // RNA alias
+}
+
+TEST(Iupac, TwoBaseCodesPartitionCorrectly) {
+  // W = A/T (weak), S = C/G (strong): complementary partitions.
+  const BaseSet w = *iupac_from_char('W');
+  const BaseSet s = *iupac_from_char('S');
+  EXPECT_EQ(w.mask() | s.mask(), BaseSet::all().mask());
+  EXPECT_EQ(w.mask() & s.mask(), 0);
+}
+
+TEST(Iupac, RejectsInvalid) {
+  EXPECT_FALSE(iupac_from_char('Z').has_value());
+  EXPECT_FALSE(iupac_from_char('1').has_value());
+}
+
+TEST(ValidateMotif, AcceptsIupacRejectsOthers) {
+  EXPECT_TRUE(validate_motif("ACGT").empty());
+  EXPECT_TRUE(validate_motif("TATAWAW").empty());
+  EXPECT_FALSE(validate_motif("").empty());
+  const std::string err = validate_motif("ACZT");
+  EXPECT_NE(err.find("position 2"), std::string::npos);
+}
+
+TEST(Complement, WatsonCrickPairs) {
+  EXPECT_EQ(complement(Base::A), Base::T);
+  EXPECT_EQ(complement(Base::T), Base::A);
+  EXPECT_EQ(complement(Base::C), Base::G);
+  EXPECT_EQ(complement(Base::G), Base::C);
+}
+
+TEST(ReverseComplement, KnownSequences) {
+  EXPECT_EQ(reverse_complement("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(reverse_complement("AAAA"), "TTTT");
+  EXPECT_EQ(reverse_complement("GATTACA"), "TGTAATC");
+  EXPECT_EQ(reverse_complement(""), "");
+}
+
+TEST(ReverseComplement, InvolutionProperty) {
+  const std::string seq = "ACGTTGCAGGTACCATG";
+  EXPECT_EQ(reverse_complement(reverse_complement(seq)), seq);
+}
+
+TEST(ReverseComplement, RejectsInvalidBases) {
+  EXPECT_THROW((void)reverse_complement("ACNT"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetopt::dna

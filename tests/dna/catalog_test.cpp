@@ -1,0 +1,58 @@
+#include "dna/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetopt::dna {
+namespace {
+
+TEST(Catalog, ContainsThePapersFourGenomes) {
+  const GenomeCatalog catalog;
+  ASSERT_EQ(catalog.all().size(), 4u);
+  EXPECT_DOUBLE_EQ(catalog.get("human").size_mb, 3170.0);
+  EXPECT_DOUBLE_EQ(catalog.get("mouse").size_mb, 2770.0);
+  EXPECT_DOUBLE_EQ(catalog.get("cat").size_mb, 2430.0);
+  EXPECT_DOUBLE_EQ(catalog.get("dog").size_mb, 2380.0);
+}
+
+TEST(Catalog, SizesDescendHumanToDog) {
+  const GenomeCatalog catalog;
+  const auto& all = catalog.all();
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GT(all[i - 1].size_mb, all[i].size_mb);
+  }
+}
+
+TEST(Catalog, UnknownOrganismThrows) {
+  const GenomeCatalog catalog;
+  EXPECT_THROW((void)catalog.get("platypus"), std::out_of_range);
+}
+
+TEST(Catalog, MaterializeIsDeterministicPerOrganism) {
+  const GenomeCatalog catalog;
+  const Sequence a = catalog.materialize("human", 10000);
+  const Sequence b = catalog.materialize("human", 10000);
+  EXPECT_EQ(a.bases(), b.bases());
+  EXPECT_EQ(a.name(), "human");
+  const Sequence c = catalog.materialize("mouse", 10000);
+  EXPECT_NE(a.bases(), c.bases());
+}
+
+TEST(Catalog, MaterializeHonoursRequestedSize) {
+  const GenomeCatalog catalog;
+  EXPECT_EQ(catalog.materialize("cat", 12345).size(), 12345u);
+}
+
+TEST(Catalog, SeedsDerivedFromNames) {
+  const GenomeCatalog catalog;
+  EXPECT_NE(catalog.get("human").seed, catalog.get("mouse").seed);
+}
+
+TEST(Catalog, SizeBytesMatchesMb) {
+  const GenomeCatalog catalog;
+  const auto& human = catalog.get("human");
+  EXPECT_EQ(human.size_bytes(),
+            static_cast<std::size_t>(3170.0 * 1024.0 * 1024.0));
+}
+
+}  // namespace
+}  // namespace hetopt::dna

@@ -1,0 +1,80 @@
+#include "dna/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hetopt::dna {
+namespace {
+
+TEST(Fasta, WriteReadRoundTrip) {
+  const std::vector<Sequence> seqs{Sequence("alpha", "ACGTACGTACGT"),
+                                   Sequence("beta", "GGGGCCCC")};
+  std::stringstream ss;
+  write_fasta(ss, seqs, 5);
+  const auto back = read_fasta(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name(), "alpha");
+  EXPECT_EQ(back[0].bases(), "ACGTACGTACGT");
+  EXPECT_EQ(back[1].name(), "beta");
+  EXPECT_EQ(back[1].bases(), "GGGGCCCC");
+}
+
+TEST(Fasta, LineWidthWrapsOutput) {
+  std::stringstream ss;
+  write_fasta(ss, {Sequence("s", "ACGTACGT")}, 4);
+  EXPECT_EQ(ss.str(), ">s\nACGT\nACGT\n");
+}
+
+TEST(Fasta, RejectsZeroLineWidth) {
+  std::stringstream ss;
+  EXPECT_THROW(write_fasta(ss, {}, 0), std::invalid_argument);
+}
+
+TEST(Fasta, ReadsMultilineRecordsAndCrLf) {
+  std::stringstream ss(">one desc ignored\r\nACGT\r\nAC\r\n>two\nGGTT\n");
+  const auto seqs = read_fasta(ss);
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0].name(), "one");
+  EXPECT_EQ(seqs[0].bases(), "ACGTAC");
+  EXPECT_EQ(seqs[1].bases(), "GGTT");
+}
+
+TEST(Fasta, SkipPolicyDropsAmbiguous) {
+  std::stringstream ss(">s\nACNNGT\n");
+  const auto seqs = read_fasta(ss, AmbiguityPolicy::kSkip);
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0].bases(), "ACGT");
+}
+
+TEST(Fasta, RejectPolicyThrows) {
+  std::stringstream ss(">s\nACNT\n");
+  EXPECT_THROW((void)read_fasta(ss, AmbiguityPolicy::kReject), std::invalid_argument);
+}
+
+TEST(Fasta, RandomizePolicyPreservesLength) {
+  std::stringstream ss(">s\nACNNNNGT\n");
+  const auto seqs = read_fasta(ss, AmbiguityPolicy::kRandomize);
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0].size(), 8u);
+}
+
+TEST(Fasta, LowercaseInputUppercased) {
+  std::stringstream ss(">s\nacgt\n");
+  EXPECT_EQ(read_fasta(ss)[0].bases(), "ACGT");
+}
+
+TEST(Fasta, EmptyStreamYieldsNothing) {
+  std::stringstream ss("");
+  EXPECT_TRUE(read_fasta(ss).empty());
+}
+
+TEST(Fasta, HeaderlessBasesGetDefaultName) {
+  std::stringstream ss("ACGT\n");
+  const auto seqs = read_fasta(ss);
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0].name(), "unnamed");
+}
+
+}  // namespace
+}  // namespace hetopt::dna

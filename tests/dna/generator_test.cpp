@@ -1,0 +1,113 @@
+#include "dna/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/scanner.hpp"
+#include "automata/aho_corasick.hpp"
+
+namespace hetopt::dna {
+namespace {
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  const GenomeGenerator gen;
+  EXPECT_EQ(gen.generate(1000, 42), gen.generate(1000, 42));
+  EXPECT_NE(gen.generate(1000, 42), gen.generate(1000, 43));
+}
+
+TEST(GeneratorTest, LengthAndAlphabet) {
+  const GenomeGenerator gen;
+  const std::string s = gen.generate(5000, 1);
+  EXPECT_EQ(s.size(), 5000u);
+  for (char c : s) {
+    EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T');
+  }
+}
+
+TEST(GeneratorTest, ZeroLength) {
+  const GenomeGenerator gen;
+  EXPECT_TRUE(gen.generate(0, 1).empty());
+}
+
+TEST(GeneratorTest, TransitionMatrixRowsAreStochastic) {
+  const GenomeGenerator gen(MarkovParams{0.45, 0.2, 0.3});
+  for (const auto& row : gen.transition_matrix()) {
+    double sum = 0.0;
+    for (double p : row) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(GeneratorTest, GcContentApproachesTarget) {
+  // CpG suppression slightly skews the stationary distribution away from the
+  // nominal target, so use a generous tolerance.
+  const GenomeGenerator gen(MarkovParams{0.41, 0.15, 0.25});
+  const Sequence s("s", gen.generate(200000, 7));
+  EXPECT_NEAR(s.gc_content(), 0.41, 0.04);
+}
+
+TEST(GeneratorTest, CpgSuppressionReducesCgDinucleotides) {
+  const GenomeGenerator suppressed(MarkovParams{0.5, 0.0, 0.1});
+  const GenomeGenerator neutral(MarkovParams{0.5, 0.0, 1.0});
+  const auto count_cg = [](const std::string& s) {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+      n += (s[i] == 'C' && s[i + 1] == 'G') ? 1U : 0U;
+    }
+    return n;
+  };
+  const std::size_t with = count_cg(suppressed.generate(100000, 3));
+  const std::size_t without = count_cg(neutral.generate(100000, 3));
+  EXPECT_LT(with * 2, without);  // at least halved
+}
+
+TEST(GeneratorTest, RejectsBadParams) {
+  EXPECT_THROW(GenomeGenerator(MarkovParams{0.0, 0.1, 0.5}), std::invalid_argument);
+  EXPECT_THROW(GenomeGenerator(MarkovParams{1.0, 0.1, 0.5}), std::invalid_argument);
+  EXPECT_THROW(GenomeGenerator(MarkovParams{0.4, 1.0, 0.5}), std::invalid_argument);
+  EXPECT_THROW(GenomeGenerator(MarkovParams{0.4, -0.1, 0.5}), std::invalid_argument);
+  EXPECT_THROW(GenomeGenerator(MarkovParams{0.4, 0.1, 0.0}), std::invalid_argument);
+}
+
+TEST(MotifPlanting, PlantedMotifsAreFound) {
+  const GenomeGenerator gen;
+  const std::string motif = "GATTACAGATTACA";  // long enough to be rare
+  const Sequence seq =
+      gen.generate_with_motifs("s", 100000, 11, {{motif, 25}});
+  const auto dfa = automata::build_aho_corasick({motif});
+  // Planted copies never overlap, and a 14-mer essentially never occurs by
+  // chance in 100 kB, so the count is >= 25 (paranoid: >=).
+  EXPECT_GE(automata::count_matches(dfa, seq.view()), 25u);
+}
+
+TEST(MotifPlanting, RejectsOversizedAndInvalidMotifs) {
+  const GenomeGenerator gen;
+  EXPECT_THROW((void)gen.generate_with_motifs("s", 4, 1, {{"ACGTA", 1}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)gen.generate_with_motifs("s", 100, 1, {{"ACNT", 1}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)gen.generate_with_motifs("s", 100, 1, {{"", 1}}),
+               std::invalid_argument);
+}
+
+TEST(MotifPlanting, NoMotifsEqualsPlainGeneration) {
+  const GenomeGenerator gen;
+  const Sequence planted = gen.generate_with_motifs("s", 1000, 5, {});
+  EXPECT_EQ(planted.bases(), gen.generate(1000, 5));
+}
+
+class GcSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GcSweep, StationaryCompositionTracksParameter) {
+  const double gc = GetParam();
+  const GenomeGenerator gen(MarkovParams{gc, 0.1, 1.0});  // no CpG skew
+  const Sequence s("s", gen.generate(150000, 99));
+  EXPECT_NEAR(s.gc_content(), gc, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, GcSweep, ::testing::Values(0.3, 0.41, 0.5, 0.6));
+
+}  // namespace
+}  // namespace hetopt::dna

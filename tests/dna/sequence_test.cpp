@@ -1,0 +1,57 @@
+#include "dna/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetopt::dna {
+namespace {
+
+TEST(SequenceTest, StoresUppercased) {
+  const Sequence s("s1", "acgT");
+  EXPECT_EQ(s.bases(), "ACGT");
+  EXPECT_EQ(s.name(), "s1");
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(SequenceTest, RejectsInvalidBases) {
+  EXPECT_THROW(Sequence("bad", "ACXG"), std::invalid_argument);
+  EXPECT_THROW(Sequence("bad", "AC GT"), std::invalid_argument);
+}
+
+TEST(SequenceTest, EmptyIsAllowed) {
+  const Sequence s("empty", "");
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.gc_content(), 0.0);
+}
+
+TEST(SequenceTest, SliceClampsAtEnd) {
+  const Sequence s("s", "ACGTACGT");
+  EXPECT_EQ(s.slice(0, 4), "ACGT");
+  EXPECT_EQ(s.slice(6, 10), "GT");
+  EXPECT_EQ(s.slice(8, 2), "");
+  EXPECT_EQ(s.slice(100, 2), "");
+}
+
+TEST(SequenceTest, GcContent) {
+  EXPECT_DOUBLE_EQ(Sequence("s", "GGCC").gc_content(), 1.0);
+  EXPECT_DOUBLE_EQ(Sequence("s", "AATT").gc_content(), 0.0);
+  EXPECT_DOUBLE_EQ(Sequence("s", "ACGT").gc_content(), 0.5);
+}
+
+TEST(SequenceTest, BaseCountsSumToSize) {
+  const Sequence s("s", "AACCCGGGGT");
+  const auto counts = s.base_counts();
+  EXPECT_EQ(counts[0], 2u);  // A
+  EXPECT_EQ(counts[1], 3u);  // C
+  EXPECT_EQ(counts[2], 4u);  // G
+  EXPECT_EQ(counts[3], 1u);  // T
+}
+
+TEST(SequenceTest, IndexOperator) {
+  const Sequence s("s", "ACGT");
+  EXPECT_EQ(s[0], 'A');
+  EXPECT_EQ(s[3], 'T');
+}
+
+}  // namespace
+}  // namespace hetopt::dna

@@ -1,0 +1,88 @@
+#include "ml/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetopt::ml {
+namespace {
+
+TEST(MatrixTest, StorageAndBounds) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 7.0);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 3), std::out_of_range);
+}
+
+TEST(Solve, IdentityReturnsRhs) {
+  Matrix a(3, 3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) a.at(i, i) = 1.0;
+  const auto x = solve(a, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(Solve, KnownSystem) {
+  // 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3.
+  Matrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  const auto x = solve(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, RequiresPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  const auto x = solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, SingularThrows) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  EXPECT_THROW((void)solve(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(Solve, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW((void)solve(a, {1.0, 2.0}), std::invalid_argument);
+  Matrix b(2, 2);
+  EXPECT_THROW((void)solve(b, {1.0}), std::invalid_argument);
+}
+
+TEST(Solve, LargerRandomSystemResidualSmall) {
+  constexpr std::size_t n = 12;
+  Matrix a(n, n);
+  std::vector<double> truth(n);
+  // Diagonally dominant deterministic matrix.
+  for (std::size_t i = 0; i < n; ++i) {
+    truth[i] = static_cast<double>(i) - 3.5;
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(i, j) = (i == j) ? 20.0 : 1.0 / (1.0 + static_cast<double>(i + 2 * j));
+    }
+  }
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * truth[j];
+  }
+  const auto x = solve(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], truth[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace hetopt::ml

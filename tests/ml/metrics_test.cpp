@@ -1,0 +1,62 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/linear_regression.hpp"
+
+namespace hetopt::ml {
+namespace {
+
+TEST(Metrics, PaperEquations) {
+  // Eq. 5 and Eq. 6 from the paper.
+  EXPECT_DOUBLE_EQ(absolute_error(2.0, 1.5), 0.5);
+  EXPECT_DOUBLE_EQ(absolute_error(1.5, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(percent_error(2.0, 1.5), 25.0);
+  EXPECT_THROW((void)percent_error(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Metrics, SummaryOverKnownVectors) {
+  const std::vector<double> measured{1.0, 2.0, 4.0};
+  const std::vector<double> predicted{1.1, 1.8, 4.0};
+  const ErrorSummary s = summarize_errors(measured, predicted);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.mean_absolute, (0.1 + 0.2 + 0.0) / 3.0, 1e-12);
+  EXPECT_NEAR(s.mean_percent, (10.0 + 10.0 + 0.0) / 3.0, 1e-9);
+  EXPECT_NEAR(s.max_absolute, 0.2, 1e-12);
+  EXPECT_NEAR(s.rmse, std::sqrt((0.01 + 0.04) / 3.0), 1e-12);
+}
+
+TEST(Metrics, SummaryRejectsBadInput) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)summarize_errors(a, b), std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)summarize_errors(empty, empty), std::invalid_argument);
+}
+
+TEST(Metrics, EvaluateRunsModelOverDataset) {
+  Dataset train({"x"});
+  for (int i = 0; i < 10; ++i) {
+    train.add(std::vector<double>{static_cast<double>(i)}, 2.0 * i + 1.0);
+  }
+  LinearRegressor model;
+  model.fit(train);
+  std::vector<double> abs_errors;
+  const ErrorSummary s = evaluate(model, train, &abs_errors);
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_LT(s.mean_absolute, 1e-9);
+  EXPECT_EQ(abs_errors.size(), 10u);
+}
+
+TEST(Metrics, EvaluateRejectsEmptyDataset) {
+  LinearRegressor model;
+  Dataset d({"x"});
+  d.add(std::vector<double>{1.0}, 2.0);
+  model.fit(d);
+  EXPECT_THROW((void)evaluate(model, Dataset({"x"})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetopt::ml

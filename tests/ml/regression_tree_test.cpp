@@ -1,0 +1,142 @@
+#include "ml/regression_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace hetopt::ml {
+namespace {
+
+TEST(RegressionTreeTest, FitsPiecewiseConstantExactly) {
+  Dataset d({"x"});
+  for (int i = 0; i < 40; ++i) {
+    const double x = i;
+    d.add(std::vector<double>{x}, x < 20 ? 1.0 : 5.0);
+  }
+  RegressionTree tree(TreeParams{4, 1, 2});
+  tree.fit(d);
+  EXPECT_NEAR(tree.predict(std::vector<double>{5.0}), 1.0, 1e-12);
+  EXPECT_NEAR(tree.predict(std::vector<double>{30.0}), 5.0, 1e-12);
+}
+
+TEST(RegressionTreeTest, DepthZeroIsGlobalMean) {
+  Dataset d({"x"});
+  d.add(std::vector<double>{0.0}, 2.0);
+  d.add(std::vector<double>{1.0}, 4.0);
+  RegressionTree tree(TreeParams{0, 1, 2});
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.5}), 3.0);
+}
+
+TEST(RegressionTreeTest, RespectsMaxDepth) {
+  Dataset d({"x"});
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0, 10);
+    d.add(std::vector<double>{x}, std::sin(x));
+  }
+  RegressionTree tree(TreeParams{3, 1, 2});
+  tree.fit(d);
+  EXPECT_LE(tree.depth(), 4);  // depth counts nodes on the path
+}
+
+TEST(RegressionTreeTest, MinSamplesLeafHonoured) {
+  Dataset d({"x"});
+  for (int i = 0; i < 10; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i)}, static_cast<double>(i));
+  }
+  RegressionTree tree(TreeParams{10, 4, 8});
+  tree.fit(d);
+  // With min_samples_leaf = 4 and 10 rows, at most one split is possible.
+  EXPECT_LE(tree.leaf_count(), 2u);
+}
+
+TEST(RegressionTreeTest, PureNodeStopsSplitting) {
+  Dataset d({"x"});
+  for (int i = 0; i < 20; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i % 7)}, 3.0);
+  }
+  RegressionTree tree(TreeParams{8, 1, 2});
+  tree.fit(d);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+}
+
+TEST(RegressionTreeTest, ConstantFeatureCannotSplit) {
+  Dataset d({"x"});
+  for (int i = 0; i < 20; ++i) {
+    d.add(std::vector<double>{1.0}, static_cast<double>(i));
+  }
+  RegressionTree tree(TreeParams{8, 1, 2});
+  tree.fit(d);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{1.0}), 9.5);
+}
+
+TEST(RegressionTreeTest, SelectsInformativeFeature) {
+  // Feature 0 is noise, feature 1 carries the signal.
+  Dataset d({"noise", "signal"});
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double noise = rng.uniform(0, 1);
+    const double signal = (i % 2 == 0) ? 0.0 : 10.0;
+    d.add(std::vector<double>{noise, signal}, signal > 5.0 ? 100.0 : -100.0);
+  }
+  RegressionTree tree(TreeParams{1, 1, 2});
+  tree.fit(d);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.5, 0.0}), -100.0, 1e-9);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.5, 10.0}), 100.0, 1e-9);
+}
+
+TEST(RegressionTreeTest, FitTargetsOverridesDatasetTargets) {
+  Dataset d({"x"});
+  for (int i = 0; i < 10; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i)}, 0.0);
+  }
+  std::vector<double> residuals(10, 7.0);
+  RegressionTree tree;
+  tree.fit_targets(d, residuals);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{4.0}), 7.0);
+}
+
+TEST(RegressionTreeTest, UsageErrors) {
+  RegressionTree tree;
+  EXPECT_THROW((void)tree.predict(std::vector<double>{1.0}), std::logic_error);
+  EXPECT_THROW(tree.fit(Dataset({"x"})), std::invalid_argument);
+  EXPECT_THROW(RegressionTree(TreeParams{-1, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(RegressionTree(TreeParams{3, 0, 2}), std::invalid_argument);
+
+  Dataset d({"x"});
+  d.add(std::vector<double>{1.0}, 1.0);
+  std::vector<double> wrong_size(2, 0.0);
+  EXPECT_THROW(tree.fit_targets(d, wrong_size), std::invalid_argument);
+  tree.fit(d);
+  EXPECT_THROW((void)tree.predict(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(RegressionTreeTest, TrainingErrorDecreasesWithDepth) {
+  Dataset d({"x"});
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform(0, 10);
+    d.add(std::vector<double>{x}, x * x);
+  }
+  double prev_sse = 1e300;
+  for (int depth : {1, 2, 4, 8}) {
+    RegressionTree tree(TreeParams{depth, 1, 2});
+    tree.fit(d);
+    double sse = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const double e = d.target(i) - tree.predict(d.row(i));
+      sse += e * e;
+    }
+    EXPECT_LE(sse, prev_sse + 1e-9) << "depth " << depth;
+    prev_sse = sse;
+  }
+}
+
+}  // namespace
+}  // namespace hetopt::ml

@@ -1,0 +1,147 @@
+#include "ml/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace hetopt::ml {
+namespace {
+
+Dataset surface(std::size_t n, std::uint64_t seed) {
+  Dataset d({"x1", "x2", "x3"});
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0, 5);
+    const double b = rng.uniform(0, 5);
+    const double c = rng.uniform(0, 1);
+    d.add(std::vector<double>{a, b, c}, 1.0 + a * 0.5 + b * b * 0.1 + c);
+  }
+  return d;
+}
+
+TEST(SerializeNormalizer, RoundTripPreservesTransform) {
+  const Dataset data = surface(50, 1);
+  Normalizer original;
+  original.fit(data);
+
+  std::stringstream ss;
+  save(ss, original);
+  const Normalizer loaded = load_normalizer(ss);
+
+  std::vector<double> a(3);
+  std::vector<double> b(3);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    original.transform_row(data.row(i), a);
+    loaded.transform_row(data.row(i), b);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(a[j], b[j]);
+  }
+}
+
+TEST(SerializeNormalizer, RejectsUnfittedAndGarbage) {
+  std::stringstream ss;
+  EXPECT_THROW(save(ss, Normalizer{}), std::runtime_error);
+  std::stringstream bad("not-a-normalizer 3");
+  EXPECT_THROW((void)load_normalizer(bad), std::runtime_error);
+  std::stringstream truncated("hetopt-normalizer-v1\n2\n0.0 1.0\n");
+  EXPECT_THROW((void)load_normalizer(truncated), std::runtime_error);
+}
+
+TEST(SerializeBoostedTrees, RoundTripPredictsIdentically) {
+  const Dataset train = surface(300, 2);
+  BoostedTreesParams params;
+  params.rounds = 80;
+  params.subsample = 0.8;
+  BoostedTreesRegressor original(params);
+  original.fit(train);
+
+  std::stringstream ss;
+  save(ss, original);
+  const BoostedTreesRegressor loaded = load_boosted_trees(ss);
+
+  EXPECT_EQ(loaded.trained_rounds(), original.trained_rounds());
+  util::Xoshiro256 rng(3);
+  for (int probe = 0; probe < 200; ++probe) {
+    const std::vector<double> q{rng.uniform(0, 5), rng.uniform(0, 5), rng.uniform(0, 1)};
+    EXPECT_DOUBLE_EQ(loaded.predict(q), original.predict(q));
+  }
+}
+
+TEST(SerializeBoostedTrees, RoundTripPreservesParams) {
+  const Dataset train = surface(100, 4);
+  BoostedTreesParams params;
+  params.rounds = 25;
+  params.learning_rate = 0.07;
+  params.tree.max_depth = 4;
+  BoostedTreesRegressor original(params);
+  original.fit(train);
+
+  std::stringstream ss;
+  save(ss, original);
+  const BoostedTreesRegressor loaded = load_boosted_trees(ss);
+  EXPECT_EQ(loaded.params().rounds, 25);
+  EXPECT_DOUBLE_EQ(loaded.params().learning_rate, 0.07);
+  EXPECT_EQ(loaded.params().tree.max_depth, 4);
+  EXPECT_DOUBLE_EQ(loaded.base_prediction(), original.base_prediction());
+}
+
+TEST(SerializeBoostedTrees, RejectsUnfittedAndGarbage) {
+  std::stringstream ss;
+  EXPECT_THROW(save(ss, BoostedTreesRegressor{}), std::runtime_error);
+  std::stringstream bad("wrong-magic");
+  EXPECT_THROW((void)load_boosted_trees(bad), std::runtime_error);
+  std::stringstream truncated("hetopt-boosted-trees-v1\n10 0.1 5 3 6 1 99\n2.5\n3 1\n");
+  EXPECT_THROW((void)load_boosted_trees(truncated), std::runtime_error);
+}
+
+TEST(ExportedNodes, FromNodesValidatesStructure) {
+  std::vector<RegressionTree::ExportedNode> bad_child{
+      {0, 0.5, 7, 2, 0.0}, {-1, 0, -1, -1, 1.0}, {-1, 0, -1, -1, 2.0}};
+  EXPECT_THROW((void)RegressionTree::from_nodes(TreeParams{}, bad_child, 2),
+               std::invalid_argument);
+  std::vector<RegressionTree::ExportedNode> bad_feature{
+      {5, 0.5, 1, 2, 0.0}, {-1, 0, -1, -1, 1.0}, {-1, 0, -1, -1, 2.0}};
+  EXPECT_THROW((void)RegressionTree::from_nodes(TreeParams{}, bad_feature, 2),
+               std::invalid_argument);
+  std::vector<RegressionTree::ExportedNode> half_leaf{{0, 0.5, 1, -1, 0.0},
+                                                      {-1, 0, -1, -1, 1.0}};
+  EXPECT_THROW((void)RegressionTree::from_nodes(TreeParams{}, half_leaf, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)RegressionTree::from_nodes(TreeParams{}, {}, 2),
+               std::invalid_argument);
+}
+
+TEST(FeatureImportance, IdentifiesInformativeFeature) {
+  // Feature 1 carries all signal; importance must concentrate there.
+  Dataset d({"noise", "signal"});
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const double noise = rng.uniform(0, 1);
+    const double signal = rng.uniform(0, 10);
+    d.add(std::vector<double>{noise, signal}, signal * signal);
+  }
+  BoostedTreesParams params;
+  params.rounds = 40;
+  BoostedTreesRegressor model(params);
+  model.fit(d);
+  const auto importance = model.feature_importance(2);
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_NEAR(importance[0] + importance[1], 1.0, 1e-12);
+  EXPECT_GT(importance[1], 0.8);
+}
+
+TEST(FeatureImportance, AllZeroWhenNoSplits) {
+  Dataset d({"x"});
+  d.add(std::vector<double>{1.0}, 5.0);
+  d.add(std::vector<double>{1.0}, 5.0);
+  BoostedTreesParams params;
+  params.rounds = 5;
+  BoostedTreesRegressor model(params);
+  model.fit(d);  // constant target & feature: no splits possible
+  const auto importance = model.feature_importance(1);
+  EXPECT_DOUBLE_EQ(importance[0], 0.0);
+}
+
+}  // namespace
+}  // namespace hetopt::ml

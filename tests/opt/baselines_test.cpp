@@ -1,0 +1,102 @@
+#include "opt/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opt/enumeration.hpp"
+
+namespace hetopt::opt {
+namespace {
+
+double valley(const SystemConfig& c) {
+  const double f = c.host_percent - 50.0;
+  return 1.0 + f * f / 500.0 + 0.02 * std::abs(c.host_threads - 8);
+}
+
+TEST(RandomSearchTest, RespectsBudgetExactly) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  std::size_t calls = 0;
+  const Objective counting = [&](const SystemConfig& c) {
+    ++calls;
+    return valley(c);
+  };
+  const auto r = random_search(space, counting, 37, 1);
+  EXPECT_EQ(calls, 37u);
+  EXPECT_EQ(r.evaluations, 37u);
+}
+
+TEST(RandomSearchTest, DeterministicInSeed) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  const auto a = random_search(space, valley, 100, 5);
+  const auto b = random_search(space, valley, 100, 5);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_DOUBLE_EQ(a.best_energy, b.best_energy);
+}
+
+TEST(RandomSearchTest, LargeBudgetFindsOptimumOfTinySpace) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  const auto em = enumerate_best(space, valley);
+  const auto rs = random_search(space, valley, 2000, 3);
+  EXPECT_DOUBLE_EQ(rs.best_energy, em.best_energy);
+}
+
+TEST(RandomSearchTest, ZeroBudgetRejected) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  EXPECT_THROW((void)random_search(space, valley, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)random_search(space, Objective{}, 10, 1), std::invalid_argument);
+}
+
+TEST(HillClimbingTest, RespectsBudget) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  std::size_t calls = 0;
+  const Objective counting = [&](const SystemConfig& c) {
+    ++calls;
+    return valley(c);
+  };
+  const auto r = hill_climbing(space, counting, 73, 2);
+  EXPECT_EQ(calls, 73u);
+  EXPECT_EQ(r.evaluations, 73u);
+}
+
+TEST(HillClimbingTest, ImprovesOverItsStartingPoint) {
+  const ConfigSpace space = ConfigSpace::paper();
+  util::Xoshiro256 rng(4);
+  const SystemConfig start = space.random(rng);
+  (void)start;
+  const auto r = hill_climbing(space, valley, 500, 4);
+  // On a smooth valley the climber should get close to the global optimum.
+  const auto em = enumerate_best(space, valley);
+  EXPECT_LT(r.best_energy, em.best_energy * 1.5 + 0.5);
+}
+
+TEST(HillClimbingTest, RestartsEscapeFlatRegions) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  // Constant objective: every move is non-improving, so the budget is spent
+  // through restarts. Must terminate and return a valid config.
+  const auto r = hill_climbing(
+      space, [](const SystemConfig&) { return 1.0; }, 200, 6, /*patience=*/5);
+  EXPECT_EQ(r.evaluations, 200u);
+  EXPECT_TRUE(space.contains(r.best));
+}
+
+TEST(HillClimbingTest, ArgumentValidation) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  EXPECT_THROW((void)hill_climbing(space, valley, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)hill_climbing(space, Objective{}, 10, 1), std::invalid_argument);
+}
+
+TEST(CountingObjectiveTest, CountsAndValidates) {
+  CountingObjective obj(valley);
+  const ConfigSpace space = ConfigSpace::tiny();
+  const SystemConfig c = space.at(0);
+  (void)obj(c);
+  (void)obj(c);
+  EXPECT_EQ(obj.count(), 2u);
+  obj.reset();
+  EXPECT_EQ(obj.count(), 0u);
+  CountingObjective bad([](const SystemConfig&) { return -1.0; });
+  EXPECT_THROW((void)bad(c), std::runtime_error);
+  EXPECT_THROW(CountingObjective(Objective{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetopt::opt

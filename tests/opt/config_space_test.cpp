@@ -1,0 +1,149 @@
+#include "opt/config_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hetopt::opt {
+namespace {
+
+TEST(ConfigSpaceTest, PaperSpaceHas19926Points) {
+  // 6 host threads x 3 host affinities x 9 device threads x 3 device
+  // affinities x 41 fractions = 19 926 (see DESIGN.md).
+  const ConfigSpace space = ConfigSpace::paper();
+  EXPECT_EQ(space.size(), 19926u);
+  EXPECT_EQ(space.host_threads().size(), 6u);
+  EXPECT_EQ(space.device_threads().size(), 9u);
+  EXPECT_EQ(space.fractions().size(), 41u);
+}
+
+TEST(ConfigSpaceTest, AtAndIndexOfAreInverse) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_EQ(space.index_of(space.at(i)), i);
+  }
+}
+
+TEST(ConfigSpaceTest, AtEnumeratesDistinctConfigs) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    seen.insert(to_string(space.at(i)));
+  }
+  EXPECT_EQ(seen.size(), space.size());
+}
+
+TEST(ConfigSpaceTest, AtOutOfRangeThrows) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  EXPECT_THROW((void)space.at(space.size()), std::out_of_range);
+}
+
+TEST(ConfigSpaceTest, IndexOfRejectsOffAxisValues) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  SystemConfig c = space.at(0);
+  c.host_threads = 999;
+  EXPECT_THROW((void)space.index_of(c), std::invalid_argument);
+  EXPECT_FALSE(space.contains(c));
+  EXPECT_TRUE(space.contains(space.at(3)));
+}
+
+TEST(ConfigSpaceTest, RandomStaysInSpace) {
+  const ConfigSpace space = ConfigSpace::paper();
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(space.contains(space.random(rng)));
+  }
+}
+
+TEST(ConfigSpaceTest, RandomCoversTheSpace) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  util::Xoshiro256 rng(2);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 4000; ++i) {
+    seen.insert(space.index_of(space.random(rng)));
+  }
+  EXPECT_EQ(seen.size(), space.size());  // all 80 points sampled
+}
+
+TEST(ConfigSpaceTest, NeighborAlwaysValidAndDifferent) {
+  const ConfigSpace space = ConfigSpace::paper();
+  util::Xoshiro256 rng(3);
+  SystemConfig current = space.random(rng);
+  int unchanged = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const SystemConfig next = space.neighbor(current, rng);
+    EXPECT_TRUE(space.contains(next));
+    if (next == current) ++unchanged;
+    current = next;
+  }
+  // Affinity axes with 3 values can occasionally propose the same config via
+  // a categorical resample, but that must be rare-to-never.
+  EXPECT_LE(unchanged, 10);
+}
+
+TEST(ConfigSpaceTest, NeighborChangesExactlyOneParameter) {
+  const ConfigSpace space = ConfigSpace::paper();
+  util::Xoshiro256 rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const SystemConfig current = space.random(rng);
+    const SystemConfig next = space.neighbor(current, rng);
+    int changed = 0;
+    changed += (next.host_threads != current.host_threads) ? 1 : 0;
+    changed += (next.host_affinity != current.host_affinity) ? 1 : 0;
+    changed += (next.device_threads != current.device_threads) ? 1 : 0;
+    changed += (next.device_affinity != current.device_affinity) ? 1 : 0;
+    changed += (next.host_percent != current.host_percent) ? 1 : 0;
+    EXPECT_LE(changed, 1);
+  }
+}
+
+TEST(ConfigSpaceTest, NeighborStepsAreLocalOnOrderedAxes) {
+  const ConfigSpace space = ConfigSpace::paper();
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const SystemConfig current = space.random(rng);
+    const SystemConfig next = space.neighbor(current, rng);
+    if (next.host_percent != current.host_percent) {
+      EXPECT_LE(std::abs(next.host_percent - current.host_percent), 3 * 2.5 + 1e-9);
+    }
+  }
+}
+
+TEST(ConfigSpaceTest, ValidationOfAxes) {
+  EXPECT_THROW(ConfigSpace({}, {parallel::HostAffinity::kNone}, {2},
+                           {parallel::DeviceAffinity::kBalanced}, {50.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ConfigSpace({4, 2}, {parallel::HostAffinity::kNone}, {2},
+                           {parallel::DeviceAffinity::kBalanced}, {50.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ConfigSpace({2}, {parallel::HostAffinity::kNone}, {2},
+                           {parallel::DeviceAffinity::kBalanced}, {150.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ConfigSpace({2}, {}, {2}, {parallel::DeviceAffinity::kBalanced}, {50.0}),
+               std::invalid_argument);
+}
+
+TEST(ConfigSpaceTest, SinglePointSpaceWorks) {
+  const ConfigSpace space({4}, {parallel::HostAffinity::kScatter}, {60},
+                          {parallel::DeviceAffinity::kBalanced}, {50.0});
+  EXPECT_EQ(space.size(), 1u);
+  util::Xoshiro256 rng(6);
+  const SystemConfig only = space.at(0);
+  EXPECT_EQ(space.random(rng), only);
+  // Neighbour of the only point stays the only point (threads/fraction axes
+  // cannot move, affinity axes have no alternative).
+  EXPECT_EQ(space.neighbor(only, rng), only);
+}
+
+TEST(ConfigTest, ToStringIsHumanReadable) {
+  SystemConfig c;
+  c.host_threads = 24;
+  c.host_affinity = parallel::HostAffinity::kScatter;
+  c.device_threads = 60;
+  c.device_affinity = parallel::DeviceAffinity::kBalanced;
+  c.host_percent = 62.5;
+  EXPECT_EQ(to_string(c), "host 24t/scatter 62.5% | device 60t/balanced 37.5%");
+}
+
+}  // namespace
+}  // namespace hetopt::opt

@@ -1,0 +1,61 @@
+#include "opt/enumeration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetopt::opt {
+namespace {
+
+double fraction_energy(const SystemConfig& c) {
+  return std::abs(c.host_percent - 75.0) + 0.01 * c.host_threads;
+}
+
+TEST(Enumeration, VisitsEveryConfigurationExactlyOnce) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  std::size_t visits = 0;
+  const auto r = enumerate_best(space, fraction_energy,
+                                [&](const SystemConfig&, double) { ++visits; });
+  EXPECT_EQ(visits, space.size());
+  EXPECT_EQ(r.evaluations, space.size());
+}
+
+TEST(Enumeration, FindsTheTrueOptimum) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  const auto r = enumerate_best(space, fraction_energy);
+  // Optimum: fraction 75, fewest host threads (4).
+  EXPECT_DOUBLE_EQ(r.best.host_percent, 75.0);
+  EXPECT_EQ(r.best.host_threads, 4);
+  double expected = fraction_energy(r.best);
+  EXPECT_DOUBLE_EQ(r.best_energy, expected);
+}
+
+TEST(Enumeration, VisitorSeesEnergies) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  double sum = 0.0;
+  (void)enumerate_best(space, fraction_energy,
+                       [&](const SystemConfig& c, double e) {
+                         EXPECT_DOUBLE_EQ(e, fraction_energy(c));
+                         sum += e;
+                       });
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(Enumeration, PaperSpaceCountsMatch) {
+  // The paper reports 19 926 enumeration experiments.
+  const ConfigSpace space = ConfigSpace::paper();
+  const auto r = enumerate_best(space, [](const SystemConfig&) { return 1.0; });
+  EXPECT_EQ(r.evaluations, 19926u);
+}
+
+TEST(Enumeration, NullObjectiveRejected) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  EXPECT_THROW((void)enumerate_best(space, Objective{}), std::invalid_argument);
+}
+
+TEST(Enumeration, TieBreaksToLowestIndex) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  const auto r = enumerate_best(space, [](const SystemConfig&) { return 5.0; });
+  EXPECT_EQ(space.index_of(r.best), 0u);
+}
+
+}  // namespace
+}  // namespace hetopt::opt

@@ -1,0 +1,35 @@
+#include "parallel/affinity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetopt::parallel {
+namespace {
+
+TEST(Affinity, HostRoundTripThroughStrings) {
+  for (HostAffinity a : kAllHostAffinities) {
+    EXPECT_EQ(host_affinity_from_string(to_string(a)), a);
+  }
+}
+
+TEST(Affinity, DeviceRoundTripThroughStrings) {
+  for (DeviceAffinity a : kAllDeviceAffinities) {
+    EXPECT_EQ(device_affinity_from_string(to_string(a)), a);
+  }
+}
+
+TEST(Affinity, TableOneVocabulary) {
+  // Host: none/scatter/compact; device: balanced/scatter/compact (Table I).
+  EXPECT_EQ(to_string(HostAffinity::kNone), "none");
+  EXPECT_EQ(to_string(DeviceAffinity::kBalanced), "balanced");
+  EXPECT_EQ(kAllHostAffinities.size(), 3u);
+  EXPECT_EQ(kAllDeviceAffinities.size(), 3u);
+}
+
+TEST(Affinity, UnknownNamesThrow) {
+  EXPECT_THROW((void)host_affinity_from_string("balanced"), std::invalid_argument);
+  EXPECT_THROW((void)device_affinity_from_string("none"), std::invalid_argument);
+  EXPECT_THROW((void)host_affinity_from_string(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetopt::parallel

@@ -1,0 +1,65 @@
+#include "parallel/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetopt::parallel {
+namespace {
+
+TEST(SplitByPercent, ExactEndpoints) {
+  const auto all_host = split_by_percent(1000, 100.0);
+  EXPECT_EQ(all_host.host_bytes, 1000u);
+  EXPECT_EQ(all_host.device_bytes, 0u);
+  const auto all_device = split_by_percent(1000, 0.0);
+  EXPECT_EQ(all_device.host_bytes, 0u);
+  EXPECT_EQ(all_device.device_bytes, 1000u);
+}
+
+TEST(SplitByPercent, PartsAlwaysSumToTotal) {
+  for (std::size_t total : {0u, 1u, 7u, 999u, 1000000u}) {
+    for (double pct = 0.0; pct <= 100.0; pct += 2.5) {
+      const auto s = split_by_percent(total, pct);
+      EXPECT_EQ(s.host_bytes + s.device_bytes, total);
+    }
+  }
+}
+
+TEST(SplitByPercent, RoundsToNearest) {
+  EXPECT_EQ(split_by_percent(10, 25.0).host_bytes, 3u);   // 2.5 -> 3 (llround)
+  EXPECT_EQ(split_by_percent(100, 62.5).host_bytes, 63u);
+}
+
+TEST(SplitByPercent, RejectsOutOfRange) {
+  EXPECT_THROW((void)split_by_percent(10, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)split_by_percent(10, 100.5), std::invalid_argument);
+}
+
+TEST(MakeChunks, TilesExactly) {
+  const auto chunks = make_chunks(100, 7, 5);
+  ASSERT_EQ(chunks.size(), 7u);
+  EXPECT_EQ(chunks.front().begin, 0u);
+  EXPECT_EQ(chunks.back().end, 100u);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i - 1].end, chunks[i].begin);
+  }
+}
+
+TEST(MakeChunks, HaloExtendsButClampsAtEnd) {
+  const auto chunks = make_chunks(100, 4, 10);
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.scan_end, std::min<std::size_t>(100, c.end + 10));
+  }
+  EXPECT_EQ(chunks.back().scan_end, 100u);
+}
+
+TEST(MakeChunks, MoreChunksThanItemsClamps) {
+  const auto chunks = make_chunks(3, 10, 0);
+  EXPECT_EQ(chunks.size(), 3u);
+}
+
+TEST(MakeChunks, EmptyInputs) {
+  EXPECT_TRUE(make_chunks(0, 4, 1).empty());
+  EXPECT_TRUE(make_chunks(10, 0, 1).empty());
+}
+
+}  // namespace
+}  // namespace hetopt::parallel

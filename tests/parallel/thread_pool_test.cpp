@@ -1,0 +1,130 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace hetopt::parallel {
+namespace {
+
+TEST(ChunkBegin, EvenAndUnevenSplits) {
+  // 10 items, 3 chunks -> sizes 4,3,3.
+  EXPECT_EQ(chunk_begin(10, 3, 0), 0u);
+  EXPECT_EQ(chunk_begin(10, 3, 1), 4u);
+  EXPECT_EQ(chunk_begin(10, 3, 2), 7u);
+  EXPECT_EQ(chunk_begin(10, 3, 3), 10u);
+}
+
+TEST(ChunkBegin, DegenerateInputs) {
+  EXPECT_EQ(chunk_begin(0, 4, 0), 0u);
+  EXPECT_EQ(chunk_begin(0, 4, 4), 0u);
+  EXPECT_EQ(chunk_begin(5, 0, 0), 0u);
+}
+
+TEST(ChunkBegin, TilesExactlyForManyShapes) {
+  for (std::size_t n : {1u, 2u, 7u, 100u, 101u}) {
+    for (std::size_t k : {1u, 2u, 3u, 7u, 100u}) {
+      EXPECT_EQ(chunk_begin(n, k, 0), 0u);
+      EXPECT_EQ(chunk_begin(n, k, k), n);
+      for (std::size_t i = 0; i < k; ++i) {
+        EXPECT_LE(chunk_begin(n, k, i), chunk_begin(n, k, i + 1));
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 57) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelChunksTileTheRange) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  pool.parallel_chunks(103, 7, [&](std::size_t, std::size_t b, std::size_t e) {
+    const std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(b, e);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  ASSERT_EQ(ranges.size(), 7u);
+  EXPECT_EQ(ranges.front().first, 0u);
+  EXPECT_EQ(ranges.back().second, 103u);
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i - 1].second, ranges[i].first);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelChunksClampsToItemCount) {
+  ThreadPool pool(4);
+  std::atomic<int> chunks{0};
+  pool.parallel_chunks(3, 10, [&](std::size_t, std::size_t, std::size_t) {
+    chunks.fetch_add(1);
+  });
+  EXPECT_EQ(chunks.load(), 3);
+}
+
+TEST(ThreadPoolTest, ManySmallTasksComplete) {
+  ThreadPool pool(8);
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(500);
+  for (int i = 1; i <= 500; ++i) {
+    futures.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 500L * 501 / 2);
+}
+
+TEST(ThreadPoolTest, NestedParallelismViaSeparatePools) {
+  // The executor runs two pools concurrently; verify that pattern works.
+  ThreadPool a(2);
+  ThreadPool b(2);
+  std::atomic<int> total{0};
+  auto fa = a.submit([&] {
+    b.parallel_for(10, [&](std::size_t) { total.fetch_add(1); });
+    return 0;
+  });
+  fa.get();
+  EXPECT_EQ(total.load(), 10);
+}
+
+}  // namespace
+}  // namespace hetopt::parallel

@@ -1,0 +1,108 @@
+#include "sim/placement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetopt::sim {
+namespace {
+
+using parallel::DeviceAffinity;
+using parallel::HostAffinity;
+
+class PlacementFixture : public ::testing::Test {
+ protected:
+  MachineSpec spec_ = emil_spec();
+};
+
+TEST_F(PlacementFixture, ScatterSpreadsAcrossCoresFirst) {
+  const Placement p = host_placement(spec_.host, 12, HostAffinity::kScatter);
+  EXPECT_EQ(p.cores_used, 12);
+  EXPECT_DOUBLE_EQ(p.thread_units, 12.0);
+}
+
+TEST_F(PlacementFixture, ScatterStacksAfterAllCoresBusy) {
+  const Placement p = host_placement(spec_.host, 36, HostAffinity::kScatter);
+  EXPECT_EQ(p.cores_used, 24);
+  EXPECT_DOUBLE_EQ(p.thread_units, 24.0 + 12.0 * spec_.host.smt_yield);
+}
+
+TEST_F(PlacementFixture, CompactPacksSmtWaysFirst) {
+  const Placement p = host_placement(spec_.host, 12, HostAffinity::kCompact);
+  EXPECT_EQ(p.cores_used, 6);
+  EXPECT_DOUBLE_EQ(p.thread_units, 6.0 + 6.0 * spec_.host.smt_yield);
+}
+
+TEST_F(PlacementFixture, ScatterAndCompactAgreeAtFullSubscription) {
+  const Placement s = host_placement(spec_.host, 48, HostAffinity::kScatter);
+  const Placement c = host_placement(spec_.host, 48, HostAffinity::kCompact);
+  EXPECT_EQ(s.cores_used, c.cores_used);
+  EXPECT_DOUBLE_EQ(s.thread_units, c.thread_units);
+}
+
+TEST_F(PlacementFixture, NoneCarriesPenalty) {
+  const Placement none = host_placement(spec_.host, 8, HostAffinity::kNone);
+  const Placement scatter = host_placement(spec_.host, 8, HostAffinity::kScatter);
+  EXPECT_LT(none.penalty, scatter.penalty);
+  EXPECT_EQ(none.cores_used, scatter.cores_used);
+}
+
+TEST_F(PlacementFixture, ThroughputHigherWithScatterThanCompactAtLowCounts) {
+  const double ts = throughput_gbps(
+      spec_.host, host_placement(spec_.host, 8, HostAffinity::kScatter));
+  const double tc = throughput_gbps(
+      spec_.host, host_placement(spec_.host, 8, HostAffinity::kCompact));
+  EXPECT_GT(ts, tc);
+}
+
+TEST_F(PlacementFixture, DeviceBalancedBeatsCompactAtLowCounts) {
+  const double tb = throughput_gbps(
+      spec_.device, device_placement(spec_.device, 60, DeviceAffinity::kBalanced));
+  const double tc = throughput_gbps(
+      spec_.device, device_placement(spec_.device, 60, DeviceAffinity::kCompact));
+  EXPECT_GT(tb, tc);
+}
+
+TEST_F(PlacementFixture, DeviceScatterSlightlyBelowBalanced) {
+  const double tb = throughput_gbps(
+      spec_.device, device_placement(spec_.device, 120, DeviceAffinity::kBalanced));
+  const double ts = throughput_gbps(
+      spec_.device, device_placement(spec_.device, 120, DeviceAffinity::kScatter));
+  EXPECT_GT(tb, ts);
+  EXPECT_GT(ts, tb * 0.95);  // but only slightly
+}
+
+TEST_F(PlacementFixture, ThroughputMonotoneInThreadsForScatter) {
+  double prev = 0.0;
+  for (int t : {2, 6, 12, 24, 36, 48}) {
+    const double cur = throughput_gbps(
+        spec_.host, host_placement(spec_.host, t, HostAffinity::kScatter));
+    EXPECT_GT(cur, prev) << t << " threads";
+    prev = cur;
+  }
+}
+
+TEST_F(PlacementFixture, DeviceThroughputMonotoneInThreadsForBalanced) {
+  double prev = 0.0;
+  for (int t : {2, 4, 8, 16, 30, 60, 120, 180, 240}) {
+    const double cur = throughput_gbps(
+        spec_.device, device_placement(spec_.device, t, DeviceAffinity::kBalanced));
+    EXPECT_GT(cur, prev) << t << " threads";
+    prev = cur;
+  }
+}
+
+TEST_F(PlacementFixture, RejectsInvalidThreadCounts) {
+  EXPECT_THROW((void)host_placement(spec_.host, 0, HostAffinity::kScatter),
+               std::invalid_argument);
+  EXPECT_THROW((void)host_placement(spec_.host, 49, HostAffinity::kScatter),
+               std::invalid_argument);
+  EXPECT_THROW((void)device_placement(spec_.device, 241, DeviceAffinity::kBalanced),
+               std::invalid_argument);
+}
+
+TEST_F(PlacementFixture, MaxThreadsMatchesPaperHardware) {
+  EXPECT_EQ(spec_.host.max_threads(), 48);
+  EXPECT_EQ(spec_.device.max_threads(), 240);  // 60 usable cores x 4
+}
+
+}  // namespace
+}  // namespace hetopt::sim

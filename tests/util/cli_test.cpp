@@ -1,0 +1,57 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetopt::util {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv) {
+  return CliArgs(static_cast<int>(argv.size()), std::data(argv));
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const auto args = make({"prog", "--size=42", "--name=human"});
+  EXPECT_EQ(args.get("size", std::int64_t{0}), 42);
+  EXPECT_EQ(args.get("name", std::string{}), "human");
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const auto args = make({"prog", "--iters", "100"});
+  EXPECT_EQ(args.get("iters", std::int64_t{0}), 100);
+}
+
+TEST(Cli, BooleanFlags) {
+  const auto args = make({"prog", "--verbose"});
+  EXPECT_TRUE(args.flag("verbose"));
+  EXPECT_FALSE(args.flag("quiet"));
+}
+
+TEST(Cli, PositionalArguments) {
+  const auto args = make({"prog", "input.fa", "--x=1", "output.txt"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.fa");
+  EXPECT_EQ(args.positional()[1], "output.txt");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const auto args = make({"prog"});
+  EXPECT_EQ(args.get("missing", std::string{"dflt"}), "dflt");
+  EXPECT_DOUBLE_EQ(args.get("missing", 2.5), 2.5);
+  EXPECT_EQ(args.get("missing", std::int64_t{7}), 7);
+}
+
+TEST(Cli, DoubleValues) {
+  const auto args = make({"prog", "--frac=62.5"});
+  EXPECT_DOUBLE_EQ(args.get("frac", 0.0), 62.5);
+}
+
+TEST(Cli, FlagFollowedByFlagIsBoolean) {
+  const auto args = make({"prog", "--a", "--b", "val"});
+  EXPECT_TRUE(args.flag("a"));
+  EXPECT_EQ(args.get("a", std::string{}), "true");
+  EXPECT_EQ(args.get("b", std::string{}), "val");
+}
+
+}  // namespace
+}  // namespace hetopt::util

@@ -1,0 +1,176 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace hetopt::util {
+namespace {
+
+TEST(SplitMix, Deterministic) {
+  std::uint64_t a = 42;
+  std::uint64_t b = 42;
+  EXPECT_EQ(splitmix64(a), splitmix64(b));
+  EXPECT_EQ(a, b);
+}
+
+TEST(SplitMix, AdvancesState) {
+  std::uint64_t s = 1;
+  const auto first = splitmix64(s);
+  const auto second = splitmix64(s);
+  EXPECT_NE(first, second);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashString, DistinguishesNames) {
+  EXPECT_NE(hash_string("human"), hash_string("mouse"));
+  EXPECT_EQ(hash_string("human"), hash_string("human"));
+}
+
+TEST(Xoshiro, ReproducibleBySeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Xoshiro, BoundedCoversAllResidues) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Xoshiro, BoundedZeroIsZero) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Xoshiro, RangeInclusive) {
+  Xoshiro256 rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Xoshiro, RangeDegenerate) {
+  Xoshiro256 rng(13);
+  EXPECT_EQ(rng.range(5, 5), 5);
+  EXPECT_EQ(rng.range(5, 4), 5);  // hi <= lo returns lo
+}
+
+TEST(Xoshiro, NormalMomentsApproximatelyStandard) {
+  Xoshiro256 rng(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Xoshiro, LognormalFactorMedianNearOne) {
+  Xoshiro256 rng(19);
+  int above = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) above += (rng.lognormal_factor(0.05) > 1.0) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(above) / kN, 0.5, 0.02);
+}
+
+TEST(Xoshiro, LognormalFactorAlwaysPositive) {
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.lognormal_factor(0.5), 0.0);
+}
+
+TEST(Xoshiro, BernoulliExtremes) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro, ForkIndependentStreams) {
+  Xoshiro256 parent(29);
+  Xoshiro256 a = parent.fork(1);
+  Xoshiro256 b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Shuffle, PermutesAllElements) {
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  Xoshiro256 rng(31);
+  shuffle(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Shuffle, SingleAndEmptyAreNoops) {
+  std::vector<int> empty;
+  std::vector<int> one{42};
+  Xoshiro256 rng(31);
+  shuffle(empty, rng);
+  shuffle(one, rng);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(one[0], 42);
+}
+
+class BoundedUniformity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundedUniformity, ApproximatelyUniform) {
+  const std::uint64_t n = GetParam();
+  Xoshiro256 rng(n * 977 + 5);
+  std::vector<int> counts(n, 0);
+  const int draws = static_cast<int>(n) * 2000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.bounded(n)];
+  for (std::uint64_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(counts[k], 2000, 2000 * 0.15) << "bucket " << k << " of " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallModuli, BoundedUniformity,
+                         ::testing::Values(2u, 3u, 5u, 7u, 11u, 41u));
+
+}  // namespace
+}  // namespace hetopt::util

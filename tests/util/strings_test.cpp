@@ -1,0 +1,71 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetopt::util {
+namespace {
+
+TEST(Split, BasicAndEdgeCases) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a,", ','), (std::vector<std::string>{"a", ""}));
+  EXPECT_EQ(split(",a", ','), (std::vector<std::string>{"", "a"}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, "-"), "x-y-z");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Trim, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(StartsWith, PrefixSemantics) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-f", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC123"), "abc123");
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 3), "1.000");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(FormatTrimmed, DropsTrailingZeros) {
+  EXPECT_EQ(format_trimmed(1.50, 2), "1.5");
+  EXPECT_EQ(format_trimmed(2.00, 2), "2");
+  EXPECT_EQ(format_trimmed(2.25, 2), "2.25");
+  EXPECT_EQ(format_trimmed(100.0, 1), "100");
+}
+
+TEST(ParseDouble, AcceptsValidRejectsInvalid) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("  -2.25 "), -2.25);
+  EXPECT_THROW((void)parse_double("abc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("1.5x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double(""), std::invalid_argument);
+}
+
+TEST(ParseInt, AcceptsValidRejectsInvalid) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+  EXPECT_THROW((void)parse_int("4.5"), std::invalid_argument);
+  EXPECT_THROW((void)parse_int(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetopt::util

@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hetopt::util {
+namespace {
+
+TEST(TableTest, RendersHeaderRuleAndRows) {
+  Table t("Demo");
+  t.header({"a", "bb"}).row({"1", "2"}).row({"333", "4"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("a   | bb"), std::string::npos);
+  EXPECT_NE(out.find("333 | 4"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, NotesAppearAtEnd) {
+  Table t;
+  t.header({"x"}).row({"1"}).note("a footnote");
+  EXPECT_NE(t.render().find("* a footnote"), std::string::npos);
+}
+
+TEST(TableTest, HandlesRaggedRows) {
+  Table t;
+  t.header({"a", "b", "c"}).row({"1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("1"), std::string::npos);  // must not crash
+}
+
+TEST(TableTest, RowCountTracksRows) {
+  Table t;
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row({"x"});
+  t.row({"y"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  Table t;
+  t.header({"name", "value"});
+  t.row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, PrintWritesToStream) {
+  Table t;
+  t.header({"h"}).row({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.render());
+}
+
+}  // namespace
+}  // namespace hetopt::util
