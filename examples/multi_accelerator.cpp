@@ -1,39 +1,93 @@
 // Domain example: the paper's future-work scenario — a node with several
-// accelerators. Shows the work-distribution problem generalized from one
-// fraction to a share vector, solved by the water-filling balancer, and how
-// the optimal shares react when one card sits behind a degraded link.
+// accelerators — tuned end-to-end through the same TuningSession API as the
+// single-device methods. A MultiDeviceMeasurementEvaluator prices each
+// (threads, affinity, host-fraction) candidate by water-filling the device
+// share across the cards, so the search simultaneously picks the host
+// threading AND how much of the input the host should keep. A second node
+// with one card behind a degraded PCIe link shows the shares adapting.
 //
-// Run:  ./multi_accelerator [--mb=3170] [--devices=4]
+// Run:  ./multi_accelerator [--mb=3170] [--devices=4] [--strategy=annealing]
+//                           [--budget=800]
 #include <iostream>
+#include <memory>
 
+#include "core/hetopt.hpp"
 #include "sim/multi.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// Tunes the node through a TuningSession and prints the resulting
+/// distribution, one row per participant.
+void tune_and_report(const std::string& title, const hetopt::sim::MultiDeviceMachine& node,
+                     const hetopt::core::Workload& workload, const std::string& strategy,
+                     std::size_t budget) {
+  using namespace hetopt;
+
+  const auto evaluator = std::make_shared<core::MultiDeviceMeasurementEvaluator>(node);
+  core::TuningSession session(opt::ConfigSpace::paper());
+  session.with_strategy(strategy).with_evaluator(evaluator).with_budget(budget).with_seed(42);
+  const core::SessionReport r = session.run(workload);
+  const sim::ShareVector shares = evaluator->shares(r.config, workload);
+
+  util::Table table(title);
+  table.header({"Participant", "Share", "Completion time [s]"});
+  table.row({"host (" + std::to_string(r.config.host_threads) + "t " +
+                 std::string(parallel::to_string(r.config.host_affinity)) + ")",
+             util::format_double(shares.host_percent, 1) + "%",
+             util::format_double(
+                 node.host_time(workload.size_mb * shares.host_percent / 100.0,
+                                r.config.host_threads, r.config.host_affinity),
+                 3)});
+  for (std::size_t i = 0; i < node.device_count(); ++i) {
+    const double t = node.device_time(i, workload.size_mb * shares.device_percent[i] / 100.0,
+                                      r.config.device_threads, r.config.device_affinity);
+    table.row({"device " + std::to_string(i),
+               util::format_double(shares.device_percent[i], 1) + "%",
+               util::format_double(t, 3)});
+  }
+  table.note("tuned with strategy \"" + r.strategy + "\" x evaluator \"" + r.evaluator +
+             "\": " + std::to_string(r.evaluations) + " evaluations, makespan " +
+             util::format_double(r.measured_time, 3) + " s, config " +
+             opt::to_string(r.config));
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hetopt;
   const util::CliArgs args(argc, argv);
   const double mb = args.get("mb", 3170.0);
   const auto devices = static_cast<std::size_t>(args.get("devices", std::int64_t{4}));
+  const std::string strategy = args.get("strategy", std::string("annealing"));
+  const auto budget = static_cast<std::size_t>(args.get("budget", std::int64_t{800}));
   constexpr auto kScatter = parallel::HostAffinity::kScatter;
 
-  // Homogeneous node: N identical Phi cards.
+  const core::Workload workload("genome", mb);
+
+  // Homogeneous node: the water-filling bound vs the naive equal split.
   const sim::MultiDeviceMachine homogeneous = sim::emil_with_phis(devices);
   const sim::ShareVector balanced = homogeneous.balance(mb, 48, kScatter);
   const sim::ShareVector equal = homogeneous.equal_split(mb, 48, kScatter);
-
   std::cout << "Node: 2x Xeon E5 host + " << devices << "x Xeon Phi, input " << mb
             << " MB\n"
-            << "  water-filling: makespan " << util::format_double(balanced.makespan_s, 3)
-            << " s, host " << util::format_double(balanced.host_percent, 1)
-            << "%, each device "
-            << util::format_double(devices ? balanced.device_percent[0] : 0.0, 1) << "%\n"
-            << "  equal split:   makespan " << util::format_double(equal.makespan_s, 3)
-            << " s  ("
+            << "  water-filling (48t scatter host): makespan "
+            << util::format_double(balanced.makespan_s, 3) << " s, host "
+            << util::format_double(balanced.host_percent, 1) << "%\n"
+            << "  equal split:                      makespan "
+            << util::format_double(equal.makespan_s, 3) << " s  ("
             << util::format_double(
                    100.0 * (equal.makespan_s - balanced.makespan_s) / balanced.makespan_s, 1)
             << "% worse)\n\n";
+
+  // End-to-end tuning: the session searches host threads, affinities and the
+  // host fraction at once; the evaluator water-fills the rest per candidate.
+  tune_and_report("Tuned homogeneous node (" + std::to_string(devices) + " devices)",
+                  homogeneous, workload, strategy, budget);
 
   // Heterogeneous node: same cards, but one sits behind a quarter-speed link
   // (e.g. a contended PCIe switch). Watch its share shrink.
@@ -48,21 +102,7 @@ int main(int argc, char** argv) {
     mixed.push_back(d);
   }
   const sim::MultiDeviceMachine hetero(base.host, std::move(mixed));
-  const sim::ShareVector hshares = hetero.balance(mb, 48, kScatter);
-
-  util::Table table("Heterogeneous node: device 0 behind a 1/4-speed PCIe link");
-  table.header({"Participant", "Share", "Completion time [s]"});
-  table.row({"host (48t scatter)", util::format_double(hshares.host_percent, 1) + "%",
-             util::format_double(
-                 hetero.host_time(mb * hshares.host_percent / 100.0, 48, kScatter), 3)});
-  for (std::size_t i = 0; i < devices; ++i) {
-    table.row({"device " + std::to_string(i) + (i == 0 ? " (slow link)" : ""),
-               util::format_double(hshares.device_percent[i], 1) + "%",
-               util::format_double(
-                   hetero.device_time(i, mb * hshares.device_percent[i] / 100.0), 3)});
-  }
-  table.note("all participants finish together; the slow-link card automatically "
-             "receives less work");
-  table.print(std::cout);
+  tune_and_report("Tuned heterogeneous node (device 0 behind a 1/4-speed PCIe link)", hetero,
+                  workload, strategy, budget);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/autotuner.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace hetopt::core {
 
@@ -16,27 +17,27 @@ std::size_t Autotuner::train(const dna::GenomeCatalog& catalog) {
   return data.host.size() + data.device.size();
 }
 
+TuningSession Autotuner::session(Method method) const {
+  return session(method, options_.sa_iterations);
+}
+
+TuningSession Autotuner::session(Method method, std::size_t sa_iterations) const {
+  if ((method == Method::kEML || method == Method::kSAML) && !trained()) {
+    throw std::logic_error("Autotuner: " + std::string(to_string(method)) +
+                           " requires train() first");
+  }
+  return TuningSession::preset(method, machine_, space_, trained() ? &predictor_ : nullptr,
+                               sa_iterations, options_.seed);
+}
+
 MethodResult Autotuner::tune(const Workload& workload, Method method) const {
   return tune_with_budget(workload, method, options_.sa_iterations);
 }
 
 MethodResult Autotuner::tune_with_budget(const Workload& workload, Method method,
                                          std::size_t sa_iterations) const {
-  switch (method) {
-    case Method::kEM:
-      return run_em(space_, machine_, workload);
-    case Method::kEML:
-      if (!trained()) throw std::logic_error("Autotuner: EML requires train() first");
-      return run_eml(space_, machine_, workload, predictor_);
-    case Method::kSAM:
-      return run_sam(space_, machine_, workload,
-                     sa_params_for_iterations(sa_iterations, options_.seed));
-    case Method::kSAML:
-      if (!trained()) throw std::logic_error("Autotuner: SAML requires train() first");
-      return run_saml(space_, machine_, workload, predictor_,
-                      sa_params_for_iterations(sa_iterations, options_.seed));
-  }
-  throw std::logic_error("Autotuner: unknown method");
+  TuningSession s = session(method, sa_iterations);
+  return to_method_result(s.run(workload), method);
 }
 
 }  // namespace hetopt::core

@@ -1,12 +1,15 @@
 // Facade over the whole pipeline: train the predictor once, then tune any
-// workload with any of the four methods. This is the API the quickstart
-// example uses.
+// workload. The four Table II methods keep their one-call interface (tune()),
+// and session() exposes the composable Strategy x Evaluator core underneath,
+// so callers can swap in GeneticSearch/RandomSearch or their own evaluator
+// while reusing this tuner's machine, space and trained predictor.
 #pragma once
 
 #include <optional>
 
 #include "core/methods.hpp"
 #include "core/training.hpp"
+#include "core/tuning_session.hpp"
 #include "dna/catalog.hpp"
 #include "opt/config_space.hpp"
 #include "sim/machine.hpp"
@@ -35,6 +38,12 @@ class Autotuner {
   /// Like tune() but with an explicit SA iteration budget (SAM/SAML only).
   [[nodiscard]] MethodResult tune_with_budget(const Workload& workload, Method method,
                                               std::size_t sa_iterations) const;
+
+  /// A TuningSession preset for `method` over this tuner's machine, space,
+  /// seed and (for EML/SAML) trained predictor — the starting point for
+  /// custom strategy/evaluator swaps.
+  [[nodiscard]] TuningSession session(Method method) const;
+  [[nodiscard]] TuningSession session(Method method, std::size_t sa_iterations) const;
 
   [[nodiscard]] const sim::Machine& machine() const noexcept { return machine_; }
   [[nodiscard]] const opt::ConfigSpace& space() const noexcept { return space_; }

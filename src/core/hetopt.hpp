@@ -1,26 +1,34 @@
 // Umbrella header: the public API of the hetopt library.
 //
 // hetopt reproduces "Combinatorial Optimization of Work Distribution on
-// Heterogeneous Systems" (Memeti & Pllana, ICPPW 2016): simulated annealing
+// Heterogeneous Systems" (Memeti & Pllana, ICPPW 2016): a search strategy
 // explores the (threads, affinity, workload-fraction) configuration space of
-// a CPU + accelerator platform while boosted decision tree regression
-// predicts each candidate's execution time.
+// a CPU + accelerator platform while an evaluation backend prices each
+// candidate — by simulated measurement, by boosted-decision-tree prediction,
+// or by the multi-accelerator water-filling makespan.
 //
 // Layering (bottom to top):
 //   util      RNG, statistics, tables
 //   dna       sequences, synthetic genomes, FASTA
 //   automata  NFA/DFA motif matching engine (the application kernel)
-//   parallel  thread pool, affinity vocabulary, partitioning
-//   sim       the simulated Xeon E5 + Xeon Phi platform (time surface)
+//   parallel  thread pool, affinity vocabulary, partitioning, batch map
+//   sim       the simulated Xeon E5 + Xeon Phi platform (time surface),
+//             plus the 1-host + K-device MultiDeviceMachine
 //   ml        datasets, boosted trees, linear/Poisson baselines, metrics
-//   opt       configuration space, simulated annealing, enumeration
-//   core      training sweep, predictor, EM/EML/SAM/SAML, autotuner
+//   opt       configuration space, SearchStrategy implementations
+//             (exhaustive / random / annealing / genetic)
+//   core      training sweep, predictor, Evaluator backends (measurement /
+//             prediction / multi-device), TuningSession, strategy registry,
+//             Table II method presets, autotuner facade
 #pragma once
 
-#include "core/autotuner.hpp"       // IWYU pragma: export
-#include "core/executor.hpp"        // IWYU pragma: export
-#include "core/features.hpp"        // IWYU pragma: export
-#include "core/methods.hpp"         // IWYU pragma: export
-#include "core/predictor.hpp"       // IWYU pragma: export
-#include "core/training.hpp"        // IWYU pragma: export
-#include "core/workload.hpp"        // IWYU pragma: export
+#include "core/autotuner.hpp"           // IWYU pragma: export
+#include "core/evaluator.hpp"           // IWYU pragma: export
+#include "core/executor.hpp"            // IWYU pragma: export
+#include "core/features.hpp"            // IWYU pragma: export
+#include "core/methods.hpp"             // IWYU pragma: export
+#include "core/predictor.hpp"           // IWYU pragma: export
+#include "core/strategy_registry.hpp"   // IWYU pragma: export
+#include "core/training.hpp"            // IWYU pragma: export
+#include "core/tuning_session.hpp"      // IWYU pragma: export
+#include "core/workload.hpp"            // IWYU pragma: export

@@ -1,8 +1,11 @@
 #include "core/methods.hpp"
 
+#include <memory>
 #include <stdexcept>
 
-#include "opt/enumeration.hpp"
+#include "core/evaluator.hpp"
+#include "core/tuning_session.hpp"
+#include "opt/strategy.hpp"
 
 namespace hetopt::core {
 
@@ -39,39 +42,23 @@ opt::Objective prediction_objective(const PerformancePredictor& predictor,
   };
 }
 
-namespace {
-
-/// Measures the final configuration once — the common scoring step.
-[[nodiscard]] double score(const sim::Machine& machine, const Workload& workload,
-                           const opt::SystemConfig& c) {
-  return machine.measure_combined(workload.size_mb, c.host_percent, c.host_threads,
-                                  c.host_affinity, c.device_threads, c.device_affinity);
-}
-
-}  // namespace
+// The four methods are thin presets over the Strategy x Evaluator core:
+// EM/EML enumerate, SAM/SAML anneal; EM/SAM evaluate by measurement, EML/SAML
+// by prediction. TuningSession::run re-scores every winner by measurement,
+// which for the measurement-backed methods re-reads the repetition-0
+// experiment the search already logged — so results are bit-identical to the
+// historical direct implementations.
 
 MethodResult run_em(const opt::ConfigSpace& space, const sim::Machine& machine,
                     const Workload& workload) {
-  const auto res = opt::enumerate_best(space, measurement_objective(machine, workload));
-  MethodResult r;
-  r.method = Method::kEM;
-  r.config = res.best;
-  r.search_energy = res.best_energy;
-  r.measured_time = res.best_energy;  // the search already measured it
-  r.evaluations = res.evaluations;
-  return r;
+  TuningSession session = TuningSession::preset(Method::kEM, machine, space);
+  return to_method_result(session.run(workload), Method::kEM);
 }
 
 MethodResult run_eml(const opt::ConfigSpace& space, const sim::Machine& machine,
                      const Workload& workload, const PerformancePredictor& predictor) {
-  const auto res = opt::enumerate_best(space, prediction_objective(predictor, workload));
-  MethodResult r;
-  r.method = Method::kEML;
-  r.config = res.best;
-  r.search_energy = res.best_energy;
-  r.measured_time = score(machine, workload, res.best);
-  r.evaluations = res.evaluations;
-  return r;
+  TuningSession session = TuningSession::preset(Method::kEML, machine, space, &predictor);
+  return to_method_result(session.run(workload), Method::kEML);
 }
 
 MethodResult run_sam(const opt::ConfigSpace& space, const sim::Machine& machine,
@@ -80,39 +67,25 @@ MethodResult run_sam(const opt::ConfigSpace& space, const sim::Machine& machine,
   // (re-running an already-logged experiment would be wasted effort), so its
   // best-so-far is a subset-minimum of EM's stream: always >= EM's optimum
   // and decreasing in the iteration budget — exactly Fig. 9's SAM curve.
-  const auto res =
-      opt::simulated_annealing(space, measurement_objective(machine, workload), sa);
-  MethodResult r;
-  r.method = Method::kSAM;
-  r.config = res.best;
-  r.search_energy = res.best_energy;
-  r.measured_time = res.best_energy;
-  r.evaluations = res.evaluations;
-  return r;
+  TuningSession session(space);
+  session.with_strategy(std::make_shared<opt::AnnealingSearch>(sa))
+      .with_evaluator(std::make_shared<MeasurementEvaluator>(machine))
+      .with_seed(sa.seed);
+  return to_method_result(session.run(workload), Method::kSAM);
 }
 
 MethodResult run_saml(const opt::ConfigSpace& space, const sim::Machine& machine,
                       const Workload& workload, const PerformancePredictor& predictor,
                       const opt::SaParams& sa) {
-  const auto res = opt::simulated_annealing(space, prediction_objective(predictor, workload), sa);
-  MethodResult r;
-  r.method = Method::kSAML;
-  r.config = res.best;
-  r.search_energy = res.best_energy;
-  r.measured_time = score(machine, workload, res.best);
-  r.evaluations = res.evaluations;
-  return r;
+  TuningSession session(space);
+  session.with_strategy(std::make_shared<opt::AnnealingSearch>(sa))
+      .with_evaluator(std::make_shared<PredictionEvaluator>(predictor, machine))
+      .with_seed(sa.seed);
+  return to_method_result(session.run(workload), Method::kSAML);
 }
 
 opt::SaParams sa_params_for_iterations(std::size_t iterations, std::uint64_t seed) {
-  opt::SaParams p;
-  p.initial_temperature = 2.0;
-  p.min_temperature = 1e-3;
-  p.cooling_rate =
-      opt::SaParams::cooling_rate_for(p.initial_temperature, p.min_temperature, iterations);
-  p.max_iterations = iterations;
-  p.seed = seed;
-  return p;
+  return opt::AnnealingSearch::schedule(iterations, seed);
 }
 
 namespace {

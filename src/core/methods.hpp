@@ -8,6 +8,12 @@
 // measurement of the winning configuration ("for fair comparison we use the
 // measured values", §IV-C) — which is why EML can end up worse than SAM in
 // Fig. 9.
+//
+// Since the Strategy x Evaluator redesign these are thin presets over
+// core::TuningSession (see tuning_session.hpp): the Method enum and the
+// run_* functions keep their historical signatures and bit-identical results,
+// while new combinations (GeneticSearch, RandomSearch, multi-device
+// evaluation) compose through the session API directly.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,56 @@
+#include "core/strategy_registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hetopt::core {
+
+StrategyRegistry::StrategyRegistry() {
+  add("exhaustive", [] { return std::make_shared<opt::ExhaustiveSearch>(); });
+  add("random", [] { return std::make_shared<opt::RandomSearch>(); });
+  add("annealing", [] { return std::make_shared<opt::AnnealingSearch>(); });
+  add("genetic", [] { return std::make_shared<opt::GeneticSearch>(); });
+}
+
+StrategyRegistry& StrategyRegistry::instance() {
+  static StrategyRegistry registry;
+  return registry;
+}
+
+void StrategyRegistry::add(std::string name, StrategyFactory factory) {
+  if (name.empty()) throw std::invalid_argument("StrategyRegistry: empty name");
+  if (!factory) throw std::invalid_argument("StrategyRegistry: null factory");
+  factories_[std::move(name)] = std::move(factory);
+}
+
+std::shared_ptr<opt::SearchStrategy> StrategyRegistry::create(std::string_view name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string message = "StrategyRegistry: unknown strategy \"";
+    message += name;
+    message += "\"; available:";
+    for (const auto& [known, factory] : factories_) {
+      message += ' ';
+      message += known;
+    }
+    throw std::invalid_argument(message);
+  }
+  return it->second();
+}
+
+bool StrategyRegistry::contains(std::string_view name) const noexcept {
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> StrategyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+std::shared_ptr<opt::SearchStrategy> make_strategy(std::string_view name) {
+  return StrategyRegistry::instance().create(name);
+}
+
+}  // namespace hetopt::core

@@ -1,0 +1,46 @@
+// Name -> SearchStrategy factory registry (in the spirit of xgboost's
+// updater/learner registries): lets CLIs, configs and TuningSession pick a
+// strategy by string without linking against its concrete type. The four
+// built-ins ("exhaustive", "random", "annealing", "genetic") are registered
+// at construction; callers may add their own.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "opt/strategy.hpp"
+
+namespace hetopt::core {
+
+using StrategyFactory = std::function<std::shared_ptr<opt::SearchStrategy>()>;
+
+class StrategyRegistry {
+ public:
+  /// The process-wide registry with the built-ins pre-registered.
+  [[nodiscard]] static StrategyRegistry& instance();
+
+  /// Registers (or replaces) a factory under `name`.
+  void add(std::string name, StrategyFactory factory);
+
+  /// Instantiates a strategy; throws std::invalid_argument for unknown names
+  /// (the message lists what is available).
+  [[nodiscard]] std::shared_ptr<opt::SearchStrategy> create(std::string_view name) const;
+
+  [[nodiscard]] bool contains(std::string_view name) const noexcept;
+  /// Registered names in sorted order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  StrategyRegistry();  // public for isolated registries in tests
+
+ private:
+  std::map<std::string, StrategyFactory, std::less<>> factories_;
+};
+
+/// Shorthand for StrategyRegistry::instance().create(name).
+[[nodiscard]] std::shared_ptr<opt::SearchStrategy> make_strategy(std::string_view name);
+
+}  // namespace hetopt::core

@@ -1,6 +1,8 @@
 #include "opt/enumeration.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 namespace hetopt::opt {
 
@@ -8,19 +10,46 @@ EnumerationResult enumerate_best(
     const ConfigSpace& space, const Objective& objective,
     const std::function<void(const SystemConfig&, double)>& visitor) {
   if (!objective) throw std::invalid_argument("enumerate_best: null objective");
-  if (space.size() == 0) throw std::invalid_argument("enumerate_best: empty space");
+  // One shared sweep implementation: the serial form is the batched form
+  // with singleton batches (identical order, tie-break and visitor calls).
+  return enumerate_best_batched(
+      space,
+      [&objective](const std::vector<SystemConfig>& configs) {
+        std::vector<double> energies;
+        energies.reserve(configs.size());
+        for (const SystemConfig& c : configs) energies.push_back(objective(c));
+        return energies;
+      },
+      1, visitor);
+}
+
+EnumerationResult enumerate_best_batched(
+    const ConfigSpace& space, const BatchObjective& objective, std::size_t batch_size,
+    const std::function<void(const SystemConfig&, double)>& visitor) {
+  if (!objective) throw std::invalid_argument("enumerate_best_batched: null objective");
+  if (space.size() == 0) throw std::invalid_argument("enumerate_best_batched: empty space");
+  if (batch_size == 0) batch_size = 1;
 
   EnumerationResult result;
   bool first = true;
-  for (std::size_t i = 0; i < space.size(); ++i) {
-    const SystemConfig config = space.at(i);
-    const double energy = objective(config);
-    ++result.evaluations;
-    if (visitor) visitor(config, energy);
-    if (first || energy < result.best_energy) {
-      first = false;
-      result.best = config;
-      result.best_energy = energy;
+  std::vector<SystemConfig> batch;
+  batch.reserve(batch_size);
+  for (std::size_t begin = 0; begin < space.size(); begin += batch_size) {
+    const std::size_t end = std::min(space.size(), begin + batch_size);
+    batch.clear();
+    for (std::size_t i = begin; i < end; ++i) batch.push_back(space.at(i));
+    const std::vector<double> energies = objective(batch);
+    if (energies.size() != batch.size()) {
+      throw std::runtime_error("enumerate_best_batched: batch objective size mismatch");
+    }
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      ++result.evaluations;
+      if (visitor) visitor(batch[j], energies[j]);
+      if (first || energies[j] < result.best_energy) {
+        first = false;
+        result.best = batch[j];
+        result.best_energy = energies[j];
+      }
     }
   }
   return result;

@@ -24,4 +24,13 @@ struct EnumerationResult {
     const ConfigSpace& space, const Objective& objective,
     const std::function<void(const SystemConfig&, double)>& visitor = nullptr);
 
+/// Batched enumeration: identical result and tie-breaking to enumerate_best
+/// (lowest flat index wins), but candidates are evaluated `batch_size` at a
+/// time through the batch objective, so a concurrent backend can evaluate a
+/// whole chunk in parallel. The visitor still sees every point in flat-index
+/// order.
+[[nodiscard]] EnumerationResult enumerate_best_batched(
+    const ConfigSpace& space, const BatchObjective& objective, std::size_t batch_size = 256,
+    const std::function<void(const SystemConfig&, double)>& visitor = nullptr);
+
 }  // namespace hetopt::opt

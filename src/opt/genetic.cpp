@@ -38,7 +38,7 @@ struct Individual {
 
 }  // namespace
 
-GaResult genetic_algorithm(const ConfigSpace& space, const Objective& objective,
+GaResult genetic_algorithm(const ConfigSpace& space, const BatchObjective& objective,
                            const GaParams& params) {
   if (!objective) throw std::invalid_argument("genetic_algorithm: null objective");
   if (params.population < 2) throw std::invalid_argument("genetic_algorithm: population < 2");
@@ -51,16 +51,28 @@ GaResult genetic_algorithm(const ConfigSpace& space, const Objective& objective,
   }
 
   util::Xoshiro256 rng(params.seed);
-  CountingObjective counted(objective);
   GaResult result;
+
+  std::size_t evaluations = 0;
+  const auto evaluate = [&](const std::vector<SystemConfig>& configs) {
+    std::vector<double> energies = objective(configs);
+    if (energies.size() != configs.size()) {
+      throw std::runtime_error("genetic_algorithm: batch objective size mismatch");
+    }
+    for (double e : energies) (void)checked_energy(e);
+    evaluations += energies.size();
+    return energies;
+  };
+
+  std::vector<SystemConfig> candidates;
+  candidates.reserve(params.population);
+  for (std::size_t i = 0; i < params.population; ++i) candidates.push_back(space.random(rng));
+  std::vector<double> energies = evaluate(candidates);
 
   std::vector<Individual> population;
   population.reserve(params.population);
   for (std::size_t i = 0; i < params.population; ++i) {
-    Individual ind;
-    ind.config = space.random(rng);
-    ind.energy = counted(ind.config);
-    population.push_back(ind);
+    population.push_back(Individual{candidates[i], energies[i]});
   }
 
   const auto by_energy = [](const Individual& a, const Individual& b) {
@@ -70,20 +82,23 @@ GaResult genetic_algorithm(const ConfigSpace& space, const Objective& objective,
   result.best = population.front().config;
   result.best_energy = population.front().energy;
 
-  while (counted.count() + (params.population - params.elites) <= params.max_evaluations) {
-    std::vector<Individual> next(population.begin(),
-                                 population.begin() + static_cast<std::ptrdiff_t>(params.elites));
-    while (next.size() < params.population) {
+  while (evaluations + (params.population - params.elites) <= params.max_evaluations) {
+    candidates.clear();
+    while (candidates.size() < params.population - params.elites) {
       const Individual& pa = tournament_pick(population, params.tournament, rng);
       const Individual& pb = tournament_pick(population, params.tournament, rng);
       SystemConfig child = rng.bernoulli(params.crossover_rate)
                                ? crossover(pa.config, pb.config, rng)
                                : pa.config;
       if (rng.bernoulli(params.mutation_rate)) child = space.neighbor(child, rng);
-      Individual ind;
-      ind.config = child;
-      ind.energy = counted(ind.config);
-      next.push_back(ind);
+      candidates.push_back(child);
+    }
+    energies = evaluate(candidates);
+
+    std::vector<Individual> next(population.begin(),
+                                 population.begin() + static_cast<std::ptrdiff_t>(params.elites));
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      next.push_back(Individual{candidates[i], energies[i]});
     }
     population = std::move(next);
     std::sort(population.begin(), population.end(), by_energy);
@@ -94,8 +109,20 @@ GaResult genetic_algorithm(const ConfigSpace& space, const Objective& objective,
     ++result.generations;
   }
 
-  result.evaluations = counted.count();
+  result.evaluations = evaluations;
   return result;
+}
+
+GaResult genetic_algorithm(const ConfigSpace& space, const Objective& objective,
+                           const GaParams& params) {
+  if (!objective) throw std::invalid_argument("genetic_algorithm: null objective");
+  const BatchObjective batched = [&objective](const std::vector<SystemConfig>& configs) {
+    std::vector<double> energies;
+    energies.reserve(configs.size());
+    for (const SystemConfig& c : configs) energies.push_back(objective(c));
+    return energies;
+  };
+  return genetic_algorithm(space, batched, params);
 }
 
 }  // namespace hetopt::opt

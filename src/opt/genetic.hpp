@@ -37,4 +37,13 @@ struct GaResult {
                                          const Objective& objective,
                                          const GaParams& params = {});
 
+/// Batch form: each generation's offspring are produced first (consuming the
+/// RNG in exactly the same order as the serial form, since evaluation never
+/// draws from it) and then evaluated in one batch-objective call, so a
+/// concurrent backend can score a whole population in parallel. Bit-identical
+/// results to the serial overload for any objective.
+[[nodiscard]] GaResult genetic_algorithm(const ConfigSpace& space,
+                                         const BatchObjective& objective,
+                                         const GaParams& params = {});
+
 }  // namespace hetopt::opt

@@ -6,12 +6,29 @@
 #include <functional>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "opt/config.hpp"
 
 namespace hetopt::opt {
 
 using Objective = std::function<double(const SystemConfig&)>;
+
+/// Batch form: evaluates many candidates at once, returning energies in input
+/// order. Backends that can parallelize (a thread pool over the simulated
+/// machine, a vectorized predictor) plug in here; strategies that produce
+/// whole candidate sets (enumeration chunks, GA generations, random batches)
+/// consume it.
+using BatchObjective = std::function<std::vector<double>(const std::vector<SystemConfig>&)>;
+
+/// Shared guard for every evaluation path (CountingObjective, the batched
+/// GA, core::Evaluator): energies are times, so NaN and negatives are bugs.
+inline double checked_energy(double e) {
+  if (!(e == e) || e < 0.0) {  // NaN or negative time
+    throw std::runtime_error("objective returned invalid energy");
+  }
+  return e;
+}
 
 /// Wraps an objective and counts evaluations (the paper's "number of
 /// experiments"). Rejects non-finite energies.
@@ -23,11 +40,7 @@ class CountingObjective {
 
   double operator()(const SystemConfig& c) {
     ++count_;
-    const double e = inner_(c);
-    if (!(e == e) || e < 0.0) {  // NaN or negative time
-      throw std::runtime_error("objective returned invalid energy");
-    }
-    return e;
+    return checked_energy(inner_(c));
   }
 
   [[nodiscard]] std::size_t count() const noexcept { return count_; }

@@ -1,0 +1,124 @@
+#include "opt/strategy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "opt/enumeration.hpp"
+#include "util/rng.hpp"
+
+namespace hetopt::opt {
+
+SearchObjective::SearchObjective(Objective single, BatchObjective batch)
+    : single_(std::move(single)), batch_(std::move(batch)) {
+  if (!single_) throw std::invalid_argument("SearchObjective: null objective");
+}
+
+std::vector<double> SearchObjective::evaluate(const std::vector<SystemConfig>& configs) const {
+  if (batch_) {
+    std::vector<double> energies = batch_(configs);
+    if (energies.size() != configs.size()) {
+      throw std::runtime_error("SearchObjective: batch objective size mismatch");
+    }
+    return energies;
+  }
+  std::vector<double> energies;
+  energies.reserve(configs.size());
+  for (const SystemConfig& c : configs) energies.push_back(single_(c));
+  return energies;
+}
+
+SearchOutcome ExhaustiveSearch::search(const ConfigSpace& space,
+                                       const SearchObjective& objective,
+                                       const SearchBudget& /*budget*/) const {
+  const EnumerationResult res = enumerate_best_batched(
+      space, [&objective](const std::vector<SystemConfig>& cs) { return objective.evaluate(cs); },
+      batch_size_);
+  return SearchOutcome{res.best, res.best_energy, res.evaluations};
+}
+
+SearchOutcome RandomSearch::search(const ConfigSpace& space, const SearchObjective& objective,
+                                   const SearchBudget& budget) const {
+  const std::size_t samples =
+      budget.max_evaluations != 0 ? budget.max_evaluations : std::min<std::size_t>(space.size(), 1000);
+  util::Xoshiro256 rng(budget.seed);
+
+  SearchOutcome outcome;
+  bool first = true;
+  std::vector<SystemConfig> batch;
+  const std::size_t chunk = std::max<std::size_t>(1, batch_size_);
+  batch.reserve(std::min(samples, chunk));
+  for (std::size_t drawn = 0; drawn < samples;) {
+    const std::size_t n = std::min(chunk, samples - drawn);
+    batch.clear();
+    for (std::size_t i = 0; i < n; ++i) batch.push_back(space.random(rng));
+    const std::vector<double> energies = objective.evaluate(batch);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++outcome.evaluations;
+      if (first || energies[i] < outcome.best_energy) {
+        first = false;
+        outcome.best = batch[i];
+        outcome.best_energy = energies[i];
+      }
+    }
+    drawn += n;
+  }
+  return outcome;
+}
+
+SaParams AnnealingSearch::schedule(std::size_t iterations, std::uint64_t seed) {
+  SaParams p;
+  p.initial_temperature = 2.0;
+  p.min_temperature = 1e-3;
+  p.cooling_rate =
+      SaParams::cooling_rate_for(p.initial_temperature, p.min_temperature, iterations);
+  p.max_iterations = iterations;
+  p.seed = seed;
+  return p;
+}
+
+SearchOutcome AnnealingSearch::search(const ConfigSpace& space, const SearchObjective& objective,
+                                      const SearchBudget& budget) const {
+  SaParams params;
+  if (params_) {
+    params = *params_;
+  } else {
+    // Initial evaluation + one per iteration must fit the budget; 0 means
+    // the strategy default (the paper's ~1000-iteration schedule).
+    const std::size_t evals = budget.max_evaluations != 0 ? budget.max_evaluations : 1000;
+    if (evals < 2) {
+      throw std::invalid_argument(
+          "AnnealingSearch: budget must allow at least 2 evaluations (initial + 1 move)");
+    }
+    params = schedule(evals - 1, budget.seed);
+  }
+  const SaResult res = simulated_annealing(space, objective.single(), params);
+  return SearchOutcome{res.best, res.best_energy, res.evaluations};
+}
+
+SearchOutcome GeneticSearch::search(const ConfigSpace& space, const SearchObjective& objective,
+                                    const SearchBudget& budget) const {
+  GaParams params;
+  if (params_) {
+    params = *params_;
+  } else {
+    params.seed = budget.seed;
+    if (budget.max_evaluations != 0) params.max_evaluations = budget.max_evaluations;
+  }
+  if (params.max_evaluations < 2) {
+    throw std::invalid_argument("GeneticSearch: budget must allow a population of at least 2");
+  }
+  if (params.population > params.max_evaluations) {
+    params.population = params.max_evaluations;
+  }
+  if (params.elites >= params.population) params.elites = params.population - 1;
+  if (params.tournament < 1) params.tournament = 1;
+
+  const GaResult res = genetic_algorithm(
+      space, BatchObjective([&objective](const std::vector<SystemConfig>& cs) {
+        return objective.evaluate(cs);
+      }),
+      params);
+  return SearchOutcome{res.best, res.best_energy, res.evaluations};
+}
+
+}  // namespace hetopt::opt

@@ -1,0 +1,21 @@
+#include "parallel/batch.hpp"
+
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+
+namespace hetopt::parallel {
+
+std::vector<double> map_indexed(ThreadPool* pool, std::size_t n,
+                                const std::function<double(std::size_t)>& fn) {
+  if (!fn) throw std::invalid_argument("map_indexed: null function");
+  std::vector<double> out(n);
+  if (pool == nullptr || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
+    return out;
+  }
+  pool->parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace hetopt::parallel

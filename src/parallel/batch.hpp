@@ -1,0 +1,23 @@
+// Batched map helper for candidate evaluation: runs fn(i) for i in [0, n) and
+// returns the results in index order, spreading the work across a ThreadPool
+// when one is provided. This is the bridge between a SearchStrategy's batch
+// objective calls and the pool — enumeration chunks and GA generations score
+// concurrently while staying deterministic (results are keyed by index, not
+// by completion order).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace hetopt::parallel {
+
+class ThreadPool;
+
+/// Evaluates fn(i) for every i in [0, n). With a pool and n > 1 the
+/// iterations run on the pool (fn must be thread-safe); otherwise they run
+/// inline on the caller. The first exception thrown by fn is propagated.
+[[nodiscard]] std::vector<double> map_indexed(ThreadPool* pool, std::size_t n,
+                                              const std::function<double(std::size_t)>& fn);
+
+}  // namespace hetopt::parallel

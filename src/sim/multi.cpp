@@ -80,7 +80,36 @@ namespace {
   return (deadline_s - overhead_s) * mb_per_second;
 }
 
+struct AffineRate {
+  double overhead_s = 0.0;
+  double mb_per_second = 0.0;
+};
+
+/// Inverts the overlapped offload model into the affine form
+/// t(mb) = overhead + mb / rate used by the water-filling solver.
+[[nodiscard]] AffineRate device_affine_rate(const DeviceContext& d, int threads,
+                                            parallel::DeviceAffinity affinity) {
+  const Placement p = device_placement(d.spec, threads, affinity);
+  const double compute_rate = throughput_gbps(d.spec, p) * 1024.0;
+  const double transfer_rate = d.offload.pcie_gbps * 1024.0;
+  const double per_mb = std::max(
+      1.0 / compute_rate + d.offload.non_overlapped_fraction / transfer_rate,
+      1.0 / transfer_rate);
+  return {d.offload.launch_latency_s + d.spec.serial_overhead_s, 1.0 / per_mb};
+}
+
 }  // namespace
+
+double MultiDeviceMachine::device_time(std::size_t i, double mb, int threads,
+                                       parallel::DeviceAffinity affinity) const {
+  if (i >= devices_.size()) throw std::out_of_range("MultiDeviceMachine: device index");
+  if (mb < 0.0) throw std::invalid_argument("MultiDeviceMachine: negative size");
+  if (mb == 0.0) return 0.0;
+  const DeviceContext& d = devices_[i];
+  const int clamped = std::clamp(threads, 1, d.spec.max_threads());
+  const AffineRate rate = device_affine_rate(d, clamped, affinity);
+  return rate.overhead_s + mb / rate.mb_per_second;
+}
 
 ShareVector MultiDeviceMachine::balance(double total_mb, int host_threads,
                                         parallel::HostAffinity host_affinity,
@@ -91,23 +120,10 @@ ShareVector MultiDeviceMachine::balance(double total_mb, int host_threads,
   const Placement hp = host_placement(host_, host_threads, host_affinity);
   const double host_rate = throughput_gbps(host_, hp) * 1024.0;  // MB/s
 
-  struct DeviceRate {
-    double overhead_s;
-    double mb_per_second;
-  };
-  std::vector<DeviceRate> rates;
+  std::vector<AffineRate> rates;
   rates.reserve(devices_.size());
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
-    const DeviceContext& d = devices_[i];
-    const Placement p = device_placement(d.spec, d.threads, d.affinity);
-    const double compute_rate = throughput_gbps(d.spec, p) * 1024.0;
-    const double transfer_rate = d.offload.pcie_gbps * 1024.0;
-    // Invert the overlapped model: t = overhead + mb * max(1/compute +
-    // nov/transfer, 1/transfer).
-    const double per_mb = std::max(
-        1.0 / compute_rate + d.offload.non_overlapped_fraction / transfer_rate,
-        1.0 / transfer_rate);
-    rates.push_back({d.offload.launch_latency_s + d.spec.serial_overhead_s, 1.0 / per_mb});
+  for (const DeviceContext& d : devices_) {
+    rates.push_back(device_affine_rate(d, d.threads, d.affinity));
   }
 
   // Bisection on the common finish time T.
@@ -115,7 +131,7 @@ ShareVector MultiDeviceMachine::balance(double total_mb, int host_threads,
   double hi = host_time(total_mb, host_threads, host_affinity);  // host alone suffices
   const auto capacity = [&](double t) {
     double mb = absorbable_mb(t, host_.serial_overhead_s, host_rate);
-    for (const DeviceRate& r : rates) mb += absorbable_mb(t, r.overhead_s, r.mb_per_second);
+    for (const AffineRate& r : rates) mb += absorbable_mb(t, r.overhead_s, r.mb_per_second);
     return mb;
   };
   for (int iter = 0; iter < 200 && hi - lo > tolerance_s; ++iter) {
@@ -151,6 +167,77 @@ ShareVector MultiDeviceMachine::equal_split(double total_mb, int host_threads,
   shares.host_percent = 100.0;
   for (double d : shares.device_percent) shares.host_percent -= d;
   shares.makespan_s = makespan(total_mb, shares, host_threads, host_affinity);
+  return shares;
+}
+
+ShareVector MultiDeviceMachine::distribute(double total_mb, double host_percent,
+                                           int host_threads,
+                                           parallel::HostAffinity host_affinity,
+                                           int device_threads,
+                                           parallel::DeviceAffinity device_affinity,
+                                           double tolerance_s) const {
+  if (total_mb <= 0.0) throw std::invalid_argument("MultiDeviceMachine: non-positive size");
+  const double hp = std::clamp(host_percent, 0.0, 100.0);
+
+  ShareVector shares;
+  shares.device_percent.resize(devices_.size(), 0.0);
+
+  if (devices_.empty() || hp >= 100.0) {
+    // No devices to offload to (or nothing left for them): host takes all.
+    shares.host_percent = 100.0;
+    shares.makespan_s = host_time(total_mb, host_threads, host_affinity);
+    return shares;
+  }
+
+  shares.host_percent = hp;
+  const double device_mb = total_mb * (100.0 - hp) / 100.0;
+
+  // Per-device affine models under the uniform (clamped) threading.
+  std::vector<AffineRate> rates;
+  rates.reserve(devices_.size());
+  for (const DeviceContext& d : devices_) {
+    const int threads = std::clamp(device_threads, 1, d.spec.max_threads());
+    rates.push_back(device_affine_rate(d, threads, device_affinity));
+  }
+
+  // Water-filling across the devices only: bisection on their common finish
+  // time T. Device 0 alone absorbing everything bounds T from above.
+  double lo = 0.0;
+  double hi = rates.front().overhead_s + device_mb / rates.front().mb_per_second;
+  const auto capacity = [&](double t) {
+    double mb = 0.0;
+    for (const AffineRate& r : rates) mb += absorbable_mb(t, r.overhead_s, r.mb_per_second);
+    return mb;
+  };
+  for (int iter = 0; iter < 200 && hi - lo > tolerance_s; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (capacity(mid) >= device_mb ? hi : lo) = mid;
+  }
+  const double t = hi;
+
+  double remaining_pct = 100.0 - hp;
+  std::size_t largest = 0;
+  for (std::size_t i = 0; i < devices_.size() && remaining_pct > 0.0; ++i) {
+    const double mb = absorbable_mb(t, rates[i].overhead_s, rates[i].mb_per_second);
+    const double pct = std::min(remaining_pct, 100.0 * mb / total_mb);
+    shares.device_percent[i] = pct;
+    remaining_pct -= pct;
+    if (pct > shares.device_percent[largest]) largest = i;
+  }
+  // Any sliver left from rounding goes to the most capable device (the host's
+  // share is fixed by contract here).
+  shares.device_percent[largest] += remaining_pct;
+
+  // Makespan under the overridden threading (makespan() would use each
+  // device's stored context, so compute from the affine models directly).
+  double worst = host_time(total_mb * hp / 100.0, host_threads, host_affinity);
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const double mb = total_mb * shares.device_percent[i] / 100.0;
+    if (mb > 0.0) {
+      worst = std::max(worst, rates[i].overhead_s + mb / rates[i].mb_per_second);
+    }
+  }
+  shares.makespan_s = worst;
   return shares;
 }
 

@@ -44,6 +44,10 @@ class MultiDeviceMachine {
                                  parallel::HostAffinity affinity) const;
   /// Time for device `i` to scan `mb` (launch + streamed transfer + compute).
   [[nodiscard]] double device_time(std::size_t i, double mb) const;
+  /// Same, but with the device's threading overridden (threads clamped to
+  /// the device's limit) — the model distribute() prices candidates with.
+  [[nodiscard]] double device_time(std::size_t i, double mb, int threads,
+                                   parallel::DeviceAffinity affinity) const;
 
   /// Makespan of an explicit share assignment (percent per participant;
   /// must sum to ~100).
@@ -61,6 +65,17 @@ class MultiDeviceMachine {
   /// Baseline: equal split across host and all devices.
   [[nodiscard]] ShareVector equal_split(double total_mb, int host_threads,
                                         parallel::HostAffinity host_affinity) const;
+
+  /// Evaluator glue (core::MultiDeviceMeasurementEvaluator): the host keeps
+  /// `host_percent` of the input, every device runs with the given uniform
+  /// threading (clamped to its own limit), and the device remainder is split
+  /// across the devices by the water-filling solver so they finish together.
+  /// With no devices (or host_percent >= 100) the host takes everything.
+  /// Returned shares sum to 100 within fp rounding; makespan_s is filled in.
+  [[nodiscard]] ShareVector distribute(double total_mb, double host_percent, int host_threads,
+                                       parallel::HostAffinity host_affinity, int device_threads,
+                                       parallel::DeviceAffinity device_affinity,
+                                       double tolerance_s = 1e-9) const;
 
  private:
   ProcessorSpec host_;

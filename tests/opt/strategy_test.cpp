@@ -1,0 +1,214 @@
+#include "opt/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opt/enumeration.hpp"
+
+namespace hetopt::opt {
+namespace {
+
+double bowl(const SystemConfig& c) {
+  const double f = c.host_percent - 50.0;
+  const double t = c.host_threads - 8.0;
+  return 1.0 + f * f / 200.0 + t * t / 20.0 +
+         (c.device_affinity == parallel::DeviceAffinity::kBalanced ? 0.0 : 0.2);
+}
+
+SearchObjective bowl_objective() { return SearchObjective(bowl); }
+
+TEST(SearchObjective, RejectsNullSingleObjective) {
+  EXPECT_THROW(SearchObjective(Objective{}), std::invalid_argument);
+}
+
+TEST(SearchObjective, BatchFallsBackToSingle) {
+  const SearchObjective obj(bowl);
+  const ConfigSpace space = ConfigSpace::tiny();
+  const std::vector<SystemConfig> configs{space.at(0), space.at(1), space.at(2)};
+  const std::vector<double> energies = obj.evaluate(configs);
+  ASSERT_EQ(energies.size(), 3u);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(energies[i], bowl(configs[i]));
+  }
+}
+
+TEST(SearchObjective, MismatchedBatchSizeThrows) {
+  const SearchObjective obj(bowl, [](const std::vector<SystemConfig>&) {
+    return std::vector<double>{1.0};  // wrong size on purpose
+  });
+  const ConfigSpace space = ConfigSpace::tiny();
+  EXPECT_THROW((void)obj.evaluate({space.at(0), space.at(1)}), std::runtime_error);
+}
+
+TEST(ExhaustiveSearchTest, MatchesEnumerateBestIncludingTieBreak) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  const auto reference = enumerate_best(space, bowl);
+  // Batch size 7 exercises a remainder chunk on the 80-point tiny space.
+  const ExhaustiveSearch strategy(7);
+  const SearchOutcome outcome = strategy.search(space, bowl_objective(), SearchBudget{});
+  EXPECT_EQ(outcome.best, reference.best);
+  EXPECT_DOUBLE_EQ(outcome.best_energy, reference.best_energy);
+  EXPECT_EQ(outcome.evaluations, space.size());
+}
+
+TEST(ExhaustiveSearchTest, ConstantObjectiveTiesToLowestIndex) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  const ExhaustiveSearch strategy;
+  const SearchOutcome outcome =
+      strategy.search(space, SearchObjective([](const SystemConfig&) { return 3.0; }),
+                      SearchBudget{});
+  EXPECT_EQ(outcome.best, space.at(0));
+}
+
+TEST(RandomSearchTest, RespectsBudgetAndIsDeterministic) {
+  const ConfigSpace space = ConfigSpace::paper();
+  const RandomSearch strategy;
+  SearchBudget budget;
+  budget.max_evaluations = 50;
+  budget.seed = 9;
+  const SearchOutcome a = strategy.search(space, bowl_objective(), budget);
+  const SearchOutcome b = strategy.search(space, bowl_objective(), budget);
+  EXPECT_EQ(a.evaluations, 50u);
+  EXPECT_TRUE(space.contains(a.best));
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_DOUBLE_EQ(a.best_energy, b.best_energy);
+}
+
+TEST(RandomSearchTest, BatchedAndSerialPathsAgree) {
+  const ConfigSpace space = ConfigSpace::paper();
+  SearchBudget budget;
+  budget.max_evaluations = 100;
+  budget.seed = 17;
+  // Batch size 1 forces per-candidate calls; 64 exercises chunking. The RNG
+  // stream only depends on the seed, so outcomes must match exactly.
+  const SearchOutcome serial = RandomSearch(1).search(space, bowl_objective(), budget);
+  const SearchOutcome batched = RandomSearch(64).search(space, bowl_objective(), budget);
+  EXPECT_EQ(serial.best, batched.best);
+  EXPECT_DOUBLE_EQ(serial.best_energy, batched.best_energy);
+  EXPECT_EQ(serial.evaluations, batched.evaluations);
+}
+
+TEST(AnnealingSearchTest, ExplicitParamsReproduceSimulatedAnnealing) {
+  const ConfigSpace space = ConfigSpace::paper();
+  const SaParams params = AnnealingSearch::schedule(300, 4);
+  const SaResult reference = simulated_annealing(space, bowl, params);
+  const SearchOutcome outcome =
+      AnnealingSearch(params).search(space, bowl_objective(), SearchBudget{});
+  EXPECT_EQ(outcome.best, reference.best);
+  EXPECT_DOUBLE_EQ(outcome.best_energy, reference.best_energy);
+  EXPECT_EQ(outcome.evaluations, reference.evaluations);
+}
+
+TEST(AnnealingSearchTest, DerivesScheduleFromBudget) {
+  const ConfigSpace space = ConfigSpace::paper();
+  SearchBudget budget;
+  budget.max_evaluations = 200;
+  budget.seed = 5;
+  const SearchOutcome outcome = AnnealingSearch().search(space, bowl_objective(), budget);
+  EXPECT_LE(outcome.evaluations, 200u);
+  EXPECT_GT(outcome.evaluations, 100u);  // the schedule actually uses the budget
+  EXPECT_TRUE(space.contains(outcome.best));
+}
+
+TEST(AnnealingSearchTest, BudgetZeroMeansPaperDefaultAndBudgetOneThrows) {
+  const ConfigSpace space = ConfigSpace::paper();
+  SearchBudget budget;
+  budget.max_evaluations = 0;  // "strategy default": the ~1000-step schedule
+  budget.seed = 6;
+  const SearchOutcome outcome = AnnealingSearch().search(space, bowl_objective(), budget);
+  EXPECT_LE(outcome.evaluations, 1000u);
+  EXPECT_GT(outcome.evaluations, 500u);
+
+  budget.max_evaluations = 1;  // cannot fit initial + one move
+  EXPECT_THROW((void)AnnealingSearch().search(space, bowl_objective(), budget),
+               std::invalid_argument);
+}
+
+TEST(GeneticSearchTest, RunsWithinBudgetAndFindsTinyOptimum) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  const auto reference = enumerate_best(space, bowl);
+  SearchBudget budget;
+  budget.max_evaluations = 600;
+  budget.seed = 5;
+  const SearchOutcome outcome = GeneticSearch().search(space, bowl_objective(), budget);
+  EXPECT_LE(outcome.evaluations, 600u);
+  EXPECT_DOUBLE_EQ(outcome.best_energy, reference.best_energy);
+}
+
+TEST(GeneticSearchTest, ShrinksPopulationToFitSmallBudget) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  SearchBudget budget;
+  budget.max_evaluations = 10;  // smaller than the default population of 32
+  budget.seed = 1;
+  const SearchOutcome outcome = GeneticSearch().search(space, bowl_objective(), budget);
+  EXPECT_LE(outcome.evaluations, 10u);
+  EXPECT_GT(outcome.evaluations, 0u);
+  EXPECT_TRUE(space.contains(outcome.best));
+}
+
+TEST(GeneticSearchTest, ExplicitParamsWinOverBudgetLikeAnnealing) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  GaParams params;
+  params.max_evaluations = 100;
+  params.seed = 123;
+  SearchBudget budget;
+  budget.max_evaluations = 700;  // must be ignored: explicit params win
+  budget.seed = 9;
+  const SearchOutcome via_strategy =
+      GeneticSearch(params).search(space, bowl_objective(), budget);
+  const GaResult direct = genetic_algorithm(space, Objective(bowl), params);
+  EXPECT_EQ(via_strategy.best, direct.best);
+  EXPECT_DOUBLE_EQ(via_strategy.best_energy, direct.best_energy);
+  EXPECT_EQ(via_strategy.evaluations, direct.evaluations);
+  EXPECT_LE(via_strategy.evaluations, 100u);
+}
+
+TEST(GeneticSearchTest, BudgetOfOneThrows) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  SearchBudget budget;
+  budget.max_evaluations = 1;
+  EXPECT_THROW((void)GeneticSearch().search(space, bowl_objective(), budget),
+               std::invalid_argument);
+}
+
+TEST(GeneticAlgorithmBatch, BatchedOverloadBitIdenticalToSerial) {
+  const ConfigSpace space = ConfigSpace::paper();
+  GaParams params;
+  params.max_evaluations = 400;
+  params.seed = 11;
+  const GaResult serial = genetic_algorithm(space, Objective(bowl), params);
+  const GaResult batched = genetic_algorithm(
+      space,
+      BatchObjective([](const std::vector<SystemConfig>& cs) {
+        std::vector<double> out;
+        out.reserve(cs.size());
+        for (const SystemConfig& c : cs) out.push_back(bowl(c));
+        return out;
+      }),
+      params);
+  EXPECT_EQ(serial.best, batched.best);
+  EXPECT_DOUBLE_EQ(serial.best_energy, batched.best_energy);
+  EXPECT_EQ(serial.evaluations, batched.evaluations);
+  EXPECT_EQ(serial.generations, batched.generations);
+}
+
+TEST(EnumerateBestBatched, MatchesSerialEnumeration) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  const auto serial = enumerate_best(space, bowl);
+  std::size_t visited = 0;
+  const auto batched = enumerate_best_batched(
+      space,
+      [](const std::vector<SystemConfig>& cs) {
+        std::vector<double> out;
+        out.reserve(cs.size());
+        for (const SystemConfig& c : cs) out.push_back(bowl(c));
+        return out;
+      },
+      13, [&](const SystemConfig&, double) { ++visited; });
+  EXPECT_EQ(batched.best, serial.best);
+  EXPECT_DOUBLE_EQ(batched.best_energy, serial.best_energy);
+  EXPECT_EQ(batched.evaluations, space.size());
+  EXPECT_EQ(visited, space.size());
+}
+
+}  // namespace
+}  // namespace hetopt::opt

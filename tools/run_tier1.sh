@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verify (ROADMAP.md), with warnings promoted to errors on the
+# library target. Run from anywhere; builds into <repo>/build.
+#
+#   tools/run_tier1.sh [extra cmake args...]
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+cmake -B "${repo}/build" -S "${repo}" -DHETOPT_WERROR=ON "$@"
+cmake --build "${repo}/build" -j
+cd "${repo}/build"
+ctest --output-on-failure -j
