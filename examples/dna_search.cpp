@@ -1,19 +1,17 @@
 // Domain example: real finite-automata motif search over a synthetic genome,
 // using the full engine stack (IUPAC regex -> NFA -> DFA -> minimization ->
-// chunk-parallel matching) and the heterogeneous executor to split the scan
-// between the "host" and the emulated "device" exactly as the tuned
-// configuration dictates.
+// chunk-parallel matching) — with the work distribution chosen by *tuning
+// the live code*: a TuningSession drives the RealWorkloadEvaluator, which
+// times actual scans of the materialized genome, then the winning
+// configuration runs once more through the heterogeneous executor.
 //
-// Run:  ./dna_search [--genome=human] [--mb=64] [--host-percent=60]
-//                    [--motif=TATAWAW --motif2=GGGNCC]
+// Run:  ./dna_search [--genome=human] [--mb=8] [--budget=40]
+//                    [--motif=TATAWAW] [--motif2=GGGCGG]
+#include <algorithm>
 #include <iostream>
+#include <memory>
 
-#include "automata/hopcroft.hpp"
-#include "automata/regex.hpp"
-#include "automata/scanner.hpp"
-#include "automata/subset.hpp"
-#include "core/executor.hpp"
-#include "dna/catalog.hpp"
+#include "core/hetopt.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
@@ -21,45 +19,73 @@ int main(int argc, char** argv) {
   using namespace hetopt;
   const util::CliArgs args(argc, argv);
   const std::string genome = args.get("genome", std::string("human"));
-  const double mb = args.get("mb", 64.0);
-  const double host_percent = args.get("host-percent", 60.0);
+  const double mb = args.get("mb", 8.0);
+  const std::int64_t budget_raw = args.get("budget", std::int64_t{40});
+  if (!(mb > 0.0) || budget_raw < 1) {
+    std::cerr << "dna_search: --mb must be > 0 and --budget >= 1\n";
+    return 2;
+  }
+  const auto budget = static_cast<std::size_t>(budget_raw);
   const std::vector<std::string> motifs{
       args.get("motif", std::string("TATAWAW")),   // TATA box (IUPAC W = A/T)
       args.get("motif2", std::string("GGGCGG")),   // GC box (Sp1 site)
   };
 
+  const dna::GenomeCatalog catalog;
+  const dna::GenomeInfo& info = catalog.get(genome);
+  const core::Workload workload(info.name, info.size_mb);
+
   std::cout << "Compiling motifs:";
   for (const auto& m : motifs) std::cout << ' ' << m;
   std::cout << '\n';
-  const auto compiled = automata::compile_motifs(motifs);
-  automata::DenseDfa dfa =
-      automata::determinize(compiled.nfa, compiled.synchronization_bound);
-  const std::uint32_t before = dfa.state_count();
-  dfa = automata::minimize(dfa);
-  std::cout << "  DFA: " << before << " states -> " << dfa.state_count()
-            << " after Hopcroft minimization; synchronization bound "
-            << dfa.synchronization_bound() << " bp\n";
 
-  const dna::GenomeCatalog catalog;
+  // Materialize `mb` megabytes of physical sequence for the logical workload,
+  // widening the evaluator's default clamps so --mb is honored exactly.
+  const auto requested_bytes = static_cast<std::size_t>(mb * 1024.0 * 1024.0);
+  core::RealWorkloadOptions options;
+  options.motifs = motifs;
+  options.bytes_per_logical_mb = mb * 1024.0 * 1024.0 / info.size_mb;
+  options.min_physical_bytes = std::min(options.min_physical_bytes, requested_bytes);
+  options.max_physical_bytes = std::max(options.max_physical_bytes, requested_bytes);
+  const auto evaluator = std::make_shared<core::RealWorkloadEvaluator>(catalog, options);
+
   std::cout << "Generating " << mb << " MB of synthetic " << genome << " sequence...\n";
-  const auto bytes = static_cast<std::size_t>(mb * 1024.0 * 1024.0);
-  const dna::Sequence seq = catalog.materialize(genome, bytes);
+  const core::RealWorkload& real = evaluator->real(workload);
+  std::cout << "  DFA: " << real.dfa().state_count() << " states, synchronization bound "
+            << real.dfa().synchronization_bound() << " bp; sequential match count "
+            << real.sequential_matches() << '\n';
 
-  core::HeterogeneousExecutor exec(dfa, /*host_threads=*/8, /*device_threads=*/8);
+  // Tune the live matcher: simulated annealing over the machine-sized space,
+  // every candidate priced by a real timed scan.
+  core::TuningSession session(opt::ConfigSpace::real());
+  session.with_strategy("annealing")
+      .with_evaluator(evaluator)
+      .with_budget(budget + 1)
+      .with_seed(42);
+  std::cout << "Tuning the live matcher (" << budget << " timed iterations)...\n";
+  const core::SessionReport tuned = session.run(workload);
+  std::cout << "  chose " << opt::to_string(tuned.config) << " after " << tuned.evaluations
+            << " real experiments\n";
+
+  // Execute the winner once more, reporting both halves of the split.
+  core::HeterogeneousExecutor exec(
+      real.dfa(), static_cast<std::size_t>(tuned.config.host_threads),
+      static_cast<std::size_t>(tuned.config.device_threads), tuned.config.host_affinity,
+      tuned.config.device_affinity);
   util::Timer timer;
-  const core::ExecutionReport report = exec.run(seq.view(), host_percent);
+  const core::ExecutionReport report = exec.run(real.text(), tuned.config.host_percent);
   const double wall = timer.seconds();
 
-  std::cout << "Scan complete in " << wall << " s ("
-            << mb / wall << " MB/s overlapped)\n"
+  std::cout << "Scan complete in " << wall << " s (" << real.physical_mb() / wall
+            << " MB/s overlapped)\n"
             << "  host share:   " << report.host_bytes << " bytes, "
             << report.host_matches << " motif hits, " << report.host_seconds << " s\n"
             << "  device share: " << report.device_bytes << " bytes, "
             << report.device_matches << " motif hits, " << report.device_seconds << " s\n"
             << "  total motif occurrences: " << report.total_matches() << "\n";
 
-  // Cross-check against a plain sequential scan.
-  const std::uint64_t sequential = automata::count_matches(dfa, seq.view());
+  // Cross-check against the plain sequential scan.
+  const std::uint64_t sequential = real.sequential_matches();
   std::cout << "  sequential verification: " << sequential
             << (sequential == report.total_matches() ? "  [OK]" : "  [MISMATCH!]") << '\n';
   return sequential == report.total_matches() ? 0 : 1;

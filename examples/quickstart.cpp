@@ -1,11 +1,13 @@
 // Quickstart: tune the work distribution of a DNA-analysis workload on the
-// simulated Xeon E5 + Xeon Phi platform, exactly the paper's SAML flow.
+// simulated Xeon E5 + Xeon Phi platform, exactly the paper's SAML flow —
+// through the composable TuningSession API.
 //
 //   1. Build the platform (sim::emil_machine) and the Table I space.
 //   2. Run the 7200-experiment training sweep and fit the boosted-tree
 //      predictor (one-off; afterwards any workload is tuned by prediction).
-//   3. Ask SAML for a near-optimal configuration with a 1000-iteration
-//      budget (~5% of what enumeration would need).
+//   3. Ask the SAML preset (AnnealingSearch x PredictionEvaluator) for a
+//      near-optimal configuration with a 1000-iteration budget (~5% of what
+//      enumeration would need).
 //
 // Run:  ./quickstart [--genome=human] [--iterations=1000]
 #include <iostream>
@@ -23,29 +25,32 @@ int main(int argc, char** argv) {
   const dna::GenomeInfo& info = catalog.get(genome);
   const core::Workload workload(info.name, info.size_mb);
 
-  core::Autotuner tuner(sim::emil_machine(), opt::ConfigSpace::paper());
-  std::cout << "Training the performance predictor ("
-            << "7200 experiments, one-off)...\n";
-  const std::size_t experiments = tuner.train(catalog);
-  std::cout << "  trained on " << experiments << " experiments\n\n";
+  const sim::Machine machine = sim::emil_machine();
+  const opt::ConfigSpace space = opt::ConfigSpace::paper();
 
-  const core::MethodResult result =
-      tuner.tune_with_budget(workload, core::Method::kSAML, iterations);
-  const core::MethodResult host_only =
-      core::host_only_baseline(tuner.space(), tuner.machine(), workload);
-  const core::MethodResult device_only =
-      core::device_only_baseline(tuner.space(), tuner.machine(), workload);
+  std::cout << "Training the performance predictor (7200 experiments, one-off)...\n";
+  const core::TrainingData data = core::generate_training_data(
+      machine, catalog, core::TrainingSweepOptions::paper());
+  core::PerformancePredictor predictor;
+  predictor.train(data.host, data.device);
+  std::cout << "  trained on " << data.host.size() + data.device.size() << " experiments\n\n";
+
+  core::TuningSession session =
+      core::TuningSession::preset(core::Method::kSAML, machine, space, &predictor, iterations);
+  const core::SessionReport result = session.run(workload);
+  const core::MethodResult host_only = core::host_only_baseline(space, machine, workload);
+  const core::MethodResult device_only = core::device_only_baseline(space, machine, workload);
 
   std::cout << "Workload: " << workload.name << " (" << workload.size_mb << " MB)\n"
-            << "SAML recommendation after " << iterations
-            << " iterations: " << opt::to_string(result.config) << "\n"
+            << result.strategy << " x " << result.evaluator << " recommendation after "
+            << iterations << " iterations: " << opt::to_string(result.config) << "\n"
             << "  predicted time: " << result.search_energy << " s\n"
             << "  measured  time: " << result.measured_time << " s\n"
             << "  host-only (48t): " << host_only.measured_time << " s  ("
             << host_only.measured_time / result.measured_time << "x slower)\n"
             << "  device-only (240t): " << device_only.measured_time << " s  ("
             << device_only.measured_time / result.measured_time << "x slower)\n"
-            << "  search evaluations: " << result.evaluations << " (vs "
-            << tuner.space().size() << " for enumeration)\n";
+            << "  search evaluations: " << result.evaluations << " (vs " << space.size()
+            << " for enumeration)\n";
   return 0;
 }

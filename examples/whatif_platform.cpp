@@ -2,13 +2,15 @@
 // cannot do — clone the machine model, change the hardware (slower PCIe,
 // more device cores, weaker host), re-tune, and see how the optimal work
 // distribution shifts. Demonstrates the simulator's value beyond pure
-// reproduction.
+// reproduction. Each variant is tuned through the same TuningSession
+// (ExhaustiveSearch x MeasurementEvaluator = the EM preset) that the real
+// pipeline uses, over a space clamped to the variant's feasible threads.
 //
 // Run:  ./whatif_platform [--genome=human]
 #include <iostream>
+#include <memory>
 
 #include "core/hetopt.hpp"
-#include "opt/enumeration.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -21,6 +23,23 @@ struct Variant {
   std::string name;
   sim::MachineSpec spec;
 };
+
+/// The paper space with thread axes restricted to what `spec` can run (an
+/// 8-core host cannot run 48 threads; the objective throws on infeasible
+/// counts, so the space is clamped instead).
+opt::ConfigSpace feasible_space(const sim::MachineSpec& spec) {
+  const opt::ConfigSpace paper = opt::ConfigSpace::paper();
+  std::vector<int> host;
+  for (const int t : paper.host_threads()) {
+    if (t <= spec.host.max_threads()) host.push_back(t);
+  }
+  std::vector<int> device;
+  for (const int t : paper.device_threads()) {
+    if (t <= spec.device.max_threads()) device.push_back(t);
+  }
+  return opt::ConfigSpace(std::move(host), paper.host_affinities(), std::move(device),
+                          paper.device_affinities(), paper.fractions());
+}
 
 }  // namespace
 
@@ -58,23 +77,13 @@ int main(int argc, char** argv) {
                     workload.name);
   table.header({"Platform variant", "Best time [s]", "Host share", "Configuration"});
   for (const Variant& v : variants) {
-    // Guard: an 8-core host cannot run 48 threads; clamp the space instead of
-    // crashing (the objective throws for infeasible thread counts).
-    const sim::Machine machine{v.spec};
-    const opt::ConfigSpace space = opt::ConfigSpace::paper();
-    const auto safe_objective = [&](const opt::SystemConfig& c) {
-      if (c.host_threads > v.spec.host.max_threads() ||
-          c.device_threads > v.spec.device.max_threads()) {
-        return 1e9;  // infeasible
-      }
-      return machine.measure_combined(workload.size_mb, c.host_percent, c.host_threads,
-                                      c.host_affinity, c.device_threads,
-                                      c.device_affinity);
-    };
-    const auto result = opt::enumerate_best(space, safe_objective);
-    table.row({v.name, util::format_double(result.best_energy, 3),
-               util::format_double(result.best.host_percent, 1) + "%",
-               opt::to_string(result.best)});
+    core::TuningSession session(feasible_space(v.spec));
+    session.with_strategy("exhaustive")
+        .with_evaluator(std::make_shared<core::MeasurementEvaluator>(sim::Machine{v.spec}));
+    const core::SessionReport result = session.run(workload);
+    table.row({v.name, util::format_double(result.measured_time, 3),
+               util::format_double(result.config.host_percent, 1) + "%",
+               opt::to_string(result.config)});
   }
   table.note("shifting hardware moves the optimal fraction: slower PCIe / launch "
              "pushes work to the host; faster device or weaker host pushes it out");

@@ -46,8 +46,10 @@ class Evaluator {
                                      parallel::ThreadPool* pool = nullptr);
 
   /// Measured execution time of a (winning) configuration — the §IV-C
-  /// scoring step. Never counted as a search evaluation. For measurement
-  /// backends this returns exactly the value the search saw.
+  /// scoring step. Never counted as a search evaluation. For *deterministic*
+  /// measurement backends (the simulated evaluators) this returns exactly
+  /// the value the search saw; RealWorkloadEvaluator in wall-clock mode runs
+  /// a fresh measurement instead, so its score carries real noise.
   [[nodiscard]] virtual double score(const opt::SystemConfig& config,
                                      const Workload& workload) const = 0;
 

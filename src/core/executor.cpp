@@ -12,14 +12,35 @@ namespace hetopt::core {
 
 HeterogeneousExecutor::HeterogeneousExecutor(const automata::DenseDfa& dfa,
                                              std::size_t host_threads,
-                                             std::size_t device_threads)
+                                             std::size_t device_threads,
+                                             std::optional<parallel::HostAffinity> host_affinity,
+                                             std::optional<parallel::DeviceAffinity> device_affinity)
     : dfa_(dfa),
-      host_pool_(host_threads),
-      device_pool_(device_threads),
+      host_pool_(host_threads,
+                 host_affinity ? parallel::ThreadPool::WorkerInit(
+                                     [a = *host_affinity, host_threads](std::size_t worker) {
+                                       parallel::pin_current_thread(a, worker, host_threads);
+                                     })
+                               : nullptr),
+      device_pool_(device_threads,
+                   device_affinity
+                       ? parallel::ThreadPool::WorkerInit(
+                             [a = *device_affinity, device_threads](std::size_t worker) {
+                               parallel::pin_current_thread(a, worker, device_threads);
+                             })
+                       : nullptr),
       host_matcher_(dfa, host_pool_),
       device_matcher_(dfa, device_pool_) {}
 
 ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_percent) {
+  return run(text, host_percent, 0, 0);
+}
+
+ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_percent,
+                                           std::size_t host_chunks,
+                                           std::size_t device_chunks) {
+  if (host_chunks == 0) host_chunks = host_pool_.thread_count();
+  if (device_chunks == 0) device_chunks = device_pool_.thread_count();
   const auto split = parallel::split_by_percent(text.size(), host_percent);
   ExecutionReport report;
   report.host_bytes = split.host_bytes;
@@ -44,8 +65,8 @@ ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_pe
         // matches that end inside the warm-up prefix (the host owns those).
         const std::size_t lead =
             std::min(dfa_.synchronization_bound() - 1, split.host_bytes);
-        const auto stats = device_matcher_.count(text.substr(split.host_bytes - lead),
-                                                 device_pool_.thread_count());
+        const auto stats =
+            device_matcher_.count(text.substr(split.host_bytes - lead), device_chunks);
         const auto lead_matches =
             automata::scan_count(dfa_, text.substr(split.host_bytes - lead, lead),
                                  dfa_.start())
@@ -64,8 +85,7 @@ ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_pe
 
   util::Timer host_timer;
   if (!host_part.empty()) {
-    report.host_matches =
-        host_matcher_.count(host_part, host_pool_.thread_count()).match_count;
+    report.host_matches = host_matcher_.count(host_part, host_chunks).match_count;
   }
   report.host_seconds = host_timer.seconds();
 

@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 
 #include "automata/dense_dfa.hpp"
 #include "automata/parallel_matcher.hpp"
+#include "parallel/affinity.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace hetopt::core {
@@ -35,15 +37,29 @@ struct ExecutionReport {
 class HeterogeneousExecutor {
  public:
   /// `host_threads` / `device_threads` size the two worker pools. The
-  /// automaton must outlive the executor.
+  /// automaton must outlive the executor. Pinning is opt-in: when an
+  /// affinity policy is given, the corresponding pool's workers are placed
+  /// at startup (best-effort, Linux pinning; HostAffinity::kNone and
+  /// unsupported platforms leave threads floating), mirroring the paper's
+  /// OMP_PROC_BIND / KMP_AFFINITY knobs on the live code path. The defaults
+  /// leave all threads floating — the pre-pinning behavior.
   HeterogeneousExecutor(const automata::DenseDfa& dfa, std::size_t host_threads,
-                        std::size_t device_threads);
+                        std::size_t device_threads,
+                        std::optional<parallel::HostAffinity> host_affinity = std::nullopt,
+                        std::optional<parallel::DeviceAffinity> device_affinity = std::nullopt);
 
   /// Scans `text`, assigning `host_percent` of the bytes to the host pool
   /// and the remainder to the device pool, both running concurrently.
   /// Match counts are exact across the split boundary (chunk-parallel
   /// matching with warm-up handles motifs spanning the cut).
+  /// One chunk per pool worker.
   [[nodiscard]] ExecutionReport run(std::string_view text, double host_percent);
+
+  /// Same, with explicit chunk counts for the two sides (the real-workload
+  /// tuner derives these from the configuration's thread axes). Zero means
+  /// "one chunk per worker".
+  [[nodiscard]] ExecutionReport run(std::string_view text, double host_percent,
+                                    std::size_t host_chunks, std::size_t device_chunks);
 
  private:
   const automata::DenseDfa& dfa_;

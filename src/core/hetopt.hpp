@@ -18,8 +18,8 @@
 //   opt       configuration space, SearchStrategy implementations
 //             (exhaustive / random / annealing / genetic)
 //   core      training sweep, predictor, Evaluator backends (measurement /
-//             prediction / multi-device), TuningSession, strategy registry,
-//             Table II method presets, autotuner facade
+//             prediction / multi-device / real-workload), TuningSession,
+//             strategy registry, Table II method presets, autotuner facade
 #pragma once
 
 #include "core/autotuner.hpp"           // IWYU pragma: export
@@ -28,6 +28,7 @@
 #include "core/features.hpp"            // IWYU pragma: export
 #include "core/methods.hpp"             // IWYU pragma: export
 #include "core/predictor.hpp"           // IWYU pragma: export
+#include "core/real_workload.hpp"       // IWYU pragma: export
 #include "core/strategy_registry.hpp"   // IWYU pragma: export
 #include "core/training.hpp"            // IWYU pragma: export
 #include "core/tuning_session.hpp"      // IWYU pragma: export

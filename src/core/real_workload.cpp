@@ -1,0 +1,190 @@
+#include "core/real_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "automata/hopcroft.hpp"
+#include "automata/regex.hpp"
+#include "automata/scanner.hpp"
+#include "automata/subset.hpp"
+#include "core/executor.hpp"
+#include "dna/alphabet.hpp"
+
+namespace hetopt::core {
+
+namespace {
+
+/// One concrete ACGT instantiation of an IUPAC motif (first base of every
+/// ambiguity class), used to plant findable copies into the genome. Regex
+/// operators ('?', '*', '+', '(', ')', '|') are skipped: planting works on
+/// the literal backbone and is best-effort anyway.
+[[nodiscard]] std::string instantiate_motif(std::string_view motif) {
+  std::string out;
+  out.reserve(motif.size());
+  for (const char c : motif) {
+    const auto cls = dna::iupac_from_char(c);
+    if (!cls) continue;  // regex operator
+    for (unsigned b = 0; b < dna::kAlphabetSize; ++b) {
+      if (cls->contains(static_cast<dna::Base>(b))) {
+        out.push_back(dna::to_char(static_cast<dna::Base>(b)));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::size_t scaled_bytes(const Workload& logical,
+                                       const RealWorkloadOptions& options) {
+  const double raw = logical.size_mb * options.bytes_per_logical_mb;
+  const auto bytes = static_cast<std::size_t>(std::llround(raw));
+  return std::clamp(bytes, options.min_physical_bytes, options.max_physical_bytes);
+}
+
+[[nodiscard]] double affinity_model_factor(parallel::HostAffinity a) noexcept {
+  switch (a) {
+    case parallel::HostAffinity::kNone: return 1.00;
+    case parallel::HostAffinity::kScatter: return 0.94;
+    case parallel::HostAffinity::kCompact: return 1.06;
+  }
+  return 1.0;
+}
+
+[[nodiscard]] double affinity_model_factor(parallel::DeviceAffinity a) noexcept {
+  switch (a) {
+    case parallel::DeviceAffinity::kBalanced: return 1.00;
+    case parallel::DeviceAffinity::kScatter: return 1.04;
+    case parallel::DeviceAffinity::kCompact: return 1.10;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double real_workload_model_seconds(const opt::SystemConfig& config, std::size_t host_bytes,
+                                   std::size_t device_bytes) {
+  // Sub-linear thread scaling (Amdahl-flavoured exponents) plus a fixed
+  // offload launch cost; shapes match the simulated surface qualitatively so
+  // searches face a realistic landscape, but the numbers are pure functions
+  // of the executed work — that is what makes seeded runs reproducible.
+  const double host_mb = static_cast<double>(host_bytes) / (1024.0 * 1024.0);
+  const double device_mb = static_cast<double>(device_bytes) / (1024.0 * 1024.0);
+  const double host_rate =
+      80.0 * std::pow(static_cast<double>(std::max(1, config.host_threads)), 0.8) /
+      affinity_model_factor(config.host_affinity);
+  const double device_rate =
+      40.0 * std::pow(static_cast<double>(std::max(1, config.device_threads)), 0.7) /
+      affinity_model_factor(config.device_affinity);
+  const double host_s = host_mb > 0.0 ? host_mb / host_rate : 0.0;
+  const double device_s = device_mb > 0.0 ? 0.002 + device_mb / device_rate : 0.0;
+  return std::max(host_s, device_s) + 1e-9;
+}
+
+// --- RealWorkload -----------------------------------------------------------
+
+RealWorkload::RealWorkload(const dna::GenomeCatalog& catalog, const Workload& logical,
+                           const RealWorkloadOptions& options)
+    : logical_(logical) {
+  if (options.motifs.empty()) {
+    throw std::invalid_argument("RealWorkload: no motifs to search for");
+  }
+  const automata::CompiledMotifs compiled = automata::compile_motifs(options.motifs);
+  dfa_ = automata::minimize(
+      automata::determinize(compiled.nfa, compiled.synchronization_bound));
+
+  const std::size_t bytes = scaled_bytes(logical, options);
+  // Plant a handful of findable copies per motif so tuning runs always have
+  // non-trivial match counts to cross-check.
+  std::vector<dna::PlantedMotif> planted;
+  for (const std::string& motif : options.motifs) {
+    std::string concrete = instantiate_motif(motif);
+    if (concrete.empty() || concrete.size() > bytes) continue;
+    planted.push_back({std::move(concrete), std::max<std::size_t>(8, bytes / 65536)});
+  }
+  sequence_ = catalog.materialize(logical.name, bytes, planted);
+  sequential_matches_ = automata::count_matches(dfa_, sequence_.view());
+}
+
+// --- RealWorkloadEvaluator --------------------------------------------------
+
+RealWorkloadEvaluator::RealWorkloadEvaluator(dna::GenomeCatalog catalog,
+                                             RealWorkloadOptions options)
+    : catalog_(std::move(catalog)), options_(std::move(options)) {
+  if (options_.repeats == 0) {
+    throw std::invalid_argument("RealWorkloadEvaluator: repeats must be >= 1");
+  }
+  if (options_.chunks_per_thread == 0) {
+    throw std::invalid_argument("RealWorkloadEvaluator: chunks_per_thread must be >= 1");
+  }
+}
+
+std::shared_ptr<const RealWorkload> RealWorkloadEvaluator::cached(
+    const Workload& workload) const {
+  const std::string key =
+      workload.name + "@" + std::to_string(scaled_bytes(workload, options_));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, std::make_shared<RealWorkload>(catalog_, workload, options_))
+             .first;
+  }
+  return it->second;
+}
+
+const RealWorkload& RealWorkloadEvaluator::real(const Workload& workload) const {
+  return *cached(workload);
+}
+
+RealMeasurement RealWorkloadEvaluator::measure(const opt::SystemConfig& config,
+                                               const Workload& workload) const {
+  if (config.host_threads < 1 || config.device_threads < 1) {
+    throw std::invalid_argument("RealWorkloadEvaluator: thread counts must be >= 1");
+  }
+  const std::shared_ptr<const RealWorkload> rw = cached(workload);
+
+  const auto host_threads = static_cast<std::size_t>(config.host_threads);
+  const auto device_threads = static_cast<std::size_t>(config.device_threads);
+  HeterogeneousExecutor executor(
+      rw->dfa(), host_threads, device_threads,
+      options_.pin_threads ? std::optional(config.host_affinity) : std::nullopt,
+      options_.pin_threads ? std::optional(config.device_affinity) : std::nullopt);
+
+  RealMeasurement m;
+  m.host_chunks = host_threads * options_.chunks_per_thread;
+  m.device_chunks = device_threads * options_.chunks_per_thread;
+  for (std::size_t rep = 0; rep < options_.repeats; ++rep) {
+    const ExecutionReport report =
+        executor.run(rw->text(), config.host_percent, m.host_chunks, m.device_chunks);
+    if (rep == 0 || report.total_seconds < m.seconds) {
+      m.seconds = report.total_seconds;
+      m.host_seconds = report.host_seconds;
+      m.device_seconds = report.device_seconds;
+      m.matches = report.total_matches();
+      m.host_bytes = report.host_bytes;
+      m.device_bytes = report.device_bytes;
+    }
+  }
+  if (options_.deterministic_timing) {
+    m.seconds = real_workload_model_seconds(config, m.host_bytes, m.device_bytes);
+    m.host_seconds = real_workload_model_seconds(config, m.host_bytes, 0);
+    m.device_seconds = real_workload_model_seconds(config, 0, m.device_bytes);
+  }
+  m.throughput_mb_s = m.seconds > 0.0 ? rw->physical_mb() / m.seconds : 0.0;
+  return m;
+}
+
+double RealWorkloadEvaluator::value(const opt::SystemConfig& config,
+                                    const Workload& workload) const {
+  return measure(config, workload).seconds;
+}
+
+double RealWorkloadEvaluator::score(const opt::SystemConfig& config,
+                                    const Workload& workload) const {
+  // Scoring is one more real run of the winner — the literal §IV-C protocol.
+  return measure(config, workload).seconds;
+}
+
+}  // namespace hetopt::core

@@ -1,0 +1,143 @@
+// The real-workload measurement pipeline: tune the *actual* PaREM-style
+// chunk-parallel DNA matcher instead of the simulated Emil surface.
+//
+// core::RealWorkload materializes a physically scaled-down synthetic genome
+// for one of the paper's logical workloads (dna::GenomeCatalog) and compiles
+// the motif set into the dense scanning automaton. core::RealWorkloadEvaluator
+// plugs into core::TuningSession exactly like the simulated evaluators: every
+// candidate configuration is priced by *running* the heterogeneous executor —
+// host pool and emulated-device pool sized, pinned and chunked from the
+// opt::SystemConfig — and timing the overlapped scan. EM/EML/SAM/SAML
+// therefore tune live code end-to-end, which is what the paper's testbed did.
+//
+// Two timing modes:
+//   wall          (default) monotonic wall-clock of the real scan, min over
+//                 `repeats` runs. Non-deterministic, as real measurements are.
+//   deterministic the scan still runs (match counts stay live and exact) but
+//                 the reported seconds come from a pure work model of the
+//                 executed bytes/threads/affinity. Used by tests and CI smoke
+//                 runs, where wall-clock noise would make seeds meaningless.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/dense_dfa.hpp"
+#include "automata/parallel_matcher.hpp"
+#include "core/evaluator.hpp"
+#include "core/workload.hpp"
+#include "dna/catalog.hpp"
+#include "dna/sequence.hpp"
+#include "opt/config.hpp"
+
+namespace hetopt::core {
+
+struct RealWorkloadOptions {
+  /// IUPAC motif expressions compiled into one scanning automaton.
+  std::vector<std::string> motifs{"TATAWAW", "GGGCGG"};
+  /// Physical bytes materialized per *logical* megabyte of the workload
+  /// (the paper's genomes are GBs; the default scales human to ~3.2 MB).
+  double bytes_per_logical_mb = 1024.0;
+  /// Clamp on the materialized sequence size.
+  std::size_t min_physical_bytes = std::size_t{64} * 1024;
+  std::size_t max_physical_bytes = std::size_t{64} * 1024 * 1024;
+  /// Timed repetitions per measurement; the minimum is reported (standard
+  /// practice for wall-clock microbenchmarks).
+  std::size_t repeats = 1;
+  /// Chunks per pool worker (the matcher's chunking knob).
+  std::size_t chunks_per_thread = 1;
+  /// Apply the configuration's scatter/compact policies to the pool workers.
+  bool pin_threads = true;
+  /// Replace wall-clock with the deterministic work model (tests, CI).
+  bool deterministic_timing = false;
+};
+
+/// A logical workload made physical: the scaled synthetic genome plus the
+/// compiled motif automaton, with the sequential match count as ground truth.
+class RealWorkload {
+ public:
+  RealWorkload(const dna::GenomeCatalog& catalog, const Workload& logical,
+               const RealWorkloadOptions& options);
+
+  [[nodiscard]] const Workload& logical() const noexcept { return logical_; }
+  [[nodiscard]] std::string_view text() const noexcept { return sequence_.view(); }
+  [[nodiscard]] const automata::DenseDfa& dfa() const noexcept { return dfa_; }
+  [[nodiscard]] std::size_t physical_bytes() const noexcept { return sequence_.size(); }
+  [[nodiscard]] double physical_mb() const noexcept {
+    return static_cast<double>(sequence_.size()) / (1024.0 * 1024.0);
+  }
+  /// Match count of a plain sequential scan — the oracle every parallel
+  /// configuration must reproduce exactly.
+  [[nodiscard]] std::uint64_t sequential_matches() const noexcept {
+    return sequential_matches_;
+  }
+
+ private:
+  Workload logical_;
+  automata::DenseDfa dfa_;
+  dna::Sequence sequence_;
+  std::uint64_t sequential_matches_ = 0;
+};
+
+/// Everything one timed run of a configuration produced.
+struct RealMeasurement {
+  double seconds = 0.0;          // overlapped time (max of sides; min over repeats)
+  double host_seconds = 0.0;     // host-side wall time of the reported run
+  double device_seconds = 0.0;   // emulated-device-side wall time
+  double throughput_mb_s = 0.0;  // physical MB scanned per reported second
+  std::uint64_t matches = 0;     // total motif occurrences found
+  std::size_t host_bytes = 0;
+  std::size_t device_bytes = 0;
+  std::size_t host_chunks = 0;
+  std::size_t device_chunks = 0;
+};
+
+/// Evaluator backend that prices configurations by executing the real
+/// matcher. Materialized workloads are cached per (genome, scale), so a
+/// tuning run generates the genome once. Not concurrent(): timed runs must
+/// not overlap or they would perturb each other's measurements.
+class RealWorkloadEvaluator final : public Evaluator {
+ public:
+  explicit RealWorkloadEvaluator(dna::GenomeCatalog catalog, RealWorkloadOptions options = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "real-workload"; }
+  [[nodiscard]] double score(const opt::SystemConfig& config,
+                             const Workload& workload) const override;
+
+  /// One full measurement of `config` (what value()/score() consume the
+  /// seconds of); exposed so benches can report throughput and match counts.
+  [[nodiscard]] RealMeasurement measure(const opt::SystemConfig& config,
+                                        const Workload& workload) const;
+
+  /// The materialized physical workload behind `workload` (cached).
+  [[nodiscard]] const RealWorkload& real(const Workload& workload) const;
+
+  [[nodiscard]] const RealWorkloadOptions& options() const noexcept { return options_; }
+
+ protected:
+  [[nodiscard]] double value(const opt::SystemConfig& config,
+                             const Workload& workload) const override;
+  [[nodiscard]] bool concurrent() const noexcept override { return false; }
+
+ private:
+  [[nodiscard]] std::shared_ptr<const RealWorkload> cached(const Workload& workload) const;
+
+  dna::GenomeCatalog catalog_;
+  RealWorkloadOptions options_;
+  mutable std::mutex mutex_;  // guards cache_
+  mutable std::map<std::string, std::shared_ptr<const RealWorkload>> cache_;
+};
+
+/// The deterministic work model (exposed for tests): overlapped seconds for
+/// scanning `host_bytes` + `device_bytes` under `config`. Pure.
+[[nodiscard]] double real_workload_model_seconds(const opt::SystemConfig& config,
+                                                 std::size_t host_bytes,
+                                                 std::size_t device_bytes);
+
+}  // namespace hetopt::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 namespace hetopt::opt {
 
@@ -81,6 +82,31 @@ ConfigSpace ConfigSpace::paper() {
       {parallel::DeviceAffinity::kBalanced, parallel::DeviceAffinity::kScatter,
        parallel::DeviceAffinity::kCompact},
       std::move(fractions));
+}
+
+ConfigSpace ConfigSpace::real(unsigned hardware_threads) {
+  if (hardware_threads == 0) hardware_threads = std::thread::hardware_concurrency();
+  // Clamp to a sane ceiling so the int casts below (including 2x for the
+  // device axis) cannot overflow on absurd inputs.
+  hardware_threads = std::clamp(hardware_threads, 1u, 1u << 20);
+  // Powers of two up to the cap, plus the cap itself so "use every hardware
+  // thread" is always reachable on non-power-of-two machines.
+  const auto powers_plus_cap = [](int cap) {
+    std::vector<int> axis;
+    for (int t = 1; t <= cap; t *= 2) axis.push_back(t);
+    if (axis.back() != cap) axis.push_back(cap);
+    return axis;
+  };
+  std::vector<int> host = powers_plus_cap(static_cast<int>(hardware_threads));
+  std::vector<int> device = powers_plus_cap(2 * static_cast<int>(hardware_threads));
+  return ConfigSpace(
+      std::move(host),
+      {parallel::HostAffinity::kNone, parallel::HostAffinity::kScatter,
+       parallel::HostAffinity::kCompact},
+      std::move(device),
+      {parallel::DeviceAffinity::kBalanced, parallel::DeviceAffinity::kScatter,
+       parallel::DeviceAffinity::kCompact},
+      {0.0, 25.0, 50.0, 75.0, 100.0});
 }
 
 ConfigSpace ConfigSpace::tiny() {

@@ -28,6 +28,15 @@ class ConfigSpace {
   /// A reduced space for fast tests: 2 x 2 x 2 x 2 x 5 = 80 configurations.
   [[nodiscard]] static ConfigSpace tiny();
 
+  /// A space sized to the *actual* machine for live-code tuning (the
+  /// real-workload measurement pipeline): host threads are the powers of two
+  /// up to `hardware_threads` plus the cap itself, device (emulated
+  /// accelerator) threads the same up to 2x that (accelerators
+  /// oversubscribe), all six affinities, fractions {0, 25, 50, 75, 100}.
+  /// Deterministic in `hardware_threads`; pass 0 to use
+  /// std::thread::hardware_concurrency().
+  [[nodiscard]] static ConfigSpace real(unsigned hardware_threads = 0);
+
   [[nodiscard]] std::size_t size() const noexcept;
   /// Mixed-radix decode of a flat index in [0, size()).
   [[nodiscard]] SystemConfig at(std::size_t flat_index) const;

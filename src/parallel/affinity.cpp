@@ -1,8 +1,99 @@
 #include "parallel/affinity.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace hetopt::parallel {
+
+namespace {
+
+enum class Placement { kNone, kCompact, kScatter, kBalanced };
+
+[[nodiscard]] Placement placement_of(HostAffinity a) noexcept {
+  switch (a) {
+    case HostAffinity::kNone: return Placement::kNone;
+    case HostAffinity::kScatter: return Placement::kScatter;
+    case HostAffinity::kCompact: return Placement::kCompact;
+  }
+  return Placement::kNone;
+}
+
+[[nodiscard]] Placement placement_of(DeviceAffinity a) noexcept {
+  switch (a) {
+    case DeviceAffinity::kBalanced: return Placement::kBalanced;
+    case DeviceAffinity::kScatter: return Placement::kScatter;
+    case DeviceAffinity::kCompact: return Placement::kCompact;
+  }
+  return Placement::kBalanced;
+}
+
+[[nodiscard]] unsigned place(Placement p, std::size_t index, std::size_t count,
+                             unsigned cpus) noexcept {
+  if (cpus == 0) cpus = 1;
+  if (count == 0) count = 1;
+  const std::size_t n = cpus;
+  switch (p) {
+    case Placement::kCompact:
+    case Placement::kNone:
+      return static_cast<unsigned>(index % n);
+    case Placement::kScatter:
+      // Consecutive workers land as far apart as possible; oversubscribed
+      // pools round-robin so neighbouring ids stay on different CPUs
+      // (KMP_AFFINITY=scatter on a flat topology).
+      if (count <= n) return static_cast<unsigned>((index % count) * n / count);
+      return static_cast<unsigned>(index % n);
+    case Placement::kBalanced:
+      // Workers spread evenly, but oversubscribed pools keep *consecutive*
+      // ids together on the same CPU (KMP_AFFINITY=balanced). With
+      // count <= n this coincides with scatter, as it does on real
+      // single-package hardware.
+      return static_cast<unsigned>((index % count) * n / count);
+  }
+  return 0;
+}
+
+bool pin_to(unsigned cpu) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace
+
+unsigned cpu_for_worker(HostAffinity policy, std::size_t worker_index,
+                        std::size_t worker_count, unsigned hardware_cpus) noexcept {
+  return place(placement_of(policy), worker_index, worker_count, hardware_cpus);
+}
+
+unsigned cpu_for_worker(DeviceAffinity policy, std::size_t worker_index,
+                        std::size_t worker_count, unsigned hardware_cpus) noexcept {
+  return place(placement_of(policy), worker_index, worker_count, hardware_cpus);
+}
+
+bool pin_current_thread(HostAffinity policy, std::size_t worker_index,
+                        std::size_t worker_count) {
+  if (policy == HostAffinity::kNone) return false;
+  const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+  return pin_to(cpu_for_worker(policy, worker_index, worker_count, cpus));
+}
+
+bool pin_current_thread(DeviceAffinity policy, std::size_t worker_index,
+                        std::size_t worker_count) {
+  const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+  return pin_to(cpu_for_worker(policy, worker_index, worker_count, cpus));
+}
 
 std::string_view to_string(HostAffinity a) noexcept {
   switch (a) {

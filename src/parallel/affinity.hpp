@@ -2,9 +2,15 @@
 // and the optimizer. Matches Table I of the paper:
 //   host   affinity in {none, scatter, compact}
 //   device affinity in {balanced, scatter, compact}   (Intel KMP_AFFINITY)
+//
+// Besides the vocabulary this header provides the *application* of a policy
+// to real worker threads (cpu_for_worker / pin_current_thread), used by the
+// real-workload measurement path to place ThreadPool workers the way
+// KMP_AFFINITY would.
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -26,5 +32,30 @@ inline constexpr std::array<DeviceAffinity, 3> kAllDeviceAffinities{
 /// Throws std::invalid_argument on unknown names.
 [[nodiscard]] HostAffinity host_affinity_from_string(std::string_view s);
 [[nodiscard]] DeviceAffinity device_affinity_from_string(std::string_view s);
+
+/// The CPU worker `worker_index` of `worker_count` should run on under a
+/// policy, given `hardware_cpus` online CPUs (KMP_AFFINITY semantics on a
+/// flat topology):
+///   compact   fill CPUs consecutively (worker i -> cpu i mod N)
+///   scatter   consecutive workers as far apart as possible; oversubscribed
+///             pools round-robin (neighbouring ids on different CPUs)
+///   balanced  spread evenly; oversubscribed pools keep consecutive ids on
+///             the same CPU (coincides with scatter when count <= N, as on
+///             real single-package hardware)
+///   none      no placement (callers should skip pinning; returns worker mod N)
+/// Pure and platform-independent, so the mapping itself is unit-testable.
+[[nodiscard]] unsigned cpu_for_worker(HostAffinity policy, std::size_t worker_index,
+                                      std::size_t worker_count, unsigned hardware_cpus) noexcept;
+[[nodiscard]] unsigned cpu_for_worker(DeviceAffinity policy, std::size_t worker_index,
+                                      std::size_t worker_count, unsigned hardware_cpus) noexcept;
+
+/// Best-effort pin of the calling thread to cpu_for_worker(...). Returns
+/// false (and leaves the thread unpinned) for HostAffinity::kNone, on
+/// non-Linux platforms, or when the kernel rejects the mask; measurement
+/// never depends on pinning having succeeded.
+bool pin_current_thread(HostAffinity policy, std::size_t worker_index,
+                        std::size_t worker_count);
+bool pin_current_thread(DeviceAffinity policy, std::size_t worker_index,
+                        std::size_t worker_count);
 
 }  // namespace hetopt::parallel

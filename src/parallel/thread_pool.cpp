@@ -6,11 +6,19 @@
 
 namespace hetopt::parallel {
 
-ThreadPool::ThreadPool(std::size_t thread_count) {
+ThreadPool::ThreadPool(std::size_t thread_count, WorkerInit init) {
   const std::size_t n = std::max<std::size_t>(1, thread_count);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i, init] {
+      if (init) {
+        try {
+          init(i);
+        } catch (...) {  // placement is best-effort
+        }
+      }
+      worker_loop();
+    });
   }
 }
 

@@ -20,8 +20,15 @@ namespace hetopt::parallel {
 
 class ThreadPool {
  public:
-  /// Creates `thread_count` workers (at least 1).
-  explicit ThreadPool(std::size_t thread_count);
+  /// Runs once on each worker thread right after it starts, before it takes
+  /// any task — e.g. to apply an affinity policy (parallel/affinity.hpp).
+  using WorkerInit = std::function<void(std::size_t worker_index)>;
+
+  /// Creates `thread_count` workers (at least 1). When `init` is set, every
+  /// worker invokes it (with its index) before entering the task loop;
+  /// exceptions from `init` are swallowed — placement is best-effort and must
+  /// never take the pool down.
+  explicit ThreadPool(std::size_t thread_count, WorkerInit init = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -1,0 +1,158 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hetopt::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty()) {
+    if (!out_.empty()) throw std::logic_error("JsonWriter: multiple top-level values");
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    if (!key_pending_) throw std::logic_error("JsonWriter: object member needs a key");
+    key_pending_ = false;
+  } else {
+    if (has_members_.back()) out_ += ',';
+    has_members_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (done_ || stack_.empty() || stack_.back() != Scope::kObject) {
+    throw std::logic_error("JsonWriter: key() outside an object");
+  }
+  if (key_pending_) throw std::logic_error("JsonWriter: consecutive keys");
+  if (has_members_.back()) out_ += ',';
+  has_members_.back() = true;
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  has_members_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Scope::kObject || key_pending_) {
+    throw std::logic_error("JsonWriter: unbalanced end_object()");
+  }
+  out_ += '}';
+  stack_.pop_back();
+  has_members_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  has_members_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Scope::kArray) {
+    throw std::logic_error("JsonWriter: unbalanced end_array()");
+  }
+  out_ += ']';
+  stack_.pop_back();
+  has_members_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    out_ += buf;
+  }
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::signed_value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::unsigned_value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  if (!done_ || !stack_.empty()) {
+    throw std::logic_error("JsonWriter: document incomplete");
+  }
+  return out_;
+}
+
+}  // namespace hetopt::util

@@ -1,0 +1,70 @@
+// Minimal streaming JSON writer for the bench pipeline's machine-readable
+// BENCH_*.json output. No external dependency, no DOM: callers emit objects
+// and arrays in order and the writer handles commas, quoting, escaping and
+// number formatting. Nesting is validated (unbalanced or misplaced calls
+// throw std::logic_error), so a completed writer always holds valid JSON.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace hetopt::util {
+
+/// Escapes `s` for inclusion inside a JSON string literal (adds no quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key of the next member; only valid directly inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);  // non-finite values are emitted as null
+  JsonWriter& value(bool v);
+  /// Any integer type (int, std::size_t, std::uint64_t, ...). A single
+  /// constrained template avoids the size_t-vs-uint64_t overload ambiguity
+  /// on platforms where they are distinct types.
+  template <typename T>
+    requires(std::integral<T> && !std::same_as<T, bool>)
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>) return signed_value(static_cast<std::int64_t>(v));
+    else return unsigned_value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& null();
+
+  /// Convenience: key(name).value(v).
+  template <typename T>
+  JsonWriter& member(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// The finished document. Throws std::logic_error while containers are
+  /// still open or nothing has been written.
+  [[nodiscard]] const std::string& str() const;
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  JsonWriter& signed_value(std::int64_t v);
+  JsonWriter& unsigned_value(std::uint64_t v);
+  void before_value();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_members_;  // parallel to stack_
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+}  // namespace hetopt::util

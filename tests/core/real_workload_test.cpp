@@ -1,0 +1,147 @@
+#include "core/real_workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/tuning_session.hpp"
+#include "opt/config_space.hpp"
+
+namespace hetopt::core {
+namespace {
+
+/// A fast evaluator: ~128 KB of physical "cat" sequence, timing replaced by
+/// the deterministic work model where noted.
+RealWorkloadOptions tiny_options(bool deterministic) {
+  RealWorkloadOptions options;
+  options.bytes_per_logical_mb = 54.0;  // cat (2430 logical MB) -> ~128 KB
+  options.min_physical_bytes = 64 * 1024;
+  options.deterministic_timing = deterministic;
+  return options;
+}
+
+Workload cat() { return Workload("cat", 2430.0); }
+
+TEST(RealWorkloadTest, MaterializesScaledGenomeWithGroundTruth) {
+  const dna::GenomeCatalog catalog;
+  const RealWorkload rw(catalog, cat(), tiny_options(false));
+  EXPECT_EQ(rw.logical().name, "cat");
+  EXPECT_NEAR(static_cast<double>(rw.physical_bytes()), 2430.0 * 54.0, 1.0);
+  // Planted motifs guarantee a non-trivial ground truth.
+  EXPECT_GT(rw.sequential_matches(), 0u);
+  // The materialization is deterministic.
+  const RealWorkload again(catalog, cat(), tiny_options(false));
+  EXPECT_EQ(again.text(), rw.text());
+  EXPECT_EQ(again.sequential_matches(), rw.sequential_matches());
+}
+
+TEST(RealWorkloadTest, RejectsEmptyMotifsAndBadOptions) {
+  const dna::GenomeCatalog catalog;
+  RealWorkloadOptions options = tiny_options(false);
+  options.motifs.clear();
+  EXPECT_THROW((void)RealWorkload(catalog, cat(), options), std::invalid_argument);
+
+  RealWorkloadOptions zero_repeats = tiny_options(false);
+  zero_repeats.repeats = 0;
+  EXPECT_THROW((void)RealWorkloadEvaluator(catalog, zero_repeats), std::invalid_argument);
+  RealWorkloadOptions zero_chunks = tiny_options(false);
+  zero_chunks.chunks_per_thread = 0;
+  EXPECT_THROW((void)RealWorkloadEvaluator(catalog, zero_chunks), std::invalid_argument);
+}
+
+TEST(RealWorkloadEvaluatorTest, MatchCountsEqualSequentialScanAcrossChunkCounts) {
+  const dna::GenomeCatalog catalog;
+  // Sweep thread counts and chunks-per-thread: every parallel decomposition
+  // must reproduce the sequential match count exactly (the PaREM property).
+  for (const std::size_t chunks_per_thread : {std::size_t{1}, std::size_t{3}}) {
+    RealWorkloadOptions options = tiny_options(false);
+    options.chunks_per_thread = chunks_per_thread;
+    const RealWorkloadEvaluator evaluator(catalog, options);
+    const std::uint64_t expected = evaluator.real(cat()).sequential_matches();
+    for (const int host_threads : {1, 2, 5}) {
+      for (const int device_threads : {1, 4}) {
+        for (const double fraction : {0.0, 33.0, 75.0, 100.0}) {
+          opt::SystemConfig c;
+          c.host_threads = host_threads;
+          c.device_threads = device_threads;
+          c.host_percent = fraction;
+          const RealMeasurement m = evaluator.measure(c, cat());
+          EXPECT_EQ(m.matches, expected)
+              << "host_threads=" << host_threads << " device_threads=" << device_threads
+              << " fraction=" << fraction << " cpt=" << chunks_per_thread;
+          EXPECT_EQ(m.host_bytes + m.device_bytes, evaluator.real(cat()).physical_bytes());
+          EXPECT_GT(m.seconds, 0.0);
+          EXPECT_GT(m.throughput_mb_s, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(RealWorkloadEvaluatorTest, SeededTinyGenomeTuningIsDeterministic) {
+  const dna::GenomeCatalog catalog;
+  const opt::ConfigSpace space = opt::ConfigSpace::real(4);
+
+  const auto tune = [&]() {
+    TuningSession session(space);
+    session.with_strategy("annealing")
+        .with_evaluator(std::make_shared<RealWorkloadEvaluator>(catalog, tiny_options(true)))
+        .with_budget(40)
+        .with_seed(1234);
+    return session.run(cat());
+  };
+  const SessionReport first = tune();
+  const SessionReport second = tune();
+  EXPECT_EQ(first.config, second.config);
+  EXPECT_DOUBLE_EQ(first.measured_time, second.measured_time);
+  EXPECT_DOUBLE_EQ(first.search_energy, second.search_energy);
+  EXPECT_EQ(first.evaluations, second.evaluations);
+  EXPECT_EQ(first.evaluator, "real-workload");
+}
+
+TEST(RealWorkloadEvaluatorTest, DeterministicModelPrefersMoreThreads) {
+  opt::SystemConfig few;
+  few.host_threads = 1;
+  few.device_threads = 1;
+  few.host_percent = 50.0;
+  opt::SystemConfig many = few;
+  many.host_threads = 8;
+  many.device_threads = 8;
+  const std::size_t mb = 4 * 1024 * 1024;
+  EXPECT_LT(real_workload_model_seconds(many, mb, mb),
+            real_workload_model_seconds(few, mb, mb));
+  // Overlapped time is the max of the sides: dropping one side never slows
+  // the other down.
+  EXPECT_LE(real_workload_model_seconds(few, 0, mb),
+            real_workload_model_seconds(few, mb, mb) + 1e-12);
+  EXPECT_GT(real_workload_model_seconds(few, mb, 0), 0.0);
+}
+
+TEST(RealWorkloadEvaluatorTest, CachesMaterializedWorkloads) {
+  const dna::GenomeCatalog catalog;
+  const RealWorkloadEvaluator evaluator(catalog, tiny_options(true));
+  const RealWorkload& a = evaluator.real(cat());
+  const RealWorkload& b = evaluator.real(cat());
+  EXPECT_EQ(&a, &b);  // same materialization, no regeneration
+}
+
+TEST(RealWorkloadEvaluatorTest, AllFourPresetsCompleteOnTheRealMatcher) {
+  // The acceptance path of the measurement pipeline: exhaustive and
+  // annealing searches both drive the live matcher end-to-end (EM/SAM), and
+  // the evaluator slots into the same session API the ML presets use.
+  const dna::GenomeCatalog catalog;
+  const auto evaluator =
+      std::make_shared<RealWorkloadEvaluator>(catalog, tiny_options(true));
+  const opt::ConfigSpace space = opt::ConfigSpace::real(2);
+  for (const char* strategy : {"exhaustive", "annealing"}) {
+    TuningSession session(space);
+    session.with_strategy(strategy).with_evaluator(evaluator).with_budget(20).with_seed(7);
+    const SessionReport report = session.run(cat());
+    EXPECT_GT(report.evaluations, 0u) << strategy;
+    EXPECT_GT(report.measured_time, 0.0) << strategy;
+    EXPECT_TRUE(space.contains(report.config)) << strategy;
+  }
+}
+
+}  // namespace
+}  // namespace hetopt::core

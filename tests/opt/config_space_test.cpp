@@ -135,6 +135,32 @@ TEST(ConfigSpaceTest, SinglePointSpaceWorks) {
   EXPECT_EQ(space.neighbor(only, rng), only);
 }
 
+TEST(ConfigSpaceTest, RealSpaceIsSizedToTheMachine) {
+  const ConfigSpace space = ConfigSpace::real(8);
+  EXPECT_EQ(space.host_threads(), (std::vector<int>{1, 2, 4, 8}));
+  EXPECT_EQ(space.device_threads(), (std::vector<int>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(space.host_affinities().size(), 3u);
+  EXPECT_EQ(space.device_affinities().size(), 3u);
+  EXPECT_EQ(space.fractions(), (std::vector<double>{0.0, 25.0, 50.0, 75.0, 100.0}));
+  EXPECT_EQ(space.size(), 4u * 3u * 5u * 3u * 5u);
+
+  // Non-power-of-two machines can still reach "use every hardware thread".
+  const ConfigSpace twelve = ConfigSpace::real(12);
+  EXPECT_EQ(twelve.host_threads(), (std::vector<int>{1, 2, 4, 8, 12}));
+  EXPECT_EQ(twelve.device_threads(), (std::vector<int>{1, 2, 4, 8, 16, 24}));
+
+  // A single-threaded machine still yields a searchable space.
+  const ConfigSpace one = ConfigSpace::real(1);
+  EXPECT_EQ(one.host_threads(), (std::vector<int>{1}));
+  EXPECT_EQ(one.device_threads(), (std::vector<int>{1, 2}));
+  EXPECT_GT(one.size(), 1u);
+
+  // 0 = autodetect; the result is a valid non-empty space.
+  const ConfigSpace self = ConfigSpace::real();
+  EXPECT_GE(self.host_threads().front(), 1);
+  EXPECT_GT(self.size(), 0u);
+}
+
 TEST(ConfigTest, ToStringIsHumanReadable) {
   SystemConfig c;
   c.host_threads = 24;

@@ -31,5 +31,63 @@ TEST(Affinity, UnknownNamesThrow) {
   EXPECT_THROW((void)host_affinity_from_string(""), std::invalid_argument);
 }
 
+TEST(Affinity, CompactFillsCpusConsecutively) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(cpu_for_worker(HostAffinity::kCompact, i, 8, 4), i % 4);
+    EXPECT_EQ(cpu_for_worker(DeviceAffinity::kCompact, i, 8, 4), i % 4);
+  }
+}
+
+TEST(Affinity, ScatterSpreadsWorkersAcrossCpus) {
+  // 4 workers on 8 CPUs: cpus 0,2,4,6 (maximal spacing).
+  EXPECT_EQ(cpu_for_worker(HostAffinity::kScatter, 0, 4, 8), 0u);
+  EXPECT_EQ(cpu_for_worker(HostAffinity::kScatter, 1, 4, 8), 2u);
+  EXPECT_EQ(cpu_for_worker(HostAffinity::kScatter, 2, 4, 8), 4u);
+  EXPECT_EQ(cpu_for_worker(HostAffinity::kScatter, 3, 4, 8), 6u);
+  // 6 workers on 8 CPUs must NOT degenerate to compact: the spread still
+  // uses the whole range.
+  EXPECT_EQ(cpu_for_worker(HostAffinity::kScatter, 5, 6, 8), 6u);
+}
+
+TEST(Affinity, BalancedSplitsCpusIntoEvenGroups) {
+  // 2 workers on 8 CPUs: groups [0..3] and [4..7].
+  EXPECT_EQ(cpu_for_worker(DeviceAffinity::kBalanced, 0, 2, 8), 0u);
+  EXPECT_EQ(cpu_for_worker(DeviceAffinity::kBalanced, 1, 2, 8), 4u);
+}
+
+TEST(Affinity, OversubscriptionDistinguishesScatterFromBalanced) {
+  // 8 workers on 4 CPUs (the device axis oversubscribes 2x): scatter
+  // round-robins consecutive ids apart, balanced keeps them together.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(cpu_for_worker(DeviceAffinity::kScatter, i, 8, 4), i % 4);
+    EXPECT_EQ(cpu_for_worker(DeviceAffinity::kBalanced, i, 8, 4), i / 2);
+  }
+}
+
+TEST(Affinity, PlacementNeverExceedsCpuCount) {
+  for (HostAffinity a : kAllHostAffinities) {
+    for (std::size_t count : {1u, 3u, 16u}) {
+      for (std::size_t i = 0; i < 2 * count; ++i) {
+        EXPECT_LT(cpu_for_worker(a, i, count, 3), 3u);
+      }
+    }
+  }
+  for (DeviceAffinity a : kAllDeviceAffinities) {
+    for (std::size_t i = 0; i < 32; ++i) {
+      EXPECT_LT(cpu_for_worker(a, i, 16, 5), 5u);
+    }
+  }
+  // Degenerate inputs clamp instead of dividing by zero.
+  EXPECT_EQ(cpu_for_worker(HostAffinity::kScatter, 0, 0, 0), 0u);
+}
+
+TEST(Affinity, PinCurrentThreadIsBestEffort) {
+  // kNone never pins; the others may or may not succeed depending on the
+  // platform — the call must simply not crash or throw.
+  EXPECT_FALSE(pin_current_thread(HostAffinity::kNone, 0, 1));
+  (void)pin_current_thread(HostAffinity::kCompact, 0, 1);
+  (void)pin_current_thread(DeviceAffinity::kBalanced, 0, 1);
+}
+
 }  // namespace
 }  // namespace hetopt::parallel

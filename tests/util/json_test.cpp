@@ -1,0 +1,89 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace hetopt::util {
+namespace {
+
+TEST(JsonWriterTest, NestedObjectsAndArrays) {
+  JsonWriter json;
+  json.begin_object()
+      .member("schema", "hetopt-bench-v1")
+      .member("count", 3)
+      .member("pi", 3.5)
+      .member("ok", true)
+      .key("rows")
+      .begin_array();
+  json.begin_object().member("id", std::uint64_t{1}).end_object();
+  json.begin_object().member("id", std::uint64_t{2}).key("note").null().end_object();
+  json.value(-7);
+  json.end_array().end_object();
+  EXPECT_EQ(json.str(),
+            R"({"schema":"hetopt-bench-v1","count":3,"pi":3.5,"ok":true,)"
+            R"("rows":[{"id":1},{"id":2,"note":null},-7]})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter json;
+  json.begin_object().member("k\"ey", "a\\b\n\t\x01z").end_object();
+  EXPECT_EQ(json.str(), "{\"k\\\"ey\":\"a\\\\b\\n\\t\\u0001z\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.begin_array()
+      .value(std::numeric_limits<double>::infinity())
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(1.25)
+      .end_array();
+  EXPECT_EQ(json.str(), "[null,null,1.25]");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter object;
+  object.begin_object().end_object();
+  EXPECT_EQ(object.str(), "{}");
+  JsonWriter array;
+  array.begin_array().end_array();
+  EXPECT_EQ(array.str(), "[]");
+}
+
+TEST(JsonWriterTest, MisuseThrows) {
+  {
+    JsonWriter json;  // incomplete document
+    json.begin_object();
+    EXPECT_THROW((void)json.str(), std::logic_error);
+  }
+  {
+    JsonWriter json;  // value without key inside an object
+    json.begin_object();
+    EXPECT_THROW(json.value(1), std::logic_error);
+  }
+  {
+    JsonWriter json;  // key inside an array
+    json.begin_array();
+    EXPECT_THROW(json.key("k"), std::logic_error);
+  }
+  {
+    JsonWriter json;  // mismatched closer
+    json.begin_object();
+    EXPECT_THROW(json.end_array(), std::logic_error);
+  }
+  {
+    JsonWriter json;  // writing past the end
+    json.begin_object();
+    json.end_object();
+    EXPECT_THROW(json.begin_object(), std::logic_error);
+  }
+}
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("host 24t/scatter 70%"), "host 24t/scatter 70%");
+}
+
+}  // namespace
+}  // namespace hetopt::util

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Unified benchmark entry point: builds the bench targets and produces a
+# machine-readable BENCH_<suite>.json via bench/bench_main.cpp; --full also
+# runs every fig*/tab*/ablation* paper harness and captures its text output.
+#
+#   tools/run_bench.sh --smoke             quick real-workload bench (CI)
+#   tools/run_bench.sh --full              everything, paper-sized sweeps
+#   tools/run_bench.sh --smoke --out-dir=DIR --genome=cat -- [bench_main args]
+#
+# Outputs land in --out-dir (default <repo>/bench_out): BENCH_<suite>.json
+# plus, with --full, one .txt per paper harness. The JSON is validated with
+# python3 when available.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+suite="smoke"
+out_dir="${repo}/bench_out"
+genome="human"
+extra=()
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) suite="smoke" ;;
+    --full) suite="full" ;;
+    --out-dir=*) out_dir="${1#*=}" ;;
+    --genome=*) genome="${1#*=}" ;;
+    --) shift; extra+=("$@"); break ;;
+    *) echo "run_bench.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+mkdir -p "${out_dir}"
+
+cmake -B "${repo}/build" -S "${repo}" >/dev/null
+cmake --build "${repo}/build" --target bench_main -j
+
+json_out="${out_dir}/BENCH_${suite}.json"
+"${repo}/build/bench_main" "--suite=${suite}" "--genome=${genome}" \
+  "--out=${json_out}" "${extra[@]+"${extra[@]}"}"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "${json_out}" >/dev/null
+  echo "validated ${json_out}"
+fi
+
+if [[ "${suite}" == "full" ]]; then
+  cmake --build "${repo}/build" --target hetopt_bench -j
+  for bin in "${repo}"/build/fig*_* "${repo}"/build/tab*_* "${repo}"/build/ablation_*; do
+    [[ -x "${bin}" ]] || continue
+    name="$(basename "${bin}")"
+    echo "running ${name}..."
+    "${bin}" > "${out_dir}/${name}.txt"
+  done
+  echo "paper-harness outputs in ${out_dir}/"
+fi
+
+echo "done: ${json_out}"
