@@ -4,6 +4,12 @@
 // machine-readable BENCH_*.json — the perf trajectory artifact every PR can
 // compare against:
 //
+//   scan_kernel          single-thread kernel ladder: the seed per-byte scan
+//                        loop (naive) vs the compiled kernels (byte-fused /
+//                        paired 2-bases-per-step / multi-stream interleaved /
+//                        chunk-parallel), MB/s and speedup-vs-naive per row.
+//                        Exits non-zero when the fused kernel falls below a
+//                        coarse 1.5x guard over naive (CI gate).
 //   matcher_throughput   chunk-parallel scan throughput (MB/s) vs chunk count
 //   table2_real          the four Table II presets tuning the live matcher on
 //                        a scaled-down genome (EM/SAM measure real runs;
@@ -36,6 +42,11 @@
 namespace {
 
 using namespace hetopt;
+
+/// CI gate: the fused kernel must beat the naive scanner by at least this
+/// factor on the smoke input. Deliberately far below the expected speedup
+/// (>=3x) so runner noise cannot flake the build.
+constexpr double kKernelGuardMinSpeedup = 1.5;
 
 /// Snap `config` onto the nearest point of `space` (axis-wise nearest value),
 /// so a winner found on the paper's 240-thread grid can be executed on the
@@ -152,6 +163,85 @@ int main(int argc, char** argv) {
       .member("real_space_size", real_space.size())
       .member("iterations", iterations)
       .member("seed", seed);
+
+  // --- scan_kernel ----------------------------------------------------------
+  // The kernel ladder, all rows scanning the whole physical genome. The first
+  // three rows are strictly single-threaded; multi_stream interleaves 8 chunk
+  // scans on ONE worker (latency hiding, not parallelism); chunk_parallel
+  // adds the pool on top. `speedup_fused_vs_naive` is the per-PR perf
+  // trajectory number and feeds the CI guard.
+  double fused_speedup = 0.0;
+  bool kernel_parity = true;
+  {
+    const automata::CompiledDfa& kernel = rw.compiled();
+    const std::string_view text = rw.text();
+    const std::size_t kernel_reps = suite == "full" ? 5 : 3;
+    struct KernelRow {
+      const char* name = "";
+      double seconds = 0.0;
+      std::uint64_t matches = 0;
+    };
+    const auto timed = [&](const char* name, const std::function<std::uint64_t()>& fn) {
+      KernelRow row;
+      row.name = name;
+      for (std::size_t rep = 0; rep < kernel_reps; ++rep) {
+        util::Timer timer;
+        const std::uint64_t matches = fn();
+        const double seconds = timer.seconds();
+        if (rep == 0 || seconds < row.seconds) row.seconds = seconds;
+        row.matches = matches;
+      }
+      return row;
+    };
+    std::vector<KernelRow> kernel_rows;
+    kernel_rows.push_back(timed("naive", [&] {
+      return automata::scan_count_naive(rw.dfa(), text, rw.dfa().start()).match_count;
+    }));
+    kernel_rows.push_back(timed("fused", [&] {
+      return kernel.count_fused(text, kernel.start()).match_count;
+    }));
+    kernel_rows.push_back(timed("paired", [&] {
+      return kernel.count_paired(text, kernel.start()).match_count;
+    }));
+    parallel::ThreadPool single_pool(1);
+    const automata::ParallelMatcher single_matcher(rw.dfa(), single_pool);
+    kernel_rows.push_back(timed("multi_stream", [&] {
+      return single_matcher.count(text, automata::CompiledDfa::kMaxStreams).match_count;
+    }));
+    parallel::ThreadPool wide_pool(hw);
+    const automata::ParallelMatcher wide_matcher(rw.dfa(), wide_pool);
+    kernel_rows.push_back(timed("chunk_parallel", [&] {
+      return wide_matcher.count(text, hw * automata::CompiledDfa::kMaxStreams).match_count;
+    }));
+
+    const double naive_mb_s =
+        kernel_rows.front().seconds > 0.0 ? rw.physical_mb() / kernel_rows.front().seconds
+                                          : 0.0;
+    json.key("scan_kernel").begin_object().key("rows").begin_array();
+    for (const KernelRow& row : kernel_rows) {
+      const double mb_s = row.seconds > 0.0 ? rw.physical_mb() / row.seconds : 0.0;
+      const double speedup = naive_mb_s > 0.0 ? mb_s / naive_mb_s : 0.0;
+      const bool parity = row.matches == rw.sequential_matches();
+      kernel_parity = kernel_parity && parity;
+      if (std::string_view(row.name) == "fused") fused_speedup = speedup;
+      json.begin_object()
+          .member("kernel", row.name)
+          .member("seconds", row.seconds)
+          .member("mb_s", mb_s)
+          .member("matches", row.matches)
+          .member("match_parity", parity)
+          .member("speedup_vs_naive", speedup)
+          .end_object();
+      std::cout << "  scan_kernel " << row.name << ": "
+                << util::format_double(mb_s, 1) << " MB/s ("
+                << util::format_double(speedup, 2) << "x naive)\n";
+    }
+    json.end_array()
+        .member("speedup_fused_vs_naive", fused_speedup)
+        .member("guard_min_speedup", kKernelGuardMinSpeedup)
+        .member("guard_ok", fused_speedup >= kKernelGuardMinSpeedup)
+        .end_object();
+  }
 
   // --- matcher_throughput ---------------------------------------------------
   {
@@ -290,6 +380,18 @@ int main(int argc, char** argv) {
       std::cerr << "bench_main: MATCH MISMATCH for " << row.method << "\n";
       return 1;
     }
+  }
+  // Kernel gates: every scan_kernel row must reproduce the sequential match
+  // count, and the fused kernel must not regress below the guard.
+  if (!kernel_parity) {
+    std::cerr << "bench_main: scan_kernel MATCH MISMATCH\n";
+    return 1;
+  }
+  if (fused_speedup < kKernelGuardMinSpeedup) {
+    std::cerr << "bench_main: fused kernel only " << util::format_double(fused_speedup, 2)
+              << "x naive (guard " << util::format_double(kKernelGuardMinSpeedup, 2)
+              << "x)\n";
+    return 1;
   }
   return 0;
 }

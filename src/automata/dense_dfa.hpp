@@ -8,6 +8,7 @@
 // counting is exact even when several motifs end at the same offset.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -38,8 +39,17 @@ class DenseDfa {
   }
 
   void set_accept(StateId s, std::uint64_t mask, std::uint32_t count);
-  [[nodiscard]] std::uint64_t accept_mask(StateId s) const { return accept_mask_.at(s); }
-  [[nodiscard]] std::uint32_t accept_count(StateId s) const { return accept_count_.at(s); }
+  /// Hot accessors are unchecked (scanners read one per input byte); callers
+  /// validate the automaton once up front — ParallelMatcher and the
+  /// CompiledDfa lowering both run validate() at construction.
+  [[nodiscard]] std::uint64_t accept_mask(StateId s) const noexcept {
+    assert(s < state_count());
+    return accept_mask_[s];
+  }
+  [[nodiscard]] std::uint32_t accept_count(StateId s) const noexcept {
+    assert(s < state_count());
+    return accept_count_[s];
+  }
 
   /// Longest motif this automaton matches; any scan state is fully determined
   /// by the previous `synchronization_bound()` input bytes (0 = unknown, e.g.

@@ -1,6 +1,7 @@
 #include "automata/parallel_matcher.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
 #include "parallel/partitioner.hpp"
@@ -11,89 +12,180 @@ ParallelMatcher::ParallelMatcher(const DenseDfa& dfa, parallel::ThreadPool& pool
     : dfa_(dfa), pool_(pool) {
   const std::string err = dfa.validate();
   if (!err.empty()) throw std::invalid_argument("ParallelMatcher: " + err);
+  compiled_ = CompiledDfa(dfa);
 }
 
 ParallelScanStats ParallelMatcher::count(std::string_view text, std::size_t chunks,
                                          ParallelStrategy strategy) const {
-  return run(text, chunks, strategy, /*want_matches=*/false, nullptr);
+  return run(text, chunks, MatcherOptions{strategy, 0}, /*want_matches=*/false, nullptr);
+}
+
+ParallelScanStats ParallelMatcher::count(std::string_view text, std::size_t chunks,
+                                         const MatcherOptions& options) const {
+  return run(text, chunks, options, /*want_matches=*/false, nullptr);
 }
 
 ParallelScanStats ParallelMatcher::collect(std::string_view text, std::size_t chunks,
                                            std::vector<Match>& out,
                                            ParallelStrategy strategy) const {
-  return run(text, chunks, strategy, /*want_matches=*/true, &out);
+  return run(text, chunks, MatcherOptions{strategy, 0}, /*want_matches=*/true, &out);
+}
+
+ParallelScanStats ParallelMatcher::collect(std::string_view text, std::size_t chunks,
+                                           std::vector<Match>& out,
+                                           const MatcherOptions& options) const {
+  return run(text, chunks, options, /*want_matches=*/true, &out);
 }
 
 ParallelScanStats ParallelMatcher::run(std::string_view text, std::size_t chunks,
-                                       ParallelStrategy strategy, bool want_matches,
+                                       MatcherOptions options, bool want_matches,
                                        std::vector<Match>* out) const {
   ParallelScanStats stats;
   if (text.empty()) return stats;
   chunks = std::max<std::size_t>(1, std::min(chunks, text.size()));
 
-  if (strategy == ParallelStrategy::kWarmup && dfa_.synchronization_bound() == 0) {
-    strategy = ParallelStrategy::kSpeculative;
+  if (options.strategy == ParallelStrategy::kWarmup && dfa_.synchronization_bound() == 0) {
+    options.strategy = ParallelStrategy::kSpeculative;
   }
 
   const auto ranges = parallel::make_chunks(text.size(), chunks, /*halo=*/0);
   stats.chunks = ranges.size();
-  std::vector<ChunkResult> results(ranges.size());
+  if (scratch_.size() < ranges.size()) scratch_.resize(ranges.size());
 
-  if (strategy == ParallelStrategy::kWarmup) {
-    const std::size_t warmup = dfa_.synchronization_bound() - 1;
-    pool_.parallel_for(ranges.size(), [&](std::size_t i) {
-      const auto& r = ranges[i];
-      // Warm up from the start state over the bytes preceding the chunk.
-      const std::size_t lead = std::min(warmup, r.begin);
-      StateId state = dfa_.start();
-      if (lead > 0) {
-        state = scan_count(dfa_, text.substr(r.begin - lead, lead), state).final_state;
-      }
-      if (want_matches) {
-        results[i].scan = scan_collect(dfa_, text.substr(r.begin, r.end - r.begin), state,
-                                       r.begin, results[i].matches);
-      } else {
-        results[i].scan = scan_count(dfa_, text.substr(r.begin, r.end - r.begin), state);
-      }
+  std::size_t streams = options.streams_per_worker;
+  if (streams == 0) {  // auto: the chunks one worker would process serially anyway
+    streams = (ranges.size() + pool_.thread_count() - 1) / pool_.thread_count();
+  }
+  streams = std::min(std::max<std::size_t>(streams, 1), CompiledDfa::kMaxStreams);
+
+  const auto body = [&](std::size_t i) {
+    return text.substr(ranges[i].begin, ranges[i].end - ranges[i].begin);
+  };
+  const auto scan_chunk = [&](std::size_t i, StateId entry) {
+    ChunkResult& cr = scratch_[i];
+    cr.matches.clear();  // clear() keeps capacity — reused across runs
+    if (want_matches) {
+      cr.scan = compiled_.collect(body(i), entry, ranges[i].begin, cr.matches);
+    } else {
+      cr.scan = compiled_.count(body(i), entry);
+    }
+  };
+  // Scans one chunk, on the calling thread when that cannot change placement
+  // (no pool round-trip), on a pool worker when workers are pinned — the
+  // scan must not escape the configured placement measurements price.
+  const auto scan_one = [&](std::size_t i, StateId entry) {
+    if (pool_.has_worker_init()) {
+      pool_.submit([&] { scan_chunk(i, entry); }).get();
+    } else {
+      scan_chunk(i, entry);
+    }
+  };
+  // Scans chunk idx[j] from entries[j] for all j across the pool. Counting
+  // interleaves `streams` chunks per worker task (multi-stream); collection
+  // scans one chunk per task, since events append per chunk.
+  const auto scan_wave = [&](const std::vector<std::size_t>& idx,
+                             const std::vector<StateId>& entries) {
+    if (idx.size() == 1) {
+      scan_one(idx[0], entries[0]);
+      return;
+    }
+    if (want_matches || streams == 1) {
+      pool_.parallel_for(idx.size(),
+                         [&](std::size_t j) { scan_chunk(idx[j], entries[j]); });
+      return;
+    }
+    const std::size_t groups = (idx.size() + streams - 1) / streams;
+    pool_.parallel_for(groups, [&](std::size_t g) {
+      const std::size_t first = g * streams;
+      const std::size_t m = std::min(streams, idx.size() - first);
+      std::string_view views[CompiledDfa::kMaxStreams];
+      ScanResult res[CompiledDfa::kMaxStreams];
+      for (std::size_t k = 0; k < m; ++k) views[k] = body(idx[first + k]);
+      compiled_.count_multi(views, entries.data() + first, res, m);
+      for (std::size_t k = 0; k < m; ++k) scratch_[idx[first + k]].scan = res[k];
     });
+  };
+
+  if (ranges.size() == 1) {
+    // Single chunk: equal to a sequential scan for either strategy.
+    scan_one(0, dfa_.start());
+  } else if (options.strategy == ParallelStrategy::kWarmup) {
+    const std::size_t warmup = dfa_.synchronization_bound() - 1;
+    const auto warm_entry = [&](std::size_t i) {
+      // Warm up from the start state over the bytes preceding the chunk.
+      const std::size_t lead = std::min(warmup, ranges[i].begin);
+      if (lead == 0) return dfa_.start();
+      return compiled_.count(text.substr(ranges[i].begin - lead, lead), dfa_.start())
+          .final_state;
+    };
+    if (want_matches || streams == 1) {
+      pool_.parallel_for(ranges.size(),
+                         [&](std::size_t i) { scan_chunk(i, warm_entry(i)); });
+    } else {
+      const std::size_t groups = (ranges.size() + streams - 1) / streams;
+      pool_.parallel_for(groups, [&](std::size_t g) {
+        const std::size_t first = g * streams;
+        const std::size_t m = std::min(streams, ranges.size() - first);
+        std::string_view views[CompiledDfa::kMaxStreams];
+        StateId entries[CompiledDfa::kMaxStreams] = {};
+        ScanResult res[CompiledDfa::kMaxStreams];
+        // Warm the m entry states up as interleaved streams too.
+        for (std::size_t k = 0; k < m; ++k) {
+          const std::size_t lead = std::min(warmup, ranges[first + k].begin);
+          views[k] = text.substr(ranges[first + k].begin - lead, lead);
+          entries[k] = dfa_.start();
+        }
+        compiled_.count_multi(views, entries, res, m);
+        for (std::size_t k = 0; k < m; ++k) {
+          entries[k] = res[k].final_state;
+          views[k] = body(first + k);
+        }
+        compiled_.count_multi(views, entries, res, m);
+        for (std::size_t k = 0; k < m; ++k) scratch_[first + k].scan = res[k];
+      });
+    }
   } else {
     // Phase 1: optimistic parallel scan, every chunk entered at start state.
-    pool_.parallel_for(ranges.size(), [&](std::size_t i) {
-      const auto& r = ranges[i];
-      if (want_matches) {
-        results[i].scan = scan_collect(dfa_, text.substr(r.begin, r.end - r.begin),
-                                       dfa_.start(), r.begin, results[i].matches);
-      } else {
-        results[i].scan =
-            scan_count(dfa_, text.substr(r.begin, r.end - r.begin), dfa_.start());
+    std::vector<std::size_t> idx(ranges.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::vector<StateId> entries(ranges.size(), dfa_.start());
+    scan_wave(idx, entries);
+    // Phase 2: propagate true entry states and re-scan mispredicted chunks
+    // in parallel waves until the propagation settles. Chunk 0's entry is
+    // always correct, so the settled prefix grows every wave and the loop
+    // terminates; motif automata synchronize fast enough that one wave
+    // (usually empty) is the norm.
+    std::vector<StateId> scanned_from(ranges.size(), dfa_.start());
+    std::vector<std::size_t> redo;
+    std::vector<StateId> redo_entries;
+    while (true) {
+      redo.clear();
+      StateId entry = dfa_.start();
+      for (std::size_t i = 0; i < ranges.size(); ++i) {
+        if (entry != scanned_from[i]) redo.push_back(i);
+        entry = scratch_[i].scan.final_state;
       }
-    });
-    // Phase 2: propagate true entry states; re-scan mispredicted chunks.
-    StateId entry = dfa_.start();
-    for (std::size_t i = 0; i < ranges.size(); ++i) {
-      if (entry != dfa_.start()) {
-        const auto& r = ranges[i];
-        results[i].matches.clear();
-        if (want_matches) {
-          results[i].scan = scan_collect(dfa_, text.substr(r.begin, r.end - r.begin),
-                                         entry, r.begin, results[i].matches);
-        } else {
-          results[i].scan =
-              scan_count(dfa_, text.substr(r.begin, r.end - r.begin), entry);
-        }
-        ++stats.rescanned_chunks;
+      if (redo.empty()) break;
+      redo_entries.resize(redo.size());
+      for (std::size_t j = 0; j < redo.size(); ++j) {
+        const std::size_t i = redo[j];  // never 0
+        redo_entries[j] = scratch_[i - 1].scan.final_state;
+        scanned_from[i] = redo_entries[j];
       }
-      entry = results[i].scan.final_state;
+      stats.rescanned_chunks += redo.size();
+      scan_wave(redo, redo_entries);
     }
   }
 
-  for (const auto& r : results) stats.match_count += r.scan.match_count;
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    stats.match_count += scratch_[i].scan.match_count;
+  }
   if (want_matches && out != nullptr) {
     std::size_t total = out->size();
-    for (const auto& r : results) total += r.matches.size();
+    for (std::size_t i = 0; i < ranges.size(); ++i) total += scratch_[i].matches.size();
     out->reserve(total);
-    for (auto& r : results) {
-      out->insert(out->end(), r.matches.begin(), r.matches.end());
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      out->insert(out->end(), scratch_[i].matches.begin(), scratch_[i].matches.end());
     }
     std::sort(out->begin(), out->end(),
               [](const Match& a, const Match& b) { return a.end < b.end; });

@@ -11,20 +11,29 @@
 //
 //  kSpeculative Exact, two phases. Phase 1 scans every chunk from the start
 //               state in parallel (a guess) and records exit states. Phase 2
-//               walks chunks in order, re-scanning only those whose true
-//               entry state differs from the guess; because motif automata
-//               synchronize quickly, corrected exits almost always equal the
-//               recorded ones and the propagation stops. Works for unbounded
-//               patterns ('*'/'+') where no warm-up bound exists.
+//               propagates true entry states and re-scans mispredicted chunks
+//               in parallel waves until the propagation settles; because
+//               motif automata synchronize quickly, almost no chunk needs a
+//               second scan and the first wave is usually empty. Works for
+//               unbounded patterns ('*'/'+') where no warm-up bound exists.
+//
+// All scanning runs on the compiled kernels (automata/compiled_dfa.hpp); the
+// automaton is lowered once at matcher construction. Counting can further
+// interleave several chunk scans per worker (multi-stream) to hide the
+// per-byte load latency a single scan chain serializes on — by default the
+// matcher picks the stream width from the chunk/worker ratio.
 //
 // Both strategies return byte-identical results to a sequential scan (this is
-// property-tested across chunk counts).
+// property-tested). A matcher instance reuses per-chunk scratch buffers
+// across runs and must therefore not be used from two threads concurrently
+// (distinct matchers sharing a pool are fine).
 #pragma once
 
 #include <cstdint>
 #include <string_view>
 #include <vector>
 
+#include "automata/compiled_dfa.hpp"
 #include "automata/dense_dfa.hpp"
 #include "automata/scanner.hpp"
 #include "parallel/thread_pool.hpp"
@@ -33,29 +42,49 @@ namespace hetopt::automata {
 
 enum class ParallelStrategy { kWarmup, kSpeculative };
 
+struct MatcherOptions {
+  ParallelStrategy strategy = ParallelStrategy::kWarmup;
+  /// Independent chunk scans interleaved per worker task when counting.
+  /// 0 = auto (chunks / pool workers, capped at CompiledDfa::kMaxStreams);
+  /// 1 = one chunk per task (the seed behavior). Match collection always
+  /// scans one chunk per task (events need per-chunk append order).
+  std::size_t streams_per_worker = 0;
+};
+
 struct ParallelScanStats {
   std::uint64_t match_count = 0;
   std::size_t chunks = 0;
-  std::size_t rescanned_chunks = 0;  // speculative only
+  std::size_t rescanned_chunks = 0;  // speculative only (rescans summed over waves)
 };
 
 class ParallelMatcher {
  public:
   /// The matcher borrows the automaton and pool; both must outlive it.
+  /// Validates the automaton once and lowers it into the compiled kernels.
   ParallelMatcher(const DenseDfa& dfa, parallel::ThreadPool& pool);
 
   /// Counts occurrences in `text` using `chunks` parallel chunks.
   /// Falls back to kSpeculative when kWarmup is requested but the automaton
-  /// has no synchronization bound.
+  /// has no synchronization bound. A single chunk is scanned directly on the
+  /// calling thread (no pool round-trip).
   [[nodiscard]] ParallelScanStats count(std::string_view text, std::size_t chunks,
                                         ParallelStrategy strategy =
                                             ParallelStrategy::kWarmup) const;
+  [[nodiscard]] ParallelScanStats count(std::string_view text, std::size_t chunks,
+                                        const MatcherOptions& options) const;
 
   /// Counts and also collects match events (sorted by end offset).
   [[nodiscard]] ParallelScanStats collect(std::string_view text, std::size_t chunks,
                                           std::vector<Match>& out,
                                           ParallelStrategy strategy =
                                               ParallelStrategy::kWarmup) const;
+  [[nodiscard]] ParallelScanStats collect(std::string_view text, std::size_t chunks,
+                                          std::vector<Match>& out,
+                                          const MatcherOptions& options) const;
+
+  /// The lowered automaton (shared with callers that scan outside the
+  /// chunked path, e.g. the heterogeneous executor's boundary scans).
+  [[nodiscard]] const CompiledDfa& compiled() const noexcept { return compiled_; }
 
  private:
   struct ChunkResult {
@@ -64,11 +93,13 @@ class ParallelMatcher {
   };
 
   [[nodiscard]] ParallelScanStats run(std::string_view text, std::size_t chunks,
-                                      ParallelStrategy strategy, bool want_matches,
+                                      MatcherOptions options, bool want_matches,
                                       std::vector<Match>* out) const;
 
   const DenseDfa& dfa_;
   parallel::ThreadPool& pool_;
+  CompiledDfa compiled_;
+  mutable std::vector<ChunkResult> scratch_;  // reused across runs (capacity kept)
 };
 
 }  // namespace hetopt::automata

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "automata/compiled_dfa.hpp"
+
 namespace hetopt::automata {
 
 namespace {
@@ -14,9 +16,33 @@ namespace {
   return *b;
 }
 
+/// Lowering the automaton costs a few hundred table writes per state (plus
+/// allocations), paid on *every* call here; only scans long enough to
+/// amortize that with a wide margin take the compiled path. Callers that
+/// scan the same automaton repeatedly should hold a CompiledDfa (or a
+/// ParallelMatcher, which lowers once) instead.
+[[nodiscard]] bool worth_compiling(const DenseDfa& dfa, std::string_view text) {
+  return text.size() >= 4096 && text.size() >= 128 * dfa.state_count();
+}
+
 }  // namespace
 
 ScanResult scan_count(const DenseDfa& dfa, std::string_view text, StateId state) {
+  if (state >= dfa.state_count()) throw std::out_of_range("scan_count: bad state");
+  if (worth_compiling(dfa, text)) return CompiledDfa(dfa).count(text, state);
+  return scan_count_naive(dfa, text, state);
+}
+
+ScanResult scan_collect(const DenseDfa& dfa, std::string_view text, StateId state,
+                        std::size_t base_offset, std::vector<Match>& out) {
+  if (state >= dfa.state_count()) throw std::out_of_range("scan_collect: bad state");
+  if (worth_compiling(dfa, text)) {
+    return CompiledDfa(dfa).collect(text, state, base_offset, out);
+  }
+  return scan_collect_naive(dfa, text, state, base_offset, out);
+}
+
+ScanResult scan_count_naive(const DenseDfa& dfa, std::string_view text, StateId state) {
   if (state >= dfa.state_count()) throw std::out_of_range("scan_count: bad state");
   std::uint64_t count = 0;
   for (char c : text) {
@@ -26,8 +52,8 @@ ScanResult scan_count(const DenseDfa& dfa, std::string_view text, StateId state)
   return ScanResult{state, count};
 }
 
-ScanResult scan_collect(const DenseDfa& dfa, std::string_view text, StateId state,
-                        std::size_t base_offset, std::vector<Match>& out) {
+ScanResult scan_collect_naive(const DenseDfa& dfa, std::string_view text, StateId state,
+                              std::size_t base_offset, std::vector<Match>& out) {
   if (state >= dfa.state_count()) throw std::out_of_range("scan_collect: bad state");
   std::uint64_t count = 0;
   for (std::size_t i = 0; i < text.size(); ++i) {

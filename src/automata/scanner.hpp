@@ -1,5 +1,17 @@
 // Sequential scanning primitives over a DenseDfa. These are the inner loops
 // every matcher (and the real DNA application kernel) runs.
+//
+// Two implementations coexist:
+//  - scan_count / scan_collect transparently dispatch long inputs to the
+//    compiled kernels (automata/compiled_dfa.hpp) — byte-fused transition
+//    tables with no per-byte decode branch or bounds check — and keep the
+//    simple loop for short inputs, where building the tables would not pay.
+//  - scan_count_naive / scan_collect_naive are the original per-byte
+//    reference loops, kept as the oracle the kernels are property-tested
+//    against and as the baseline the scan_kernel bench suite reports
+//    speedups over.
+// Both produce byte-identical results, including the exception raised on the
+// first non-ACGT character.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +43,16 @@ struct ScanResult {
 [[nodiscard]] ScanResult scan_collect(const DenseDfa& dfa, std::string_view text,
                                       StateId state, std::size_t base_offset,
                                       std::vector<Match>& out);
+
+/// The seed per-byte reference loop behind scan_count (decode + step + accept
+/// per byte). Oracle for property tests, baseline for the kernel bench.
+[[nodiscard]] ScanResult scan_count_naive(const DenseDfa& dfa, std::string_view text,
+                                          StateId state);
+
+/// The seed per-byte reference loop behind scan_collect.
+[[nodiscard]] ScanResult scan_collect_naive(const DenseDfa& dfa, std::string_view text,
+                                            StateId state, std::size_t base_offset,
+                                            std::vector<Match>& out);
 
 /// Naive oracle: counts occurrences of literal `pattern` in `text` by direct
 /// comparison (overlapping occurrences included). Used by property tests.

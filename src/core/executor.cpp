@@ -4,7 +4,7 @@
 #include <future>
 #include <stdexcept>
 
-#include "automata/scanner.hpp"
+#include "automata/compiled_dfa.hpp"
 #include "parallel/partitioner.hpp"
 #include "util/timer.hpp"
 
@@ -59,6 +59,9 @@ ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_pe
     util::Timer timer;
     std::uint64_t matches = 0;
     if (!device_part.empty()) {
+      // Boundary scans run on the matcher's compiled kernel — the automaton
+      // is already lowered, so there is no per-call table build.
+      const automata::CompiledDfa& kernel = device_matcher_.compiled();
       if (dfa_.synchronization_bound() > 0) {
         // Warm up over the host-side boundary bytes so motifs spanning the
         // cut are counted: scan from (host_bytes - lead) and subtract the
@@ -68,16 +71,15 @@ ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_pe
         const auto stats =
             device_matcher_.count(text.substr(split.host_bytes - lead), device_chunks);
         const auto lead_matches =
-            automata::scan_count(dfa_, text.substr(split.host_bytes - lead, lead),
-                                 dfa_.start())
+            kernel.count(text.substr(split.host_bytes - lead, lead), kernel.start())
                 .match_count;
         matches = stats.match_count - lead_matches;
       } else {
         // Unbounded patterns: the entry state depends on the whole prefix,
         // so derive it by replaying the host share, then scan sequentially.
         const automata::StateId entry =
-            dfa_.run(dfa_.start(), host_part);
-        matches = automata::scan_count(dfa_, device_part, entry).match_count;
+            kernel.count(host_part, kernel.start()).final_state;
+        matches = kernel.count(device_part, entry).match_count;
       }
     }
     return std::pair<std::uint64_t, double>(matches, timer.seconds());

@@ -94,6 +94,7 @@ RealWorkload::RealWorkload(const dna::GenomeCatalog& catalog, const Workload& lo
   const automata::CompiledMotifs compiled = automata::compile_motifs(options.motifs);
   dfa_ = automata::minimize(
       automata::determinize(compiled.nfa, compiled.synchronization_bound));
+  compiled_ = automata::CompiledDfa(dfa_);
 
   const std::size_t bytes = scaled_bytes(logical, options);
   // Plant a handful of findable copies per motif so tuning runs always have
@@ -105,7 +106,11 @@ RealWorkload::RealWorkload(const dna::GenomeCatalog& catalog, const Workload& lo
     planted.push_back({std::move(concrete), std::max<std::size_t>(8, bytes / 65536)});
   }
   sequence_ = catalog.materialize(logical.name, bytes, planted);
-  sequential_matches_ = automata::count_matches(dfa_, sequence_.view());
+  // The oracle every parallel/kernel run is checked against must stay
+  // independent of the kernels under test: use the naive reference loop.
+  // One slow scan per materialized workload (cached) is cheap.
+  sequential_matches_ =
+      automata::scan_count_naive(dfa_, sequence_.view(), dfa_.start()).match_count;
 }
 
 // --- RealWorkloadEvaluator --------------------------------------------------

@@ -28,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "automata/compiled_dfa.hpp"
 #include "automata/dense_dfa.hpp"
 #include "automata/parallel_matcher.hpp"
 #include "core/evaluator.hpp"
@@ -68,6 +69,9 @@ class RealWorkload {
   [[nodiscard]] const Workload& logical() const noexcept { return logical_; }
   [[nodiscard]] std::string_view text() const noexcept { return sequence_.view(); }
   [[nodiscard]] const automata::DenseDfa& dfa() const noexcept { return dfa_; }
+  /// The motif automaton lowered into the compiled scan kernels (built once
+  /// per workload; what the executor and the kernel bench scan with).
+  [[nodiscard]] const automata::CompiledDfa& compiled() const noexcept { return compiled_; }
   [[nodiscard]] std::size_t physical_bytes() const noexcept { return sequence_.size(); }
   [[nodiscard]] double physical_mb() const noexcept {
     return static_cast<double>(sequence_.size()) / (1024.0 * 1024.0);
@@ -81,6 +85,7 @@ class RealWorkload {
  private:
   Workload logical_;
   automata::DenseDfa dfa_;
+  automata::CompiledDfa compiled_;
   dna::Sequence sequence_;
   std::uint64_t sequential_matches_ = 0;
 };

@@ -6,7 +6,8 @@
 
 namespace hetopt::parallel {
 
-ThreadPool::ThreadPool(std::size_t thread_count, WorkerInit init) {
+ThreadPool::ThreadPool(std::size_t thread_count, WorkerInit init)
+    : has_worker_init_(init != nullptr) {
   const std::size_t n = std::max<std::size_t>(1, thread_count);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {

@@ -36,6 +36,11 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
 
+  /// True when the pool was built with a WorkerInit hook (e.g. pinned
+  /// workers). Callers with a run-on-caller fast path must not take it then:
+  /// work would silently escape the configured placement.
+  [[nodiscard]] bool has_worker_init() const noexcept { return has_worker_init_; }
+
   /// Enqueues a task; returns a future for its result.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
@@ -70,6 +75,7 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  bool has_worker_init_ = false;
 };
 
 /// Splits n items into k contiguous chunks as evenly as possible.

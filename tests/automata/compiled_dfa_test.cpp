@@ -1,0 +1,278 @@
+// Property tests for the compiled scan kernels: every fast path — byte-fused,
+// paired 2-bases-per-step, multi-stream interleaved, and the kernel-backed
+// ParallelMatcher modes — must be byte-identical to the seed per-byte scanner
+// loops (scan_count_naive / scan_collect_naive): counts, collected matches,
+// final states, and invalid-byte errors.
+#include "automata/compiled_dfa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "automata/aho_corasick.hpp"
+#include "automata/parallel_matcher.hpp"
+#include "automata/regex.hpp"
+#include "automata/scanner.hpp"
+#include "automata/subset.hpp"
+#include "dna/generator.hpp"
+
+namespace hetopt::automata {
+namespace {
+
+/// A random (valid) automaton: arbitrary transitions, sparse accepts, random
+/// start. No synchronization bound, so the matcher exercises kSpeculative.
+DenseDfa random_dfa(std::mt19937_64& rng, std::uint32_t states) {
+  DenseDfa dfa(states);
+  std::uniform_int_distribution<std::uint32_t> pick_state(0, states - 1);
+  for (StateId s = 0; s < states; ++s) {
+    for (unsigned b = 0; b < dna::kAlphabetSize; ++b) {
+      dfa.set_transition(s, static_cast<dna::Base>(b), pick_state(rng));
+    }
+    if (rng() % 4 == 0) {
+      const std::uint64_t mask = 1 + rng() % 7;
+      std::uint32_t count = 0;
+      for (std::uint64_t m = mask; m != 0; m >>= 1) count += m & 1;
+      dfa.set_accept(s, mask, count);
+    }
+  }
+  dfa.set_start(pick_state(rng));
+  EXPECT_TRUE(dfa.validate().empty());
+  return dfa;
+}
+
+/// Random ACGT text with a sprinkle of lowercase (valid) characters.
+std::string random_text(std::mt19937_64& rng, std::size_t size) {
+  static constexpr char kChars[] = {'A', 'C', 'G', 'T', 'a', 'c', 'g', 't'};
+  std::string text(size, 'A');
+  for (char& c : text) c = kChars[rng() % 8];
+  return text;
+}
+
+TEST(CompiledDfa, CountKernelsMatchNaiveOnRandomAutomata) {
+  std::mt19937_64 rng(7);
+  for (const std::uint32_t states : {1u, 2u, 5u, 17u, 47u}) {
+    const DenseDfa dfa = random_dfa(rng, states);
+    const CompiledDfa compiled(dfa);
+    for (const std::size_t size : {0u, 1u, 2u, 3u, 7u, 255u, 256u, 4097u, 20000u}) {
+      const std::string text = random_text(rng, size);
+      const StateId entry = static_cast<StateId>(rng() % states);
+      const ScanResult expect = scan_count_naive(dfa, text, entry);
+      for (const ScanResult got :
+           {compiled.count(text, entry), compiled.count_fused(text, entry),
+            compiled.count_paired(text, entry), scan_count(dfa, text, entry)}) {
+        EXPECT_EQ(got.final_state, expect.final_state)
+            << "states=" << states << " size=" << size;
+        EXPECT_EQ(got.match_count, expect.match_count)
+            << "states=" << states << " size=" << size;
+      }
+    }
+  }
+}
+
+TEST(CompiledDfa, MultiStreamMatchesPerStreamScans) {
+  std::mt19937_64 rng(11);
+  const DenseDfa dfa = random_dfa(rng, 23);
+  const CompiledDfa compiled(dfa);
+  // 13 streams of uneven lengths (> kMaxStreams, so batching kicks in),
+  // including empty ones.
+  std::vector<std::string> texts;
+  std::vector<std::string_view> views;
+  std::vector<StateId> entries;
+  for (std::size_t k = 0; k < 13; ++k) {
+    texts.push_back(random_text(rng, (k % 3 == 0) ? 0 : 100 + 997 * k));
+    entries.push_back(static_cast<StateId>(rng() % 23));
+  }
+  for (const std::string& t : texts) views.push_back(t);
+  std::vector<ScanResult> results(texts.size());
+  compiled.count_multi(views.data(), entries.data(), results.data(), texts.size());
+  for (std::size_t k = 0; k < texts.size(); ++k) {
+    const ScanResult expect = scan_count_naive(dfa, texts[k], entries[k]);
+    EXPECT_EQ(results[k].final_state, expect.final_state) << "stream " << k;
+    EXPECT_EQ(results[k].match_count, expect.match_count) << "stream " << k;
+  }
+}
+
+TEST(CompiledDfa, CollectMatchesNaiveEventsAndOffsets) {
+  std::mt19937_64 rng(13);
+  const DenseDfa dfa = build_aho_corasick({"ACG", "CGT", "TT", "acgtacgt"});
+  const CompiledDfa compiled(dfa);
+  const std::string text = random_text(rng, 30000);
+  std::vector<Match> expect;
+  const ScanResult er = scan_collect_naive(dfa, text, dfa.start(), 1000, expect);
+  std::vector<Match> got;
+  const ScanResult gr = compiled.collect(text, dfa.start(), 1000, got);
+  EXPECT_EQ(gr.final_state, er.final_state);
+  EXPECT_EQ(gr.match_count, er.match_count);
+  EXPECT_EQ(got, expect);
+  // The dispatching wrapper too.
+  std::vector<Match> wrapped;
+  (void)scan_collect(dfa, text, dfa.start(), 1000, wrapped);
+  EXPECT_EQ(wrapped, expect);
+}
+
+TEST(CompiledDfa, InvalidBytesThrowTheSeedScannerError) {
+  std::mt19937_64 rng(17);
+  const DenseDfa dfa = build_aho_corasick({"GATTACA", "TTT"});
+  const CompiledDfa compiled(dfa);
+  for (const std::size_t bad_pos : {0u, 1u, 5000u, 9998u, 9999u}) {
+    std::string text = random_text(rng, 10000);
+    text[bad_pos] = 'X';
+    std::string expect_message;
+    try {
+      (void)scan_count_naive(dfa, text, dfa.start());
+      FAIL() << "naive scanner accepted invalid input";
+    } catch (const std::invalid_argument& e) {
+      expect_message = e.what();
+    }
+    const auto expect_throw = [&](const std::function<void()>& fn) {
+      try {
+        fn();
+        FAIL() << "kernel accepted invalid byte at " << bad_pos;
+      } catch (const std::invalid_argument& e) {
+        EXPECT_EQ(std::string(e.what()), expect_message) << "bad_pos=" << bad_pos;
+      }
+    };
+    expect_throw([&] { (void)compiled.count(text, dfa.start()); });
+    expect_throw([&] { (void)compiled.count_fused(text, dfa.start()); });
+    expect_throw([&] { (void)compiled.count_paired(text, dfa.start()); });
+    expect_throw([&] { (void)scan_count(dfa, text, dfa.start()); });
+    expect_throw([&] {
+      const std::string_view view = text;
+      const StateId entry = dfa.start();
+      ScanResult result;
+      compiled.count_multi(&view, &entry, &result, 1);
+    });
+    // Collect must leave exactly the seed scanner's partial output behind.
+    std::vector<Match> expect_partial;
+    EXPECT_THROW(
+        (void)scan_collect_naive(dfa, text, dfa.start(), 0, expect_partial),
+        std::invalid_argument);
+    std::vector<Match> got_partial;
+    expect_throw([&] { (void)compiled.collect(text, dfa.start(), 0, got_partial); });
+    EXPECT_EQ(got_partial, expect_partial) << "bad_pos=" << bad_pos;
+  }
+}
+
+TEST(CompiledDfa, RejectsBadEntryStatesAndCorruptAutomata) {
+  const DenseDfa dfa = build_aho_corasick({"AC"});
+  const CompiledDfa compiled(dfa);
+  EXPECT_THROW((void)compiled.count("AC", 999), std::out_of_range);
+  EXPECT_THROW((void)compiled.count_paired(std::string(1000, 'A'), 999),
+               std::out_of_range);
+  DenseDfa broken(1);
+  broken.set_accept(0, 5, 0);  // mask without count
+  EXPECT_THROW(CompiledDfa{broken}, std::invalid_argument);
+}
+
+TEST(CompiledDfa, ExposesAutomatonMetadata) {
+  const DenseDfa dfa = build_aho_corasick({"GATTACA"});
+  const CompiledDfa compiled(dfa);
+  EXPECT_EQ(compiled.state_count(), dfa.state_count());
+  EXPECT_EQ(compiled.start(), dfa.start());
+  EXPECT_EQ(compiled.sink(), dfa.state_count());
+  EXPECT_EQ(compiled.synchronization_bound(), dfa.synchronization_bound());
+  EXPECT_EQ(compiled.accept_count(compiled.sink()), 0u);
+  for (StateId s = 0; s < dfa.state_count(); ++s) {
+    EXPECT_EQ(compiled.accept_count(s), dfa.accept_count(s));
+    EXPECT_EQ(compiled.accept_mask(s), dfa.accept_mask(s));
+  }
+}
+
+/// ParallelMatcher sweep: random + motif automata x chunk counts x
+/// strategies x stream widths, counts and collected events vs sequential.
+struct KernelSweepParam {
+  std::uint64_t seed;
+  std::size_t chunks;
+  std::size_t streams;  // MatcherOptions::streams_per_worker (0 = auto)
+};
+
+class KernelMatcherSweep : public ::testing::TestWithParam<KernelSweepParam> {};
+
+TEST_P(KernelMatcherSweep, ParallelPathsEqualSequential) {
+  const auto [seed, chunks, streams] = GetParam();
+  std::mt19937_64 rng(seed);
+  parallel::ThreadPool pool(3);
+
+  // One synchronizing motif automaton (exercises kWarmup) and one random
+  // automaton with no bound (exercises the speculative wave rescans).
+  const auto compiled_motifs = compile_motifs({"TATAWAW", "GGN?CC", "ACGT"});
+  const DenseDfa motif_dfa =
+      determinize(compiled_motifs.nfa, compiled_motifs.synchronization_bound);
+  const DenseDfa rand_dfa = random_dfa(rng, 11 + static_cast<std::uint32_t>(seed));
+
+  for (const DenseDfa* dfa : {&motif_dfa, &rand_dfa}) {
+    const std::string text = random_text(rng, 20000 + 137 * seed);
+    const ScanResult expect = scan_count_naive(*dfa, text, dfa->start());
+    std::vector<Match> expect_events;
+    (void)scan_collect_naive(*dfa, text, dfa->start(), 0, expect_events);
+
+    ParallelMatcher matcher(*dfa, pool);
+    for (const auto strategy :
+         {ParallelStrategy::kWarmup, ParallelStrategy::kSpeculative}) {
+      const MatcherOptions options{strategy, streams};
+      const auto stats = matcher.count(text, chunks, options);
+      EXPECT_EQ(stats.match_count, expect.match_count)
+          << "chunks=" << chunks << " streams=" << streams;
+      std::vector<Match> events;
+      (void)matcher.collect(text, chunks, events, options);
+      EXPECT_EQ(events, expect_events) << "chunks=" << chunks;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsChunksStreams, KernelMatcherSweep,
+    ::testing::Values(KernelSweepParam{1, 1, 0},   // single-chunk fast path
+                      KernelSweepParam{2, 4, 0},   // auto stream width
+                      KernelSweepParam{3, 7, 1},   // scalar per-chunk tasks
+                      KernelSweepParam{4, 16, 2},  // explicit 2-wide streams
+                      KernelSweepParam{5, 33, 8},  // full-width streams
+                      KernelSweepParam{6, 64, 5},
+                      KernelSweepParam{7, 12, 3}));
+
+TEST(KernelMatcher, SpeculativeWaveRescanStaysExact) {
+  // Every chunk boundary sits mid-pattern, forcing rescans; the wave-parallel
+  // phase 2 must still produce the sequential answer and report the rescans.
+  parallel::ThreadPool pool(4);
+  const DenseDfa dfa = build_aho_corasick({"AAAAAAAA"});
+  const std::string text(64, 'A');
+  ParallelMatcher matcher(dfa, pool);
+  for (const std::size_t streams : {0u, 1u, 4u}) {
+    const auto stats = matcher.count(
+        text, 8, MatcherOptions{ParallelStrategy::kSpeculative, streams});
+    EXPECT_EQ(stats.match_count, 64u - 8u + 1u);
+    EXPECT_GT(stats.rescanned_chunks, 0u);
+  }
+}
+
+TEST(KernelMatcher, ScratchReuseAcrossRunsIsInvisible) {
+  // Back-to-back runs of different shapes on one matcher must not leak state
+  // through the reused per-chunk scratch buffers.
+  parallel::ThreadPool pool(2);
+  const DenseDfa dfa = build_aho_corasick({"ACG", "TT"});
+  const dna::GenomeGenerator gen;
+  const std::string big = gen.generate(50000, 3);
+  const std::string small = gen.generate(500, 4);
+  ParallelMatcher matcher(dfa, pool);
+
+  const std::uint64_t expect_big = scan_count_naive(dfa, big, dfa.start()).match_count;
+  const std::uint64_t expect_small =
+      scan_count_naive(dfa, small, dfa.start()).match_count;
+  std::vector<Match> expect_events;
+  (void)scan_collect_naive(dfa, small, dfa.start(), 0, expect_events);
+
+  EXPECT_EQ(matcher.count(big, 16).match_count, expect_big);
+  std::vector<Match> events;
+  (void)matcher.collect(small, 3, events);
+  EXPECT_EQ(events, expect_events);
+  EXPECT_EQ(matcher.count(small, 7).match_count, expect_small);
+  events.clear();
+  (void)matcher.collect(big, 16, events);
+  EXPECT_EQ(matcher.count(big, 2).match_count, expect_big);
+}
+
+}  // namespace
+}  // namespace hetopt::automata

@@ -54,6 +54,37 @@ TEST(ScanCollect, AppendsToExistingVector) {
   EXPECT_EQ(matches.size(), 3u);
 }
 
+TEST(ScanNaive, ReferenceLoopsShareWrapperBehavior) {
+  // The exposed reference loops must behave exactly like the wrappers on
+  // short inputs (where the wrappers run them directly).
+  const DenseDfa dfa = build_aho_corasick({"ACGT", "GG"});
+  const std::string text = "GGACGTACGTGGG";
+  const auto naive = scan_count_naive(dfa, text, dfa.start());
+  const auto wrapped = scan_count(dfa, text, dfa.start());
+  EXPECT_EQ(naive.final_state, wrapped.final_state);
+  EXPECT_EQ(naive.match_count, wrapped.match_count);
+  EXPECT_THROW((void)scan_count_naive(dfa, "AC", 999), std::out_of_range);
+  EXPECT_THROW((void)scan_count_naive(dfa, "AXC", dfa.start()), std::invalid_argument);
+}
+
+TEST(ScanFastPath, LongTextsDispatchToIdenticalKernel) {
+  // Above the compile threshold scan_count runs the lowered kernel; results
+  // must stay byte-identical to the reference loop.
+  const DenseDfa dfa = build_aho_corasick({"GATTACA", "TT"});
+  std::string text;
+  for (int i = 0; i < 4000; ++i) text += "GATTACATT";
+  const auto naive = scan_count_naive(dfa, text, dfa.start());
+  const auto fast = scan_count(dfa, text, dfa.start());
+  EXPECT_EQ(fast.final_state, naive.final_state);
+  EXPECT_EQ(fast.match_count, naive.match_count);
+
+  std::vector<Match> naive_events;
+  (void)scan_collect_naive(dfa, text, dfa.start(), 7, naive_events);
+  std::vector<Match> fast_events;
+  (void)scan_collect(dfa, text, dfa.start(), 7, fast_events);
+  EXPECT_EQ(fast_events, naive_events);
+}
+
 TEST(NaiveCount, ReferenceBehaviour) {
   EXPECT_EQ(naive_count("AAAA", "AA"), 3u);
   EXPECT_EQ(naive_count("ACGT", "ACGT"), 1u);

@@ -10,6 +10,10 @@
 # Outputs land in --out-dir (default <repo>/bench_out): BENCH_<suite>.json
 # plus, with --full, one .txt per paper harness. The JSON is validated with
 # python3 when available.
+#
+# Every suite runs the scan_kernel ladder; bench_main exits non-zero (failing
+# CI, via set -e) when the fused compiled kernel is not at least 1.5x the
+# naive scanner on the input, or when any kernel loses match parity.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -42,6 +46,14 @@ json_out="${out_dir}/BENCH_${suite}.json"
 if command -v python3 >/dev/null 2>&1; then
   python3 -m json.tool "${json_out}" >/dev/null
   echo "validated ${json_out}"
+  python3 - "${json_out}" <<'PY'
+import json, sys
+kernel = json.load(open(sys.argv[1])).get("scan_kernel", {})
+if kernel:
+    print("scan_kernel: fused %.2fx naive (guard %.1fx, %s)" % (
+        kernel["speedup_fused_vs_naive"], kernel["guard_min_speedup"],
+        "ok" if kernel["guard_ok"] else "FAILED"))
+PY
 fi
 
 if [[ "${suite}" == "full" ]]; then
