@@ -11,6 +11,12 @@
 //                        Exits non-zero when the fused kernel falls below a
 //                        coarse 1.5x guard over naive (CI gate).
 //   matcher_throughput   chunk-parallel scan throughput (MB/s) vs chunk count
+//   engine_matrix        the match-engine axis measured for real: MB/s per
+//                        engine (compiled-dfa / aho-corasick / bitap) x chunk
+//                        count x motif-set shape, plus the tuned-winner
+//                        engine per Table II preset on an engine-enabled
+//                        space — which engine *should* the tuner pick for
+//                        few long literals vs many short IUPAC motifs?
 //   table2_real          the four Table II presets tuning the live matcher on
 //                        a scaled-down genome (EM/SAM measure real runs;
 //                        EML/SAML search on the sim-trained predictor and the
@@ -83,6 +89,7 @@ void write_config(util::JsonWriter& json, const opt::SystemConfig& c) {
       .member("device_threads", c.device_threads)
       .member("device_affinity", parallel::to_string(c.device_affinity))
       .member("host_percent", c.host_percent)
+      .member("engine", automata::to_string(c.engine))
       .end_object();
 }
 
@@ -153,7 +160,7 @@ int main(int argc, char** argv) {
 
   util::JsonWriter json;
   json.begin_object()
-      .member("schema", "hetopt-bench-v1")
+      .member("schema", "hetopt-bench-v2")
       .member("suite", suite)
       .member("genome", genome)
       .member("logical_mb", workload.size_mb)
@@ -311,6 +318,139 @@ int main(int argc, char** argv) {
   json.key("table2_real").begin_array();
   for (const RealRow& row : rows) write_real_row(json, row);
   json.end_array();
+
+  // --- engine_matrix --------------------------------------------------------
+  // The match-engine axis, measured for real across contrasting motif-set
+  // shapes: raw chunk-parallel MB/s per applicable engine x chunk count, and
+  // the engine each Table II preset's tuner picks when the axis is enabled.
+  // The ML presets search on the sim-trained predictor, which has seen no
+  // engine variation, so their winner engine reflects prediction ties — the
+  // honest statement of what EML/SAML can know without engine-varied
+  // training data.
+  {
+    struct MotifSet {
+      const char* name;
+      std::vector<std::string> motifs;
+    };
+    const std::vector<MotifSet> motif_sets = {
+        {"default_mixed", {"TATAWAW", "GGGCGG"}},
+        {"few_long_literals", {"GATTACAGATTACA", "CCCGGGTTTAAACC"}},
+        {"many_short_iupac",
+         {"TATAWAW", "GGNCC", "CCWGG", "RRYYRR", "ACGTN", "TTSAA"}},
+        {"many_long_literals",
+         {"GATTACAGATTA", "CCCGGGTTTAAA", "ACGTACGTACGT", "TTTTGGGGCCCC",
+          "AGAGAGAGAGAG", "CTCTCTCTCTCT"}},  // 72 summed bits: no bitap
+    };
+    const std::size_t engine_reps = suite == "full" ? 3 : 2;
+    std::vector<std::size_t> chunk_axis{1};
+    if (hw > 1) chunk_axis.push_back(hw);
+    chunk_axis.push_back(2 * hw);
+    // A deliberately small thread/fraction grid so the exhaustive preset
+    // stays cheap: the interesting axis here is the engine.
+    const std::vector<int> host_axis = hw > 1 ? std::vector<int>{1, static_cast<int>(hw)}
+                                              : std::vector<int>{1};
+    const std::vector<int> device_axis = host_axis;
+
+    json.key("engine_matrix").begin_array();
+    for (const MotifSet& set : motif_sets) {
+      core::RealWorkloadOptions set_options;
+      set_options.motifs = set.motifs;
+      set_options.bytes_per_logical_mb = scale;
+      set_options.repeats = repeats;
+      const auto set_eval =
+          std::make_shared<core::RealWorkloadEvaluator>(catalog, set_options);
+      const core::RealWorkload& set_rw = set_eval->real(workload);
+      const std::vector<automata::EngineKind> available = set_rw.engines();
+
+      json.begin_object().member("motif_set", set.name).key("motifs").begin_array();
+      for (const std::string& m : set.motifs) json.value(m);
+      json.end_array().key("available_engines").begin_array();
+      for (const automata::EngineKind kind : available) {
+        json.value(automata::to_string(kind));
+      }
+      json.end_array().key("skipped").begin_array();
+      for (const automata::EngineKind kind : automata::kAllEngineKinds) {
+        if (set_rw.find_engine(kind) != nullptr) continue;
+        json.begin_object()
+            .member("engine", automata::to_string(kind))
+            .member("reason", set_rw.engine_gap(kind))
+            .end_object();
+      }
+      json.end_array();
+
+      // Raw chunk-parallel throughput per engine x chunk count.
+      parallel::ThreadPool pool(hw);
+      json.key("throughput").begin_array();
+      for (const automata::EngineKind kind : available) {
+        const automata::ParallelMatcher matcher(set_rw.engine(kind), pool);
+        double best_mb_s = 0.0;
+        for (const std::size_t chunks : chunk_axis) {
+          double seconds = 0.0;
+          std::uint64_t matches = 0;
+          for (std::size_t rep = 0; rep < engine_reps; ++rep) {
+            util::Timer timer;
+            matches = matcher.count(set_rw.text(), chunks).match_count;
+            const double s = timer.seconds();
+            if (rep == 0 || s < seconds) seconds = s;
+          }
+          const double mb_s = seconds > 0.0 ? set_rw.physical_mb() / seconds : 0.0;
+          best_mb_s = std::max(best_mb_s, mb_s);
+          json.begin_object()
+              .member("engine", automata::to_string(kind))
+              .member("chunks", chunks)
+              .member("seconds", seconds)
+              .member("mb_s", mb_s)
+              .member("matches", matches)
+              .member("match_parity", matches == set_rw.sequential_matches())
+              .end_object();
+        }
+        std::cout << "  engine_matrix " << set.name << " " << automata::to_string(kind)
+                  << ": best " << util::format_double(best_mb_s, 1) << " MB/s\n";
+      }
+      json.end_array();
+
+      // Tuned-winner engine per Table II preset over the engine-enabled grid.
+      const opt::ConfigSpace engine_space(
+          host_axis,
+          {parallel::HostAffinity::kNone},
+          device_axis,
+          {parallel::DeviceAffinity::kBalanced},
+          {0.0, 50.0, 100.0},
+          available);
+      json.key("tuned").begin_array();
+      const auto tune_preset = [&](const std::string& method, const char* strategy_name,
+                                   const std::shared_ptr<core::Evaluator>& evaluator) {
+        core::TuningSession session(engine_space);
+        session.with_strategy(strategy_name)
+            .with_evaluator(evaluator)
+            .with_budget(strategy_name == std::string_view("exhaustive")
+                             ? engine_space.size()
+                             : iterations + 1)
+            .with_seed(seed);
+        const core::SessionReport report = session.run(workload);
+        const core::RealMeasurement real = set_eval->measure(report.config, workload);
+        json.begin_object()
+            .member("method", method)
+            .member("engine", automata::to_string(report.config.engine))
+            .member("evaluations", report.evaluations)
+            .member("real_time_s", real.seconds)
+            .member("throughput_mb_s", real.throughput_mb_s)
+            .member("match_parity", real.matches == set_rw.sequential_matches())
+            .key("winner");
+        write_config(json, report.config);
+        json.end_object();
+        std::cout << "  engine_matrix " << set.name << " " << method << " -> "
+                  << automata::to_string(report.config.engine) << " ("
+                  << opt::to_string(report.config) << ")\n";
+      };
+      tune_preset("EM", "exhaustive", set_eval);
+      tune_preset("EML", "exhaustive", prediction);
+      tune_preset("SAM", "annealing", set_eval);
+      tune_preset("SAML", "annealing", prediction);
+      json.end_array().end_object();
+    }
+    json.end_array();
+  }
 
   // --- fraction_profile -----------------------------------------------------
   // Per-config real times along the fraction axis at the EM-real winner's

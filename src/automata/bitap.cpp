@@ -5,31 +5,45 @@
 
 namespace hetopt::automata {
 
-BitapMatcher::BitapMatcher(const std::vector<std::string>& patterns) {
-  if (patterns.empty()) throw std::invalid_argument("BitapMatcher: no patterns");
-
+bool BitapMatcher::supports(const std::vector<std::string>& patterns, std::string* why) {
+  const auto fail = [&](std::string reason) {
+    if (why != nullptr) *why = std::move(reason);
+    return false;
+  };
+  if (patterns.empty()) return fail("no patterns");
   std::size_t total_bits = 0;
-  for (const std::string& p : patterns) total_bits += p.size();
-  if (total_bits == 0) throw std::invalid_argument("BitapMatcher: empty pattern");
-  if (total_bits > 64) {
-    throw std::invalid_argument("BitapMatcher: summed pattern lengths " +
-                                std::to_string(total_bits) + " exceed 64 bits");
+  for (const std::string& p : patterns) {
+    if (p.empty()) return fail("empty pattern");
+    for (const char c : p) {
+      if (!dna::iupac_from_char(c)) {
+        return fail("pattern '" + p + "' contains non-IUPAC character '" +
+                    std::string(1, c) + "'");
+      }
+    }
+    total_bits += p.size();
   }
+  if (total_bits > 64) {
+    return fail("summed pattern lengths " + std::to_string(total_bits) +
+                " exceed 64 bits");
+  }
+  return true;
+}
 
+BitapMatcher::BitapMatcher(const std::vector<std::string>& patterns) {
+  std::string why;
+  if (!supports(patterns, &why)) throw std::invalid_argument("BitapMatcher: " + why);
+
+  std::uint64_t cls_mask[dna::kAlphabetSize] = {};
   final_bit_to_pattern_.assign(64, 0);
   std::size_t bit = 0;
   for (std::size_t pid = 0; pid < patterns.size(); ++pid) {
     const std::string& p = patterns[pid];
-    if (p.empty()) throw std::invalid_argument("BitapMatcher: empty pattern");
     initial_ |= (1ULL << bit);
     for (std::size_t i = 0; i < p.size(); ++i, ++bit) {
       const auto cls = dna::iupac_from_char(p[i]);
-      if (!cls) {
-        throw std::invalid_argument("BitapMatcher: invalid IUPAC character in '" + p + "'");
-      }
       for (std::size_t b = 0; b < dna::kAlphabetSize; ++b) {
         if (cls->contains(static_cast<dna::Base>(b))) {
-          cls_mask_[b] |= (1ULL << bit);
+          cls_mask[b] |= (1ULL << bit);
         }
       }
     }
@@ -39,25 +53,45 @@ BitapMatcher::BitapMatcher(const std::vector<std::string>& patterns) {
   }
   final_masks_count_ = patterns.size();
 
+  // Fuse the ACGT decode into a byte-indexed table so the scan loop carries
+  // no per-byte branch; invalid bytes keep a zero mask and are detected via
+  // byte_ok_ once per scanned range.
+  for (unsigned byte = 0; byte < 256; ++byte) {
+    const auto base = dna::base_from_char(static_cast<char>(byte));
+    if (base) {
+      byte_mask_[byte] = cls_mask[static_cast<std::size_t>(*base)];
+      byte_ok_[byte] = 1;
+    }
+  }
+
   // A final bit shifting left lands on the next pattern's initial bit; since
   // substring search restarts every pattern at every position, that bit is
   // OR-ed in anyway, so adjacent packing needs no separator bits.
 }
 
+void BitapMatcher::throw_invalid(std::string_view text) const {
+  for (const char c : text) {
+    if (!byte_ok_[static_cast<unsigned char>(c)]) {
+      throw std::invalid_argument("BitapMatcher: invalid base '" + std::string(1, c) + "'");
+    }
+  }
+  throw std::logic_error("BitapMatcher: throw_invalid on valid input");
+}
+
 std::uint64_t BitapMatcher::scan(std::string_view text, std::uint64_t& d) const {
   std::uint64_t count = 0;
   std::uint64_t state = d;
-  for (char c : text) {
-    const auto base = dna::base_from_char(c);
-    if (!base) {
-      throw std::invalid_argument("BitapMatcher: invalid base '" + std::string(1, c) + "'");
-    }
+  std::size_t bad = 0;
+  for (const char c : text) {
+    const auto byte = static_cast<unsigned char>(c);
+    bad += static_cast<std::size_t>(byte_ok_[byte] ^ 1U);
     // Shift-And step: advance every live prefix by one position, restart all
     // patterns at their initial bit, keep only positions whose class accepts
     // the current character.
-    state = ((state << 1) | initial_) & cls_mask_[static_cast<std::size_t>(*base)];
+    state = ((state << 1) | initial_) & byte_mask_[byte];
     count += static_cast<std::uint64_t>(std::popcount(state & final_));
   }
+  if (bad != 0) throw_invalid(text);
   d = state;
   return count;
 }
@@ -67,18 +101,21 @@ std::uint64_t BitapMatcher::count(std::string_view text) const {
   return scan(text, state);
 }
 
-void BitapMatcher::collect(std::string_view text, std::size_t base_offset,
-                           std::vector<Match>& out) const {
-  std::uint64_t state = 0;
+std::uint64_t BitapMatcher::collect(std::string_view text, std::size_t base_offset,
+                                    std::vector<Match>& out,
+                                    std::uint64_t entry_state) const {
+  std::uint64_t count = 0;
+  std::uint64_t state = entry_state;
   for (std::size_t i = 0; i < text.size(); ++i) {
-    const auto base = dna::base_from_char(text[i]);
-    if (!base) {
+    const auto byte = static_cast<unsigned char>(text[i]);
+    if (!byte_ok_[byte]) {
       throw std::invalid_argument("BitapMatcher: invalid base '" +
                                   std::string(1, text[i]) + "'");
     }
-    state = ((state << 1) | initial_) & cls_mask_[static_cast<std::size_t>(*base)];
+    state = ((state << 1) | initial_) & byte_mask_[byte];
     std::uint64_t hits = state & final_;
     if (hits != 0) {
+      count += static_cast<std::uint64_t>(std::popcount(hits));
       std::uint64_t pattern_mask = 0;
       while (hits != 0) {
         const int bit = std::countr_zero(hits);
@@ -89,6 +126,7 @@ void BitapMatcher::collect(std::string_view text, std::size_t base_offset,
       out.push_back(Match{base_offset + i + 1, pattern_mask});
     }
   }
+  return count;
 }
 
 }  // namespace hetopt::automata

@@ -1,0 +1,53 @@
+// The match-engine vocabulary: which scan-engine implementation executes the
+// motif search. This is a *tuned axis* — opt::SystemConfig carries one of
+// these values next to the thread/affinity knobs, so the optimizers can
+// discover that a different engine wins for a given motif set or genome.
+//
+// Kept in its own header (enum + string helpers only) so the opt layer can
+// name engines without depending on the automata machinery behind them.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace hetopt::automata {
+
+enum class EngineKind {
+  /// IUPAC regex -> NFA -> subset construction -> Hopcroft minimization,
+  /// lowered into the compiled scan kernels (compiled_dfa.hpp). Handles the
+  /// full motif language; the default and the only pre-engine-axis behavior.
+  kCompiledDfa = 0,
+  /// Aho–Corasick multi-pattern automaton (aho_corasick.hpp), emitted as a
+  /// dense table and lowered into the same kernels. Literal ACGT motif sets
+  /// only; skips subset construction and minimization entirely.
+  kAhoCorasick = 1,
+  /// Bit-parallel Shift-And (bitap.hpp): the whole pattern-set state lives in
+  /// one 64-bit register, no transition tables. IUPAC classes allowed, no
+  /// regex operators, summed pattern lengths <= 64.
+  kBitap = 2,
+};
+
+inline constexpr std::size_t kEngineKindCount = 3;
+inline constexpr std::array<EngineKind, kEngineKindCount> kAllEngineKinds{
+    EngineKind::kCompiledDfa, EngineKind::kAhoCorasick, EngineKind::kBitap};
+
+[[nodiscard]] constexpr std::string_view to_string(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kCompiledDfa: return "compiled-dfa";
+    case EngineKind::kAhoCorasick: return "aho-corasick";
+    case EngineKind::kBitap: return "bitap";
+  }
+  return "?";
+}
+
+/// Inverse of to_string; nullopt for unknown names.
+[[nodiscard]] constexpr std::optional<EngineKind> engine_kind_from_string(
+    std::string_view name) noexcept {
+  for (const EngineKind kind : kAllEngineKinds) {
+    if (to_string(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hetopt::automata

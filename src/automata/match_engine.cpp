@@ -1,0 +1,124 @@
+#include "automata/match_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "automata/aho_corasick.hpp"
+#include "automata/hopcroft.hpp"
+#include "automata/regex.hpp"
+#include "automata/subset.hpp"
+#include "dna/alphabet.hpp"
+
+namespace hetopt::automata {
+
+// --- DenseDfaEngine ---------------------------------------------------------
+
+DenseDfaEngine::DenseDfaEngine(EngineKind kind, DenseDfa dfa)
+    : kind_(kind), dfa_(std::move(dfa)), kernel_(dfa_) {}
+
+StateId DenseDfaEngine::entry_state(std::string_view text, std::size_t begin) const {
+  if (begin == 0) return kernel_.start();
+  // Bounded automata synchronize within bound-1 bytes; unbounded ones must
+  // replay the whole prefix (begin bytes) to derive the true entry state.
+  const std::size_t bound = dfa_.synchronization_bound();
+  const std::size_t lead = bound > 0 ? std::min(bound - 1, begin) : begin;
+  if (lead == 0) return kernel_.start();
+  return kernel_.count(text.substr(begin - lead, lead), kernel_.start()).final_state;
+}
+
+std::uint64_t DenseDfaEngine::count_chunk(std::string_view text, std::size_t begin,
+                                          std::size_t end) const {
+  return kernel_.count(text.substr(begin, end - begin), entry_state(text, begin))
+      .match_count;
+}
+
+std::uint64_t DenseDfaEngine::collect_chunk(std::string_view text, std::size_t begin,
+                                            std::size_t end, std::vector<Match>& out) const {
+  return kernel_
+      .collect(text.substr(begin, end - begin), entry_state(text, begin), begin, out)
+      .match_count;
+}
+
+// --- BitapEngine ------------------------------------------------------------
+
+BitapEngine::BitapEngine(const std::vector<std::string>& patterns) : matcher_(patterns) {}
+
+std::uint64_t BitapEngine::count_chunk(std::string_view text, std::size_t begin,
+                                       std::size_t end) const {
+  std::uint64_t state = 0;
+  const std::size_t lead = std::min(matcher_.synchronization_bound() - 1, begin);
+  if (lead > 0) (void)matcher_.scan(text.substr(begin - lead, lead), state);
+  return matcher_.scan(text.substr(begin, end - begin), state);
+}
+
+std::uint64_t BitapEngine::collect_chunk(std::string_view text, std::size_t begin,
+                                         std::size_t end, std::vector<Match>& out) const {
+  std::uint64_t state = 0;
+  const std::size_t lead = std::min(matcher_.synchronization_bound() - 1, begin);
+  if (lead > 0) (void)matcher_.scan(text.substr(begin - lead, lead), state);
+  return matcher_.collect(text.substr(begin, end - begin), begin, out, state);
+}
+
+// --- Applicability + factory ------------------------------------------------
+
+std::string engine_gap(EngineKind kind, const std::vector<std::string>& motifs) {
+  if (motifs.empty()) return "no motifs";
+  switch (kind) {
+    case EngineKind::kCompiledDfa:
+      // The full motif language; syntax errors surface from compile_motifs.
+      return "";
+    case EngineKind::kAhoCorasick:
+      for (const std::string& m : motifs) {
+        if (m.empty()) return "empty pattern";
+        for (const char c : m) {
+          if (!dna::base_from_char(c)) {
+            return "pattern '" + m + "' is not a literal ACGT string ('" +
+                   std::string(1, c) + "')";
+          }
+        }
+      }
+      return "";
+    case EngineKind::kBitap: {
+      std::string why;
+      if (!BitapMatcher::supports(motifs, &why)) return why;
+      return "";
+    }
+  }
+  return "unknown engine kind";
+}
+
+std::unique_ptr<const MatchEngine> try_lower(EngineKind kind,
+                                             const std::vector<std::string>& motifs,
+                                             std::string* why) {
+  std::string gap = engine_gap(kind, motifs);
+  if (!gap.empty()) {
+    if (why != nullptr) *why = std::move(gap);
+    return nullptr;
+  }
+  switch (kind) {
+    case EngineKind::kCompiledDfa: {
+      const CompiledMotifs compiled = compile_motifs(motifs);
+      return std::make_unique<DenseDfaEngine>(
+          kind, minimize(determinize(compiled.nfa, compiled.synchronization_bound)));
+    }
+    case EngineKind::kAhoCorasick:
+      return std::make_unique<DenseDfaEngine>(kind, build_aho_corasick(motifs));
+    case EngineKind::kBitap:
+      return std::make_unique<BitapEngine>(motifs);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<const MatchEngine> lower(EngineKind kind,
+                                         const std::vector<std::string>& motifs) {
+  std::string why;
+  auto engine = try_lower(kind, motifs, &why);
+  if (engine == nullptr) {
+    throw std::invalid_argument("lower: engine '" + std::string(to_string(kind)) +
+                                "' cannot execute the motif set: " + why);
+  }
+  return engine;
+}
+
+}  // namespace hetopt::automata

@@ -9,10 +9,28 @@
 namespace hetopt::automata {
 
 ParallelMatcher::ParallelMatcher(const DenseDfa& dfa, parallel::ThreadPool& pool)
-    : dfa_(dfa), pool_(pool) {
+    : dfa_(&dfa), pool_(pool) {
   const std::string err = dfa.validate();
   if (!err.empty()) throw std::invalid_argument("ParallelMatcher: " + err);
-  compiled_ = CompiledDfa(dfa);
+  owned_kernel_ = CompiledDfa(dfa);
+  kernel_ = &owned_kernel_;
+}
+
+ParallelMatcher::ParallelMatcher(const MatchEngine& engine, parallel::ThreadPool& pool)
+    : pool_(pool) {
+  if (engine.dfa() != nullptr) {
+    // DFA-backed: run on the engine's already-lowered kernel; behavior is
+    // identical to the DenseDfa constructor (same tables, no re-lowering).
+    dfa_ = engine.dfa();
+    kernel_ = engine.kernel();
+  } else {
+    if (engine.synchronization_bound() == 0) {
+      throw std::invalid_argument("ParallelMatcher: engine '" + std::string(engine.name()) +
+                                  "' has no synchronization bound and no DFA; "
+                                  "chunked scanning would be inexact");
+    }
+    engine_ = &engine;
+  }
 }
 
 ParallelScanStats ParallelMatcher::count(std::string_view text, std::size_t chunks,
@@ -44,7 +62,9 @@ ParallelScanStats ParallelMatcher::run(std::string_view text, std::size_t chunks
   if (text.empty()) return stats;
   chunks = std::max<std::size_t>(1, std::min(chunks, text.size()));
 
-  if (options.strategy == ParallelStrategy::kWarmup && dfa_.synchronization_bound() == 0) {
+  if (engine_ != nullptr) return run_engine(text, chunks, want_matches, out);
+
+  if (options.strategy == ParallelStrategy::kWarmup && dfa_->synchronization_bound() == 0) {
     options.strategy = ParallelStrategy::kSpeculative;
   }
 
@@ -65,9 +85,9 @@ ParallelScanStats ParallelMatcher::run(std::string_view text, std::size_t chunks
     ChunkResult& cr = scratch_[i];
     cr.matches.clear();  // clear() keeps capacity — reused across runs
     if (want_matches) {
-      cr.scan = compiled_.collect(body(i), entry, ranges[i].begin, cr.matches);
+      cr.scan = kernel_->collect(body(i), entry, ranges[i].begin, cr.matches);
     } else {
-      cr.scan = compiled_.count(body(i), entry);
+      cr.scan = kernel_->count(body(i), entry);
     }
   };
   // Scans one chunk, on the calling thread when that cannot change placement
@@ -101,21 +121,21 @@ ParallelScanStats ParallelMatcher::run(std::string_view text, std::size_t chunks
       std::string_view views[CompiledDfa::kMaxStreams];
       ScanResult res[CompiledDfa::kMaxStreams];
       for (std::size_t k = 0; k < m; ++k) views[k] = body(idx[first + k]);
-      compiled_.count_multi(views, entries.data() + first, res, m);
+      kernel_->count_multi(views, entries.data() + first, res, m);
       for (std::size_t k = 0; k < m; ++k) scratch_[idx[first + k]].scan = res[k];
     });
   };
 
   if (ranges.size() == 1) {
     // Single chunk: equal to a sequential scan for either strategy.
-    scan_one(0, dfa_.start());
+    scan_one(0, dfa_->start());
   } else if (options.strategy == ParallelStrategy::kWarmup) {
-    const std::size_t warmup = dfa_.synchronization_bound() - 1;
+    const std::size_t warmup = dfa_->synchronization_bound() - 1;
     const auto warm_entry = [&](std::size_t i) {
       // Warm up from the start state over the bytes preceding the chunk.
       const std::size_t lead = std::min(warmup, ranges[i].begin);
-      if (lead == 0) return dfa_.start();
-      return compiled_.count(text.substr(ranges[i].begin - lead, lead), dfa_.start())
+      if (lead == 0) return dfa_->start();
+      return kernel_->count(text.substr(ranges[i].begin - lead, lead), dfa_->start())
           .final_state;
     };
     if (want_matches || streams == 1) {
@@ -133,14 +153,14 @@ ParallelScanStats ParallelMatcher::run(std::string_view text, std::size_t chunks
         for (std::size_t k = 0; k < m; ++k) {
           const std::size_t lead = std::min(warmup, ranges[first + k].begin);
           views[k] = text.substr(ranges[first + k].begin - lead, lead);
-          entries[k] = dfa_.start();
+          entries[k] = dfa_->start();
         }
-        compiled_.count_multi(views, entries, res, m);
+        kernel_->count_multi(views, entries, res, m);
         for (std::size_t k = 0; k < m; ++k) {
           entries[k] = res[k].final_state;
           views[k] = body(first + k);
         }
-        compiled_.count_multi(views, entries, res, m);
+        kernel_->count_multi(views, entries, res, m);
         for (std::size_t k = 0; k < m; ++k) scratch_[first + k].scan = res[k];
       });
     }
@@ -148,19 +168,19 @@ ParallelScanStats ParallelMatcher::run(std::string_view text, std::size_t chunks
     // Phase 1: optimistic parallel scan, every chunk entered at start state.
     std::vector<std::size_t> idx(ranges.size());
     std::iota(idx.begin(), idx.end(), std::size_t{0});
-    std::vector<StateId> entries(ranges.size(), dfa_.start());
+    std::vector<StateId> entries(ranges.size(), dfa_->start());
     scan_wave(idx, entries);
     // Phase 2: propagate true entry states and re-scan mispredicted chunks
     // in parallel waves until the propagation settles. Chunk 0's entry is
     // always correct, so the settled prefix grows every wave and the loop
     // terminates; motif automata synchronize fast enough that one wave
     // (usually empty) is the norm.
-    std::vector<StateId> scanned_from(ranges.size(), dfa_.start());
+    std::vector<StateId> scanned_from(ranges.size(), dfa_->start());
     std::vector<std::size_t> redo;
     std::vector<StateId> redo_entries;
     while (true) {
       redo.clear();
-      StateId entry = dfa_.start();
+      StateId entry = dfa_->start();
       for (std::size_t i = 0; i < ranges.size(); ++i) {
         if (entry != scanned_from[i]) redo.push_back(i);
         entry = scratch_[i].scan.final_state;
@@ -181,16 +201,67 @@ ParallelScanStats ParallelMatcher::run(std::string_view text, std::size_t chunks
     stats.match_count += scratch_[i].scan.match_count;
   }
   if (want_matches && out != nullptr) {
-    std::size_t total = out->size();
-    for (std::size_t i = 0; i < ranges.size(); ++i) total += scratch_[i].matches.size();
-    out->reserve(total);
-    for (std::size_t i = 0; i < ranges.size(); ++i) {
-      out->insert(out->end(), scratch_[i].matches.begin(), scratch_[i].matches.end());
-    }
-    std::sort(out->begin(), out->end(),
-              [](const Match& a, const Match& b) { return a.end < b.end; });
+    collect_sorted(ranges.size(), out);
   }
   return stats;
+}
+
+ParallelScanStats ParallelMatcher::run_engine(std::string_view text, std::size_t chunks,
+                                              bool want_matches,
+                                              std::vector<Match>* out) const {
+  // Generic engines: warm-up chunking through the chunk-aware MatchEngine
+  // interface. The engine reads its own warm-up lead before each chunk, so
+  // every chunk scan is independent — exactly the kWarmup strategy.
+  if (want_matches && !engine_->supports_collect()) {
+    throw std::logic_error("ParallelMatcher: engine '" + std::string(engine_->name()) +
+                           "' does not support match collection");
+  }
+  ParallelScanStats stats;
+  const auto ranges = parallel::make_chunks(text.size(), chunks, /*halo=*/0);
+  stats.chunks = ranges.size();
+  if (scratch_.size() < ranges.size()) scratch_.resize(ranges.size());
+
+  const auto scan_chunk = [&](std::size_t i) {
+    ChunkResult& cr = scratch_[i];
+    cr.matches.clear();  // clear() keeps capacity — reused across runs
+    cr.scan = ScanResult{};
+    if (want_matches) {
+      cr.scan.match_count =
+          engine_->collect_chunk(text, ranges[i].begin, ranges[i].end, cr.matches);
+    } else {
+      cr.scan.match_count = engine_->count_chunk(text, ranges[i].begin, ranges[i].end);
+    }
+  };
+  if (ranges.size() == 1) {
+    // Same placement-honesty rule as the kernel path: scan on the calling
+    // thread unless workers are pinned.
+    if (pool_.has_worker_init()) {
+      pool_.submit([&] { scan_chunk(0); }).get();
+    } else {
+      scan_chunk(0);
+    }
+  } else {
+    pool_.parallel_for(ranges.size(), [&](std::size_t i) { scan_chunk(i); });
+  }
+
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    stats.match_count += scratch_[i].scan.match_count;
+  }
+  if (want_matches && out != nullptr) {
+    collect_sorted(ranges.size(), out);
+  }
+  return stats;
+}
+
+void ParallelMatcher::collect_sorted(std::size_t range_count, std::vector<Match>* out) const {
+  std::size_t total = out->size();
+  for (std::size_t i = 0; i < range_count; ++i) total += scratch_[i].matches.size();
+  out->reserve(total);
+  for (std::size_t i = 0; i < range_count; ++i) {
+    out->insert(out->end(), scratch_[i].matches.begin(), scratch_[i].matches.end());
+  }
+  std::sort(out->begin(), out->end(),
+            [](const Match& a, const Match& b) { return a.end < b.end; });
 }
 
 }  // namespace hetopt::automata

@@ -17,11 +17,16 @@
 //               second scan and the first wave is usually empty. Works for
 //               unbounded patterns ('*'/'+') where no warm-up bound exists.
 //
-// All scanning runs on the compiled kernels (automata/compiled_dfa.hpp); the
-// automaton is lowered once at matcher construction. Counting can further
-// interleave several chunk scans per worker (multi-stream) to hide the
-// per-byte load latency a single scan chain serializes on — by default the
-// matcher picks the stream width from the chunk/worker ratio.
+// The matcher is engine-generic: construct it from any automata::MatchEngine.
+// DFA-backed engines (compiled-dfa, aho-corasick) run on the compiled kernels
+// (automata/compiled_dfa.hpp) with both strategies available; counting can
+// further interleave several chunk scans per worker (multi-stream) to hide
+// the per-byte load latency a single scan chain serializes on — by default
+// the matcher picks the stream width from the chunk/worker ratio. Engines
+// without a DFA behind them (bitap) are driven through the chunk-aware
+// MatchEngine interface with the warm-up strategy (they must declare a
+// positive synchronization bound). The legacy DenseDfa constructor lowers
+// the automaton itself and behaves exactly as before.
 //
 // Both strategies return byte-identical results to a sequential scan (this is
 // property-tested). A matcher instance reuses per-chunk scratch buffers
@@ -35,6 +40,7 @@
 
 #include "automata/compiled_dfa.hpp"
 #include "automata/dense_dfa.hpp"
+#include "automata/match_engine.hpp"
 #include "automata/scanner.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -63,6 +69,18 @@ class ParallelMatcher {
   /// Validates the automaton once and lowers it into the compiled kernels.
   ParallelMatcher(const DenseDfa& dfa, parallel::ThreadPool& pool);
 
+  /// Engine-generic construction; the engine and pool must outlive the
+  /// matcher. DFA-backed engines run on their already-lowered kernel (no
+  /// re-lowering); other engines use the chunk-aware warm-up path and must
+  /// have a positive synchronization bound (throws std::invalid_argument
+  /// otherwise).
+  ParallelMatcher(const MatchEngine& engine, parallel::ThreadPool& pool);
+
+  // Not copyable/movable: kernel_ may point into owned_kernel_, so a copy
+  // would scan through the source's (possibly destroyed) tables.
+  ParallelMatcher(const ParallelMatcher&) = delete;
+  ParallelMatcher& operator=(const ParallelMatcher&) = delete;
+
   /// Counts occurrences in `text` using `chunks` parallel chunks.
   /// Falls back to kSpeculative when kWarmup is requested but the automaton
   /// has no synchronization bound. A single chunk is scanned directly on the
@@ -83,8 +101,14 @@ class ParallelMatcher {
                                           const MatcherOptions& options) const;
 
   /// The lowered automaton (shared with callers that scan outside the
-  /// chunked path, e.g. the heterogeneous executor's boundary scans).
-  [[nodiscard]] const CompiledDfa& compiled() const noexcept { return compiled_; }
+  /// chunked path, e.g. the heterogeneous executor's boundary scans). Only
+  /// valid for DFA-backed matchers — see dfa_backed().
+  [[nodiscard]] const CompiledDfa& compiled() const noexcept { return *kernel_; }
+
+  /// True when the matcher runs on the compiled DFA kernels (the DenseDfa
+  /// constructor or an engine with a dfa() behind it); false for generic
+  /// engines such as bitap, where compiled() must not be called.
+  [[nodiscard]] bool dfa_backed() const noexcept { return kernel_ != nullptr; }
 
  private:
   struct ChunkResult {
@@ -95,10 +119,18 @@ class ParallelMatcher {
   [[nodiscard]] ParallelScanStats run(std::string_view text, std::size_t chunks,
                                       MatcherOptions options, bool want_matches,
                                       std::vector<Match>* out) const;
+  [[nodiscard]] ParallelScanStats run_engine(std::string_view text, std::size_t chunks,
+                                             bool want_matches,
+                                             std::vector<Match>* out) const;
+  /// Merges the first `range_count` scratch slots' matches into *out, sorted
+  /// by end offset.
+  void collect_sorted(std::size_t range_count, std::vector<Match>* out) const;
 
-  const DenseDfa& dfa_;
+  const DenseDfa* dfa_ = nullptr;            // non-null when DFA-backed
+  const MatchEngine* engine_ = nullptr;      // non-null on the generic engine path
   parallel::ThreadPool& pool_;
-  CompiledDfa compiled_;
+  CompiledDfa owned_kernel_;                 // lowered here on the DenseDfa path
+  const CompiledDfa* kernel_ = nullptr;      // owned_kernel_ or the engine's kernel
   mutable std::vector<ChunkResult> scratch_;  // reused across runs (capacity kept)
 };
 

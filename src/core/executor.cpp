@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <future>
 #include <stdexcept>
+#include <utility>
 
 #include "automata/compiled_dfa.hpp"
 #include "parallel/partitioner.hpp"
@@ -10,27 +11,50 @@
 
 namespace hetopt::core {
 
-HeterogeneousExecutor::HeterogeneousExecutor(const automata::DenseDfa& dfa,
-                                             std::size_t host_threads,
-                                             std::size_t device_threads,
-                                             std::optional<parallel::HostAffinity> host_affinity,
-                                             std::optional<parallel::DeviceAffinity> device_affinity)
-    : dfa_(dfa),
-      host_pool_(host_threads,
-                 host_affinity ? parallel::ThreadPool::WorkerInit(
-                                     [a = *host_affinity, host_threads](std::size_t worker) {
-                                       parallel::pin_current_thread(a, worker, host_threads);
-                                     })
-                               : nullptr),
-      device_pool_(device_threads,
-                   device_affinity
-                       ? parallel::ThreadPool::WorkerInit(
-                             [a = *device_affinity, device_threads](std::size_t worker) {
-                               parallel::pin_current_thread(a, worker, device_threads);
-                             })
-                       : nullptr),
-      host_matcher_(dfa, host_pool_),
-      device_matcher_(dfa, device_pool_) {}
+namespace {
+
+[[nodiscard]] parallel::ThreadPool::WorkerInit host_init(
+    std::optional<parallel::HostAffinity> affinity, std::size_t threads) {
+  if (!affinity) return nullptr;
+  return [a = *affinity, threads](std::size_t worker) {
+    parallel::pin_current_thread(a, worker, threads);
+  };
+}
+
+[[nodiscard]] parallel::ThreadPool::WorkerInit device_init(
+    std::optional<parallel::DeviceAffinity> affinity, std::size_t threads) {
+  if (!affinity) return nullptr;
+  return [a = *affinity, threads](std::size_t worker) {
+    parallel::pin_current_thread(a, worker, threads);
+  };
+}
+
+}  // namespace
+
+HeterogeneousExecutor::HeterogeneousExecutor(
+    const automata::DenseDfa& dfa, std::size_t host_threads, std::size_t device_threads,
+    std::optional<parallel::HostAffinity> host_affinity,
+    std::optional<parallel::DeviceAffinity> device_affinity)
+    : owned_engine_(std::make_unique<automata::DenseDfaEngine>(
+          automata::EngineKind::kCompiledDfa, dfa)),
+      engine_(owned_engine_.get()),
+      host_pool_(host_threads, host_init(host_affinity, host_threads)),
+      device_pool_(device_threads, device_init(device_affinity, device_threads)),
+      host_matcher_(*engine_, host_pool_),
+      device_matcher_(*engine_, device_pool_) {}
+
+HeterogeneousExecutor::HeterogeneousExecutor(
+    const automata::MatchEngine& engine, std::size_t host_threads,
+    std::size_t device_threads, std::optional<parallel::HostAffinity> host_affinity,
+    std::optional<parallel::DeviceAffinity> device_affinity)
+    : engine_(&engine),
+      host_pool_(host_threads, host_init(host_affinity, host_threads)),
+      device_pool_(device_threads, device_init(device_affinity, device_threads)),
+      host_matcher_(*engine_, host_pool_),
+      device_matcher_(*engine_, device_pool_) {
+  // A boundless engine without a DFA is rejected by the ParallelMatcher
+  // members above, so the unbounded branch of run() can rely on kernel().
+}
 
 ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_percent) {
   return run(text, host_percent, 0, 0);
@@ -59,24 +83,23 @@ ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_pe
     util::Timer timer;
     std::uint64_t matches = 0;
     if (!device_part.empty()) {
-      // Boundary scans run on the matcher's compiled kernel — the automaton
-      // is already lowered, so there is no per-call table build.
-      const automata::CompiledDfa& kernel = device_matcher_.compiled();
-      if (dfa_.synchronization_bound() > 0) {
+      if (engine_->synchronization_bound() > 0) {
         // Warm up over the host-side boundary bytes so motifs spanning the
         // cut are counted: scan from (host_bytes - lead) and subtract the
         // matches that end inside the warm-up prefix (the host owns those).
         const std::size_t lead =
-            std::min(dfa_.synchronization_bound() - 1, split.host_bytes);
+            std::min(engine_->synchronization_bound() - 1, split.host_bytes);
         const auto stats =
             device_matcher_.count(text.substr(split.host_bytes - lead), device_chunks);
         const auto lead_matches =
-            kernel.count(text.substr(split.host_bytes - lead, lead), kernel.start())
-                .match_count;
+            engine_->count(text.substr(split.host_bytes - lead, lead));
         matches = stats.match_count - lead_matches;
       } else {
-        // Unbounded patterns: the entry state depends on the whole prefix,
-        // so derive it by replaying the host share, then scan sequentially.
+        // Unbounded patterns: the entry state depends on the whole prefix, so
+        // derive it by replaying the host share, then scan sequentially. Only
+        // DFA-backed engines can have unbounded patterns (checked at
+        // construction), so the kernel is available here.
+        const automata::CompiledDfa& kernel = *engine_->kernel();
         const automata::StateId entry =
             kernel.count(host_part, kernel.start()).final_state;
         matches = kernel.count(device_part, entry).match_count;

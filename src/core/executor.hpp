@@ -1,7 +1,12 @@
-// The real (non-simulated) heterogeneous execution path: given a compiled
-// motif automaton and a physical DNA sequence, split the input by the
-// configured fraction and scan the host share and the device share
-// *concurrently*, mirroring the paper's overlapped offload model.
+// The real (non-simulated) heterogeneous execution path: given a match
+// engine and a physical DNA sequence, split the input by the configured
+// fraction and scan the host share and the device share *concurrently*,
+// mirroring the paper's overlapped offload model.
+//
+// The executor is engine-generic: any automata::MatchEngine (compiled DFA,
+// Aho–Corasick, bitap) drives both sides, which is how the tuner prices the
+// engine axis with live runs. The legacy DenseDfa constructor wraps the
+// automaton in an owned compiled-DFA engine and behaves exactly as before.
 //
 // Substitution note: with no Xeon Phi present, the "device" share runs on an
 // emulated device — a second thread pool on the host. Results (match counts,
@@ -10,10 +15,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string_view>
 
 #include "automata/dense_dfa.hpp"
+#include "automata/match_engine.hpp"
 #include "automata/parallel_matcher.hpp"
 #include "parallel/affinity.hpp"
 #include "parallel/thread_pool.hpp"
@@ -37,13 +44,22 @@ struct ExecutionReport {
 class HeterogeneousExecutor {
  public:
   /// `host_threads` / `device_threads` size the two worker pools. The
-  /// automaton must outlive the executor. Pinning is opt-in: when an
-  /// affinity policy is given, the corresponding pool's workers are placed
-  /// at startup (best-effort, Linux pinning; HostAffinity::kNone and
-  /// unsupported platforms leave threads floating), mirroring the paper's
-  /// OMP_PROC_BIND / KMP_AFFINITY knobs on the live code path. The defaults
-  /// leave all threads floating — the pre-pinning behavior.
+  /// automaton is copied into an owned compiled-DFA engine (the pre-engine
+  /// behavior). Pinning is opt-in: when an affinity policy is given, the
+  /// corresponding pool's workers are placed at startup (best-effort, Linux
+  /// pinning; HostAffinity::kNone and unsupported platforms leave threads
+  /// floating), mirroring the paper's OMP_PROC_BIND / KMP_AFFINITY knobs on
+  /// the live code path. The defaults leave all threads floating — the
+  /// pre-pinning behavior.
   HeterogeneousExecutor(const automata::DenseDfa& dfa, std::size_t host_threads,
+                        std::size_t device_threads,
+                        std::optional<parallel::HostAffinity> host_affinity = std::nullopt,
+                        std::optional<parallel::DeviceAffinity> device_affinity = std::nullopt);
+
+  /// Engine-generic construction; the engine must outlive the executor.
+  /// Engines without a DFA behind them must have a positive synchronization
+  /// bound (throws std::invalid_argument otherwise).
+  HeterogeneousExecutor(const automata::MatchEngine& engine, std::size_t host_threads,
                         std::size_t device_threads,
                         std::optional<parallel::HostAffinity> host_affinity = std::nullopt,
                         std::optional<parallel::DeviceAffinity> device_affinity = std::nullopt);
@@ -61,8 +77,12 @@ class HeterogeneousExecutor {
   [[nodiscard]] ExecutionReport run(std::string_view text, double host_percent,
                                     std::size_t host_chunks, std::size_t device_chunks);
 
+  /// The engine both sides execute.
+  [[nodiscard]] const automata::MatchEngine& engine() const noexcept { return *engine_; }
+
  private:
-  const automata::DenseDfa& dfa_;
+  std::unique_ptr<const automata::MatchEngine> owned_engine_;  // DenseDfa compat path
+  const automata::MatchEngine* engine_;
   parallel::ThreadPool host_pool_;
   parallel::ThreadPool device_pool_;
   automata::ParallelMatcher host_matcher_;

@@ -4,33 +4,55 @@
 
 namespace hetopt::core {
 
+namespace {
+
+void append_engine_names(std::vector<std::string>& names) {
+  for (const automata::EngineKind kind : automata::kAllEngineKinds) {
+    std::string name = "engine_";
+    for (const char c : to_string(kind)) name.push_back(c == '-' ? '_' : c);
+    names.push_back(std::move(name));
+  }
+}
+
+}  // namespace
+
 std::vector<std::string> host_feature_names() {
-  return {"size_mb", "threads", "affinity_none", "affinity_scatter", "affinity_compact"};
+  std::vector<std::string> names{"size_mb", "threads", "affinity_none", "affinity_scatter",
+                                 "affinity_compact"};
+  append_engine_names(names);
+  return names;
 }
 
 std::vector<std::string> device_feature_names() {
-  return {"size_mb", "threads", "affinity_balanced", "affinity_scatter", "affinity_compact"};
+  std::vector<std::string> names{"size_mb", "threads", "affinity_balanced",
+                                 "affinity_scatter", "affinity_compact"};
+  append_engine_names(names);
+  return names;
 }
 
 std::vector<double> host_features(double size_mb, int threads,
-                                  parallel::HostAffinity affinity) {
+                                  parallel::HostAffinity affinity,
+                                  automata::EngineKind engine) {
   if (size_mb < 0.0) throw std::invalid_argument("host_features: negative size");
   if (threads < 1) throw std::invalid_argument("host_features: threads < 1");
   std::vector<double> f(kFeatureCount, 0.0);
   f[0] = size_mb;
   f[1] = static_cast<double>(threads);
   f[2 + static_cast<std::size_t>(affinity)] = 1.0;
+  f[5 + static_cast<std::size_t>(engine)] = 1.0;
   return f;
 }
 
 std::vector<double> device_features(double size_mb, int threads,
-                                    parallel::DeviceAffinity affinity) {
+                                    parallel::DeviceAffinity affinity,
+                                    automata::EngineKind engine) {
   if (size_mb < 0.0) throw std::invalid_argument("device_features: negative size");
   if (threads < 1) throw std::invalid_argument("device_features: threads < 1");
   std::vector<double> f(kFeatureCount, 0.0);
   f[0] = size_mb;
   f[1] = static_cast<double>(threads);
   f[2 + static_cast<std::size_t>(affinity)] = 1.0;
+  f[5 + static_cast<std::size_t>(engine)] = 1.0;
   return f;
 }
 

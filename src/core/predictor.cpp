@@ -63,10 +63,11 @@ void PerformancePredictor::train(const ml::Dataset& host_data,
 }
 
 double PerformancePredictor::predict_host(double size_mb, int threads,
-                                          parallel::HostAffinity affinity) const {
+                                          parallel::HostAffinity affinity,
+                                          automata::EngineKind engine) const {
   if (!trained_) throw std::logic_error("PerformancePredictor: predict before train");
   if (size_mb <= 0.0) return 0.0;
-  std::vector<double> f = host_features(size_mb, threads, affinity);
+  std::vector<double> f = host_features(size_mb, threads, affinity, engine);
   if (options_.normalize) {
     std::vector<double> norm(f.size());
     host_norm_.transform_row(f, norm);
@@ -79,10 +80,11 @@ double PerformancePredictor::predict_host(double size_mb, int threads,
 }
 
 double PerformancePredictor::predict_device(double size_mb, int threads,
-                                            parallel::DeviceAffinity affinity) const {
+                                            parallel::DeviceAffinity affinity,
+                                            automata::EngineKind engine) const {
   if (!trained_) throw std::logic_error("PerformancePredictor: predict before train");
   if (size_mb <= 0.0) return 0.0;
-  std::vector<double> f = device_features(size_mb, threads, affinity);
+  std::vector<double> f = device_features(size_mb, threads, affinity, engine);
   if (options_.normalize) {
     std::vector<double> norm(f.size());
     device_norm_.transform_row(f, norm);
@@ -131,9 +133,10 @@ double PerformancePredictor::predict_combined(const opt::SystemConfig& config,
   const double host_mb = total_mb * config.host_percent / 100.0;
   const double device_mb = total_mb - host_mb;
   const double t_host =
-      predict_host(host_mb, config.host_threads, config.host_affinity);
+      predict_host(host_mb, config.host_threads, config.host_affinity, config.engine);
   const double t_device =
-      predict_device(device_mb, config.device_threads, config.device_affinity);
+      predict_device(device_mb, config.device_threads, config.device_affinity,
+                     config.engine);
   return std::max(t_host, t_device);
 }
 

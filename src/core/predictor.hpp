@@ -35,10 +35,12 @@ class PerformancePredictor {
   void train(const ml::Dataset& host_data, const ml::Dataset& device_data);
   [[nodiscard]] bool trained() const noexcept { return trained_; }
 
-  [[nodiscard]] double predict_host(double size_mb, int threads,
-                                    parallel::HostAffinity affinity) const;
-  [[nodiscard]] double predict_device(double size_mb, int threads,
-                                      parallel::DeviceAffinity affinity) const;
+  [[nodiscard]] double predict_host(
+      double size_mb, int threads, parallel::HostAffinity affinity,
+      automata::EngineKind engine = automata::EngineKind::kCompiledDfa) const;
+  [[nodiscard]] double predict_device(
+      double size_mb, int threads, parallel::DeviceAffinity affinity,
+      automata::EngineKind engine = automata::EngineKind::kCompiledDfa) const;
 
   /// Eq. 2 over a configuration: split the workload by the configured
   /// fraction and take the slower side. Zero-byte sides predict 0.

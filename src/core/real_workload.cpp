@@ -62,6 +62,21 @@ namespace {
   return 1.0;
 }
 
+/// Relative scan cost of the configured engine in the deterministic model.
+/// The compiled-DFA factor is exactly 1 so pre-engine-axis numbers are
+/// unchanged; bitap is modeled cheapest (its whole state is one register, no
+/// table loads), Aho–Corasick slightly dearer than the minimized DFA (more
+/// states, more table pressure). Real measurements of course override this —
+/// the model only needs seeded runs to face an engine-shaped landscape.
+[[nodiscard]] double engine_model_factor(automata::EngineKind k) noexcept {
+  switch (k) {
+    case automata::EngineKind::kCompiledDfa: return 1.00;
+    case automata::EngineKind::kAhoCorasick: return 1.08;
+    case automata::EngineKind::kBitap: return 0.85;
+  }
+  return 1.0;
+}
+
 }  // namespace
 
 double real_workload_model_seconds(const opt::SystemConfig& config, std::size_t host_bytes,
@@ -78,8 +93,9 @@ double real_workload_model_seconds(const opt::SystemConfig& config, std::size_t 
   const double device_rate =
       40.0 * std::pow(static_cast<double>(std::max(1, config.device_threads)), 0.7) /
       affinity_model_factor(config.device_affinity);
-  const double host_s = host_mb > 0.0 ? host_mb / host_rate : 0.0;
-  const double device_s = device_mb > 0.0 ? 0.002 + device_mb / device_rate : 0.0;
+  const double engine = engine_model_factor(config.engine);
+  const double host_s = host_mb > 0.0 ? engine * host_mb / host_rate : 0.0;
+  const double device_s = device_mb > 0.0 ? 0.002 + engine * device_mb / device_rate : 0.0;
   return std::max(host_s, device_s) + 1e-9;
 }
 
@@ -91,10 +107,13 @@ RealWorkload::RealWorkload(const dna::GenomeCatalog& catalog, const Workload& lo
   if (options.motifs.empty()) {
     throw std::invalid_argument("RealWorkload: no motifs to search for");
   }
-  const automata::CompiledMotifs compiled = automata::compile_motifs(options.motifs);
-  dfa_ = automata::minimize(
-      automata::determinize(compiled.nfa, compiled.synchronization_bound));
-  compiled_ = automata::CompiledDfa(dfa_);
+  // Build every engine the motif set qualifies for; record why the others
+  // are skipped. The compiled-DFA engine handles the full motif language and
+  // is therefore always present (compile errors propagate from here).
+  for (const automata::EngineKind kind : automata::kAllEngineKinds) {
+    const auto i = static_cast<std::size_t>(kind);
+    engines_[i] = automata::try_lower(kind, options.motifs, &engine_gaps_[i]);
+  }
 
   const std::size_t bytes = scaled_bytes(logical, options);
   // Plant a handful of findable copies per motif so tuning runs always have
@@ -110,7 +129,26 @@ RealWorkload::RealWorkload(const dna::GenomeCatalog& catalog, const Workload& lo
   // independent of the kernels under test: use the naive reference loop.
   // One slow scan per materialized workload (cached) is cheap.
   sequential_matches_ =
-      automata::scan_count_naive(dfa_, sequence_.view(), dfa_.start()).match_count;
+      automata::scan_count_naive(dfa(), sequence_.view(), dfa().start()).match_count;
+}
+
+const automata::MatchEngine& RealWorkload::engine(automata::EngineKind kind) const {
+  const automata::MatchEngine* e = find_engine(kind);
+  if (e == nullptr) {
+    throw std::invalid_argument("RealWorkload: engine '" +
+                                std::string(automata::to_string(kind)) +
+                                "' is not applicable to the motif set: " +
+                                engine_gap(kind));
+  }
+  return *e;
+}
+
+std::vector<automata::EngineKind> RealWorkload::engines() const {
+  std::vector<automata::EngineKind> kinds;
+  for (const automata::EngineKind kind : automata::kAllEngineKinds) {
+    if (find_engine(kind) != nullptr) kinds.push_back(kind);
+  }
+  return kinds;
 }
 
 // --- RealWorkloadEvaluator --------------------------------------------------
@@ -152,8 +190,11 @@ RealMeasurement RealWorkloadEvaluator::measure(const opt::SystemConfig& config,
 
   const auto host_threads = static_cast<std::size_t>(config.host_threads);
   const auto device_threads = static_cast<std::size_t>(config.device_threads);
+  // The configured engine runs both sides; asking for an engine the motif
+  // set does not qualify for throws with the gap reason (callers size the
+  // engine axis from RealWorkload::engines(), so search never gets here).
   HeterogeneousExecutor executor(
-      rw->dfa(), host_threads, device_threads,
+      rw->engine(config.engine), host_threads, device_threads,
       options_.pin_threads ? std::optional(config.host_affinity) : std::nullopt,
       options_.pin_threads ? std::optional(config.device_affinity) : std::nullopt);
 

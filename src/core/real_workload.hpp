@@ -19,6 +19,7 @@
 //                 runs, where wall-clock noise would make seeds meaningless.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -30,6 +31,8 @@
 
 #include "automata/compiled_dfa.hpp"
 #include "automata/dense_dfa.hpp"
+#include "automata/engine_kind.hpp"
+#include "automata/match_engine.hpp"
 #include "automata/parallel_matcher.hpp"
 #include "core/evaluator.hpp"
 #include "core/workload.hpp"
@@ -59,8 +62,12 @@ struct RealWorkloadOptions {
   bool deterministic_timing = false;
 };
 
-/// A logical workload made physical: the scaled synthetic genome plus the
-/// compiled motif automaton, with the sequential match count as ground truth.
+/// A logical workload made physical: the scaled synthetic genome plus every
+/// match engine applicable to the motif set, with the sequential match count
+/// as ground truth. The compiled-DFA engine always exists; Aho–Corasick and
+/// bitap are built when the motif set qualifies (literal ACGT patterns /
+/// <= 64 summed pattern bits) and skipped — with a recorded reason — when
+/// not, so the tuner's engine axis can be sized per workload.
 class RealWorkload {
  public:
   RealWorkload(const dna::GenomeCatalog& catalog, const Workload& logical,
@@ -68,10 +75,14 @@ class RealWorkload {
 
   [[nodiscard]] const Workload& logical() const noexcept { return logical_; }
   [[nodiscard]] std::string_view text() const noexcept { return sequence_.view(); }
-  [[nodiscard]] const automata::DenseDfa& dfa() const noexcept { return dfa_; }
+  [[nodiscard]] const automata::DenseDfa& dfa() const noexcept {
+    return *engines_[0]->dfa();
+  }
   /// The motif automaton lowered into the compiled scan kernels (built once
   /// per workload; what the executor and the kernel bench scan with).
-  [[nodiscard]] const automata::CompiledDfa& compiled() const noexcept { return compiled_; }
+  [[nodiscard]] const automata::CompiledDfa& compiled() const noexcept {
+    return *engines_[0]->kernel();
+  }
   [[nodiscard]] std::size_t physical_bytes() const noexcept { return sequence_.size(); }
   [[nodiscard]] double physical_mb() const noexcept {
     return static_cast<double>(sequence_.size()) / (1024.0 * 1024.0);
@@ -82,10 +93,29 @@ class RealWorkload {
     return sequential_matches_;
   }
 
+  // --- Engine selection ------------------------------------------------------
+  /// The engine of `kind`, or nullptr when the motif set does not qualify.
+  [[nodiscard]] const automata::MatchEngine* find_engine(
+      automata::EngineKind kind) const noexcept {
+    return engines_[static_cast<std::size_t>(kind)].get();
+  }
+  /// The engine of `kind`; throws std::invalid_argument (with the gap
+  /// reason) when it is not applicable to the motif set.
+  [[nodiscard]] const automata::MatchEngine& engine(automata::EngineKind kind) const;
+  /// The kinds applicable to this motif set, in axis order (always includes
+  /// kCompiledDfa) — what ConfigSpace::with_engines() should receive.
+  [[nodiscard]] std::vector<automata::EngineKind> engines() const;
+  /// Why `kind` is unavailable ("" when it is available).
+  [[nodiscard]] const std::string& engine_gap(automata::EngineKind kind) const noexcept {
+    return engine_gaps_[static_cast<std::size_t>(kind)];
+  }
+
  private:
   Workload logical_;
-  automata::DenseDfa dfa_;
-  automata::CompiledDfa compiled_;
+  // Indexed by EngineKind; [0] (compiled-dfa) is always present.
+  std::array<std::unique_ptr<const automata::MatchEngine>, automata::kEngineKindCount>
+      engines_;
+  std::array<std::string, automata::kEngineKindCount> engine_gaps_;
   dna::Sequence sequence_;
   std::uint64_t sequential_matches_ = 0;
 };
@@ -140,7 +170,9 @@ class RealWorkloadEvaluator final : public Evaluator {
 };
 
 /// The deterministic work model (exposed for tests): overlapped seconds for
-/// scanning `host_bytes` + `device_bytes` under `config`. Pure.
+/// scanning `host_bytes` + `device_bytes` under `config`, including the
+/// configured engine's rate factor (the default compiled-DFA engine's factor
+/// is exactly 1, so pre-engine-axis numbers are unchanged). Pure.
 [[nodiscard]] double real_workload_model_seconds(const opt::SystemConfig& config,
                                                  std::size_t host_bytes,
                                                  std::size_t device_bytes);

@@ -18,6 +18,11 @@ std::string to_string(const SystemConfig& c) {
   out += ' ';
   out += util::format_trimmed(100.0 - c.host_percent, 1);
   out += '%';
+  if (c.engine != automata::EngineKind::kCompiledDfa) {
+    out += " [";
+    out += automata::to_string(c.engine);
+    out += ']';
+  }
   return out;
 }
 

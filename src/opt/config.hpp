@@ -1,11 +1,15 @@
 // A system configuration — the point the optimizers move through:
 // (host threads, host affinity, device threads, device affinity,
-//  workload fraction), exactly the paper's Table I.
+//  workload fraction), exactly the paper's Table I, plus the match-engine
+// axis this reproduction adds on top (which scan engine executes the
+// search; the default compiled-DFA engine reproduces the paper's fixed
+// application).
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "automata/engine_kind.hpp"
 #include "parallel/affinity.hpp"
 
 namespace hetopt::opt {
@@ -18,11 +22,16 @@ struct SystemConfig {
   /// Percentage of the workload executed on the host; the device gets
   /// 100 - host_percent (Table I: "Workload Fraction").
   double host_percent = 50.0;
+  /// Which scan engine executes the motif search (an axis beyond the paper's
+  /// Table I; the default is the pre-engine-axis behavior).
+  automata::EngineKind engine = automata::EngineKind::kCompiledDfa;
 
   friend bool operator==(const SystemConfig&, const SystemConfig&) = default;
 };
 
-/// "host 24t/scatter 70% | device 60t/balanced 30%"
+/// "host 24t/scatter 70% | device 60t/balanced 30%"; a non-default engine is
+/// appended as " [bitap]" (the default compiled-DFA engine is implied, so
+/// paper-space strings are unchanged).
 [[nodiscard]] std::string to_string(const SystemConfig& c);
 
 }  // namespace hetopt::opt

@@ -28,6 +28,17 @@ std::size_t axis_index(const std::vector<T>& axis, const T& value, const char* w
   return static_cast<std::size_t>(it - axis.begin());
 }
 
+void require_valid_engine_axis(const std::vector<automata::EngineKind>& engines) {
+  if (engines.empty()) throw std::invalid_argument("ConfigSpace: empty engine axis");
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    for (std::size_t j = i + 1; j < engines.size(); ++j) {
+      if (engines[i] == engines[j]) {
+        throw std::invalid_argument("ConfigSpace: duplicate engine on axis");
+      }
+    }
+  }
+}
+
 /// Ordered-axis step: move ±1..±3 positions, clamped to the axis.
 template <typename T>
 std::size_t step_index(const std::vector<T>& axis, std::size_t current,
@@ -52,12 +63,14 @@ ConfigSpace::ConfigSpace(std::vector<int> host_threads,
                          std::vector<parallel::HostAffinity> host_affinities,
                          std::vector<int> device_threads,
                          std::vector<parallel::DeviceAffinity> device_affinities,
-                         std::vector<double> fractions)
+                         std::vector<double> fractions,
+                         std::vector<automata::EngineKind> engines)
     : host_threads_(std::move(host_threads)),
       host_affinities_(std::move(host_affinities)),
       device_threads_(std::move(device_threads)),
       device_affinities_(std::move(device_affinities)),
-      fractions_(std::move(fractions)) {
+      fractions_(std::move(fractions)),
+      engines_(std::move(engines)) {
   require_sorted_unique(host_threads_, "host_threads");
   require_sorted_unique(device_threads_, "device_threads");
   require_sorted_unique(fractions_, "fractions");
@@ -69,6 +82,14 @@ ConfigSpace::ConfigSpace(std::vector<int> host_threads,
       throw std::invalid_argument("ConfigSpace: fraction outside [0,100]");
     }
   }
+  require_valid_engine_axis(engines_);
+}
+
+ConfigSpace ConfigSpace::with_engines(std::vector<automata::EngineKind> engines) const {
+  require_valid_engine_axis(engines);
+  ConfigSpace copy = *this;
+  copy.engines_ = std::move(engines);
+  return copy;
 }
 
 ConfigSpace ConfigSpace::paper() {
@@ -119,7 +140,7 @@ ConfigSpace ConfigSpace::tiny() {
 
 std::size_t ConfigSpace::size() const noexcept {
   return host_threads_.size() * host_affinities_.size() * device_threads_.size() *
-         device_affinities_.size() * fractions_.size();
+         device_affinities_.size() * fractions_.size() * engines_.size();
 }
 
 SystemConfig ConfigSpace::at(std::size_t flat_index) const {
@@ -133,7 +154,11 @@ SystemConfig ConfigSpace::at(std::size_t flat_index) const {
   flat_index /= device_threads_.size();
   c.device_affinity = device_affinities_[flat_index % device_affinities_.size()];
   flat_index /= device_affinities_.size();
-  c.host_percent = fractions_[flat_index];
+  c.host_percent = fractions_[flat_index % fractions_.size()];
+  flat_index /= fractions_.size();
+  // The engine axis is outermost, so the default single-engine axis leaves
+  // the decode of every paper axis (and thus every flat index) unchanged.
+  c.engine = engines_[flat_index];
   return c;
 }
 
@@ -144,7 +169,9 @@ std::size_t ConfigSpace::index_of(const SystemConfig& config) const {
   const std::size_t i3 =
       axis_index(device_affinities_, config.device_affinity, "device_affinity");
   const std::size_t i4 = axis_index(fractions_, config.host_percent, "fractions");
-  std::size_t idx = i4;
+  const std::size_t i5 = axis_index(engines_, config.engine, "engines");
+  std::size_t idx = i5;
+  idx = idx * fractions_.size() + i4;
   idx = idx * device_affinities_.size() + i3;
   idx = idx * device_threads_.size() + i2;
   idx = idx * host_affinities_.size() + i1;
@@ -167,7 +194,10 @@ SystemConfig ConfigSpace::random(util::Xoshiro256& rng) const {
 
 SystemConfig ConfigSpace::neighbor(const SystemConfig& config, util::Xoshiro256& rng) const {
   SystemConfig next = config;
-  const std::uint64_t axis = rng.bounded(5);
+  // The engine axis joins the move only when it has somewhere to move to;
+  // with the default single-engine axis the draw below is bounded(5), which
+  // keeps pre-engine-axis seeded runs bit-identical.
+  const std::uint64_t axis = rng.bounded(engines_.size() > 1 ? 6 : 5);
   switch (axis) {
     case 0: {
       const std::size_t i = axis_index(host_threads_, config.host_threads, "host_threads");
@@ -200,9 +230,17 @@ SystemConfig ConfigSpace::neighbor(const SystemConfig& config, util::Xoshiro256&
       }
       break;
     }
-    default: {
+    case 4: {
       const std::size_t i = axis_index(fractions_, config.host_percent, "fractions");
       next.host_percent = fractions_[step_index(fractions_, i, rng)];
+      break;
+    }
+    default: {
+      // Categorical engine jump, like the affinity axes.
+      const std::size_t i = axis_index(engines_, config.engine, "engines");
+      std::size_t j = static_cast<std::size_t>(rng.bounded(engines_.size() - 1));
+      if (j >= i) ++j;
+      next.engine = engines_[j];
       break;
     }
   }

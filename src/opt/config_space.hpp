@@ -1,11 +1,19 @@
 // The discrete configuration space (Eq. 1: |space| = product of the value
 // ranges). Provides flat indexing for enumeration, uniform sampling, and the
 // neighbour move used by simulated annealing.
+//
+// Beyond the paper's five Table I axes, the space can carry an optional
+// match-engine axis (which scan engine executes the search). The default is
+// the single-value {compiled-dfa} axis, under which every operation —
+// indexing order, sampling, the annealing move's random stream — is
+// bit-identical to the pre-engine-axis space, so existing presets and seeds
+// reproduce exactly. with_engines() widens the axis.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "automata/engine_kind.hpp"
 #include "opt/config.hpp"
 #include "util/rng.hpp"
 
@@ -13,12 +21,16 @@ namespace hetopt::opt {
 
 class ConfigSpace {
  public:
-  /// Axes must be non-empty; numeric axes strictly increasing.
+  /// Axes must be non-empty; numeric axes strictly increasing. The engine
+  /// axis (categorical) must hold distinct kinds; it defaults to the
+  /// single-value compiled-DFA axis.
   ConfigSpace(std::vector<int> host_threads,
               std::vector<parallel::HostAffinity> host_affinities,
               std::vector<int> device_threads,
               std::vector<parallel::DeviceAffinity> device_affinities,
-              std::vector<double> fractions);
+              std::vector<double> fractions,
+              std::vector<automata::EngineKind> engines = {
+                  automata::EngineKind::kCompiledDfa});
 
   /// The paper's space: host threads {2,6,12,24,36,48} x 3 affinities x
   /// device threads {2,4,8,16,30,60,120,180,240} x 3 affinities x
@@ -37,6 +49,10 @@ class ConfigSpace {
   /// std::thread::hardware_concurrency().
   [[nodiscard]] static ConfigSpace real(unsigned hardware_threads = 0);
 
+  /// A copy of this space with the engine axis replaced (e.g. the engines a
+  /// core::RealWorkload reports as applicable to its motif set).
+  [[nodiscard]] ConfigSpace with_engines(std::vector<automata::EngineKind> engines) const;
+
   [[nodiscard]] std::size_t size() const noexcept;
   /// Mixed-radix decode of a flat index in [0, size()).
   [[nodiscard]] SystemConfig at(std::size_t flat_index) const;
@@ -49,7 +65,9 @@ class ConfigSpace {
 
   /// Simulated-annealing move: pick one parameter uniformly; ordered axes
   /// (threads, fraction) step to a nearby value (±1..±3 positions), the
-  /// categorical affinity axes jump to a different value.
+  /// categorical axes (affinities, engine) jump to a different value. With
+  /// the default single-engine axis the engine is never picked and the
+  /// random stream matches the pre-engine-axis move exactly.
   [[nodiscard]] SystemConfig neighbor(const SystemConfig& config,
                                       util::Xoshiro256& rng) const;
 
@@ -65,6 +83,9 @@ class ConfigSpace {
     return device_affinities_;
   }
   [[nodiscard]] const std::vector<double>& fractions() const noexcept { return fractions_; }
+  [[nodiscard]] const std::vector<automata::EngineKind>& engines() const noexcept {
+    return engines_;
+  }
 
  private:
   std::vector<int> host_threads_;
@@ -72,6 +93,7 @@ class ConfigSpace {
   std::vector<int> device_threads_;
   std::vector<parallel::DeviceAffinity> device_affinities_;
   std::vector<double> fractions_;
+  std::vector<automata::EngineKind> engines_;
 };
 
 }  // namespace hetopt::opt

@@ -90,6 +90,26 @@ TEST(Bitap, CapacityLimit64Bits) {
                std::invalid_argument);
 }
 
+TEST(Bitap, SupportsQueryMirrorsTheConstructor) {
+  // supports() answers without throwing, so callers can skip the engine
+  // cleanly; the constructor throws exactly when supports() is false.
+  EXPECT_TRUE(BitapMatcher::supports({"GATTACA", "TATAWAW"}));
+  EXPECT_TRUE(BitapMatcher::supports({std::string(64, 'A')}));
+
+  std::string why;
+  EXPECT_FALSE(BitapMatcher::supports({}, &why));
+  EXPECT_EQ(why, "no patterns");
+  EXPECT_FALSE(BitapMatcher::supports({""}, &why));
+  EXPECT_EQ(why, "empty pattern");
+  EXPECT_FALSE(BitapMatcher::supports({"AC?T"}, &why));  // operators excluded
+  EXPECT_NE(why.find("AC?T"), std::string::npos);
+  EXPECT_FALSE(BitapMatcher::supports({std::string(33, 'A'), std::string(32, 'C')}, &why));
+  EXPECT_NE(why.find("65"), std::string::npos);
+  EXPECT_NE(why.find("64"), std::string::npos);
+  // The null-reason overload is fine too.
+  EXPECT_FALSE(BitapMatcher::supports({std::string(65, 'A')}));
+}
+
 TEST(Bitap, InputValidation) {
   EXPECT_THROW(BitapMatcher({}), std::invalid_argument);
   EXPECT_THROW(BitapMatcher({""}), std::invalid_argument);

@@ -13,6 +13,9 @@ TEST(Features, HostLayout) {
   EXPECT_DOUBLE_EQ(f[2], 0.0);  // none
   EXPECT_DOUBLE_EQ(f[3], 1.0);  // scatter
   EXPECT_DOUBLE_EQ(f[4], 0.0);  // compact
+  EXPECT_DOUBLE_EQ(f[5], 1.0);  // compiled-dfa (the default engine)
+  EXPECT_DOUBLE_EQ(f[6], 0.0);  // aho-corasick
+  EXPECT_DOUBLE_EQ(f[7], 0.0);  // bitap
 }
 
 TEST(Features, DeviceLayout) {
@@ -23,6 +26,22 @@ TEST(Features, DeviceLayout) {
   EXPECT_DOUBLE_EQ(f[2], 0.0);  // balanced
   EXPECT_DOUBLE_EQ(f[3], 0.0);  // scatter
   EXPECT_DOUBLE_EQ(f[4], 1.0);  // compact
+  EXPECT_DOUBLE_EQ(f[5], 1.0);  // compiled-dfa (the default engine)
+}
+
+TEST(Features, EngineOneHot) {
+  for (const automata::EngineKind kind : automata::kAllEngineKinds) {
+    const auto h = host_features(1.0, 2, parallel::HostAffinity::kNone, kind);
+    const auto d = device_features(1.0, 2, parallel::DeviceAffinity::kBalanced, kind);
+    EXPECT_DOUBLE_EQ(h[5] + h[6] + h[7], 1.0);
+    EXPECT_DOUBLE_EQ(d[5] + d[6] + d[7], 1.0);
+    EXPECT_DOUBLE_EQ(h[5 + static_cast<std::size_t>(kind)], 1.0);
+    EXPECT_DOUBLE_EQ(d[5 + static_cast<std::size_t>(kind)], 1.0);
+  }
+  const auto bitap =
+      host_features(1.0, 2, parallel::HostAffinity::kNone, automata::EngineKind::kBitap);
+  EXPECT_DOUBLE_EQ(bitap[5], 0.0);
+  EXPECT_DOUBLE_EQ(bitap[7], 1.0);
 }
 
 TEST(Features, OneHotIsExclusive) {
@@ -41,6 +60,9 @@ TEST(Features, NamesMatchLayoutWidth) {
   EXPECT_EQ(device_feature_names().size(), kFeatureCount);
   EXPECT_EQ(host_feature_names()[0], "size_mb");
   EXPECT_EQ(device_feature_names()[2], "affinity_balanced");
+  EXPECT_EQ(host_feature_names()[5], "engine_compiled_dfa");
+  EXPECT_EQ(host_feature_names()[6], "engine_aho_corasick");
+  EXPECT_EQ(device_feature_names()[7], "engine_bitap");
 }
 
 TEST(Features, Validation) {

@@ -125,6 +125,104 @@ TEST(RealWorkloadEvaluatorTest, CachesMaterializedWorkloads) {
   EXPECT_EQ(&a, &b);  // same materialization, no regeneration
 }
 
+TEST(RealWorkloadTest, BuildsEveryApplicableEngine) {
+  const dna::GenomeCatalog catalog;
+  // The default motifs (TATAWAW has IUPAC W): compiled DFA + bitap, no AC.
+  const RealWorkload iupac(catalog, cat(), tiny_options(false));
+  EXPECT_EQ(iupac.engines(),
+            (std::vector<automata::EngineKind>{automata::EngineKind::kCompiledDfa,
+                                               automata::EngineKind::kBitap}));
+  EXPECT_EQ(iupac.find_engine(automata::EngineKind::kAhoCorasick), nullptr);
+  EXPECT_FALSE(iupac.engine_gap(automata::EngineKind::kAhoCorasick).empty());
+  EXPECT_THROW((void)iupac.engine(automata::EngineKind::kAhoCorasick),
+               std::invalid_argument);
+
+  // Literal motifs qualify for all three engines.
+  RealWorkloadOptions literal = tiny_options(false);
+  literal.motifs = {"GATTACA", "GGGCGG"};
+  const RealWorkload all(catalog, cat(), literal);
+  EXPECT_EQ(all.engines().size(), 3u);
+  for (const automata::EngineKind kind : automata::kAllEngineKinds) {
+    ASSERT_NE(all.find_engine(kind), nullptr);
+    EXPECT_EQ(all.find_engine(kind)->count(all.text()), all.sequential_matches())
+        << to_string(kind);
+  }
+}
+
+TEST(RealWorkloadTest, SkipsBitapCleanlyBeyond64Bits) {
+  // > 64 summed pattern bits: the workload still builds (compiled DFA and AC
+  // carry it) and records why bitap is out — the capability-query fallback.
+  const dna::GenomeCatalog catalog;
+  RealWorkloadOptions wide = tiny_options(false);
+  wide.motifs = {std::string(40, 'A') + "CGT", std::string(30, 'C') + "GTA"};
+  const RealWorkload rw(catalog, cat(), wide);
+  EXPECT_EQ(rw.engines(),
+            (std::vector<automata::EngineKind>{automata::EngineKind::kCompiledDfa,
+                                               automata::EngineKind::kAhoCorasick}));
+  EXPECT_EQ(rw.find_engine(automata::EngineKind::kBitap), nullptr);
+  EXPECT_NE(rw.engine_gap(automata::EngineKind::kBitap).find("64"), std::string::npos);
+  // Both surviving engines agree with the oracle.
+  for (const automata::EngineKind kind : rw.engines()) {
+    EXPECT_EQ(rw.engine(kind).count(rw.text()), rw.sequential_matches());
+  }
+}
+
+TEST(RealWorkloadEvaluatorTest, HonorsTheConfiguredEngine) {
+  const dna::GenomeCatalog catalog;
+  const RealWorkloadEvaluator evaluator(catalog, tiny_options(true));
+  const std::uint64_t expected = evaluator.real(cat()).sequential_matches();
+
+  opt::SystemConfig c;
+  c.host_threads = 2;
+  c.device_threads = 2;
+  c.host_percent = 50.0;
+  for (const automata::EngineKind kind : evaluator.real(cat()).engines()) {
+    c.engine = kind;
+    const RealMeasurement m = evaluator.measure(c, cat());
+    EXPECT_EQ(m.matches, expected) << to_string(kind);
+  }
+  // Asking for an engine the motif set does not qualify for is an error with
+  // the gap reason, not a silent fallback.
+  c.engine = automata::EngineKind::kAhoCorasick;
+  EXPECT_THROW((void)evaluator.measure(c, cat()), std::invalid_argument);
+}
+
+TEST(RealWorkloadEvaluatorTest, DeterministicModelDifferentiatesEngines) {
+  opt::SystemConfig c;
+  c.host_threads = 4;
+  c.device_threads = 4;
+  c.host_percent = 50.0;
+  const std::size_t mb = 4 * 1024 * 1024;
+  const double dfa_s = real_workload_model_seconds(c, mb, mb);
+  c.engine = automata::EngineKind::kBitap;
+  const double bitap_s = real_workload_model_seconds(c, mb, mb);
+  c.engine = automata::EngineKind::kAhoCorasick;
+  const double ac_s = real_workload_model_seconds(c, mb, mb);
+  EXPECT_LT(bitap_s, dfa_s);
+  EXPECT_GT(ac_s, dfa_s);
+}
+
+TEST(RealWorkloadEvaluatorTest, TuningWithTheEngineAxisPicksTheModelWinner) {
+  // Deterministic timing makes the engine landscape a pure function: bitap's
+  // model factor is the cheapest, so an exhaustive search over an
+  // engine-enabled space must select it.
+  const dna::GenomeCatalog catalog;
+  const auto evaluator =
+      std::make_shared<RealWorkloadEvaluator>(catalog, tiny_options(true));
+  const opt::ConfigSpace space =
+      opt::ConfigSpace::real(2).with_engines(evaluator->real(cat()).engines());
+  EXPECT_EQ(space.engines().size(), 2u);
+
+  TuningSession session(space);
+  session.with_strategy("exhaustive")
+      .with_evaluator(evaluator)
+      .with_budget(space.size())
+      .with_seed(7);
+  const SessionReport report = session.run(cat());
+  EXPECT_EQ(report.config.engine, automata::EngineKind::kBitap);
+  EXPECT_TRUE(space.contains(report.config));
+}
+
 TEST(RealWorkloadEvaluatorTest, AllFourPresetsCompleteOnTheRealMatcher) {
   // The acceptance path of the measurement pipeline: exhaustive and
   // annealing searches both drive the live matcher end-to-end (EM/SAM), and

@@ -169,6 +169,65 @@ TEST(ConfigTest, ToStringIsHumanReadable) {
   c.device_affinity = parallel::DeviceAffinity::kBalanced;
   c.host_percent = 62.5;
   EXPECT_EQ(to_string(c), "host 24t/scatter 62.5% | device 60t/balanced 37.5%");
+  // The default engine is implied; a non-default one is appended.
+  c.engine = automata::EngineKind::kBitap;
+  EXPECT_EQ(to_string(c), "host 24t/scatter 62.5% | device 60t/balanced 37.5% [bitap]");
+}
+
+TEST(ConfigSpaceTest, DefaultEngineAxisIsSingleCompiledDfa) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  ASSERT_EQ(space.engines().size(), 1u);
+  EXPECT_EQ(space.engines().front(), automata::EngineKind::kCompiledDfa);
+  // Every decoded point carries the default engine.
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_EQ(space.at(i).engine, automata::EngineKind::kCompiledDfa);
+  }
+}
+
+TEST(ConfigSpaceTest, EngineAxisMultipliesAndRoundTrips) {
+  const ConfigSpace base = ConfigSpace::tiny();
+  const ConfigSpace wide = base.with_engines(
+      {automata::EngineKind::kCompiledDfa, automata::EngineKind::kBitap});
+  EXPECT_EQ(wide.size(), 2 * base.size());
+  // The engine axis is outermost: the first base.size() indices decode
+  // exactly as the engine-less space did.
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(wide.at(i), base.at(i));
+  }
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    const SystemConfig c = wide.at(i);
+    EXPECT_EQ(wide.index_of(c), i);
+    EXPECT_EQ(c.engine, i < base.size() ? automata::EngineKind::kCompiledDfa
+                                        : automata::EngineKind::kBitap);
+  }
+  // A config with an off-axis engine is outside the space.
+  SystemConfig off = wide.at(0);
+  off.engine = automata::EngineKind::kAhoCorasick;
+  EXPECT_FALSE(wide.contains(off));
+  EXPECT_TRUE(base.contains(base.at(0)));
+}
+
+TEST(ConfigSpaceTest, EngineAxisValidation) {
+  EXPECT_THROW((void)ConfigSpace::tiny().with_engines({}), std::invalid_argument);
+  EXPECT_THROW((void)ConfigSpace::tiny().with_engines(
+                   {automata::EngineKind::kBitap, automata::EngineKind::kBitap}),
+               std::invalid_argument);
+}
+
+TEST(ConfigSpaceTest, NeighborMovesAcrossTheEngineAxis) {
+  const ConfigSpace wide = ConfigSpace::tiny().with_engines(
+      {automata::EngineKind::kCompiledDfa, automata::EngineKind::kAhoCorasick,
+       automata::EngineKind::kBitap});
+  util::Xoshiro256 rng(99);
+  SystemConfig current = wide.at(0);
+  bool engine_moved = false;
+  for (int step = 0; step < 400; ++step) {
+    const SystemConfig next = wide.neighbor(current, rng);
+    EXPECT_TRUE(wide.contains(next));
+    if (next.engine != current.engine) engine_moved = true;
+    current = next;
+  }
+  EXPECT_TRUE(engine_moved);  // the axis is actually reachable by annealing
 }
 
 }  // namespace

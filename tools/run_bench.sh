@@ -48,11 +48,23 @@ if command -v python3 >/dev/null 2>&1; then
   echo "validated ${json_out}"
   python3 - "${json_out}" <<'PY'
 import json, sys
-kernel = json.load(open(sys.argv[1])).get("scan_kernel", {})
+doc = json.load(open(sys.argv[1]))
+kernel = doc.get("scan_kernel", {})
 if kernel:
     print("scan_kernel: fused %.2fx naive (guard %.1fx, %s)" % (
         kernel["speedup_fused_vs_naive"], kernel["guard_min_speedup"],
         "ok" if kernel["guard_ok"] else "FAILED"))
+for entry in doc.get("engine_matrix", []):
+    best = {}
+    for row in entry.get("throughput", []):
+        e = row["engine"]
+        if row["mb_s"] > best.get(e, (0.0,))[0]:
+            best[e] = (row["mb_s"], row["chunks"])
+    ranked = sorted(best.items(), key=lambda kv: -kv[1][0])
+    rates = ", ".join("%s %.0f MB/s" % (e, v[0]) for e, v in ranked)
+    tuned = ", ".join("%s->%s" % (t["method"], t["engine"])
+                      for t in entry.get("tuned", []))
+    print("engine_matrix[%s]: %s | tuned: %s" % (entry["motif_set"], rates, tuned))
 PY
 fi
 
