@@ -17,6 +17,13 @@
 //                        engine per Table II preset on an engine-enabled
 //                        space — which engine *should* the tuner pick for
 //                        few long literals vs many short IUPAC motifs?
+//   schedule_matrix      the work-distribution axis measured for real: MB/s
+//                        per schedule policy (static / dynamic / guided /
+//                        adaptive) x fraction x chunk count, a skew block
+//                        (a deliberately wrong fraction, where the
+//                        demand-driven schedules must recover what static
+//                        wastes), and the tuned-winner policy per Table II
+//                        preset on a schedule-enabled space
 //   table2_real          the four Table II presets tuning the live matcher on
 //                        a scaled-down genome (EM/SAM measure real runs;
 //                        EML/SAML search on the sim-trained predictor and the
@@ -90,6 +97,7 @@ void write_config(util::JsonWriter& json, const opt::SystemConfig& c) {
       .member("device_affinity", parallel::to_string(c.device_affinity))
       .member("host_percent", c.host_percent)
       .member("engine", automata::to_string(c.engine))
+      .member("schedule", parallel::to_string(c.schedule))
       .end_object();
 }
 
@@ -160,7 +168,7 @@ int main(int argc, char** argv) {
 
   util::JsonWriter json;
   json.begin_object()
-      .member("schema", "hetopt-bench-v2")
+      .member("schema", "hetopt-bench-v3")
       .member("suite", suite)
       .member("genome", genome)
       .member("logical_mb", workload.size_mb)
@@ -452,6 +460,168 @@ int main(int argc, char** argv) {
     json.end_array();
   }
 
+  // --- schedule_matrix ------------------------------------------------------
+  // The work-distribution axis, measured for real: raw executor throughput
+  // per schedule policy x fraction x chunk count, a skew block where the
+  // configured fraction is deliberately wrong (static wastes a pool; the
+  // shared-queue schedules recover it), and the policy each Table II preset
+  // tunes to when the axis is enabled.
+  bool schedule_parity = true;
+  {
+    const std::size_t sched_reps = suite == "full" ? 3 : 2;
+    core::HeterogeneousExecutor executor(
+        rw.engine(automata::EngineKind::kCompiledDfa), hw, hw);
+    const auto best_run = [&](double fraction, std::size_t chunks_per_side,
+                              parallel::SchedulePolicy policy, std::size_t reps) {
+      core::ExecutionReport best;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const core::ExecutionReport r = executor.run(rw.text(), fraction, chunks_per_side,
+                                                     chunks_per_side, policy);
+        if (rep == 0 || r.total_seconds < best.total_seconds) best = r;
+      }
+      return best;
+    };
+    const auto write_schedule_row = [&](const core::ExecutionReport& r,
+                                        std::size_t chunks_per_side) {
+      const double mb_s =
+          r.total_seconds > 0.0 ? rw.physical_mb() / r.total_seconds : 0.0;
+      const bool parity = r.total_matches() == rw.sequential_matches();
+      schedule_parity = schedule_parity && parity;
+      json.begin_object()
+          .member("schedule", parallel::to_string(r.schedule))
+          .member("host_percent", r.configured_host_percent)
+          .member("chunks_per_side", chunks_per_side)
+          .member("seconds", r.total_seconds)
+          .member("mb_s", mb_s)
+          .member("matches", r.total_matches())
+          .member("match_parity", parity)
+          .member("realized_host_percent", r.realized_host_percent)
+          .member("host_steals", r.host_steals)
+          .member("device_steals", r.device_steals)
+          .member("imbalance", r.imbalance)
+          .end_object();
+      return mb_s;
+    };
+
+    json.key("schedule_matrix").begin_object();
+    json.key("throughput").begin_array();
+    for (const parallel::SchedulePolicy policy : parallel::kAllSchedulePolicies) {
+      double best_mb_s = 0.0;
+      for (const double fraction : {0.0, 50.0, 100.0}) {
+        for (const std::size_t mult : {std::size_t{1}, std::size_t{4}}) {
+          const core::ExecutionReport r =
+              best_run(fraction, hw * mult, policy, sched_reps);
+          best_mb_s = std::max(best_mb_s, write_schedule_row(r, hw * mult));
+        }
+      }
+      std::cout << "  schedule_matrix " << parallel::to_string(policy) << ": best "
+                << util::format_double(best_mb_s, 1) << " MB/s\n";
+    }
+    json.end_array();
+
+    // Skew block: 90% of the bytes configured onto the host while a
+    // same-size device pool idles. Static pays the full imbalance; every
+    // demand-driven policy should at least match it (tolerance absorbs
+    // wall-clock noise on small machines, where all policies tie).
+    {
+      constexpr double kSkewFraction = 90.0;
+      // On multi-core machines the demand-driven schedules clearly beat a
+      // skewed static split, and the tolerance only absorbs runner noise.
+      // On a single hardware thread there is no parallelism to recover —
+      // every policy does the same total work and only queue overhead
+      // separates them — so the comparison carries no signal: the rows are
+      // still emitted, but the flags pass trivially and say so via
+      // `single_hw_thread`.
+      constexpr double kSkewTolerance = 0.90;
+      const bool single_hw = hw == 1;
+      const std::size_t skew_reps = std::max<std::size_t>(5, sched_reps);
+      double mb_s_by_policy[parallel::kSchedulePolicyCount] = {};
+      json.key("skew").begin_object();
+      json.member("host_percent", kSkewFraction).key("rows").begin_array();
+      for (const parallel::SchedulePolicy policy : parallel::kAllSchedulePolicies) {
+        const core::ExecutionReport r =
+            best_run(kSkewFraction, hw * 8, policy, skew_reps);
+        mb_s_by_policy[static_cast<std::size_t>(policy)] =
+            write_schedule_row(r, hw * 8);
+        std::cout << "  schedule_matrix skew " << r.to_string() << "\n";
+      }
+      const double static_mb_s =
+          mb_s_by_policy[static_cast<std::size_t>(parallel::SchedulePolicy::kStatic)];
+      const auto ge_static = [&](parallel::SchedulePolicy p) {
+        if (single_hw) return true;  // no parallelism to compare — see above
+        const bool ok = mb_s_by_policy[static_cast<std::size_t>(p)] >=
+                        kSkewTolerance * static_mb_s;
+        // Recorded, not a hard CI gate like match parity: these are
+        // wall-clock comparisons on whatever hardware runs the bench, and
+        // failing the build on runner noise would teach people to ignore
+        // it. A false flag in the artifact is the loud signal.
+        if (!ok) {
+          std::cerr << "bench_main: WARNING: " << parallel::to_string(p)
+                    << " fell below " << kSkewTolerance
+                    << "x static on the skewed workload\n";
+        }
+        return ok;
+      };
+      json.end_array()
+          .member("tolerance", kSkewTolerance)
+          .member("single_hw_thread", single_hw)
+          .member("dynamic_ge_static", ge_static(parallel::SchedulePolicy::kDynamic))
+          .member("guided_ge_static", ge_static(parallel::SchedulePolicy::kGuided))
+          .member("adaptive_ge_static", ge_static(parallel::SchedulePolicy::kAdaptive))
+          .end_object();
+    }
+
+    // Tuned-winner policy per Table II preset over a schedule-enabled grid
+    // (small thread/fraction axes — the interesting axis is the schedule).
+    // The ML presets search the sim-trained predictor, which has seen no
+    // schedule variation, so their pick only reflects prediction ties.
+    {
+      const std::vector<int> threads_axis =
+          hw > 1 ? std::vector<int>{1, static_cast<int>(hw)} : std::vector<int>{1};
+      const opt::ConfigSpace sched_space(
+          threads_axis, {parallel::HostAffinity::kNone}, threads_axis,
+          {parallel::DeviceAffinity::kBalanced}, {0.0, 50.0, 100.0},
+          {automata::EngineKind::kCompiledDfa},
+          {parallel::SchedulePolicy::kStatic, parallel::SchedulePolicy::kDynamic,
+           parallel::SchedulePolicy::kGuided, parallel::SchedulePolicy::kAdaptive});
+      json.key("tuned").begin_array();
+      const auto tune_preset = [&](const std::string& method, const char* strategy_name,
+                                   const std::shared_ptr<core::Evaluator>& evaluator) {
+        core::TuningSession session(sched_space);
+        session.with_strategy(strategy_name)
+            .with_evaluator(evaluator)
+            .with_budget(strategy_name == std::string_view("exhaustive")
+                             ? sched_space.size()
+                             : iterations + 1)
+            .with_seed(seed);
+        const core::SessionReport report = session.run(workload);
+        const core::RealMeasurement real = real_eval->measure(report.config, workload);
+        const bool parity = real.matches == rw.sequential_matches();
+        schedule_parity = schedule_parity && parity;
+        json.begin_object()
+            .member("method", method)
+            .member("schedule", parallel::to_string(report.config.schedule))
+            .member("evaluations", report.evaluations)
+            .member("real_time_s", real.seconds)
+            .member("throughput_mb_s", real.throughput_mb_s)
+            .member("realized_host_percent", real.realized_host_percent)
+            .member("match_parity", parity)
+            .key("winner");
+        write_config(json, report.config);
+        json.end_object();
+        std::cout << "  schedule_matrix " << method << " -> "
+                  << parallel::to_string(report.config.schedule) << " ("
+                  << opt::to_string(report.config) << ")\n";
+      };
+      tune_preset("EM", "exhaustive", real_eval);
+      tune_preset("EML", "exhaustive", prediction);
+      tune_preset("SAM", "annealing", real_eval);
+      tune_preset("SAML", "annealing", prediction);
+      json.end_array();
+    }
+    json.end_object();
+  }
+
   // --- fraction_profile -----------------------------------------------------
   // Per-config real times along the fraction axis at the EM-real winner's
   // thread/affinity setting (the live-code analogue of Fig. 2).
@@ -525,6 +695,12 @@ int main(int argc, char** argv) {
   // count, and the fused kernel must not regress below the guard.
   if (!kernel_parity) {
     std::cerr << "bench_main: scan_kernel MATCH MISMATCH\n";
+    return 1;
+  }
+  // Every schedule-matrix row — all four policies across fractions, chunk
+  // counts, the skew block and the tuned winners — must be byte-exact too.
+  if (!schedule_parity) {
+    std::cerr << "bench_main: schedule_matrix MATCH MISMATCH\n";
     return 1;
   }
   if (fused_speedup < kKernelGuardMinSpeedup) {

@@ -78,11 +78,11 @@ int main(int argc, char** argv) {
 
   std::cout << "Scan complete in " << wall << " s (" << real.physical_mb() / wall
             << " MB/s overlapped)\n"
+            << "  " << report.to_string() << "\n"
             << "  host share:   " << report.host_bytes << " bytes, "
-            << report.host_matches << " motif hits, " << report.host_seconds << " s\n"
+            << report.host_matches << " motif hits\n"
             << "  device share: " << report.device_bytes << " bytes, "
-            << report.device_matches << " motif hits, " << report.device_seconds << " s\n"
-            << "  total motif occurrences: " << report.total_matches() << "\n";
+            << report.device_matches << " motif hits\n";
 
   // Cross-check against the plain sequential scan.
   const std::uint64_t sequential = real.sequential_matches();

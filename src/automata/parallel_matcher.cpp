@@ -4,9 +4,48 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "parallel/chunk_queue.hpp"
 #include "parallel/partitioner.hpp"
 
 namespace hetopt::automata {
+
+namespace {
+
+/// The chunk layout for a schedule: equal chunks for static/dynamic pulls,
+/// decreasing sizes for guided (where `chunks` becomes the tail-granularity
+/// hint: the smallest guided chunk is ~1/4 of the equal-split size).
+[[nodiscard]] std::vector<parallel::Chunk> layout_chunks(std::size_t total,
+                                                         std::size_t chunks,
+                                                         std::size_t workers,
+                                                         parallel::SchedulePolicy schedule) {
+  if (schedule == parallel::SchedulePolicy::kGuided) {
+    return parallel::make_chunks_guided(total, workers,
+                                        parallel::guided_min_chunk(total, chunks));
+  }
+  return parallel::make_chunks(total, chunks, /*halo=*/0);
+}
+
+}  // namespace
+
+void scan_chunk_streams(const CompiledDfa& kernel, std::string_view text,
+                        std::size_t warmup, const parallel::Chunk* chunks,
+                        const std::size_t* ids, std::size_t m, ScanResult* res) {
+  std::string_view views[CompiledDfa::kMaxStreams] = {};
+  StateId entries[CompiledDfa::kMaxStreams] = {};
+  for (std::size_t k = 0; k < m; ++k) {
+    const parallel::Chunk& c = chunks[ids[k]];
+    const std::size_t lead = std::min(warmup, c.begin);
+    views[k] = text.substr(c.begin - lead, lead);
+    entries[k] = kernel.start();
+  }
+  kernel.count_multi(views, entries, res, m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const parallel::Chunk& c = chunks[ids[k]];
+    entries[k] = res[k].final_state;
+    views[k] = text.substr(c.begin, c.end - c.begin);
+  }
+  kernel.count_multi(views, entries, res, m);
+}
 
 ParallelMatcher::ParallelMatcher(const DenseDfa& dfa, parallel::ThreadPool& pool)
     : dfa_(&dfa), pool_(pool) {
@@ -62,13 +101,24 @@ ParallelScanStats ParallelMatcher::run(std::string_view text, std::size_t chunks
   if (text.empty()) return stats;
   chunks = std::max<std::size_t>(1, std::min(chunks, text.size()));
 
-  if (engine_ != nullptr) return run_engine(text, chunks, want_matches, out);
+  if (engine_ != nullptr) return run_engine(text, chunks, options.schedule, want_matches, out);
 
+  // Demand-driven schedules scan every chunk independently (per-chunk
+  // warm-up), which requires a synchronization bound; unbounded automata
+  // fall back to the ordered static speculative waves.
+  if (options.schedule != parallel::SchedulePolicy::kStatic) {
+    if (dfa_->synchronization_bound() == 0) {
+      options.schedule = parallel::SchedulePolicy::kStatic;
+    } else {
+      options.strategy = ParallelStrategy::kWarmup;
+    }
+  }
   if (options.strategy == ParallelStrategy::kWarmup && dfa_->synchronization_bound() == 0) {
     options.strategy = ParallelStrategy::kSpeculative;
   }
 
-  const auto ranges = parallel::make_chunks(text.size(), chunks, /*halo=*/0);
+  const auto ranges =
+      layout_chunks(text.size(), chunks, pool_.thread_count(), options.schedule);
   stats.chunks = ranges.size();
   if (scratch_.size() < ranges.size()) scratch_.resize(ranges.size());
 
@@ -138,7 +188,32 @@ ParallelScanStats ParallelMatcher::run(std::string_view text, std::size_t chunks
       return kernel_->count(text.substr(ranges[i].begin - lead, lead), dfa_->start())
           .final_state;
     };
-    if (want_matches || streams == 1) {
+    if (options.schedule != parallel::SchedulePolicy::kStatic) {
+      // Demand-driven: an idle worker claims the next chunk (or the next
+      // `streams` chunks, scanned interleaved) from the ticket queue.
+      parallel::ChunkQueue queue(ranges.size());
+      if (want_matches || streams == 1) {
+        pool_.parallel_pull([&](std::size_t) {
+          while (const auto t = queue.take_front()) scan_chunk(*t, warm_entry(*t));
+        });
+      } else {
+        pool_.parallel_pull([&](std::size_t) {
+          std::size_t idx[CompiledDfa::kMaxStreams] = {};
+          ScanResult res[CompiledDfa::kMaxStreams];
+          for (;;) {
+            std::size_t m = 0;
+            while (m < streams) {
+              const auto t = queue.take_front();
+              if (!t) break;
+              idx[m++] = *t;
+            }
+            if (m == 0) break;
+            scan_chunk_streams(*kernel_, text, warmup, ranges.data(), idx, m, res);
+            for (std::size_t k = 0; k < m; ++k) scratch_[idx[k]].scan = res[k];
+          }
+        });
+      }
+    } else if (want_matches || streams == 1) {
       pool_.parallel_for(ranges.size(),
                          [&](std::size_t i) { scan_chunk(i, warm_entry(i)); });
     } else {
@@ -146,21 +221,10 @@ ParallelScanStats ParallelMatcher::run(std::string_view text, std::size_t chunks
       pool_.parallel_for(groups, [&](std::size_t g) {
         const std::size_t first = g * streams;
         const std::size_t m = std::min(streams, ranges.size() - first);
-        std::string_view views[CompiledDfa::kMaxStreams];
-        StateId entries[CompiledDfa::kMaxStreams] = {};
+        std::size_t ids[CompiledDfa::kMaxStreams] = {};
         ScanResult res[CompiledDfa::kMaxStreams];
-        // Warm the m entry states up as interleaved streams too.
-        for (std::size_t k = 0; k < m; ++k) {
-          const std::size_t lead = std::min(warmup, ranges[first + k].begin);
-          views[k] = text.substr(ranges[first + k].begin - lead, lead);
-          entries[k] = dfa_->start();
-        }
-        kernel_->count_multi(views, entries, res, m);
-        for (std::size_t k = 0; k < m; ++k) {
-          entries[k] = res[k].final_state;
-          views[k] = body(first + k);
-        }
-        kernel_->count_multi(views, entries, res, m);
+        for (std::size_t k = 0; k < m; ++k) ids[k] = first + k;
+        scan_chunk_streams(*kernel_, text, warmup, ranges.data(), ids, m, res);
         for (std::size_t k = 0; k < m; ++k) scratch_[first + k].scan = res[k];
       });
     }
@@ -207,17 +271,19 @@ ParallelScanStats ParallelMatcher::run(std::string_view text, std::size_t chunks
 }
 
 ParallelScanStats ParallelMatcher::run_engine(std::string_view text, std::size_t chunks,
+                                              parallel::SchedulePolicy schedule,
                                               bool want_matches,
                                               std::vector<Match>* out) const {
   // Generic engines: warm-up chunking through the chunk-aware MatchEngine
   // interface. The engine reads its own warm-up lead before each chunk, so
-  // every chunk scan is independent — exactly the kWarmup strategy.
+  // every chunk scan is independent — exactly the kWarmup strategy, under
+  // any schedule (pre-assigned groups or demand-driven pulls).
   if (want_matches && !engine_->supports_collect()) {
     throw std::logic_error("ParallelMatcher: engine '" + std::string(engine_->name()) +
                            "' does not support match collection");
   }
   ParallelScanStats stats;
-  const auto ranges = parallel::make_chunks(text.size(), chunks, /*halo=*/0);
+  const auto ranges = layout_chunks(text.size(), chunks, pool_.thread_count(), schedule);
   stats.chunks = ranges.size();
   if (scratch_.size() < ranges.size()) scratch_.resize(ranges.size());
 
@@ -240,6 +306,11 @@ ParallelScanStats ParallelMatcher::run_engine(std::string_view text, std::size_t
     } else {
       scan_chunk(0);
     }
+  } else if (schedule != parallel::SchedulePolicy::kStatic) {
+    parallel::ChunkQueue queue(ranges.size());
+    pool_.parallel_pull([&](std::size_t) {
+      while (const auto t = queue.take_front()) scan_chunk(*t);
+    });
   } else {
     pool_.parallel_for(ranges.size(), [&](std::size_t i) { scan_chunk(i); });
   }

@@ -42,9 +42,23 @@
 #include "automata/dense_dfa.hpp"
 #include "automata/match_engine.hpp"
 #include "automata/scanner.hpp"
+#include "parallel/partitioner.hpp"
+#include "parallel/schedule.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace hetopt::automata {
+
+/// Scans chunks ids[0..m) of `text` as interleaved streams on `kernel`: one
+/// count_multi pass warms the entry states over each chunk's lead bytes (up
+/// to `warmup` before chunk.begin), a second scans the chunk bodies from the
+/// warmed states; res[k] receives chunk ids[k]'s result. Exact for any
+/// subset of chunks — the PaREM warm-up protocol, batched. Shared by the
+/// matcher's schedule paths and the executor's shared-queue runtime so
+/// warm-up semantics can never diverge between layers.
+/// m must be <= CompiledDfa::kMaxStreams.
+void scan_chunk_streams(const CompiledDfa& kernel, std::string_view text,
+                        std::size_t warmup, const parallel::Chunk* chunks,
+                        const std::size_t* ids, std::size_t m, ScanResult* res);
 
 enum class ParallelStrategy { kWarmup, kSpeculative };
 
@@ -55,6 +69,16 @@ struct MatcherOptions {
   /// 1 = one chunk per task (the seed behavior). Match collection always
   /// scans one chunk per task (events need per-chunk append order).
   std::size_t streams_per_worker = 0;
+  /// How chunks reach the workers (parallel/schedule.hpp): kStatic
+  /// pre-assigns contiguous chunk groups (the seed behavior); kDynamic and
+  /// kAdaptive pull chunk indices from an atomic ticket queue (a single pool
+  /// has no one to steal from, so adaptive degenerates to dynamic here);
+  /// kGuided pulls decreasing chunk sizes, reinterpreting `chunks` as the
+  /// tail-granularity hint. Demand-driven schedules need per-chunk warm-up,
+  /// so they force the kWarmup strategy; automata without a synchronization
+  /// bound fall back to the static speculative path. Results are
+  /// byte-identical across every policy (property-tested).
+  parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic;
 };
 
 struct ParallelScanStats {
@@ -120,6 +144,7 @@ class ParallelMatcher {
                                       MatcherOptions options, bool want_matches,
                                       std::vector<Match>* out) const;
   [[nodiscard]] ParallelScanStats run_engine(std::string_view text, std::size_t chunks,
+                                             parallel::SchedulePolicy schedule,
                                              bool want_matches,
                                              std::vector<Match>* out) const;
   /// Merges the first `range_count` scratch slots' matches into *out, sorted

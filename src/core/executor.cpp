@@ -1,12 +1,16 @@
 #include "core/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <future>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "automata/compiled_dfa.hpp"
+#include "parallel/chunk_queue.hpp"
 #include "parallel/partitioner.hpp"
+#include "util/strings.hpp"
 #include "util/timer.hpp"
 
 namespace hetopt::core {
@@ -29,7 +33,49 @@ namespace {
   };
 }
 
+/// Derives the realized fraction and the imbalance metric from the filled
+/// bytes/seconds fields.
+void finalize_report(ExecutionReport& report) {
+  const std::size_t total = report.host_bytes + report.device_bytes;
+  report.realized_host_percent =
+      total > 0 ? 100.0 * static_cast<double>(report.host_bytes) / static_cast<double>(total)
+                : 0.0;
+  if (report.host_bytes > 0 && report.device_bytes > 0) {
+    const double slow = std::max(report.host_seconds, report.device_seconds);
+    const double fast = std::min(report.host_seconds, report.device_seconds);
+    report.imbalance = slow > 0.0 ? (slow - fast) / slow : 0.0;
+  }
+}
+
 }  // namespace
+
+std::string ExecutionReport::to_string() const {
+  const double total_mb =
+      static_cast<double>(host_bytes + device_bytes) / (1024.0 * 1024.0);
+  std::string out = "[";
+  out += parallel::to_string(schedule);
+  out += "] ";
+  out += std::to_string(total_matches());
+  out += " matches, ";
+  out += util::format_double(total_mb, 2);
+  out += " MB in ";
+  out += util::format_double(total_seconds, 4);
+  out += " s | host ";
+  out += util::format_trimmed(realized_host_percent, 1);
+  out += "% of bytes (configured ";
+  out += util::format_trimmed(configured_host_percent, 1);
+  out += "%), ";
+  out += util::format_double(host_seconds, 4);
+  out += " s | device ";
+  out += util::format_double(device_seconds, 4);
+  out += " s | steals ";
+  out += std::to_string(host_steals);
+  out += "+";
+  out += std::to_string(device_steals);
+  out += " | imbalance ";
+  out += util::format_double(imbalance, 2);
+  return out;
+}
 
 HeterogeneousExecutor::HeterogeneousExecutor(
     const automata::DenseDfa& dfa, std::size_t host_threads, std::size_t device_threads,
@@ -63,10 +109,35 @@ ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_pe
 ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_percent,
                                            std::size_t host_chunks,
                                            std::size_t device_chunks) {
+  return run(text, host_percent, host_chunks, device_chunks,
+             parallel::SchedulePolicy::kStatic);
+}
+
+ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_percent,
+                                           std::size_t host_chunks,
+                                           std::size_t device_chunks,
+                                           parallel::SchedulePolicy schedule) {
   if (host_chunks == 0) host_chunks = host_pool_.thread_count();
   if (device_chunks == 0) device_chunks = device_pool_.thread_count();
+  // Shared-queue schedules scan every chunk independently (per-chunk
+  // warm-up); an unbounded engine cannot, so it runs the static path.
+  if (schedule != parallel::SchedulePolicy::kStatic &&
+      engine_->synchronization_bound() == 0) {
+    schedule = parallel::SchedulePolicy::kStatic;
+  }
+  if (schedule == parallel::SchedulePolicy::kStatic) {
+    return run_static(text, host_percent, host_chunks, device_chunks);
+  }
+  return run_shared(text, host_percent, host_chunks, device_chunks, schedule);
+}
+
+ExecutionReport HeterogeneousExecutor::run_static(std::string_view text,
+                                                  double host_percent,
+                                                  std::size_t host_chunks,
+                                                  std::size_t device_chunks) {
   const auto split = parallel::split_by_percent(text.size(), host_percent);
   ExecutionReport report;
+  report.configured_host_percent = host_percent;
   report.host_bytes = split.host_bytes;
   report.device_bytes = split.device_bytes;
   if (text.empty()) return report;
@@ -77,12 +148,16 @@ ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_pe
   // end positions in [host_bytes, size).
   const std::string_view device_part = text.substr(split.host_bytes);
 
-  // Launch the device share asynchronously (the "offload"), scan the host
-  // share on the calling thread's pool, then join — overlapped execution.
-  auto device_future = std::async(std::launch::async, [&]() {
-    util::Timer timer;
-    std::uint64_t matches = 0;
-    if (!device_part.empty()) {
+  // A 0%/100% fraction gives one side nothing: skip that side's dispatch
+  // entirely — no empty-share scan, no async launch, no pool wake — and
+  // keep its matches/bytes/seconds fields exactly zero.
+  std::future<std::pair<std::uint64_t, double>> device_future;
+  if (!device_part.empty()) {
+    // Launch the device share asynchronously (the "offload"), scan the host
+    // share on the calling thread's pool, then join — overlapped execution.
+    device_future = std::async(std::launch::async, [&]() {
+      util::Timer timer;
+      std::uint64_t matches = 0;
       if (engine_->synchronization_bound() > 0) {
         // Warm up over the host-side boundary bytes so motifs spanning the
         // cut are counted: scan from (host_bytes - lead) and subtract the
@@ -104,20 +179,150 @@ ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_pe
             kernel.count(host_part, kernel.start()).final_state;
         matches = kernel.count(device_part, entry).match_count;
       }
-    }
-    return std::pair<std::uint64_t, double>(matches, timer.seconds());
-  });
-
-  util::Timer host_timer;
-  if (!host_part.empty()) {
-    report.host_matches = host_matcher_.count(host_part, host_chunks).match_count;
+      return std::pair<std::uint64_t, double>(matches, timer.seconds());
+    });
   }
-  report.host_seconds = host_timer.seconds();
 
-  const auto [device_matches, device_seconds] = device_future.get();
-  report.device_matches = device_matches;
-  report.device_seconds = device_seconds;
+  if (!host_part.empty()) {
+    util::Timer host_timer;
+    report.host_matches = host_matcher_.count(host_part, host_chunks).match_count;
+    report.host_seconds = host_timer.seconds();
+  }
+
+  if (device_future.valid()) {
+    const auto [device_matches, device_seconds] = device_future.get();
+    report.device_matches = device_matches;
+    report.device_seconds = device_seconds;
+  }
   report.total_seconds = std::max(report.host_seconds, report.device_seconds);
+  finalize_report(report);
+  return report;
+}
+
+ExecutionReport HeterogeneousExecutor::run_shared(std::string_view text,
+                                                  double host_percent,
+                                                  std::size_t host_chunks,
+                                                  std::size_t device_chunks,
+                                                  parallel::SchedulePolicy schedule) {
+  const auto split = parallel::split_by_percent(text.size(), host_percent);
+  ExecutionReport report;
+  report.schedule = schedule;
+  report.configured_host_percent = host_percent;
+  if (text.empty()) return report;
+
+  // The chunk layout plus the configured-share boundary: chunks below it are
+  // host-preferred, chunks at/above it device-preferred. A side claiming a
+  // chunk across the boundary is recorded as a steal.
+  std::vector<parallel::Chunk> chunks;
+  std::size_t boundary = 0;
+  if (schedule == parallel::SchedulePolicy::kAdaptive) {
+    // Seed the pool with the configured split: each region keeps its own
+    // chunk granularity, exactly as the static path would have cut it.
+    chunks = parallel::make_chunks(split.host_bytes, host_chunks, /*halo=*/0);
+    boundary = chunks.size();
+    for (const parallel::Chunk& c :
+         parallel::make_chunks(split.device_bytes, device_chunks, /*halo=*/0)) {
+      chunks.push_back({c.begin + split.host_bytes, c.end + split.host_bytes,
+                        c.scan_end + split.host_bytes});
+    }
+  } else {
+    const std::size_t total_chunks = std::max<std::size_t>(1, host_chunks + device_chunks);
+    if (schedule == parallel::SchedulePolicy::kGuided) {
+      const std::size_t workers = host_pool_.thread_count() + device_pool_.thread_count();
+      chunks = parallel::make_chunks_guided(
+          text.size(), workers, parallel::guided_min_chunk(text.size(), total_chunks));
+    } else {
+      chunks = parallel::make_chunks(text.size(), total_chunks, /*halo=*/0);
+    }
+    while (boundary < chunks.size() && chunks[boundary].begin < split.host_bytes) {
+      ++boundary;
+    }
+  }
+
+  parallel::ChunkQueue queue(chunks.size());
+  struct SideTotals {
+    std::atomic<std::uint64_t> matches{0};
+    std::atomic<std::size_t> bytes{0};
+    std::atomic<std::uint64_t> steals{0};
+  };
+  SideTotals host_side;
+  SideTotals device_side;
+  // Adaptive: the device drains descending from the back so the two sides
+  // meet where the hardware says the split belongs. Dynamic/guided: both
+  // sides race down the same front — fully demand-driven.
+  const bool device_from_back = schedule == parallel::SchedulePolicy::kAdaptive;
+  // DFA-backed engines pull several tickets per claim and scan them as
+  // interleaved streams (the same latency-hiding the static matcher path
+  // uses); generic engines pull one chunk at a time through the chunk-aware
+  // interface. Batch size = the chunks one worker would own anyway.
+  const automata::CompiledDfa* kernel = engine_->kernel();
+  const auto drain = [&](parallel::ThreadPool& pool, SideTotals& side, bool device) {
+    const std::size_t streams = std::clamp<std::size_t>(
+        chunks.size() / std::max<std::size_t>(1, pool.thread_count()), 1,
+        automata::CompiledDfa::kMaxStreams);
+    pool.parallel_pull([&, device, streams](std::size_t) {
+      std::uint64_t matches = 0;
+      std::uint64_t steals = 0;
+      std::size_t bytes = 0;
+      const auto take = [&] {
+        return device && device_from_back ? queue.take_back() : queue.take_front();
+      };
+      if (kernel == nullptr || streams == 1) {
+        for (;;) {
+          const auto t = take();
+          if (!t) break;
+          const parallel::Chunk& c = chunks[*t];
+          // Chunk-aware engine scan: the engine reads its own warm-up lead
+          // before c.begin, so any side can scan any chunk exactly.
+          matches += engine_->count_chunk(text, c.begin, c.end);
+          bytes += c.end - c.begin;
+          if (device ? *t < boundary : *t >= boundary) ++steals;
+        }
+      } else {
+        const std::size_t warmup = engine_->synchronization_bound() - 1;
+        std::size_t ids[automata::CompiledDfa::kMaxStreams] = {};
+        automata::ScanResult res[automata::CompiledDfa::kMaxStreams];
+        for (;;) {
+          std::size_t m = 0;
+          while (m < streams) {
+            const auto t = take();
+            if (!t) break;
+            ids[m++] = *t;
+          }
+          if (m == 0) break;
+          automata::scan_chunk_streams(*kernel, text, warmup, chunks.data(), ids, m,
+                                       res);
+          for (std::size_t k = 0; k < m; ++k) {
+            matches += res[k].match_count;
+            bytes += chunks[ids[k]].end - chunks[ids[k]].begin;
+            if (device ? ids[k] < boundary : ids[k] >= boundary) ++steals;
+          }
+        }
+      }
+      side.matches.fetch_add(matches, std::memory_order_relaxed);
+      side.bytes.fetch_add(bytes, std::memory_order_relaxed);
+      side.steals.fetch_add(steals, std::memory_order_relaxed);
+    });
+  };
+
+  auto device_future = std::async(std::launch::async, [&]() {
+    util::Timer timer;
+    drain(device_pool_, device_side, /*device=*/true);
+    return timer.seconds();
+  });
+  util::Timer host_timer;
+  drain(host_pool_, host_side, /*device=*/false);
+  report.host_seconds = host_timer.seconds();
+  report.device_seconds = device_future.get();
+
+  report.host_matches = host_side.matches.load();
+  report.device_matches = device_side.matches.load();
+  report.host_bytes = host_side.bytes.load();
+  report.device_bytes = device_side.bytes.load();
+  report.host_steals = host_side.steals.load();
+  report.device_steals = device_side.steals.load();
+  report.total_seconds = std::max(report.host_seconds, report.device_seconds);
+  finalize_report(report);
   return report;
 }
 

@@ -1,7 +1,24 @@
 // The real (non-simulated) heterogeneous execution path: given a match
-// engine and a physical DNA sequence, split the input by the configured
-// fraction and scan the host share and the device share *concurrently*,
+// engine and a physical DNA sequence, distribute the bytes across the host
+// pool and the emulated-device pool and scan both sides *concurrently*,
 // mirroring the paper's overlapped offload model.
+//
+// How the bytes are distributed is a tuned axis (parallel/schedule.hpp):
+//
+//   static    split by the configured fraction, each side scans its share
+//             and joins — the seed behavior and the paper's model;
+//   dynamic   one shared chunk queue, both pools pull from the front, the
+//             realized split emerges from relative speeds;
+//   guided    shared queue with guided (decreasing) chunk sizes;
+//   adaptive  the shared pool is seeded by the configured fraction — the
+//             host drains its region from the front, the device drains its
+//             region from the back, and a side that finishes early *steals*
+//             the other side's remaining chunks.
+//
+// Every policy produces byte-identical match counts (each chunk scan warms
+// up over its own lead bytes); what changes is who scans what and when.
+// ExecutionReport records the realized fraction, steal counts, and an
+// imbalance metric so the tuner and the benches can see the difference.
 //
 // The executor is engine-generic: any automata::MatchEngine (compiled DFA,
 // Aho–Corasick, bitap) drives both sides, which is how the tuner prices the
@@ -17,12 +34,14 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "automata/dense_dfa.hpp"
 #include "automata/match_engine.hpp"
 #include "automata/parallel_matcher.hpp"
 #include "parallel/affinity.hpp"
+#include "parallel/schedule.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace hetopt::core {
@@ -30,15 +49,39 @@ namespace hetopt::core {
 struct ExecutionReport {
   std::uint64_t host_matches = 0;
   std::uint64_t device_matches = 0;
+  /// Bytes each side *actually* scanned. Under the static schedule this is
+  /// the configured split; under the shared-queue schedules it is the
+  /// realized distribution. The two always sum to the input size.
   std::size_t host_bytes = 0;
   std::size_t device_bytes = 0;
   double host_seconds = 0.0;    // wall time of the host share
   double device_seconds = 0.0;  // wall time of the emulated-device share
   double total_seconds = 0.0;   // max of the two (overlapped execution)
 
+  /// The schedule that actually ran (a requested demand-driven schedule
+  /// degrades to kStatic when the engine has no synchronization bound).
+  parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic;
+  double configured_host_percent = 0.0;
+  /// host_bytes as a percentage of the input — equals the configured
+  /// fraction under static, emerges at runtime under the shared queues.
+  double realized_host_percent = 0.0;
+  /// Chunks a side claimed beyond its configured share (adaptive: work
+  /// stolen across the boundary; dynamic/guided: demand that crossed it;
+  /// static: always 0).
+  std::uint64_t host_steals = 0;
+  std::uint64_t device_steals = 0;
+  /// (slowest side - fastest side) / slowest side, over the sides that
+  /// scanned bytes; 0 when one side (or neither) worked. 0 = perfectly
+  /// overlapped, → 1 = one side idled while the other carried the run.
+  double imbalance = 0.0;
+
   [[nodiscard]] std::uint64_t total_matches() const noexcept {
     return host_matches + device_matches;
   }
+
+  /// One human-readable line — matches, bytes, seconds, realized vs
+  /// configured fraction, steals, imbalance — for examples and bench logs.
+  [[nodiscard]] std::string to_string() const;
 };
 
 class HeterogeneousExecutor {
@@ -68,7 +111,7 @@ class HeterogeneousExecutor {
   /// and the remainder to the device pool, both running concurrently.
   /// Match counts are exact across the split boundary (chunk-parallel
   /// matching with warm-up handles motifs spanning the cut).
-  /// One chunk per pool worker.
+  /// One chunk per pool worker, static schedule.
   [[nodiscard]] ExecutionReport run(std::string_view text, double host_percent);
 
   /// Same, with explicit chunk counts for the two sides (the real-workload
@@ -77,10 +120,27 @@ class HeterogeneousExecutor {
   [[nodiscard]] ExecutionReport run(std::string_view text, double host_percent,
                                     std::size_t host_chunks, std::size_t device_chunks);
 
+  /// Same, under an explicit distribution schedule. The shared-queue
+  /// schedules (dynamic/guided/adaptive) need per-chunk warm-up and
+  /// therefore an engine with a positive synchronization bound; unbounded
+  /// engines run the static path (the report records the effective
+  /// schedule).
+  [[nodiscard]] ExecutionReport run(std::string_view text, double host_percent,
+                                    std::size_t host_chunks, std::size_t device_chunks,
+                                    parallel::SchedulePolicy schedule);
+
   /// The engine both sides execute.
   [[nodiscard]] const automata::MatchEngine& engine() const noexcept { return *engine_; }
 
  private:
+  [[nodiscard]] ExecutionReport run_static(std::string_view text, double host_percent,
+                                           std::size_t host_chunks,
+                                           std::size_t device_chunks);
+  [[nodiscard]] ExecutionReport run_shared(std::string_view text, double host_percent,
+                                           std::size_t host_chunks,
+                                           std::size_t device_chunks,
+                                           parallel::SchedulePolicy schedule);
+
   std::unique_ptr<const automata::MatchEngine> owned_engine_;  // DenseDfa compat path
   const automata::MatchEngine* engine_;
   parallel::ThreadPool host_pool_;

@@ -14,12 +14,21 @@ void append_engine_names(std::vector<std::string>& names) {
   }
 }
 
+void append_schedule_names(std::vector<std::string>& names) {
+  for (const parallel::SchedulePolicy policy : parallel::kAllSchedulePolicies) {
+    std::string name = "schedule_";
+    name += to_string(policy);
+    names.push_back(std::move(name));
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> host_feature_names() {
   std::vector<std::string> names{"size_mb", "threads", "affinity_none", "affinity_scatter",
                                  "affinity_compact"};
   append_engine_names(names);
+  append_schedule_names(names);
   return names;
 }
 
@@ -27,12 +36,14 @@ std::vector<std::string> device_feature_names() {
   std::vector<std::string> names{"size_mb", "threads", "affinity_balanced",
                                  "affinity_scatter", "affinity_compact"};
   append_engine_names(names);
+  append_schedule_names(names);
   return names;
 }
 
 std::vector<double> host_features(double size_mb, int threads,
                                   parallel::HostAffinity affinity,
-                                  automata::EngineKind engine) {
+                                  automata::EngineKind engine,
+                                  parallel::SchedulePolicy schedule) {
   if (size_mb < 0.0) throw std::invalid_argument("host_features: negative size");
   if (threads < 1) throw std::invalid_argument("host_features: threads < 1");
   std::vector<double> f(kFeatureCount, 0.0);
@@ -40,12 +51,14 @@ std::vector<double> host_features(double size_mb, int threads,
   f[1] = static_cast<double>(threads);
   f[2 + static_cast<std::size_t>(affinity)] = 1.0;
   f[5 + static_cast<std::size_t>(engine)] = 1.0;
+  f[8 + static_cast<std::size_t>(schedule)] = 1.0;
   return f;
 }
 
 std::vector<double> device_features(double size_mb, int threads,
                                     parallel::DeviceAffinity affinity,
-                                    automata::EngineKind engine) {
+                                    automata::EngineKind engine,
+                                    parallel::SchedulePolicy schedule) {
   if (size_mb < 0.0) throw std::invalid_argument("device_features: negative size");
   if (threads < 1) throw std::invalid_argument("device_features: threads < 1");
   std::vector<double> f(kFeatureCount, 0.0);
@@ -53,6 +66,7 @@ std::vector<double> device_features(double size_mb, int threads,
   f[1] = static_cast<double>(threads);
   f[2 + static_cast<std::size_t>(affinity)] = 1.0;
   f[5 + static_cast<std::size_t>(engine)] = 1.0;
+  f[8 + static_cast<std::size_t>(schedule)] = 1.0;
   return f;
 }
 

@@ -1,13 +1,15 @@
 // Feature encoding for the performance-prediction models. The paper trains
 // on "the input size, the available computing resources, and the thread
 // allocation strategies" (§III-B); we encode these as
-//   [ size_mb, threads, one-hot affinity (3), one-hot engine (3) ]
+//   [ size_mb, threads, one-hot affinity (3), one-hot engine (3),
+//     one-hot schedule (4) ]
 // separately per environment (host / device), mirroring the paper's two
-// models. The engine one-hot is this reproduction's extension: when the
-// training data varies the match engine, EML/SAML can predict across
-// engines too. Sweeps that keep the default engine produce a constant
-// column, which the min-max normalizer maps to zero — boosted-tree splits
-// and predictions are then identical to the 5-feature layout.
+// models. The engine and schedule one-hots are this reproduction's
+// extensions: when the training data varies the match engine or the
+// distribution schedule, EML/SAML can predict across them too. Sweeps that
+// keep the defaults produce constant columns, which the min-max normalizer
+// maps to zero — boosted-tree splits and predictions are then identical to
+// the 5-feature layout.
 #pragma once
 
 #include <string>
@@ -15,19 +17,22 @@
 
 #include "automata/engine_kind.hpp"
 #include "parallel/affinity.hpp"
+#include "parallel/schedule.hpp"
 
 namespace hetopt::core {
 
-inline constexpr std::size_t kFeatureCount = 8;
+inline constexpr std::size_t kFeatureCount = 12;
 
 [[nodiscard]] std::vector<std::string> host_feature_names();
 [[nodiscard]] std::vector<std::string> device_feature_names();
 
 [[nodiscard]] std::vector<double> host_features(
     double size_mb, int threads, parallel::HostAffinity affinity,
-    automata::EngineKind engine = automata::EngineKind::kCompiledDfa);
+    automata::EngineKind engine = automata::EngineKind::kCompiledDfa,
+    parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic);
 [[nodiscard]] std::vector<double> device_features(
     double size_mb, int threads, parallel::DeviceAffinity affinity,
-    automata::EngineKind engine = automata::EngineKind::kCompiledDfa);
+    automata::EngineKind engine = automata::EngineKind::kCompiledDfa,
+    parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic);
 
 }  // namespace hetopt::core

@@ -64,10 +64,11 @@ void PerformancePredictor::train(const ml::Dataset& host_data,
 
 double PerformancePredictor::predict_host(double size_mb, int threads,
                                           parallel::HostAffinity affinity,
-                                          automata::EngineKind engine) const {
+                                          automata::EngineKind engine,
+                                          parallel::SchedulePolicy schedule) const {
   if (!trained_) throw std::logic_error("PerformancePredictor: predict before train");
   if (size_mb <= 0.0) return 0.0;
-  std::vector<double> f = host_features(size_mb, threads, affinity, engine);
+  std::vector<double> f = host_features(size_mb, threads, affinity, engine, schedule);
   if (options_.normalize) {
     std::vector<double> norm(f.size());
     host_norm_.transform_row(f, norm);
@@ -81,10 +82,11 @@ double PerformancePredictor::predict_host(double size_mb, int threads,
 
 double PerformancePredictor::predict_device(double size_mb, int threads,
                                             parallel::DeviceAffinity affinity,
-                                            automata::EngineKind engine) const {
+                                            automata::EngineKind engine,
+                                            parallel::SchedulePolicy schedule) const {
   if (!trained_) throw std::logic_error("PerformancePredictor: predict before train");
   if (size_mb <= 0.0) return 0.0;
-  std::vector<double> f = device_features(size_mb, threads, affinity, engine);
+  std::vector<double> f = device_features(size_mb, threads, affinity, engine, schedule);
   if (options_.normalize) {
     std::vector<double> norm(f.size());
     device_norm_.transform_row(f, norm);
@@ -96,8 +98,11 @@ double PerformancePredictor::predict_device(double size_mb, int threads,
 
 void PerformancePredictor::save(std::ostream& os) const {
   if (!trained_) throw std::runtime_error("PerformancePredictor::save: not trained");
-  os << "hetopt-predictor-v1 " << (options_.normalize ? 1 : 0) << ' '
-     << (options_.log_target ? 1 : 0) << '\n';
+  // v2 records the feature-layout width so a file saved under an older
+  // (narrower) layout fails at load time with a clear message instead of
+  // throwing a row-size mismatch on every predict.
+  os << "hetopt-predictor-v2 " << kFeatureCount << ' ' << (options_.normalize ? 1 : 0)
+     << ' ' << (options_.log_target ? 1 : 0) << '\n';
   if (options_.normalize) {
     ml::save(os, host_norm_);
     ml::save(os, device_norm_);
@@ -108,10 +113,25 @@ void PerformancePredictor::save(std::ostream& os) const {
 
 PerformancePredictor PerformancePredictor::load(std::istream& is) {
   std::string magic;
+  if (!(is >> magic)) {
+    throw std::runtime_error("PerformancePredictor::load: bad header");
+  }
+  if (magic == "hetopt-predictor-v1") {
+    throw std::runtime_error(
+        "PerformancePredictor::load: v1 file uses a pre-schedule-axis feature "
+        "layout; retrain and re-save the predictor");
+  }
+  std::size_t features = 0;
   int normalize = 0;
   int log_target = 0;
-  if (!(is >> magic >> normalize >> log_target) || magic != "hetopt-predictor-v1") {
+  if (!(is >> features >> normalize >> log_target) || magic != "hetopt-predictor-v2") {
     throw std::runtime_error("PerformancePredictor::load: bad header");
+  }
+  if (features != kFeatureCount) {
+    throw std::runtime_error(
+        "PerformancePredictor::load: file has " + std::to_string(features) +
+        " features, this build expects " + std::to_string(kFeatureCount) +
+        "; retrain and re-save the predictor");
   }
   PredictorOptions options = PredictorOptions::defaults();
   options.normalize = normalize != 0;
@@ -130,13 +150,31 @@ PerformancePredictor PerformancePredictor::load(std::istream& is) {
 double PerformancePredictor::predict_combined(const opt::SystemConfig& config,
                                               double total_mb) const {
   if (total_mb <= 0.0) throw std::invalid_argument("predict_combined: non-positive size");
+  if (config.schedule != parallel::SchedulePolicy::kStatic) {
+    // Shared-queue schedules drain the combined input with both pools
+    // regardless of the configured fraction (the runtime ignores it for
+    // dynamic/guided and steals its way off it for adaptive), so Eq. 2's
+    // max-of-sides over a fraction split is the wrong shape. Predict each
+    // side scanning the whole input and combine the implied rates
+    // (harmonic sum) — the prediction-side analogue of the deterministic
+    // model's summed-rate drain time.
+    const double t_host = predict_host(total_mb, config.host_threads,
+                                       config.host_affinity, config.engine,
+                                       config.schedule);
+    const double t_device = predict_device(total_mb, config.device_threads,
+                                           config.device_affinity, config.engine,
+                                           config.schedule);
+    if (t_host <= 0.0) return t_device;
+    if (t_device <= 0.0) return t_host;
+    return t_host * t_device / (t_host + t_device);
+  }
   const double host_mb = total_mb * config.host_percent / 100.0;
   const double device_mb = total_mb - host_mb;
-  const double t_host =
-      predict_host(host_mb, config.host_threads, config.host_affinity, config.engine);
+  const double t_host = predict_host(host_mb, config.host_threads, config.host_affinity,
+                                     config.engine, config.schedule);
   const double t_device =
       predict_device(device_mb, config.device_threads, config.device_affinity,
-                     config.engine);
+                     config.engine, config.schedule);
   return std::max(t_host, t_device);
 }
 

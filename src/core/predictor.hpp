@@ -37,10 +37,12 @@ class PerformancePredictor {
 
   [[nodiscard]] double predict_host(
       double size_mb, int threads, parallel::HostAffinity affinity,
-      automata::EngineKind engine = automata::EngineKind::kCompiledDfa) const;
+      automata::EngineKind engine = automata::EngineKind::kCompiledDfa,
+      parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic) const;
   [[nodiscard]] double predict_device(
       double size_mb, int threads, parallel::DeviceAffinity affinity,
-      automata::EngineKind engine = automata::EngineKind::kCompiledDfa) const;
+      automata::EngineKind engine = automata::EngineKind::kCompiledDfa,
+      parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic) const;
 
   /// Eq. 2 over a configuration: split the workload by the configured
   /// fraction and take the slower side. Zero-byte sides predict 0.

@@ -12,6 +12,7 @@
 #include "automata/subset.hpp"
 #include "core/executor.hpp"
 #include "dna/alphabet.hpp"
+#include "parallel/partitioner.hpp"
 
 namespace hetopt::core {
 
@@ -77,6 +78,22 @@ namespace {
   return 1.0;
 }
 
+/// Queue-traffic overhead of the shared-queue schedules in the deterministic
+/// model (multiplies the combined-rate drain time). The static schedule never
+/// reaches this — its formula is untouched, so its factor is exactly 1.0 and
+/// pre-schedule-axis numbers are unchanged. Adaptive mostly works its own
+/// seeded region (only steals touch the shared ends), guided pulls fewer,
+/// bigger head chunks than dynamic's uniform tickets.
+[[nodiscard]] double schedule_model_overhead(parallel::SchedulePolicy p) noexcept {
+  switch (p) {
+    case parallel::SchedulePolicy::kStatic: return 1.00;  // unused; see above
+    case parallel::SchedulePolicy::kDynamic: return 1.03;
+    case parallel::SchedulePolicy::kGuided: return 1.02;
+    case parallel::SchedulePolicy::kAdaptive: return 1.01;
+  }
+  return 1.0;
+}
+
 }  // namespace
 
 double real_workload_model_seconds(const opt::SystemConfig& config, std::size_t host_bytes,
@@ -94,6 +111,22 @@ double real_workload_model_seconds(const opt::SystemConfig& config, std::size_t 
       40.0 * std::pow(static_cast<double>(std::max(1, config.device_threads)), 0.7) /
       affinity_model_factor(config.device_affinity);
   const double engine = engine_model_factor(config.engine);
+  if (config.schedule != parallel::SchedulePolicy::kStatic) {
+    // Shared-queue schedules: both pools drain the combined work regardless
+    // of the configured fraction (dynamic/guided ignore it, adaptive steals
+    // its way there), so the model is the summed-rate drain time plus the
+    // offload launch cost, scaled by the policy's queue-traffic overhead.
+    // This rewards demand-driven schedules exactly where the real runtime
+    // does — at badly configured fractions — while a well-tuned static
+    // split (whose optimum approaches the same combined-rate time) still
+    // wins on overhead.
+    const double total_mb = host_mb + device_mb;
+    if (total_mb <= 0.0) return 1e-9;
+    return 0.002 +
+           schedule_model_overhead(config.schedule) * engine * total_mb /
+               (host_rate + device_rate) +
+           1e-9;
+  }
   const double host_s = host_mb > 0.0 ? engine * host_mb / host_rate : 0.0;
   const double device_s = device_mb > 0.0 ? 0.002 + engine * device_mb / device_rate : 0.0;
   return std::max(host_s, device_s) + 1e-9;
@@ -202,8 +235,9 @@ RealMeasurement RealWorkloadEvaluator::measure(const opt::SystemConfig& config,
   m.host_chunks = host_threads * options_.chunks_per_thread;
   m.device_chunks = device_threads * options_.chunks_per_thread;
   for (std::size_t rep = 0; rep < options_.repeats; ++rep) {
-    const ExecutionReport report =
-        executor.run(rw->text(), config.host_percent, m.host_chunks, m.device_chunks);
+    const ExecutionReport report = executor.run(rw->text(), config.host_percent,
+                                                m.host_chunks, m.device_chunks,
+                                                config.schedule);
     if (rep == 0 || report.total_seconds < m.seconds) {
       m.seconds = report.total_seconds;
       m.host_seconds = report.host_seconds;
@@ -211,12 +245,38 @@ RealMeasurement RealWorkloadEvaluator::measure(const opt::SystemConfig& config,
       m.matches = report.total_matches();
       m.host_bytes = report.host_bytes;
       m.device_bytes = report.device_bytes;
+      m.realized_host_percent = report.realized_host_percent;
+      m.host_steals = report.host_steals;
+      m.device_steals = report.device_steals;
+      m.imbalance = report.imbalance;
     }
   }
   if (options_.deterministic_timing) {
-    m.seconds = real_workload_model_seconds(config, m.host_bytes, m.device_bytes);
-    m.host_seconds = real_workload_model_seconds(config, m.host_bytes, 0);
-    m.device_seconds = real_workload_model_seconds(config, 0, m.device_bytes);
+    // Model the *configured* split, not the realized bytes: under the
+    // shared-queue schedules the realized distribution varies run to run,
+    // and seeded deterministic tuning must not. (For static the two are the
+    // same split, so pre-schedule-axis numbers are unchanged.) The
+    // distribution-runtime fields are overridden to the configured split
+    // too — a half-deterministic measurement whose bytes disagreed with its
+    // modeled seconds would flake any test or JSON diff that reads them.
+    const auto split = parallel::split_by_percent(rw->text().size(), config.host_percent);
+    m.seconds = real_workload_model_seconds(config, split.host_bytes, split.device_bytes);
+    // The per-side display fields use the static per-side formula — a
+    // side's standalone drain time, deterministic in the config alone.
+    opt::SystemConfig side = config;
+    side.schedule = parallel::SchedulePolicy::kStatic;
+    m.host_seconds = real_workload_model_seconds(side, split.host_bytes, 0);
+    m.device_seconds = real_workload_model_seconds(side, 0, split.device_bytes);
+    m.host_bytes = split.host_bytes;
+    m.device_bytes = split.device_bytes;
+    m.realized_host_percent =
+        rw->text().empty()
+            ? 0.0
+            : 100.0 * static_cast<double>(split.host_bytes) /
+                  static_cast<double>(rw->text().size());
+    m.host_steals = 0;
+    m.device_steals = 0;
+    m.imbalance = 0.0;
   }
   m.throughput_mb_s = m.seconds > 0.0 ? rw->physical_mb() / m.seconds : 0.0;
   return m;

@@ -127,10 +127,17 @@ struct RealMeasurement {
   double device_seconds = 0.0;   // emulated-device-side wall time
   double throughput_mb_s = 0.0;  // physical MB scanned per reported second
   std::uint64_t matches = 0;     // total motif occurrences found
-  std::size_t host_bytes = 0;
+  std::size_t host_bytes = 0;    // bytes the host side actually scanned
   std::size_t device_bytes = 0;
   std::size_t host_chunks = 0;
   std::size_t device_chunks = 0;
+  // The distribution runtime's view of the reported run (executor.hpp):
+  // under the shared-queue schedules the realized fraction emerges at
+  // runtime; under static it equals the configured one and steals are 0.
+  double realized_host_percent = 0.0;
+  std::uint64_t host_steals = 0;
+  std::uint64_t device_steals = 0;
+  double imbalance = 0.0;
 };
 
 /// Evaluator backend that prices configurations by executing the real
@@ -172,7 +179,12 @@ class RealWorkloadEvaluator final : public Evaluator {
 /// The deterministic work model (exposed for tests): overlapped seconds for
 /// scanning `host_bytes` + `device_bytes` under `config`, including the
 /// configured engine's rate factor (the default compiled-DFA engine's factor
-/// is exactly 1, so pre-engine-axis numbers are unchanged). Pure.
+/// is exactly 1, so pre-engine-axis numbers are unchanged) and the
+/// configured schedule's shape: static is exactly the pre-schedule-axis
+/// formula (factor 1.0); the shared-queue schedules drain the combined work
+/// with both pools, costed at the summed rates times a policy-specific
+/// queue-traffic factor (dynamic > guided > adaptive — adaptive touches the
+/// shared ends least). Pure.
 [[nodiscard]] double real_workload_model_seconds(const opt::SystemConfig& config,
                                                  std::size_t host_bytes,
                                                  std::size_t device_bytes);

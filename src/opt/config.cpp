@@ -23,6 +23,11 @@ std::string to_string(const SystemConfig& c) {
     out += automata::to_string(c.engine);
     out += ']';
   }
+  if (c.schedule != parallel::SchedulePolicy::kStatic) {
+    out += " [";
+    out += parallel::to_string(c.schedule);
+    out += ']';
+  }
   return out;
 }
 

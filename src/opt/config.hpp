@@ -1,9 +1,10 @@
 // A system configuration — the point the optimizers move through:
 // (host threads, host affinity, device threads, device affinity,
-//  workload fraction), exactly the paper's Table I, plus the match-engine
-// axis this reproduction adds on top (which scan engine executes the
-// search; the default compiled-DFA engine reproduces the paper's fixed
-// application).
+//  workload fraction), exactly the paper's Table I, plus the two axes this
+// reproduction adds on top: the match engine (which scan engine executes
+// the search) and the distribution schedule (how chunks reach the workers).
+// The defaults — compiled-DFA engine, static schedule — reproduce the
+// paper's fixed application and one-shot split.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +12,7 @@
 
 #include "automata/engine_kind.hpp"
 #include "parallel/affinity.hpp"
+#include "parallel/schedule.hpp"
 
 namespace hetopt::opt {
 
@@ -25,13 +27,17 @@ struct SystemConfig {
   /// Which scan engine executes the motif search (an axis beyond the paper's
   /// Table I; the default is the pre-engine-axis behavior).
   automata::EngineKind engine = automata::EngineKind::kCompiledDfa;
+  /// How the work reaches the pools (parallel/schedule.hpp): the paper's
+  /// one-shot static split, or one of the demand-driven chunk-queue
+  /// schedules. The default is the pre-schedule-axis behavior.
+  parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic;
 
   friend bool operator==(const SystemConfig&, const SystemConfig&) = default;
 };
 
 /// "host 24t/scatter 70% | device 60t/balanced 30%"; a non-default engine is
-/// appended as " [bitap]" (the default compiled-DFA engine is implied, so
-/// paper-space strings are unchanged).
+/// appended as " [bitap]" and a non-default schedule as " [dynamic]" (the
+/// defaults are implied, so paper-space strings are unchanged).
 [[nodiscard]] std::string to_string(const SystemConfig& c);
 
 }  // namespace hetopt::opt

@@ -39,6 +39,17 @@ void require_valid_engine_axis(const std::vector<automata::EngineKind>& engines)
   }
 }
 
+void require_valid_schedule_axis(const std::vector<parallel::SchedulePolicy>& schedules) {
+  if (schedules.empty()) throw std::invalid_argument("ConfigSpace: empty schedule axis");
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    for (std::size_t j = i + 1; j < schedules.size(); ++j) {
+      if (schedules[i] == schedules[j]) {
+        throw std::invalid_argument("ConfigSpace: duplicate schedule on axis");
+      }
+    }
+  }
+}
+
 /// Ordered-axis step: move ±1..±3 positions, clamped to the axis.
 template <typename T>
 std::size_t step_index(const std::vector<T>& axis, std::size_t current,
@@ -64,13 +75,15 @@ ConfigSpace::ConfigSpace(std::vector<int> host_threads,
                          std::vector<int> device_threads,
                          std::vector<parallel::DeviceAffinity> device_affinities,
                          std::vector<double> fractions,
-                         std::vector<automata::EngineKind> engines)
+                         std::vector<automata::EngineKind> engines,
+                         std::vector<parallel::SchedulePolicy> schedules)
     : host_threads_(std::move(host_threads)),
       host_affinities_(std::move(host_affinities)),
       device_threads_(std::move(device_threads)),
       device_affinities_(std::move(device_affinities)),
       fractions_(std::move(fractions)),
-      engines_(std::move(engines)) {
+      engines_(std::move(engines)),
+      schedules_(std::move(schedules)) {
   require_sorted_unique(host_threads_, "host_threads");
   require_sorted_unique(device_threads_, "device_threads");
   require_sorted_unique(fractions_, "fractions");
@@ -83,12 +96,21 @@ ConfigSpace::ConfigSpace(std::vector<int> host_threads,
     }
   }
   require_valid_engine_axis(engines_);
+  require_valid_schedule_axis(schedules_);
 }
 
 ConfigSpace ConfigSpace::with_engines(std::vector<automata::EngineKind> engines) const {
   require_valid_engine_axis(engines);
   ConfigSpace copy = *this;
   copy.engines_ = std::move(engines);
+  return copy;
+}
+
+ConfigSpace ConfigSpace::with_schedules(
+    std::vector<parallel::SchedulePolicy> schedules) const {
+  require_valid_schedule_axis(schedules);
+  ConfigSpace copy = *this;
+  copy.schedules_ = std::move(schedules);
   return copy;
 }
 
@@ -140,7 +162,8 @@ ConfigSpace ConfigSpace::tiny() {
 
 std::size_t ConfigSpace::size() const noexcept {
   return host_threads_.size() * host_affinities_.size() * device_threads_.size() *
-         device_affinities_.size() * fractions_.size() * engines_.size();
+         device_affinities_.size() * fractions_.size() * engines_.size() *
+         schedules_.size();
 }
 
 SystemConfig ConfigSpace::at(std::size_t flat_index) const {
@@ -156,9 +179,12 @@ SystemConfig ConfigSpace::at(std::size_t flat_index) const {
   flat_index /= device_affinities_.size();
   c.host_percent = fractions_[flat_index % fractions_.size()];
   flat_index /= fractions_.size();
-  // The engine axis is outermost, so the default single-engine axis leaves
-  // the decode of every paper axis (and thus every flat index) unchanged.
-  c.engine = engines_[flat_index];
+  // The engine and schedule axes are outermost (schedule outermost of all),
+  // so default single-value axes leave the decode of every paper axis (and
+  // thus every flat index) unchanged.
+  c.engine = engines_[flat_index % engines_.size()];
+  flat_index /= engines_.size();
+  c.schedule = schedules_[flat_index];
   return c;
 }
 
@@ -170,7 +196,9 @@ std::size_t ConfigSpace::index_of(const SystemConfig& config) const {
       axis_index(device_affinities_, config.device_affinity, "device_affinity");
   const std::size_t i4 = axis_index(fractions_, config.host_percent, "fractions");
   const std::size_t i5 = axis_index(engines_, config.engine, "engines");
-  std::size_t idx = i5;
+  const std::size_t i6 = axis_index(schedules_, config.schedule, "schedules");
+  std::size_t idx = i6;
+  idx = idx * engines_.size() + i5;
   idx = idx * fractions_.size() + i4;
   idx = idx * device_affinities_.size() + i3;
   idx = idx * device_threads_.size() + i2;
@@ -194,10 +222,14 @@ SystemConfig ConfigSpace::random(util::Xoshiro256& rng) const {
 
 SystemConfig ConfigSpace::neighbor(const SystemConfig& config, util::Xoshiro256& rng) const {
   SystemConfig next = config;
-  // The engine axis joins the move only when it has somewhere to move to;
-  // with the default single-engine axis the draw below is bounded(5), which
-  // keeps pre-engine-axis seeded runs bit-identical.
-  const std::uint64_t axis = rng.bounded(engines_.size() > 1 ? 6 : 5);
+  // The engine and schedule axes join the move only when they have somewhere
+  // to move to; with the default single-value axes the draw below is
+  // bounded(5), which keeps pre-extension-axis seeded runs bit-identical
+  // (and bounded(6) with only the engine axis widened — the PR-4 stream).
+  const bool engine_movable = engines_.size() > 1;
+  const bool schedule_movable = schedules_.size() > 1;
+  const std::uint64_t axis =
+      rng.bounded(5 + (engine_movable ? 1 : 0) + (schedule_movable ? 1 : 0));
   switch (axis) {
     case 0: {
       const std::size_t i = axis_index(host_threads_, config.host_threads, "host_threads");
@@ -236,11 +268,20 @@ SystemConfig ConfigSpace::neighbor(const SystemConfig& config, util::Xoshiro256&
       break;
     }
     default: {
-      // Categorical engine jump, like the affinity axes.
-      const std::size_t i = axis_index(engines_, config.engine, "engines");
-      std::size_t j = static_cast<std::size_t>(rng.bounded(engines_.size() - 1));
-      if (j >= i) ++j;
-      next.engine = engines_[j];
+      // Categorical jumps, like the affinity axes. Draw 5 is the engine when
+      // it is movable (the schedule then takes draw 6), otherwise the
+      // schedule — so each widened axis keeps a stable share of the move.
+      if (axis == 5 && engine_movable) {
+        const std::size_t i = axis_index(engines_, config.engine, "engines");
+        std::size_t j = static_cast<std::size_t>(rng.bounded(engines_.size() - 1));
+        if (j >= i) ++j;
+        next.engine = engines_[j];
+      } else {
+        const std::size_t i = axis_index(schedules_, config.schedule, "schedules");
+        std::size_t j = static_cast<std::size_t>(rng.bounded(schedules_.size() - 1));
+        if (j >= i) ++j;
+        next.schedule = schedules_[j];
+      }
       break;
     }
   }

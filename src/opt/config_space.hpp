@@ -2,12 +2,14 @@
 // ranges). Provides flat indexing for enumeration, uniform sampling, and the
 // neighbour move used by simulated annealing.
 //
-// Beyond the paper's five Table I axes, the space can carry an optional
-// match-engine axis (which scan engine executes the search). The default is
-// the single-value {compiled-dfa} axis, under which every operation —
-// indexing order, sampling, the annealing move's random stream — is
-// bit-identical to the pre-engine-axis space, so existing presets and seeds
-// reproduce exactly. with_engines() widens the axis.
+// Beyond the paper's five Table I axes, the space can carry two optional
+// categorical axes: the match engine (which scan engine executes the
+// search) and the distribution schedule (how chunks reach the workers).
+// Both default to single-value axes ({compiled-dfa}, {static}) under which
+// every operation — indexing order, sampling, the annealing move's random
+// stream — is bit-identical to the paper-axes-only space, so existing
+// presets and seeds reproduce exactly. with_engines() / with_schedules()
+// widen them.
 #pragma once
 
 #include <cstdint>
@@ -22,15 +24,17 @@ namespace hetopt::opt {
 class ConfigSpace {
  public:
   /// Axes must be non-empty; numeric axes strictly increasing. The engine
-  /// axis (categorical) must hold distinct kinds; it defaults to the
-  /// single-value compiled-DFA axis.
+  /// and schedule axes (categorical) must hold distinct values; they default
+  /// to the single-value compiled-DFA / static axes.
   ConfigSpace(std::vector<int> host_threads,
               std::vector<parallel::HostAffinity> host_affinities,
               std::vector<int> device_threads,
               std::vector<parallel::DeviceAffinity> device_affinities,
               std::vector<double> fractions,
               std::vector<automata::EngineKind> engines = {
-                  automata::EngineKind::kCompiledDfa});
+                  automata::EngineKind::kCompiledDfa},
+              std::vector<parallel::SchedulePolicy> schedules = {
+                  parallel::SchedulePolicy::kStatic});
 
   /// The paper's space: host threads {2,6,12,24,36,48} x 3 affinities x
   /// device threads {2,4,8,16,30,60,120,180,240} x 3 affinities x
@@ -53,6 +57,11 @@ class ConfigSpace {
   /// core::RealWorkload reports as applicable to its motif set).
   [[nodiscard]] ConfigSpace with_engines(std::vector<automata::EngineKind> engines) const;
 
+  /// A copy of this space with the schedule axis replaced (e.g. all four
+  /// policies, to let the tuner price the distribution runtime).
+  [[nodiscard]] ConfigSpace with_schedules(
+      std::vector<parallel::SchedulePolicy> schedules) const;
+
   [[nodiscard]] std::size_t size() const noexcept;
   /// Mixed-radix decode of a flat index in [0, size()).
   [[nodiscard]] SystemConfig at(std::size_t flat_index) const;
@@ -65,9 +74,9 @@ class ConfigSpace {
 
   /// Simulated-annealing move: pick one parameter uniformly; ordered axes
   /// (threads, fraction) step to a nearby value (±1..±3 positions), the
-  /// categorical axes (affinities, engine) jump to a different value. With
-  /// the default single-engine axis the engine is never picked and the
-  /// random stream matches the pre-engine-axis move exactly.
+  /// categorical axes (affinities, engine, schedule) jump to a different
+  /// value. Single-value engine/schedule axes are never picked, so with the
+  /// defaults the random stream matches the paper-axes-only move exactly.
   [[nodiscard]] SystemConfig neighbor(const SystemConfig& config,
                                       util::Xoshiro256& rng) const;
 
@@ -86,6 +95,9 @@ class ConfigSpace {
   [[nodiscard]] const std::vector<automata::EngineKind>& engines() const noexcept {
     return engines_;
   }
+  [[nodiscard]] const std::vector<parallel::SchedulePolicy>& schedules() const noexcept {
+    return schedules_;
+  }
 
  private:
   std::vector<int> host_threads_;
@@ -94,6 +106,7 @@ class ConfigSpace {
   std::vector<parallel::DeviceAffinity> device_affinities_;
   std::vector<double> fractions_;
   std::vector<automata::EngineKind> engines_;
+  std::vector<parallel::SchedulePolicy> schedules_;
 };
 
 }  // namespace hetopt::opt

@@ -1,0 +1,48 @@
+#include "parallel/chunk_queue.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace hetopt::parallel {
+
+ChunkQueue::ChunkQueue(std::size_t size) : size_(size) {
+  if (size > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("ChunkQueue: more than 2^32 - 1 chunks");
+  }
+  range_.store(pack(0, static_cast<std::uint32_t>(size)), std::memory_order_relaxed);
+}
+
+std::optional<std::size_t> ChunkQueue::take_front() noexcept {
+  std::uint64_t cur = range_.load(std::memory_order_relaxed);
+  for (;;) {
+    const auto lo = static_cast<std::uint32_t>(cur >> 32);
+    const auto end = static_cast<std::uint32_t>(cur);
+    if (lo >= end) return std::nullopt;
+    if (range_.compare_exchange_weak(cur, pack(lo + 1, end), std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+      return lo;
+    }
+  }
+}
+
+std::optional<std::size_t> ChunkQueue::take_back() noexcept {
+  std::uint64_t cur = range_.load(std::memory_order_relaxed);
+  for (;;) {
+    const auto lo = static_cast<std::uint32_t>(cur >> 32);
+    const auto end = static_cast<std::uint32_t>(cur);
+    if (lo >= end) return std::nullopt;
+    if (range_.compare_exchange_weak(cur, pack(lo, end - 1), std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+      return end - 1;
+    }
+  }
+}
+
+std::size_t ChunkQueue::remaining() const noexcept {
+  const std::uint64_t cur = range_.load(std::memory_order_acquire);
+  const auto lo = static_cast<std::uint32_t>(cur >> 32);
+  const auto end = static_cast<std::uint32_t>(cur);
+  return lo < end ? end - lo : 0;
+}
+
+}  // namespace hetopt::parallel

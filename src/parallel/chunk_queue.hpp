@@ -1,0 +1,57 @@
+// A lock-free dispenser over the chunk indices [0, size): the heart of the
+// demand-driven schedules. take_front() and take_back() atomically claim
+// indices from the two ends of the remaining range until they meet, so
+//
+//  - one pool pulling take_front() is an *atomic ticket queue* (the dynamic
+//    and guided schedules): each worker claims the next unscanned chunk the
+//    moment it goes idle, with one CAS per chunk and no locks;
+//  - two pools pulling from opposite ends share the range *adaptively*: the
+//    host drains ascending from the front, the device descending from the
+//    back, and when either side exhausts its own region it transparently
+//    continues into the other side's remainder — that continuation is a
+//    steal, and the realized host/device split emerges at runtime.
+//
+// The queue dispenses indices only; whoever claims index i owns chunk i's
+// scratch slot exclusively, and the pool join (future.get) publishes the
+// results, so no further synchronization is needed on the claimed data.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace hetopt::parallel {
+
+class ChunkQueue {
+ public:
+  /// Ready to dispense [0, size). Throws std::invalid_argument when `size`
+  /// exceeds the packed-range capacity (2^32 - 1 chunks — far beyond any
+  /// real chunking of a scan).
+  explicit ChunkQueue(std::size_t size);
+
+  ChunkQueue(const ChunkQueue&) = delete;
+  ChunkQueue& operator=(const ChunkQueue&) = delete;
+
+  /// Claims the lowest unclaimed index; nullopt once the range is drained.
+  [[nodiscard]] std::optional<std::size_t> take_front() noexcept;
+  /// Claims the highest unclaimed index; nullopt once the range is drained.
+  [[nodiscard]] std::optional<std::size_t> take_back() noexcept;
+
+  /// Indices not yet claimed (a racy snapshot under concurrent takers).
+  [[nodiscard]] std::size_t remaining() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  // The unclaimed range [lo, end) packed into one atomic word so both ends
+  // move under a single CAS and can never cross.
+  [[nodiscard]] static constexpr std::uint64_t pack(std::uint32_t lo,
+                                                    std::uint32_t end) noexcept {
+    return (static_cast<std::uint64_t>(lo) << 32) | end;
+  }
+
+  std::size_t size_;
+  std::atomic<std::uint64_t> range_;
+};
+
+}  // namespace hetopt::parallel

@@ -34,4 +34,24 @@ std::vector<Chunk> make_chunks(std::size_t total, std::size_t count, std::size_t
   return chunks;
 }
 
+std::vector<Chunk> make_chunks_guided(std::size_t total, std::size_t workers,
+                                      std::size_t min_chunk) {
+  std::vector<Chunk> chunks;
+  if (total == 0 || workers == 0) return chunks;
+  if (min_chunk == 0) min_chunk = 1;
+  std::size_t begin = 0;
+  while (begin < total) {
+    const std::size_t remaining = total - begin;
+    std::size_t len = std::max(min_chunk, (remaining + 2 * workers - 1) / (2 * workers));
+    len = std::min(len, remaining);
+    Chunk c;
+    c.begin = begin;
+    c.end = begin + len;
+    c.scan_end = c.end;
+    chunks.push_back(c);
+    begin += len;
+  }
+  return chunks;
+}
+
 }  // namespace hetopt::parallel

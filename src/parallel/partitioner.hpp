@@ -34,4 +34,24 @@ struct Chunk {
 [[nodiscard]] std::vector<Chunk> make_chunks(std::size_t total, std::size_t count,
                                              std::size_t halo);
 
+/// Guided chunking (the OpenMP `guided` shape) for demand-driven pulls: each
+/// chunk takes half of what an even split of the *remaining* bytes across
+/// `workers` would give, clamped below at `min_chunk`, so sizes decrease
+/// from a coarse head (low queue traffic while everyone is busy) to a fine
+/// tail (the last pulls can balance stragglers). Chunks tile [0, total)
+/// exactly and sizes are non-increasing; halo is 0 (scan_end == end).
+[[nodiscard]] std::vector<Chunk> make_chunks_guided(std::size_t total, std::size_t workers,
+                                                    std::size_t min_chunk);
+
+/// The tail granularity every scheduling layer uses for guided layouts: a
+/// quarter of what an even `chunks`-way split would give (at least 1), so a
+/// requested chunk count keeps meaning "this fine, or finer at the tail".
+/// Kept here so the matcher- and executor-level guided schedules can never
+/// silently diverge on the shape.
+[[nodiscard]] constexpr std::size_t guided_min_chunk(std::size_t total,
+                                                     std::size_t chunks) noexcept {
+  const std::size_t quarter = total / (4 * (chunks == 0 ? 1 : chunks));
+  return quarter == 0 ? 1 : quarter;
+}
+
 }  // namespace hetopt::parallel

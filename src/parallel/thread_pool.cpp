@@ -53,6 +53,12 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
                   });
 }
 
+void ThreadPool::parallel_pull(const std::function<void(std::size_t)>& body) {
+  // One task per worker; with an idle pool every worker runs one pull loop.
+  parallel_chunks(thread_count(), thread_count(),
+                  [&body](std::size_t slot, std::size_t, std::size_t) { body(slot); });
+}
+
 void ThreadPool::parallel_chunks(
     std::size_t n, std::size_t chunks,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {

@@ -67,6 +67,15 @@ class ThreadPool {
   void parallel_chunks(std::size_t n, std::size_t chunks,
                        const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
 
+  /// Task-pull mode: runs body(worker_slot) once per pool worker,
+  /// concurrently, and blocks until every body returns. The body typically
+  /// loops claiming work from a parallel::ChunkQueue until it drains —
+  /// demand-driven scheduling, where an idle worker pulls the next chunk
+  /// instead of owning a pre-assigned share. `worker_slot` is the pull-loop
+  /// index in [0, thread_count()), not a thread id. Exceptions from the body
+  /// are propagated (the first one).
+  void parallel_pull(const std::function<void(std::size_t)>& body);
+
  private:
   void worker_loop();
 

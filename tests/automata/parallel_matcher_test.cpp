@@ -108,6 +108,87 @@ TEST_F(ParallelMatcherFixture, SpeculativeReportsRescans) {
   EXPECT_GT(stats.rescanned_chunks, 0u);
 }
 
+TEST_F(ParallelMatcherFixture, EverySchedulePolicyMatchesSequentialCounts) {
+  // Cross-policy parity: static, dynamic, guided and adaptive must count
+  // byte-identically, including a motif planted across a chunk boundary.
+  const auto compiled = compile_motifs({"TATAWAW", "GGGCGG", "ACGTACGT"});
+  const DenseDfa dfa = determinize(compiled.nfa, compiled.synchronization_bound);
+  std::string text = gen_.generate(80000, 21);
+  text.replace(text.size() / 2 - 4, 8, "ACGTACGT");  // straddles the midpoint cut
+  const std::uint64_t expected = count_matches(dfa, text);
+  ParallelMatcher matcher(dfa, pool_);
+  for (const parallel::SchedulePolicy policy : parallel::kAllSchedulePolicies) {
+    for (std::size_t chunks : {1u, 2u, 8u, 17u, 64u}) {
+      MatcherOptions options;
+      options.schedule = policy;
+      const auto stats = matcher.count(text, chunks, options);
+      EXPECT_EQ(stats.match_count, expected)
+          << "policy=" << parallel::to_string(policy) << " chunks=" << chunks;
+    }
+  }
+}
+
+TEST_F(ParallelMatcherFixture, EverySchedulePolicyCollectsIdenticalEvents) {
+  const DenseDfa dfa = build_aho_corasick({"ACG", "CGT", "TT"});
+  const std::string text = gen_.generate(30000, 13);
+  std::vector<Match> sequential;
+  (void)scan_collect(dfa, text, dfa.start(), 0, sequential);
+  ParallelMatcher matcher(dfa, pool_);
+  for (const parallel::SchedulePolicy policy : parallel::kAllSchedulePolicies) {
+    MatcherOptions options;
+    options.schedule = policy;
+    std::vector<Match> par;
+    (void)matcher.collect(text, 13, par, options);
+    EXPECT_EQ(par, sequential) << "policy=" << parallel::to_string(policy);
+  }
+}
+
+TEST_F(ParallelMatcherFixture, DemandDrivenMultiStreamCountsExactly) {
+  // Pull scheduling composes with multi-stream counting: workers claim
+  // several tickets at once and scan them interleaved.
+  const DenseDfa dfa = build_aho_corasick({"GATTACA", "TTT"});
+  const std::string text = gen_.generate(120000, 17);
+  const std::uint64_t expected = count_matches(dfa, text);
+  ParallelMatcher matcher(dfa, pool_);
+  for (const std::size_t streams : {2u, 4u, 8u}) {
+    MatcherOptions options;
+    options.schedule = parallel::SchedulePolicy::kDynamic;
+    options.streams_per_worker = streams;
+    EXPECT_EQ(matcher.count(text, 64, options).match_count, expected)
+        << "streams=" << streams;
+  }
+}
+
+TEST_F(ParallelMatcherFixture, UnboundedPatternDegradesScheduleToStatic) {
+  // No synchronization bound -> per-chunk warm-up is impossible; demand
+  // schedules must fall back to the exact static speculative path.
+  const auto compiled = compile_motifs({"GC(A)*GC"});
+  const DenseDfa dfa = determinize(compiled.nfa, compiled.synchronization_bound);
+  ASSERT_EQ(dfa.synchronization_bound(), 0u);
+  const std::string text = gen_.generate(40000, 23);
+  const std::uint64_t expected = count_matches(dfa, text);
+  ParallelMatcher matcher(dfa, pool_);
+  for (const parallel::SchedulePolicy policy : parallel::kAllSchedulePolicies) {
+    MatcherOptions options;
+    options.schedule = policy;
+    EXPECT_EQ(matcher.count(text, 16, options).match_count, expected)
+        << "policy=" << parallel::to_string(policy);
+  }
+}
+
+TEST_F(ParallelMatcherFixture, GuidedScheduleUsesDecreasingChunks) {
+  const DenseDfa dfa = build_aho_corasick({"ACGT"});
+  const std::string text = gen_.generate(50000, 29);
+  ParallelMatcher matcher(dfa, pool_);
+  MatcherOptions options;
+  options.schedule = parallel::SchedulePolicy::kGuided;
+  const auto stats = matcher.count(text, 8, options);
+  // Guided re-cuts the input (tail granularity ~ total/(4*chunks)), so it
+  // produces more, finer chunks than the equal split would.
+  EXPECT_GT(stats.chunks, 8u);
+  EXPECT_EQ(stats.match_count, count_matches(dfa, text));
+}
+
 /// Exhaustive sweep: strategy x chunk count x several seeds, mixed motif set
 /// with IUPAC classes via subset construction.
 struct SweepParam {

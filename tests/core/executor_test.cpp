@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "automata/aho_corasick.hpp"
+#include "automata/hopcroft.hpp"
 #include "automata/regex.hpp"
 #include "automata/scanner.hpp"
 #include "automata/subset.hpp"
@@ -82,6 +83,141 @@ TEST_F(ExecutorFixture, FractionEndpointsRouteAllBytesToOneSide) {
   EXPECT_EQ(device_all.host_bytes, 0u);
   EXPECT_EQ(device_all.host_matches, 0u);
   EXPECT_EQ(host_all.total_matches(), device_all.total_matches());
+}
+
+TEST_F(ExecutorFixture, EmptySideIsSkippedWithExactZeroFields) {
+  // 0%/100% fractions must not dispatch to the empty side at all; the
+  // zero side's matches/bytes/seconds stay exactly zero.
+  const automata::DenseDfa dfa = automata::build_aho_corasick({"TTT"});
+  const std::string text = gen_.generate(20000, 9);
+  HeterogeneousExecutor exec(dfa, 2, 2);
+  const ExecutionReport host_all = exec.run(text, 100.0);
+  EXPECT_EQ(host_all.device_bytes, 0u);
+  EXPECT_EQ(host_all.device_matches, 0u);
+  EXPECT_EQ(host_all.device_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(host_all.realized_host_percent, 100.0);
+  EXPECT_EQ(host_all.imbalance, 0.0);
+  const ExecutionReport device_all = exec.run(text, 0.0);
+  EXPECT_EQ(device_all.host_bytes, 0u);
+  EXPECT_EQ(device_all.host_matches, 0u);
+  EXPECT_EQ(device_all.host_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(device_all.realized_host_percent, 0.0);
+  EXPECT_EQ(host_all.total_matches(), device_all.total_matches());
+}
+
+TEST_F(ExecutorFixture, EverySchedulePolicyMatchesSequentialScan) {
+  // Cross-policy parity across fractions and chunk counts, with a motif
+  // planted across the configured split boundary.
+  const auto compiled = automata::compile_motifs({"TATAWAW", "GGGCGG", "ACGTACGT"});
+  const automata::DenseDfa dfa =
+      automata::minimize(automata::determinize(compiled.nfa,
+                                               compiled.synchronization_bound));
+  std::string text = gen_.generate(150000, 31);
+  text.replace(text.size() / 2 - 4, 8, "ACGTACGT");  // straddles the 50% cut
+  const std::uint64_t expected = automata::count_matches(dfa, text);
+  HeterogeneousExecutor exec(dfa, 3, 4);
+  for (const parallel::SchedulePolicy policy : parallel::kAllSchedulePolicies) {
+    for (const double pct : {0.0, 25.0, 50.0, 87.5, 100.0}) {
+      for (const std::size_t chunks : {std::size_t{0}, std::size_t{9}}) {
+        const ExecutionReport r = exec.run(text, pct, chunks, chunks, policy);
+        EXPECT_EQ(r.total_matches(), expected)
+            << "policy=" << parallel::to_string(policy) << " pct=" << pct
+            << " chunks=" << chunks;
+        EXPECT_EQ(r.host_bytes + r.device_bytes, text.size());
+        EXPECT_EQ(r.schedule, policy);
+        EXPECT_DOUBLE_EQ(r.configured_host_percent, pct);
+        EXPECT_GE(r.realized_host_percent, 0.0);
+        EXPECT_LE(r.realized_host_percent, 100.0);
+        EXPECT_GE(r.imbalance, 0.0);
+        EXPECT_LE(r.imbalance, 1.0);
+        if (policy == parallel::SchedulePolicy::kStatic) {
+          EXPECT_EQ(r.host_steals, 0u);
+          EXPECT_EQ(r.device_steals, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ExecutorFixture, RandomMotifSetsAgreeAcrossPoliciesAndFractions) {
+  // Random motif sets x random genomes x fractions x chunk counts: every
+  // policy must reproduce the static path's match count exactly.
+  const std::vector<std::vector<std::string>> motif_sets = {
+      {"GATTACA", "CCGG"},
+      {"TATAWAW", "GGNCC", "TTSAA"},
+      {"AAAA", "ACGT", "TGCA", "GGGG"},
+  };
+  std::uint64_t seed = 101;
+  for (const auto& motifs : motif_sets) {
+    const auto compiled = automata::compile_motifs(motifs);
+    const automata::DenseDfa dfa =
+        automata::determinize(compiled.nfa, compiled.synchronization_bound);
+    const std::string text = gen_.generate(40000 + 977 * seed, seed);
+    ++seed;
+    const std::uint64_t expected = automata::count_matches(dfa, text);
+    HeterogeneousExecutor exec(dfa, 2, 3);
+    for (const parallel::SchedulePolicy policy : parallel::kAllSchedulePolicies) {
+      for (const double pct : {12.5, 50.0, 75.0}) {
+        for (const std::size_t chunks : {std::size_t{2}, std::size_t{7}}) {
+          EXPECT_EQ(exec.run(text, pct, chunks, chunks, policy).total_matches(), expected)
+              << "policy=" << parallel::to_string(policy) << " pct=" << pct
+              << " chunks=" << chunks;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ExecutorFixture, SharedQueueUnboundedEngineDegradesToStatic) {
+  // An unbounded pattern has no warm-up bound: demand schedules must run
+  // the static path and say so in the report.
+  const auto compiled = automata::compile_motifs({"GC(A)*GC"});
+  const automata::DenseDfa dfa =
+      automata::determinize(compiled.nfa, compiled.synchronization_bound);
+  ASSERT_EQ(dfa.synchronization_bound(), 0u);
+  const std::string text = gen_.generate(30000, 7);
+  const std::uint64_t expected = automata::count_matches(dfa, text);
+  HeterogeneousExecutor exec(dfa, 2, 2);
+  const ExecutionReport r =
+      exec.run(text, 60.0, 0, 0, parallel::SchedulePolicy::kAdaptive);
+  EXPECT_EQ(r.schedule, parallel::SchedulePolicy::kStatic);
+  EXPECT_EQ(r.total_matches(), expected);
+}
+
+TEST_F(ExecutorFixture, AdaptiveStealAccountingIsConsistent) {
+  const automata::DenseDfa dfa = automata::build_aho_corasick({"TATA", "GGCC"});
+  const std::string text = gen_.generate(200000, 17);
+  const std::uint64_t expected = automata::count_matches(dfa, text);
+  HeterogeneousExecutor exec(dfa, 2, 2);
+  // All bytes configured to the host: anything the device did is a steal,
+  // and everything it scanned came across the boundary.
+  const ExecutionReport r =
+      exec.run(text, 100.0, 8, 8, parallel::SchedulePolicy::kAdaptive);
+  EXPECT_EQ(r.total_matches(), expected);
+  EXPECT_EQ(r.host_steals, 0u);  // the host owns every chunk
+  if (r.device_bytes > 0) {
+    EXPECT_GT(r.device_steals, 0u);
+    EXPECT_LT(r.realized_host_percent, 100.0);
+  } else {
+    EXPECT_EQ(r.device_steals, 0u);
+    EXPECT_DOUBLE_EQ(r.realized_host_percent, 100.0);
+  }
+}
+
+TEST_F(ExecutorFixture, ReportToStringMentionsTheEssentials) {
+  const automata::DenseDfa dfa = automata::build_aho_corasick({"ACG"});
+  const std::string text = gen_.generate(50000, 3);
+  HeterogeneousExecutor exec(dfa, 2, 2);
+  const ExecutionReport r =
+      exec.run(text, 75.0, 4, 4, parallel::SchedulePolicy::kDynamic);
+  const std::string line = r.to_string();
+  EXPECT_NE(line.find("[dynamic]"), std::string::npos) << line;
+  EXPECT_NE(line.find(std::to_string(r.total_matches()) + " matches"),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("configured 75%"), std::string::npos) << line;
+  EXPECT_NE(line.find("imbalance"), std::string::npos) << line;
+  EXPECT_NE(line.find("steals"), std::string::npos) << line;
 }
 
 class SplitSweep : public ::testing::TestWithParam<double> {};

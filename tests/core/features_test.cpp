@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "ml/dataset.hpp"
+
 namespace hetopt::core {
 namespace {
 
@@ -16,6 +20,10 @@ TEST(Features, HostLayout) {
   EXPECT_DOUBLE_EQ(f[5], 1.0);  // compiled-dfa (the default engine)
   EXPECT_DOUBLE_EQ(f[6], 0.0);  // aho-corasick
   EXPECT_DOUBLE_EQ(f[7], 0.0);  // bitap
+  EXPECT_DOUBLE_EQ(f[8], 1.0);   // static (the default schedule)
+  EXPECT_DOUBLE_EQ(f[9], 0.0);   // dynamic
+  EXPECT_DOUBLE_EQ(f[10], 0.0);  // guided
+  EXPECT_DOUBLE_EQ(f[11], 0.0);  // adaptive
 }
 
 TEST(Features, DeviceLayout) {
@@ -44,6 +52,42 @@ TEST(Features, EngineOneHot) {
   EXPECT_DOUBLE_EQ(bitap[7], 1.0);
 }
 
+TEST(Features, ScheduleOneHot) {
+  for (const parallel::SchedulePolicy policy : parallel::kAllSchedulePolicies) {
+    const auto h = host_features(1.0, 2, parallel::HostAffinity::kNone,
+                                 automata::EngineKind::kCompiledDfa, policy);
+    const auto d = device_features(1.0, 2, parallel::DeviceAffinity::kBalanced,
+                                   automata::EngineKind::kCompiledDfa, policy);
+    EXPECT_DOUBLE_EQ(h[8] + h[9] + h[10] + h[11], 1.0);
+    EXPECT_DOUBLE_EQ(d[8] + d[9] + d[10] + d[11], 1.0);
+    EXPECT_DOUBLE_EQ(h[8 + static_cast<std::size_t>(policy)], 1.0);
+    EXPECT_DOUBLE_EQ(d[8 + static_cast<std::size_t>(policy)], 1.0);
+  }
+  const auto adaptive =
+      host_features(1.0, 2, parallel::HostAffinity::kNone,
+                    automata::EngineKind::kCompiledDfa,
+                    parallel::SchedulePolicy::kAdaptive);
+  EXPECT_DOUBLE_EQ(adaptive[8], 0.0);
+  EXPECT_DOUBLE_EQ(adaptive[11], 1.0);
+}
+
+TEST(Features, ConstantScheduleColumnNormalizesToZero) {
+  // Sweeps that never vary the schedule produce constant one-hot columns;
+  // the min-max normalizer must map them to zero so legacy predictor models
+  // (and default-schedule predictions) are unchanged by the wider layout.
+  ml::Dataset data(host_feature_names());
+  data.add(host_features(1.0, 2, parallel::HostAffinity::kNone), 1.0);
+  data.add(host_features(2.0, 4, parallel::HostAffinity::kScatter), 2.0);
+  ml::Normalizer norm;
+  norm.fit(data);
+  std::vector<double> out(kFeatureCount);
+  norm.transform_row(host_features(1.5, 2, parallel::HostAffinity::kNone), out);
+  for (std::size_t j = 8; j < kFeatureCount; ++j) {
+    EXPECT_DOUBLE_EQ(out[j], 0.0) << "column " << j;
+  }
+  EXPECT_DOUBLE_EQ(out[5], 0.0);  // the constant engine column, same rule
+}
+
 TEST(Features, OneHotIsExclusive) {
   for (parallel::HostAffinity a : parallel::kAllHostAffinities) {
     const auto f = host_features(1.0, 2, a);
@@ -63,6 +107,10 @@ TEST(Features, NamesMatchLayoutWidth) {
   EXPECT_EQ(host_feature_names()[5], "engine_compiled_dfa");
   EXPECT_EQ(host_feature_names()[6], "engine_aho_corasick");
   EXPECT_EQ(device_feature_names()[7], "engine_bitap");
+  EXPECT_EQ(host_feature_names()[8], "schedule_static");
+  EXPECT_EQ(host_feature_names()[9], "schedule_dynamic");
+  EXPECT_EQ(host_feature_names()[10], "schedule_guided");
+  EXPECT_EQ(device_feature_names()[11], "schedule_adaptive");
 }
 
 TEST(Features, Validation) {

@@ -89,6 +89,31 @@ TEST_F(PredictorFixture, CombinedIsMaxOfSides) {
   EXPECT_DOUBLE_EQ(combined, std::max(host, device));
 }
 
+TEST_F(PredictorFixture, SharedScheduleCombinesRatesAndIgnoresFraction) {
+  // Shared-queue schedules drain the combined input with both pools: the
+  // combined estimate is the harmonic sum of the whole-input side times and
+  // must not depend on the configured fraction (which the runtime ignores).
+  opt::SystemConfig c;
+  c.host_threads = 24;
+  c.host_affinity = parallel::HostAffinity::kScatter;
+  c.device_threads = 120;
+  c.device_affinity = parallel::DeviceAffinity::kBalanced;
+  c.host_percent = 60.0;
+  c.schedule = parallel::SchedulePolicy::kDynamic;
+  const double combined = predictor_->predict_combined(c, 2000.0);
+  const double host = predictor_->predict_host(2000.0, 24, parallel::HostAffinity::kScatter,
+                                               c.engine, c.schedule);
+  const double device = predictor_->predict_device(
+      2000.0, 120, parallel::DeviceAffinity::kBalanced, c.engine, c.schedule);
+  EXPECT_DOUBLE_EQ(combined, host * device / (host + device));
+  // Both pools working can only help over either side alone.
+  EXPECT_LT(combined, std::min(host, device));
+  // Fraction-independent: the runtime's realized split emerges at runtime.
+  opt::SystemConfig other = c;
+  other.host_percent = 0.0;
+  EXPECT_DOUBLE_EQ(predictor_->predict_combined(other, 2000.0), combined);
+}
+
 TEST_F(PredictorFixture, ZeroByteSidesPredictZero) {
   EXPECT_EQ(predictor_->predict_host(0.0, 24, parallel::HostAffinity::kScatter), 0.0);
   EXPECT_EQ(predictor_->predict_device(0.0, 60, parallel::DeviceAffinity::kBalanced), 0.0);
@@ -154,6 +179,13 @@ TEST(PredictorUsage, SaveLoadErrors) {
   EXPECT_THROW(untrained.save(ss), std::runtime_error);
   std::stringstream bad("not-a-predictor 1 1");
   EXPECT_THROW((void)PerformancePredictor::load(bad), std::runtime_error);
+  // A pre-schedule-axis v1 file must fail cleanly at load time (not with a
+  // row-size mismatch at predict time).
+  std::stringstream v1("hetopt-predictor-v1 1 1");
+  EXPECT_THROW((void)PerformancePredictor::load(v1), std::runtime_error);
+  // A v2 file whose recorded width disagrees with this build's layout too.
+  std::stringstream narrow("hetopt-predictor-v2 8 1 1");
+  EXPECT_THROW((void)PerformancePredictor::load(narrow), std::runtime_error);
 }
 
 TEST(PredictorUsage, CombinedRejectsNonPositiveTotal) {

@@ -223,6 +223,87 @@ TEST(RealWorkloadEvaluatorTest, TuningWithTheEngineAxisPicksTheModelWinner) {
   EXPECT_TRUE(space.contains(report.config));
 }
 
+TEST(RealWorkloadEvaluatorTest, HonorsTheConfiguredSchedule) {
+  // Every schedule policy runs the live executor and must reproduce the
+  // sequential match count exactly — the cross-policy parity property on
+  // the measurement path.
+  const dna::GenomeCatalog catalog;
+  const RealWorkloadEvaluator evaluator(catalog, tiny_options(false));
+  const std::uint64_t expected = evaluator.real(cat()).sequential_matches();
+
+  opt::SystemConfig c;
+  c.host_threads = 2;
+  c.device_threads = 2;
+  c.host_percent = 75.0;
+  for (const parallel::SchedulePolicy policy : parallel::kAllSchedulePolicies) {
+    c.schedule = policy;
+    const RealMeasurement m = evaluator.measure(c, cat());
+    EXPECT_EQ(m.matches, expected) << parallel::to_string(policy);
+    EXPECT_EQ(m.host_bytes + m.device_bytes, evaluator.real(cat()).physical_bytes());
+    EXPECT_GE(m.realized_host_percent, 0.0);
+    EXPECT_LE(m.realized_host_percent, 100.0);
+    if (policy == parallel::SchedulePolicy::kStatic) {
+      EXPECT_EQ(m.host_steals, 0u);
+      EXPECT_EQ(m.device_steals, 0u);
+      EXPECT_DOUBLE_EQ(m.realized_host_percent, 75.0);
+    }
+  }
+}
+
+TEST(RealWorkloadEvaluatorTest, DeterministicModelDifferentiatesSchedules) {
+  opt::SystemConfig c;
+  c.host_threads = 4;
+  c.device_threads = 4;
+  const std::size_t mb = 4 * 1024 * 1024;
+
+  // At a deliberately bad fraction the static split is bottlenecked by one
+  // side; every shared-queue policy beats it, adaptive cheapest of all
+  // (static's factor is exactly 1.0 — its formula is untouched).
+  c.host_percent = 100.0;
+  const double skewed_static = real_workload_model_seconds(c, 2 * mb, 0);
+  c.schedule = parallel::SchedulePolicy::kDynamic;
+  const double skewed_dynamic = real_workload_model_seconds(c, 2 * mb, 0);
+  c.schedule = parallel::SchedulePolicy::kGuided;
+  const double skewed_guided = real_workload_model_seconds(c, 2 * mb, 0);
+  c.schedule = parallel::SchedulePolicy::kAdaptive;
+  const double skewed_adaptive = real_workload_model_seconds(c, 2 * mb, 0);
+  EXPECT_LT(skewed_dynamic, skewed_static);
+  EXPECT_LT(skewed_guided, skewed_dynamic);
+  EXPECT_LT(skewed_adaptive, skewed_guided);
+
+  // Seeded determinism: the model is a pure function of the configured
+  // split, so shared-queue pricing reproduces exactly.
+  EXPECT_DOUBLE_EQ(skewed_adaptive, real_workload_model_seconds(c, 2 * mb, 0));
+}
+
+TEST(RealWorkloadEvaluatorTest, DeterministicTuningWithScheduleAxisReproduces) {
+  // Seeded runs over a schedule-enabled space must reproduce bit-identically
+  // (deterministic timing prices the configured split, never the realized
+  // one), and the winner must carry a shared-queue schedule somewhere the
+  // model rewards it.
+  const dna::GenomeCatalog catalog;
+  const auto evaluator =
+      std::make_shared<RealWorkloadEvaluator>(catalog, tiny_options(true));
+  const opt::ConfigSpace space =
+      opt::ConfigSpace::real(2).with_schedules(
+          {parallel::SchedulePolicy::kStatic, parallel::SchedulePolicy::kDynamic,
+           parallel::SchedulePolicy::kGuided, parallel::SchedulePolicy::kAdaptive});
+  const auto tune = [&] {
+    TuningSession session(space);
+    session.with_strategy("annealing")
+        .with_evaluator(evaluator)
+        .with_budget(40)
+        .with_seed(2024);
+    return session.run(cat());
+  };
+  const SessionReport first = tune();
+  const SessionReport second = tune();
+  EXPECT_EQ(first.config, second.config);
+  EXPECT_DOUBLE_EQ(first.measured_time, second.measured_time);
+  EXPECT_EQ(first.evaluations, second.evaluations);
+  EXPECT_TRUE(space.contains(first.config));
+}
+
 TEST(RealWorkloadEvaluatorTest, AllFourPresetsCompleteOnTheRealMatcher) {
   // The acceptance path of the measurement pipeline: exhaustive and
   // annealing searches both drive the live matcher end-to-end (EM/SAM), and

@@ -214,6 +214,101 @@ TEST(ConfigSpaceTest, EngineAxisValidation) {
                std::invalid_argument);
 }
 
+TEST(ConfigSpaceTest, DefaultScheduleAxisIsSingleStatic) {
+  const ConfigSpace space = ConfigSpace::tiny();
+  ASSERT_EQ(space.schedules().size(), 1u);
+  EXPECT_EQ(space.schedules().front(), parallel::SchedulePolicy::kStatic);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_EQ(space.at(i).schedule, parallel::SchedulePolicy::kStatic);
+  }
+}
+
+TEST(ConfigSpaceTest, ScheduleAxisMultipliesAndRoundTrips) {
+  const ConfigSpace base = ConfigSpace::tiny();
+  const ConfigSpace wide = base.with_schedules(
+      {parallel::SchedulePolicy::kStatic, parallel::SchedulePolicy::kDynamic,
+       parallel::SchedulePolicy::kAdaptive});
+  EXPECT_EQ(wide.size(), 3 * base.size());
+  // The schedule axis is outermost (outside even the engine axis): the
+  // first base.size() indices decode exactly as the schedule-less space did.
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(wide.at(i), base.at(i));
+  }
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    const SystemConfig c = wide.at(i);
+    EXPECT_EQ(wide.index_of(c), i);
+    EXPECT_EQ(c.schedule, wide.schedules()[i / base.size()]);
+  }
+  // A config with an off-axis schedule is outside the space.
+  SystemConfig off = wide.at(0);
+  off.schedule = parallel::SchedulePolicy::kGuided;
+  EXPECT_FALSE(wide.contains(off));
+}
+
+TEST(ConfigSpaceTest, ScheduleAxisStacksOutsideTheEngineAxis) {
+  const ConfigSpace base = ConfigSpace::tiny();
+  const ConfigSpace both =
+      base.with_engines({automata::EngineKind::kCompiledDfa, automata::EngineKind::kBitap})
+          .with_schedules(
+              {parallel::SchedulePolicy::kStatic, parallel::SchedulePolicy::kDynamic});
+  EXPECT_EQ(both.size(), 4 * base.size());
+  // Engine cycles within one schedule block; schedule flips between blocks.
+  EXPECT_EQ(both.at(0).schedule, parallel::SchedulePolicy::kStatic);
+  EXPECT_EQ(both.at(2 * base.size()).schedule, parallel::SchedulePolicy::kDynamic);
+  EXPECT_EQ(both.at(base.size()).engine, automata::EngineKind::kBitap);
+  for (std::size_t i = 0; i < both.size(); ++i) {
+    EXPECT_EQ(both.index_of(both.at(i)), i);
+  }
+}
+
+TEST(ConfigSpaceTest, ScheduleAxisValidation) {
+  EXPECT_THROW((void)ConfigSpace::tiny().with_schedules({}), std::invalid_argument);
+  EXPECT_THROW((void)ConfigSpace::tiny().with_schedules(
+                   {parallel::SchedulePolicy::kDynamic,
+                    parallel::SchedulePolicy::kDynamic}),
+               std::invalid_argument);
+}
+
+TEST(ConfigSpaceTest, NeighborMovesAcrossTheScheduleAxis) {
+  const ConfigSpace wide = ConfigSpace::tiny().with_schedules(
+      {parallel::SchedulePolicy::kStatic, parallel::SchedulePolicy::kDynamic,
+       parallel::SchedulePolicy::kGuided, parallel::SchedulePolicy::kAdaptive});
+  util::Xoshiro256 rng(123);
+  SystemConfig current = wide.at(0);
+  bool schedule_moved = false;
+  for (int step = 0; step < 400; ++step) {
+    const SystemConfig next = wide.neighbor(current, rng);
+    EXPECT_TRUE(wide.contains(next));
+    if (next.schedule != current.schedule) schedule_moved = true;
+    current = next;
+  }
+  EXPECT_TRUE(schedule_moved);  // the axis is reachable by annealing
+}
+
+TEST(ConfigSpaceTest, SingleValueScheduleAxisNeverJoinsTheMove) {
+  // With the default schedule axis, every neighbor keeps schedule == static
+  // and at most one *other* parameter moves — the engine-era move shape, so
+  // seeded engine-axis runs from before the schedule axis reproduce.
+  const ConfigSpace wide = ConfigSpace::tiny().with_engines(
+      {automata::EngineKind::kCompiledDfa, automata::EngineKind::kAhoCorasick,
+       automata::EngineKind::kBitap});
+  util::Xoshiro256 rng(7);
+  SystemConfig current = wide.at(5);
+  for (int step = 0; step < 300; ++step) {
+    const SystemConfig next = wide.neighbor(current, rng);
+    EXPECT_EQ(next.schedule, parallel::SchedulePolicy::kStatic);
+    int changed = 0;
+    changed += (next.host_threads != current.host_threads) ? 1 : 0;
+    changed += (next.host_affinity != current.host_affinity) ? 1 : 0;
+    changed += (next.device_threads != current.device_threads) ? 1 : 0;
+    changed += (next.device_affinity != current.device_affinity) ? 1 : 0;
+    changed += (next.host_percent != current.host_percent) ? 1 : 0;
+    changed += (next.engine != current.engine) ? 1 : 0;
+    EXPECT_LE(changed, 1);
+    current = next;
+  }
+}
+
 TEST(ConfigSpaceTest, NeighborMovesAcrossTheEngineAxis) {
   const ConfigSpace wide = ConfigSpace::tiny().with_engines(
       {automata::EngineKind::kCompiledDfa, automata::EngineKind::kAhoCorasick,

@@ -1,0 +1,89 @@
+#include "parallel/chunk_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace hetopt::parallel {
+namespace {
+
+TEST(ChunkQueueTest, FrontDispensesAscending) {
+  ChunkQueue q(5);
+  EXPECT_EQ(q.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.remaining(), 5 - i);
+    const auto t = q.take_front();
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, i);
+  }
+  EXPECT_FALSE(q.take_front().has_value());
+  EXPECT_FALSE(q.take_back().has_value());
+  EXPECT_EQ(q.remaining(), 0u);
+}
+
+TEST(ChunkQueueTest, BackDispensesDescending) {
+  ChunkQueue q(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto t = q.take_back();
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, 3 - i);
+  }
+  EXPECT_FALSE(q.take_back().has_value());
+}
+
+TEST(ChunkQueueTest, FrontAndBackMeetWithoutOverlap) {
+  ChunkQueue q(7);
+  std::vector<std::size_t> seen;
+  for (;;) {
+    const auto f = q.take_front();
+    if (!f) break;
+    seen.push_back(*f);
+    const auto b = q.take_back();
+    if (!b) break;
+    seen.push_back(*b);
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 7u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(ChunkQueueTest, EmptyQueueDispensesNothing) {
+  ChunkQueue q(0);
+  EXPECT_EQ(q.remaining(), 0u);
+  EXPECT_FALSE(q.take_front().has_value());
+  EXPECT_FALSE(q.take_back().has_value());
+}
+
+TEST(ChunkQueueTest, RejectsOversizedRange) {
+  EXPECT_THROW(ChunkQueue(std::size_t{1} << 33), std::invalid_argument);
+}
+
+TEST(ChunkQueueTest, ConcurrentTakersClaimEveryIndexExactlyOnce) {
+  // Hammer both ends from many threads; every index must be claimed exactly
+  // once and the total must drain. This is the invariant the adaptive
+  // executor's steal accounting rests on.
+  constexpr std::size_t kIndices = 10000;
+  constexpr std::size_t kThreads = 8;
+  ChunkQueue q(kIndices);
+  std::vector<std::atomic<int>> claimed(kIndices);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&q, &claimed, t] {
+      for (;;) {
+        const auto i = (t % 2 == 0) ? q.take_front() : q.take_back();
+        if (!i) break;
+        claimed[*i].fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& c : claimed) EXPECT_EQ(c.load(), 1);
+  EXPECT_EQ(q.remaining(), 0u);
+}
+
+}  // namespace
+}  // namespace hetopt::parallel

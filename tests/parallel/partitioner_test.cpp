@@ -61,5 +61,64 @@ TEST(MakeChunks, EmptyInputs) {
   EXPECT_TRUE(make_chunks(10, 0, 1).empty());
 }
 
+TEST(MakeChunks, HaloLongerThanChunkStillClamps) {
+  // Warm-up leads longer than a whole chunk (short chunks, long motifs):
+  // scan_end may reach across several following chunks but never past the
+  // input, and ownership ranges still tile exactly.
+  const auto chunks = make_chunks(20, 10, 50);
+  ASSERT_EQ(chunks.size(), 10u);
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.end - c.begin, 2u);
+    EXPECT_EQ(c.scan_end, 20u);  // halo 50 always clamps to the input end
+  }
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i - 1].end, chunks[i].begin);
+  }
+}
+
+TEST(MakeChunksGuided, TilesExactlyWithNonIncreasingSizes) {
+  for (std::size_t total : {1u, 7u, 100u, 4096u, 100003u}) {
+    for (std::size_t workers : {1u, 2u, 4u, 16u}) {
+      const auto chunks = make_chunks_guided(total, workers, /*min_chunk=*/8);
+      ASSERT_FALSE(chunks.empty());
+      EXPECT_EQ(chunks.front().begin, 0u);
+      EXPECT_EQ(chunks.back().end, total);
+      for (std::size_t i = 1; i < chunks.size(); ++i) {
+        EXPECT_EQ(chunks[i - 1].end, chunks[i].begin);
+        // Guided shape: coarse head, fine tail.
+        EXPECT_GE(chunks[i - 1].end - chunks[i - 1].begin,
+                  chunks[i].end - chunks[i].begin);
+      }
+      for (const auto& c : chunks) {
+        EXPECT_EQ(c.scan_end, c.end);  // guided chunks carry no halo
+        EXPECT_GT(c.end, c.begin);
+      }
+    }
+  }
+}
+
+TEST(MakeChunksGuided, RespectsMinChunkExceptFinalRemainder) {
+  const auto chunks = make_chunks_guided(1000, 4, 64);
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_GE(chunks[i].end - chunks[i].begin, 64u);
+  }
+  // The first chunk is the guided head: half an even 4-way split of 1000.
+  EXPECT_EQ(chunks.front().end - chunks.front().begin, 125u);
+}
+
+TEST(MakeChunksGuided, DegenerateInputs) {
+  EXPECT_TRUE(make_chunks_guided(0, 4, 8).empty());
+  EXPECT_TRUE(make_chunks_guided(100, 0, 8).empty());
+  // min_chunk of 0 behaves as 1 (never an infinite loop of empty chunks).
+  const auto tiny = make_chunks_guided(3, 2, 0);
+  ASSERT_FALSE(tiny.empty());
+  EXPECT_EQ(tiny.back().end, 3u);
+  // min_chunk larger than the input: one chunk covering everything.
+  const auto one = make_chunks_guided(10, 4, 100);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.front().begin, 0u);
+  EXPECT_EQ(one.front().end, 10u);
+}
+
 }  // namespace
 }  // namespace hetopt::parallel

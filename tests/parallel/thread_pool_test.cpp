@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace hetopt::parallel {
@@ -111,6 +113,82 @@ TEST(ThreadPoolTest, ManySmallTasksComplete) {
   }
   for (auto& f : futures) f.get();
   EXPECT_EQ(sum.load(), 500L * 501 / 2);
+}
+
+TEST(ThreadPoolTest, ParallelPullRunsOncePerWorker) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> slots(4);
+  pool.parallel_pull([&](std::size_t slot) { slots[slot].fetch_add(1); });
+  for (const auto& s : slots) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelPullPropagatesBodyException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_pull([](std::size_t slot) {
+    if (slot == 1) throw std::runtime_error("pull");
+  }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, StressConcurrentSubmitters) {
+  // Many external threads submitting concurrently while the pool churns
+  // through small tasks — the queue mutex/condvar protocol must neither
+  // lose nor duplicate work.
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 6;
+  constexpr int kTasksEach = 400;
+  std::atomic<long> sum{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &sum] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(kTasksEach);
+      for (int i = 1; i <= kTasksEach; ++i) {
+        futures.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(sum.load(), static_cast<long>(kSubmitters) * kTasksEach * (kTasksEach + 1) / 2);
+}
+
+TEST(ThreadPoolTest, WorkerInitRunsUnderChurn) {
+  // Construct and destroy pools with a worker-init hook in a tight loop
+  // (the executor builds two pinned pools per measurement); every worker
+  // must run its init exactly once before any task, and a throwing init
+  // must not take the pool down.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> inits{0};
+    {
+      ThreadPool pool(3, [&inits](std::size_t) {
+        inits.fetch_add(1);
+        if (inits.load() == 1) throw std::runtime_error("best-effort placement");
+      });
+      EXPECT_TRUE(pool.has_worker_init());
+      std::atomic<int> tasks{0};
+      pool.parallel_for(9, [&](std::size_t) { tasks.fetch_add(1); });
+      EXPECT_EQ(tasks.load(), 9);
+    }
+    // Only after the destructor joins is every worker guaranteed to have
+    // run its init (a late-starting worker may still be pinning itself
+    // while the others drain the whole task queue).
+    EXPECT_EQ(inits.load(), 3);
+  }
+}
+
+TEST(ThreadPoolTest, OversubscribedPoolCompletesAllWork) {
+  // Far more workers than cores (this container has very few): everything
+  // still completes and every index is visited exactly once.
+  ThreadPool pool(32);
+  EXPECT_EQ(pool.thread_count(), 32u);
+  std::vector<std::atomic<int>> hits(5000);
+  pool.parallel_for(5000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  std::vector<std::atomic<int>> slots(32);
+  pool.parallel_pull([&](std::size_t slot) { slots[slot].fetch_add(1); });
+  for (const auto& s : slots) EXPECT_EQ(s.load(), 1);
 }
 
 TEST(ThreadPoolTest, NestedParallelismViaSeparatePools) {

@@ -65,6 +65,22 @@ for entry in doc.get("engine_matrix", []):
     tuned = ", ".join("%s->%s" % (t["method"], t["engine"])
                       for t in entry.get("tuned", []))
     print("engine_matrix[%s]: %s | tuned: %s" % (entry["motif_set"], rates, tuned))
+sched = doc.get("schedule_matrix", {})
+if sched:
+    best = {}
+    for row in sched.get("throughput", []):
+        s = row["schedule"]
+        best[s] = max(best.get(s, 0.0), row["mb_s"])
+    rates = ", ".join("%s %.0f MB/s" % (s, mb) for s, mb in
+                      sorted(best.items(), key=lambda kv: -kv[1]))
+    skew = sched.get("skew", {})
+    flags = ", ".join("%s=%s" % (k.split("_")[0], skew.get(k))
+                      for k in ("dynamic_ge_static", "guided_ge_static",
+                                "adaptive_ge_static"))
+    tuned = ", ".join("%s->%s" % (t["method"], t["schedule"])
+                      for t in sched.get("tuned", []))
+    print("schedule_matrix: %s | skew@%s%%: %s | tuned: %s" % (
+        rates, skew.get("host_percent"), flags, tuned))
 PY
 fi
 
