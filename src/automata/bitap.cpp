@@ -70,9 +70,13 @@ BitapMatcher::BitapMatcher(const std::vector<std::string>& patterns) {
 }
 
 void BitapMatcher::throw_invalid(std::string_view text) const {
+  // The cold path the kernels dispatch to once per failing scan; re-walking
+  // the text to name the first offending byte is fine here, and the loop's
+  // throw is the designated exception to the kernel-throw rule.
   for (const char c : text) {
     if (!byte_ok_[static_cast<unsigned char>(c)]) {
-      throw std::invalid_argument("BitapMatcher: invalid base '" + std::string(1, c) + "'");
+      throw std::invalid_argument("BitapMatcher: invalid base '" +  // hetopt-lint: allow(kernel-throw)
+                                  std::string(1, c) + "'");
     }
   }
   throw std::logic_error("BitapMatcher: throw_invalid on valid input");
@@ -106,12 +110,14 @@ std::uint64_t BitapMatcher::collect(std::string_view text, std::size_t base_offs
                                     std::uint64_t entry_state) const {
   std::uint64_t count = 0;
   std::uint64_t state = entry_state;
+  std::size_t bad = 0;
   for (std::size_t i = 0; i < text.size(); ++i) {
     const auto byte = static_cast<unsigned char>(text[i]);
-    if (!byte_ok_[byte]) {
-      throw std::invalid_argument("BitapMatcher: invalid base '" +
-                                  std::string(1, text[i]) + "'");
-    }
+    // Same deferred invalid-byte detection as scan(): no throw in the loop
+    // (the kernel-throw lint rule), one cold report after it. An invalid
+    // byte's mask is 0, so it kills every live prefix and cannot create a
+    // false match; whatever lands in `out` is discarded by the throw below.
+    bad += static_cast<std::size_t>(byte_ok_[byte] ^ 1U);
     state = ((state << 1) | initial_) & byte_mask_[byte];
     std::uint64_t hits = state & final_;
     if (hits != 0) {
@@ -126,6 +132,7 @@ std::uint64_t BitapMatcher::collect(std::string_view text, std::size_t base_offs
       out.push_back(Match{base_offset + i + 1, pattern_mask});
     }
   }
+  if (bad != 0) throw_invalid(text);
   return count;
 }
 

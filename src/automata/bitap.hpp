@@ -49,7 +49,10 @@ class BitapMatcher {
 
   /// Collects match events compatible with the DFA scanners, scanning from
   /// `entry_state` (0 = fresh start; pass a warmed state for chunked scans).
-  /// Returns the occurrence count of the collected events.
+  /// Returns the occurrence count of the collected events. Like count(),
+  /// invalid bytes are detected branch-free during the scan and reported
+  /// once at the end — on throw, the contents appended to `out` are
+  /// unspecified partial output.
   std::uint64_t collect(std::string_view text, std::size_t base_offset,
                         std::vector<Match>& out, std::uint64_t entry_state = 0) const;
 

@@ -108,10 +108,14 @@ void CompiledDfa::check_entry(StateId state) const {
 }
 
 void CompiledDfa::throw_invalid(std::string_view text) const {
+  // The cold path every kernel dispatches to once per failing scan — the
+  // designated exception to the kernel-throw rule (the hot loops themselves
+  // stay throw-free and branch-free on the validity plane).
   for (const char c : text) {
     if (code_[static_cast<unsigned char>(c)] == kInvalidCode) {
       // The seed scanner's exact exception (scan_count_naive / require_base).
-      throw std::invalid_argument("scan: invalid base '" + std::string(1, c) + "'");
+      throw std::invalid_argument("scan: invalid base '" +  // hetopt-lint: allow(kernel-throw)
+                                  std::string(1, c) + "'");
     }
   }
   throw std::invalid_argument("scan: invalid base");  // unreachable for sink entries

@@ -240,6 +240,11 @@ ExecutionReport HeterogeneousExecutor::run_shared(std::string_view text,
   }
 
   parallel::ChunkQueue queue(chunks.size());
+  // Per-side accumulators, fetch_add'ed by that side's pull-loop workers.
+  // All operations are relaxed: the totals carry no payload another thread
+  // reads mid-run, and the pool join below (parallel_pull's future.get plus
+  // device_future.get) is the synchronization that publishes them before
+  // the single-threaded reads into the report.
   struct SideTotals {
     std::atomic<std::uint64_t> matches{0};
     std::atomic<std::size_t> bytes{0};
@@ -315,12 +320,14 @@ ExecutionReport HeterogeneousExecutor::run_shared(std::string_view text,
   report.host_seconds = host_timer.seconds();
   report.device_seconds = device_future.get();
 
-  report.host_matches = host_side.matches.load();
-  report.device_matches = device_side.matches.load();
-  report.host_bytes = host_side.bytes.load();
-  report.device_bytes = device_side.bytes.load();
-  report.host_steals = host_side.steals.load();
-  report.device_steals = device_side.steals.load();
+  // Relaxed is enough: both drains have joined above, so these are
+  // single-threaded reads ordered by the pool/future synchronization.
+  report.host_matches = host_side.matches.load(std::memory_order_relaxed);
+  report.device_matches = device_side.matches.load(std::memory_order_relaxed);
+  report.host_bytes = host_side.bytes.load(std::memory_order_relaxed);
+  report.device_bytes = device_side.bytes.load(std::memory_order_relaxed);
+  report.host_steals = host_side.steals.load(std::memory_order_relaxed);
+  report.device_steals = device_side.steals.load(std::memory_order_relaxed);
   report.total_seconds = std::max(report.host_seconds, report.device_seconds);
   finalize_report(report);
   return report;

@@ -201,7 +201,7 @@ std::shared_ptr<const RealWorkload> RealWorkloadEvaluator::cached(
     const Workload& workload) const {
   const std::string key =
       workload.name + "@" + std::to_string(scaled_bytes(workload, options_));
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
     it = cache_.emplace(key, std::make_shared<RealWorkload>(catalog_, workload, options_))

@@ -24,7 +24,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,6 +38,8 @@
 #include "dna/catalog.hpp"
 #include "dna/sequence.hpp"
 #include "opt/config.hpp"
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 
 namespace hetopt::core {
 
@@ -172,8 +173,9 @@ class RealWorkloadEvaluator final : public Evaluator {
 
   dna::GenomeCatalog catalog_;
   RealWorkloadOptions options_;
-  mutable std::mutex mutex_;  // guards cache_
-  mutable std::map<std::string, std::shared_ptr<const RealWorkload>> cache_;
+  mutable util::Mutex mutex_;
+  mutable std::map<std::string, std::shared_ptr<const RealWorkload>> cache_
+      HETOPT_GUARDED_BY(mutex_);
 };
 
 /// The deterministic work model (exposed for tests): overlapped seconds for

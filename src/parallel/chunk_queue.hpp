@@ -14,6 +14,25 @@
 // The queue dispenses indices only; whoever claims index i owns chunk i's
 // scratch slot exclusively, and the pool join (future.get) publishes the
 // results, so no further synchronization is needed on the claimed data.
+//
+// Lock-free protocol (thread-safety-analysis note). Clang's -Wthread-safety
+// gate (util/annotations.hpp) covers lock-*based* code; a lock-free word has
+// no capability to annotate, so this class documents its invariants the way
+// HETOPT_PT_GUARDED_BY would state them, and hetopt_lint's `atomic-order`
+// rule enforces the explicit-memory-order discipline below:
+//
+//  - `range_` is the ONLY shared mutable state; both claim paths mutate it
+//    through a single CAS, so `lo <= end` holds in every reachable value and
+//    an index is dispensed exactly once (the CAS that moves an endpoint past
+//    index i is the unique claim of i);
+//  - claiming carries no payload: chunk data is immutable input and scratch
+//    slot i is owned by i's claimant, so the CAS needs no release fence for
+//    data — acq_rel on success is kept so a claim also orders any prior
+//    writes of the *claiming* thread (steals observe a consistent boundary),
+//    and failed CAS / optimistic loads are relaxed because every loaded
+//    value is re-validated by the next CAS;
+//  - remaining() is a racy snapshot by contract; its acquire load only
+//    ensures a monotonic view, never mutual exclusion.
 #pragma once
 
 #include <atomic>

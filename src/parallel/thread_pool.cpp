@@ -1,7 +1,6 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 
 namespace hetopt::parallel {
@@ -25,7 +24,7 @@ ThreadPool::ThreadPool(std::size_t thread_count, WorkerInit init)
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -36,8 +35,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const util::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -3,18 +3,23 @@
 // Design notes (cf. C++ Core Guidelines CP.*):
 //  - threads are joined in the destructor (CP.23/CP.25: no detach);
 //  - tasks are passed by value (CP.31);
-//  - the queue mutex protects exactly the data it is declared next to (CP.50);
+//  - the queue mutex protects exactly the data it is declared next to (CP.50),
+//    and that protection is machine-checked: the guarded members carry
+//    HETOPT_GUARDED_BY and the locking goes through the annotated
+//    util::Mutex/util::MutexLock/util::CondVar, so `clang++ -Wthread-safety`
+//    rejects any access path that could race (see util/annotations.hpp);
 //  - waiting always happens under a condition (CP.42).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 
 namespace hetopt::parallel {
 
@@ -48,7 +53,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> result = task->get_future();
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
       queue_.emplace_back([task]() { (*task)(); });
     }
@@ -80,11 +85,11 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;  // guards queue_ and stopping_
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  bool has_worker_init_ = false;
+  util::Mutex mutex_;
+  util::CondVar cv_;  // signaled on submit (one) and shutdown (all)
+  std::deque<std::function<void()>> queue_ HETOPT_GUARDED_BY(mutex_);
+  bool stopping_ HETOPT_GUARDED_BY(mutex_) = false;
+  bool has_worker_init_ = false;  // immutable after construction
 };
 
 /// Splits n items into k contiguous chunks as evenly as possible.

@@ -1,0 +1,50 @@
+// Clang thread-safety-analysis annotations (no-ops everywhere else).
+//
+// `clang++ -Wthread-safety` is a *static* race detector: it proves, at
+// compile time and for every interleaving, that data marked as guarded is
+// only touched with its lock held — the compile-time complement to the
+// TSan CI job, which can only observe the interleavings a run happens to
+// take. GCC has no such analysis, so every macro below expands to nothing
+// there and the annotated code is byte-identical on both compilers.
+//
+// The analysis only understands *annotated* capability types; the plain
+// libstdc++ std::mutex carries no attributes. util/sync.hpp provides the
+// annotated wrappers (util::Mutex, util::MutexLock, util::CondVar) that
+// all concurrent hetopt code locks with. Conventions for new code are in
+// docs/ARCHITECTURE.md ("Analysis gates").
+//
+// Macro reference (mirrors the canonical mutex.h from the clang docs):
+//   HETOPT_CAPABILITY(name)      class is a lockable capability
+//   HETOPT_SCOPED_CAPABILITY     RAII class that acquires in ctor / releases in dtor
+//   HETOPT_GUARDED_BY(mu)        member may only be touched while holding mu
+//   HETOPT_PT_GUARDED_BY(mu)     pointee may only be touched while holding mu
+//   HETOPT_REQUIRES(mu)          caller must already hold mu
+//   HETOPT_ACQUIRE(mu)           function acquires mu and does not release it
+//   HETOPT_RELEASE(mu)           function releases mu
+//   HETOPT_TRY_ACQUIRE(ok, mu)   function acquires mu iff it returns `ok`
+//   HETOPT_EXCLUDES(mu)          caller must NOT hold mu (non-reentrancy)
+//   HETOPT_ACQUIRED_BEFORE(mu)   lock-ordering declaration between mutexes
+//   HETOPT_ACQUIRED_AFTER(mu)
+//   HETOPT_RETURN_CAPABILITY(mu) function returns a reference to mu
+//   HETOPT_NO_THREAD_SAFETY_ANALYSIS  escape hatch; justify in a comment
+#pragma once
+
+#if defined(__clang__)
+#define HETOPT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HETOPT_THREAD_ANNOTATION(x)
+#endif
+
+#define HETOPT_CAPABILITY(x) HETOPT_THREAD_ANNOTATION(capability(x))
+#define HETOPT_SCOPED_CAPABILITY HETOPT_THREAD_ANNOTATION(scoped_lockable)
+#define HETOPT_GUARDED_BY(x) HETOPT_THREAD_ANNOTATION(guarded_by(x))
+#define HETOPT_PT_GUARDED_BY(x) HETOPT_THREAD_ANNOTATION(pt_guarded_by(x))
+#define HETOPT_REQUIRES(...) HETOPT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define HETOPT_ACQUIRE(...) HETOPT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HETOPT_RELEASE(...) HETOPT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define HETOPT_TRY_ACQUIRE(...) HETOPT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define HETOPT_EXCLUDES(...) HETOPT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define HETOPT_ACQUIRED_BEFORE(...) HETOPT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define HETOPT_ACQUIRED_AFTER(...) HETOPT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define HETOPT_RETURN_CAPABILITY(x) HETOPT_THREAD_ANNOTATION(lock_returned(x))
+#define HETOPT_NO_THREAD_SAFETY_ANALYSIS HETOPT_THREAD_ANNOTATION(no_thread_safety_analysis)

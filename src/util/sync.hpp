@@ -1,0 +1,84 @@
+// Annotated synchronization primitives: thin, zero-overhead wrappers over
+// std::mutex / std::condition_variable that carry the clang thread-safety
+// capability attributes (util/annotations.hpp). libstdc++'s own types are
+// unannotated, so the static analysis cannot see their acquisitions; all
+// lock-based hetopt code locks through these wrappers instead, which makes
+// `clang++ -Wthread-safety -Werror` a compile-time race detector over it.
+//
+// Under GCC the attributes vanish and every member is a forwarding inline
+// call — semantics and codegen are those of the standard types.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace hetopt::util {
+
+class CondVar;
+
+/// An annotated std::mutex. Prefer the RAII MutexLock below; bare
+/// lock()/unlock() exist for the rare hand-over-hand pattern and keep the
+/// analysis informed through their acquire/release annotations.
+class HETOPT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HETOPT_ACQUIRE() { mutex_.lock(); }
+  void unlock() HETOPT_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() HETOPT_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;  // wait() adopts the already-held native handle
+  std::mutex mutex_;
+};
+
+/// RAII lock over a Mutex (the annotated std::lock_guard).
+class HETOPT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) HETOPT_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() HETOPT_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// An annotated std::condition_variable. wait() requires the mutex held (CP.42:
+/// waiting always happens under a condition) and returns with it held again;
+/// spurious wakeups are possible, so callers loop on their predicate:
+///
+///   util::MutexLock lock(mutex_);
+///   while (!ready_) cv_.wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex` and blocks; re-acquires before returning.
+  /// The adopt/release dance hands the already-held native mutex to a
+  /// temporary std::unique_lock (what std::condition_variable::wait needs)
+  /// without a second lock operation, and takes it back out so the scoped
+  /// holder — and the static analysis — keep sole ownership of the state.
+  void wait(Mutex& mutex) HETOPT_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hetopt::util

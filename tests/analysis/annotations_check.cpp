@@ -1,0 +1,112 @@
+// Compile-time coverage for src/util/annotations.hpp + src/util/sync.hpp.
+//
+// This TU is built as part of the default build on every compiler:
+//  - under clang it is compiled with -Wthread-safety (see CMakeLists.txt), so
+//    every macro below must expand to a *working* attribute and the annotated
+//    usage must be analysis-clean — together with tsa_negative.cpp (which
+//    must fail) this proves the attributes are live;
+//  - under any other compiler the static_assert block at the bottom proves,
+//    at preprocessing time, that every annotation macro expands to NOTHING:
+//    a non-empty expansion spliced between `true` and `== true` would be a
+//    syntax error.
+#include <cstddef>
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
+
+namespace hetopt::analysis_check {
+
+/// A guarded structure exercising every annotation in its documented
+/// position; mirrors the conventions in docs/ARCHITECTURE.md.
+class GuardedCounter {
+ public:
+  GuardedCounter() = default;
+
+  /// RAII path — the common idiom.
+  void increment() HETOPT_EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
+    ++value_;
+    ++*boxed_;
+  }
+
+  /// Caller-holds-the-lock path.
+  [[nodiscard]] std::size_t value_locked() const HETOPT_REQUIRES(mutex_) {
+    return value_;
+  }
+
+  /// Manual acquire/release pair.
+  void lock() HETOPT_ACQUIRE(mutex_) { mutex_.lock(); }
+  void unlock() HETOPT_RELEASE(mutex_) { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() HETOPT_TRY_ACQUIRE(true, mutex_) {
+    return mutex_.try_lock();
+  }
+
+  /// Exposes the capability for callers that annotate against it.
+  [[nodiscard]] util::Mutex& mutex() HETOPT_RETURN_CAPABILITY(mutex_) {
+    return mutex_;
+  }
+
+  /// Deliberate, documented escape hatch: single-threaded use only (e.g.
+  /// constructors in tests); the annotation is the audit trail.
+  [[nodiscard]] std::size_t value_unsafe() const HETOPT_NO_THREAD_SAFETY_ANALYSIS {
+    return value_;
+  }
+
+ private:
+  util::Mutex mutex_;
+  std::size_t value_ HETOPT_GUARDED_BY(mutex_) = 0;
+  std::size_t* boxed_ HETOPT_PT_GUARDED_BY(mutex_) = &storage_;
+  std::size_t storage_ = 0;
+};
+
+/// Lock-ordering declaration between two capabilities.
+class TwoLocks {
+ public:
+  void both() HETOPT_EXCLUDES(first_, second_) {
+    const util::MutexLock outer(first_);
+    const util::MutexLock inner(second_);
+    ++a_;
+    ++b_;
+  }
+
+ private:
+  util::Mutex first_ HETOPT_ACQUIRED_BEFORE(second_);
+  util::Mutex second_ HETOPT_ACQUIRED_AFTER(first_);
+  int a_ HETOPT_GUARDED_BY(first_) = 0;
+  int b_ HETOPT_GUARDED_BY(second_) = 0;
+};
+
+/// Anchor so the static library has a symbol and the classes are ODR-used.
+std::size_t annotations_check_anchor() {
+  GuardedCounter counter;
+  counter.increment();
+  TwoLocks two;
+  two.both();
+  counter.lock();
+  const std::size_t v = counter.value_locked();
+  counter.unlock();
+  return v + counter.value_unsafe();
+}
+
+}  // namespace hetopt::analysis_check
+
+#if !defined(__clang__)
+// Emptiness proof: on non-clang compilers each macro spliced into an
+// expression must vanish entirely — anything left over breaks the parse.
+#define HETOPT_CHECK_EMPTY(expansion) \
+  static_assert(true expansion == true, "annotation must expand to nothing")
+HETOPT_CHECK_EMPTY(HETOPT_CAPABILITY("mutex"));
+HETOPT_CHECK_EMPTY(HETOPT_SCOPED_CAPABILITY);
+HETOPT_CHECK_EMPTY(HETOPT_GUARDED_BY(dummy));
+HETOPT_CHECK_EMPTY(HETOPT_PT_GUARDED_BY(dummy));
+HETOPT_CHECK_EMPTY(HETOPT_REQUIRES(dummy));
+HETOPT_CHECK_EMPTY(HETOPT_ACQUIRE(dummy));
+HETOPT_CHECK_EMPTY(HETOPT_RELEASE(dummy));
+HETOPT_CHECK_EMPTY(HETOPT_TRY_ACQUIRE(true, dummy));
+HETOPT_CHECK_EMPTY(HETOPT_EXCLUDES(dummy));
+HETOPT_CHECK_EMPTY(HETOPT_ACQUIRED_BEFORE(dummy));
+HETOPT_CHECK_EMPTY(HETOPT_ACQUIRED_AFTER(dummy));
+HETOPT_CHECK_EMPTY(HETOPT_RETURN_CAPABILITY(dummy));
+HETOPT_CHECK_EMPTY(HETOPT_NO_THREAD_SAFETY_ANALYSIS);
+#undef HETOPT_CHECK_EMPTY
+#endif

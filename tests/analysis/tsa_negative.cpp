@@ -1,0 +1,29 @@
+// Negative fixture for the clang thread-safety gate: reads and writes a
+// HETOPT_GUARDED_BY member without holding its mutex. Under
+// `clang++ -Wthread-safety -Werror` this TU MUST fail to compile — the
+// `thread_safety_negative` ctest builds it and asserts the failure
+// (WILL_FAIL). It is never built under other compilers (the annotations
+// expand to nothing there, so it would compile and prove nothing).
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
+
+namespace hetopt::analysis_check {
+
+class Unsafe {
+ public:
+  /// BUG (deliberate): touches value_ with mutex_ unheld. The analysis
+  /// reports `-Wthread-safety-analysis: writing variable 'value_' requires
+  /// holding mutex 'mutex_' exclusively`.
+  int bump() { return ++value_; }
+
+ private:
+  util::Mutex mutex_;
+  int value_ HETOPT_GUARDED_BY(mutex_) = 0;
+};
+
+int tsa_negative_anchor() {
+  Unsafe unsafe;
+  return unsafe.bump();
+}
+
+}  // namespace hetopt::analysis_check

@@ -1,0 +1,250 @@
+// Self-test for hetopt_lint (tools/lint/): every rule must fire on a known-bad
+// fixture with the right rule-id and file:line, stay quiet on the matching
+// known-good shape, honor suppression comments — and the real src/ tree must
+// be clean (the same property the `lint` ctest and CI gate enforce).
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+using hetopt::lint::Diagnostic;
+using hetopt::lint::lint_source;
+using hetopt::lint::lint_tree;
+
+namespace {
+
+/// A scratch tree laid out like src/ (layer dirs at the top level).
+class LintFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    root_ = fs::temp_directory_path() /
+            ("hetopt_lint_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++));
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const std::string& relative, const std::string& content) {
+    const fs::path path = root_ / relative;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+  }
+
+  [[nodiscard]] std::vector<Diagnostic> run() const { return lint_tree(root_); }
+
+  static std::string dump(const std::vector<Diagnostic>& diagnostics) {
+    std::string all;
+    for (const auto& d : diagnostics) all += hetopt::lint::to_string(d) + "\n";
+    return all;
+  }
+
+  /// The single diagnostic of `rule`, asserting its location.
+  static void expect_one(const std::vector<Diagnostic>& diagnostics,
+                         const std::string& rule, const std::string& file_suffix,
+                         std::size_t line) {
+    std::size_t hits = 0;
+    for (const auto& d : diagnostics) {
+      if (d.rule != rule) continue;
+      ++hits;
+      EXPECT_EQ(d.line, line) << hetopt::lint::to_string(d);
+      EXPECT_TRUE(d.file.size() >= file_suffix.size() &&
+                  d.file.compare(d.file.size() - file_suffix.size(),
+                                 file_suffix.size(), file_suffix) == 0)
+          << hetopt::lint::to_string(d);
+    }
+    EXPECT_EQ(hits, 1u) << "rule " << rule << " in:\n" << dump(diagnostics);
+  }
+
+  fs::path root_;
+};
+
+// --- layer-dag --------------------------------------------------------------
+
+TEST_F(LintFixture, UpwardIncludeFires) {
+  write("dna/bad_upward.cpp", "#include \"core/executor.hpp\"\n");
+  expect_one(run(), "layer-dag", "dna/bad_upward.cpp", 1);
+}
+
+TEST_F(LintFixture, CrossLayerIncludeFires) {
+  write("dna/bad_cross.cpp",
+        "#include \"dna/alphabet.hpp\"\n"
+        "#include \"ml/dataset.hpp\"\n");
+  expect_one(run(), "layer-dag", "dna/bad_cross.cpp", 2);
+}
+
+TEST_F(LintFixture, DagEdgesPass) {
+  write("automata/ok.cpp",
+        "#include \"automata/nfa.hpp\"\n"
+        "#include \"dna/alphabet.hpp\"\n"
+        "#include \"parallel/thread_pool.hpp\"\n"
+        "#include \"util/rng.hpp\"\n"
+        "#include <vector>\n");
+  EXPECT_TRUE(run().empty()) << dump(run());
+}
+
+// --- atomic-order -----------------------------------------------------------
+
+TEST_F(LintFixture, NakedSeqCstAtomicFires) {
+  write("parallel/bad_atomic.cpp",
+        "#include <atomic>\n"
+        "std::atomic<int> counter;\n"
+        "int peek() { return counter.load(); }\n");
+  expect_one(run(), "atomic-order", "parallel/bad_atomic.cpp", 3);
+}
+
+TEST_F(LintFixture, ExplicitOrderPasses) {
+  write("parallel/ok_atomic.cpp",
+        "#include <atomic>\n"
+        "std::atomic<int> counter;\n"
+        "int peek() { return counter.load(std::memory_order_acquire); }\n"
+        "void bump() {\n"
+        "  counter.fetch_add(1,\n"
+        "                    std::memory_order_relaxed);\n"  // multi-line call
+        "}\n");
+  EXPECT_TRUE(run().empty()) << dump(run());
+}
+
+TEST_F(LintFixture, AtomicRuleOnlyCoversConcurrentLayers) {
+  write("ml/free_pass.cpp",
+        "#include <atomic>\n"
+        "std::atomic<int> counter;\n"
+        "int peek() { return counter.load(); }\n");
+  EXPECT_TRUE(run().empty()) << dump(run());
+}
+
+// --- nondeterminism ---------------------------------------------------------
+
+TEST_F(LintFixture, RandomDeviceInCoreFires) {
+  write("core/bad_random.cpp",
+        "#include <random>\n"
+        "unsigned roll() { std::random_device rd; return rd(); }\n");
+  expect_one(run(), "nondeterminism", "core/bad_random.cpp", 2);
+}
+
+TEST_F(LintFixture, UtilMayTouchEntropy) {
+  write("util/entropy_ok.cpp",
+        "#include <random>\n"
+        "unsigned roll() { std::random_device rd; return rd(); }\n");
+  EXPECT_TRUE(run().empty()) << dump(run());
+}
+
+TEST_F(LintFixture, WallClockCallsFire) {
+  write("opt/bad_clock.cpp",
+        "#include <chrono>\n"
+        "#include <ctime>\n"
+        "long stamp() { return std::time(nullptr); }\n"
+        "auto wall() { return std::chrono::system_clock::now(); }\n");
+  const auto diagnostics = run();
+  // Two independent hits: std::time() on line 3, system_clock on line 4.
+  std::vector<std::size_t> lines;
+  for (const auto& d : diagnostics) {
+    if (d.rule != "nondeterminism") continue;
+    EXPECT_TRUE(d.file.ends_with("opt/bad_clock.cpp")) << hetopt::lint::to_string(d);
+    lines.push_back(d.line);
+  }
+  EXPECT_EQ(lines, (std::vector<std::size_t>{3, 4})) << dump(diagnostics);
+}
+
+TEST_F(LintFixture, SuffixedIdentifiersAndProseDoNotFire) {
+  write("sim/ok_time.cpp",
+        "// rand() and time() in a comment never fire; nor do strings.\n"
+        "const char* label() { return \"call time() now\"; }\n"
+        "double host_time(int t);\n"
+        "double cost() { return host_time(3); }\n");
+  EXPECT_TRUE(run().empty()) << dump(run());
+}
+
+// --- kernel-throw -----------------------------------------------------------
+
+TEST_F(LintFixture, ThrowInsideKernelLoopFires) {
+  write("automata/compiled_dfa.cpp",
+        "void scan(const int* bytes, int n) {\n"
+        "  for (int i = 0; i < n; ++i) {\n"
+        "    if (bytes[i] < 0) throw bytes[i];\n"
+        "  }\n"
+        "}\n");
+  expect_one(run(), "kernel-throw", "automata/compiled_dfa.cpp", 3);
+}
+
+TEST_F(LintFixture, BracelessKernelLoopThrowFires) {
+  write("automata/bitap.cpp",
+        "void scan(int n) {\n"
+        "  while (n-- > 0) throw n;\n"
+        "}\n");
+  expect_one(run(), "kernel-throw", "automata/bitap.cpp", 2);
+}
+
+TEST_F(LintFixture, ColdPathThrowOutsideLoopPasses) {
+  write("automata/compiled_dfa.cpp",
+        "int scan(const int* bytes, int n) {\n"
+        "  int bad = 0;\n"
+        "  for (int i = 0; i < n; ++i) bad += bytes[i] < 0;\n"
+        "  if (bad != 0) throw bad;\n"
+        "  return n;\n"
+        "}\n");
+  EXPECT_TRUE(run().empty()) << dump(run());
+}
+
+TEST_F(LintFixture, KernelRuleOnlyCoversKernelFiles) {
+  write("automata/regex.cpp",
+        "void parse(int n) {\n"
+        "  for (int i = 0; i < n; ++i) {\n"
+        "    throw i;\n"
+        "  }\n"
+        "}\n");
+  EXPECT_TRUE(run().empty()) << dump(run());
+}
+
+TEST_F(LintFixture, AllowCommentSuppresses) {
+  write("automata/compiled_dfa.cpp",
+        "void scan(int n) {\n"
+        "  for (int i = 0; i < n; ++i) {\n"
+        "    throw i;  // hetopt-lint: allow(kernel-throw)\n"
+        "  }\n"
+        "}\n");
+  EXPECT_TRUE(run().empty()) << dump(run());
+}
+
+// --- pragma-once ------------------------------------------------------------
+
+TEST_F(LintFixture, HeaderWithoutPragmaOnceFires) {
+  write("core/bad_header.hpp", "struct Naked {};\n");
+  expect_one(run(), "pragma-once", "core/bad_header.hpp", 1);
+}
+
+TEST_F(LintFixture, HeaderWithPragmaOncePasses) {
+  write("core/ok_header.hpp", "#pragma once\nstruct Covered {};\n");
+  EXPECT_TRUE(run().empty()) << dump(run());
+}
+
+// --- plumbing ---------------------------------------------------------------
+
+TEST(LintFormat, DiagnosticRendersFileLineRuleMessage) {
+  const auto diagnostics =
+      lint_source("dna/bad.cpp", "#include \"core/executor.hpp\"\n");
+  ASSERT_EQ(diagnostics.size(), 1u);
+  const std::string text = hetopt::lint::to_string(diagnostics[0]);
+  EXPECT_NE(text.find("dna/bad.cpp:1: layer-dag: "), std::string::npos) << text;
+}
+
+TEST(LintTree, MissingRootThrows) {
+  EXPECT_THROW((void)lint_tree("/nonexistent/hetopt/lint/root"), std::runtime_error);
+}
+
+// The property the CI gate enforces: the live tree has zero violations.
+TEST(LintTree, RealSourceTreeIsClean) {
+  const auto diagnostics = lint_tree(HETOPT_REPO_SOURCE_DIR "/src");
+  std::string all;
+  for (const auto& d : diagnostics) all += hetopt::lint::to_string(d) + "\n";
+  EXPECT_TRUE(diagnostics.empty()) << all;
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Runtime coverage for the annotated sync layer (util/sync.hpp): the
+// wrappers must behave exactly like the standard primitives they forward to —
+// mutual exclusion, RAII scope, try_lock semantics, condvar wait/notify with
+// the mutex re-held on return.
+#include "util/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace {
+
+using hetopt::util::CondVar;
+using hetopt::util::Mutex;
+using hetopt::util::MutexLock;
+
+TEST(SyncMutex, MutexLockExcludesConcurrentIncrements) {
+  Mutex mutex;
+  std::size_t counter = 0;  // guarded by `mutex` (local, so annotated by hand)
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const MutexLock lock(mutex);
+        ++counter;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter, kThreads * kPerThread);
+}
+
+TEST(SyncMutex, TryLockReflectsOwnership) {
+  Mutex mutex;
+  mutex.lock();
+  // try_lock on the owning thread is UB for std::mutex, so probe from another.
+  std::thread prober([&] { EXPECT_FALSE(mutex.try_lock()); });
+  prober.join();
+  mutex.unlock();
+  std::thread taker([&] {
+    ASSERT_TRUE(mutex.try_lock());
+    mutex.unlock();
+  });
+  taker.join();
+}
+
+TEST(SyncCondVar, WaitReleasesAndReacquires) {
+  Mutex mutex;
+  CondVar cv;
+  bool ready = false;
+  bool observed = false;
+  std::thread waiter([&] {
+    MutexLock lock(mutex);
+    while (!ready) cv.wait(mutex);
+    // The mutex is held again here: flipping `observed` under it must not
+    // race with the main thread's own locked section.
+    observed = true;
+  });
+  {
+    const MutexLock lock(mutex);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  const MutexLock lock(mutex);
+  EXPECT_TRUE(observed);
+}
+
+TEST(SyncCondVar, NotifyAllWakesEveryWaiter) {
+  Mutex mutex;
+  CondVar cv;
+  bool go = false;
+  std::size_t awake = 0;
+  constexpr std::size_t kWaiters = 6;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (std::size_t i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mutex);
+      while (!go) cv.wait(mutex);
+      ++awake;
+    });
+  }
+  {
+    const MutexLock lock(mutex);
+    go = true;
+  }
+  cv.notify_all();
+  for (auto& thread : waiters) thread.join();
+  EXPECT_EQ(awake, kWaiters);
+}
+
+// The annotations themselves must be inert at runtime: a guarded class built
+// through the macros behaves exactly like its unannotated twin.
+class AnnotatedBox {
+ public:
+  void put(int v) {
+    const MutexLock lock(mutex_);
+    value_ = v;
+  }
+  [[nodiscard]] int get() {
+    const MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  Mutex mutex_;
+  int value_ HETOPT_GUARDED_BY(mutex_) = 0;
+};
+
+TEST(SyncAnnotations, GuardedMemberRoundTrips) {
+  AnnotatedBox box;
+  box.put(42);
+  EXPECT_EQ(box.get(), 42);
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Command-line front end for the repo lint (tools/lint/lint.hpp): lints the
+// given trees/files and exits non-zero when any rule fires. The CI
+// `static-analysis` job and `tools/run_lint.sh` run it over src/; it is also
+// registered as the `lint` ctest.
+//
+//   hetopt_lint [path...]      default path: src
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: hetopt_lint [path...]\n"
+    "  Lints every *.hpp/*.cpp under each path (default: src) against the\n"
+    "  hetopt rules: layer-dag, nondeterminism, atomic-order, kernel-throw,\n"
+    "  pragma-once. Diagnostics are `file:line: rule-id: message`; the exit\n"
+    "  status is 1 when any fire. See docs/ARCHITECTURE.md (Analysis gates).\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) paths.emplace_back("src");
+
+  std::vector<hetopt::lint::Diagnostic> diagnostics;
+  try {
+    for (const std::string& path : paths) {
+      if (std::filesystem::is_directory(path)) {
+        for (auto& d : hetopt::lint::lint_tree(path)) {
+          diagnostics.push_back(std::move(d));
+        }
+      } else {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+          std::cerr << "hetopt_lint: cannot read " << path << "\n";
+          return 2;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        const std::string content = buffer.str();
+        for (auto& d : hetopt::lint::lint_source(path, content)) {
+          diagnostics.push_back(std::move(d));
+        }
+      }
+    }
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return 2;
+  }
+
+  for (const auto& diagnostic : diagnostics) {
+    std::cout << hetopt::lint::to_string(diagnostic) << "\n";
+  }
+  if (!diagnostics.empty()) {
+    std::cerr << "hetopt_lint: " << diagnostics.size() << " violation(s)\n";
+    return 1;
+  }
+  std::cerr << "hetopt_lint: clean\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// hetopt_lint — the repo-specific static analyzer (no libclang: a small
+// self-contained scanner over the source text, so it runs anywhere the
+// toolchain does and stays fast enough for a ctest).
+//
+// It enforces the invariants a generic tool cannot know about:
+//
+//   rule id          scope                 invariant
+//   ---------------  --------------------  -------------------------------------
+//   layer-dag        src/<layer>/**        #include edges must follow the layer
+//                                          DAG (docs/ARCHITECTURE.md): no upward
+//                                          or cross-layer includes.
+//   nondeterminism   everywhere but util/  no std::random_device, rand()/srand(),
+//                                          time(), or system_clock — randomness
+//                                          flows through util::rng, clocks
+//                                          through util::timer, so seeded runs
+//                                          stay bit-reproducible.
+//   atomic-order     parallel/, core/      every atomic operation names an
+//                                          explicit std::memory_order (the
+//                                          chunk_queue.cpp CAS loop is the
+//                                          model); a defaulted seq_cst call is
+//                                          an unreviewed fence.
+//   kernel-throw     automata kernel TUs   no `throw` inside a loop body of the
+//                                          scan kernels (compiled_dfa.cpp,
+//                                          bitap.cpp): invalid input is detected
+//                                          branch-free and reported once per
+//                                          chunk from the cold path.
+//   pragma-once      *.hpp                 every header starts with #pragma once.
+//
+// Comments and string/character literals are stripped before matching, so
+// prose never trips a rule. A violation that is deliberate (e.g. the cold
+// throw helper a kernel dispatches to) is silenced on its own line with
+//
+//   ... code ...  // hetopt-lint: allow(rule-id)
+//
+// and the justification belongs in the surrounding comment.
+//
+// Diagnostics are `file:line: rule-id: message`, exit status 1 when any fire.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetopt::lint {
+
+struct Diagnostic {
+  std::string file;  // as cited: display path of the offending file
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// "file:line: rule-id: message" — the format the CI gate and the fixtures
+/// grep for.
+[[nodiscard]] std::string to_string(const Diagnostic& diagnostic);
+
+/// Lints one translation unit. `display_path` is what diagnostics cite; the
+/// file's layer is the path component nearest the file that names a known
+/// layer (util, parallel, dna, ml, sim, automata, opt, core), so fixture
+/// trees mirroring src/'s layout lint identically from any root.
+[[nodiscard]] std::vector<Diagnostic> lint_source(std::string_view display_path,
+                                                  std::string_view content);
+
+/// Walks `root` (a directory laid out like src/) and lints every *.hpp and
+/// *.cpp beneath it in sorted path order. Diagnostics cite root/<relative>.
+/// Throws std::runtime_error when root is not a readable directory.
+[[nodiscard]] std::vector<Diagnostic> lint_tree(const std::filesystem::path& root);
+
+}  // namespace hetopt::lint

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Static-analysis gate (docs/ARCHITECTURE.md: Analysis gates). Run from
+# anywhere; builds into <repo>/build like run_tier1.sh.
+#
+#   tools/run_lint.sh [extra cmake args...]
+#
+# Always runs:
+#   1. hetopt_lint over src/ — layer DAG, determinism bans, explicit
+#      memory orders, kernel-throw, pragma-once (tools/lint/lint.hpp).
+# Runs when the toolchain is available (CI installs it; locally these
+# steps are skipped with a note if clang/clang-tidy are missing):
+#   2. clang build of the library with -Wthread-safety -Werror — the
+#      annotations in util/annotations.hpp become a static race detector.
+#   3. clang-tidy over src/ with the repo .clang-tidy profile.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+failed=0
+
+# --- 1. hetopt_lint -------------------------------------------------------
+cmake -B "${repo}/build" -S "${repo}" "$@"
+cmake --build "${repo}/build" --target hetopt_lint -j
+if "${repo}/build/hetopt_lint" "${repo}/src"; then
+  echo "run_lint: hetopt_lint OK"
+else
+  failed=1
+fi
+
+# --- 2. clang thread-safety analysis --------------------------------------
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B "${repo}/build-tsa" -S "${repo}" \
+    -DCMAKE_CXX_COMPILER=clang++ -DHETOPT_WERROR=ON
+  if cmake --build "${repo}/build-tsa" --target hetopt -j; then
+    echo "run_lint: clang -Wthread-safety OK"
+  else
+    echo "run_lint: clang -Wthread-safety FAILED" >&2
+    failed=1
+  fi
+else
+  echo "run_lint: clang++ not found — skipping thread-safety analysis" >&2
+fi
+
+# --- 3. clang-tidy --------------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  tidy_build="${repo}/build-tsa"
+  [ -d "${tidy_build}" ] || tidy_build="${repo}/build"
+  cmake -B "${tidy_build}" -S "${repo}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  mapfile -t sources < <(find "${repo}/src" -name '*.cpp' | sort)
+  if clang-tidy -p "${tidy_build}" --quiet "${sources[@]}"; then
+    echo "run_lint: clang-tidy OK"
+  else
+    echo "run_lint: clang-tidy FAILED" >&2
+    failed=1
+  fi
+else
+  echo "run_lint: clang-tidy not found — skipping" >&2
+fi
+
+exit "${failed}"
