@@ -24,6 +24,12 @@
 //                        demand-driven schedules must recover what static
 //                        wastes), and the tuned-winner policy per Table II
 //                        preset on a schedule-enabled space
+//   device_matrix        the fleet axis measured for real: the EM-real winner
+//                        executed with 1..4 emulated-device pools (configured
+//                        vs realized per-pool shares, steals, throughput —
+//                        the configured shares come from the water-filling
+//                        distribute oracle), and the tuned-winner fleet size
+//                        per Table II preset on a device-count-enabled space
 //   table2_real          the four Table II presets tuning the live matcher on
 //                        a scaled-down genome (EM/SAM measure real runs;
 //                        EML/SAML search on the sim-trained predictor and the
@@ -47,6 +53,7 @@
 #include <vector>
 
 #include "core/hetopt.hpp"
+#include "sim/multi.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
@@ -98,6 +105,7 @@ void write_config(util::JsonWriter& json, const opt::SystemConfig& c) {
       .member("host_percent", c.host_percent)
       .member("engine", automata::to_string(c.engine))
       .member("schedule", parallel::to_string(c.schedule))
+      .member("device_count", c.device_count)
       .end_object();
 }
 
@@ -168,7 +176,7 @@ int main(int argc, char** argv) {
 
   util::JsonWriter json;
   json.begin_object()
-      .member("schema", "hetopt-bench-v3")
+      .member("schema", "hetopt-bench-v4")
       .member("suite", suite)
       .member("genome", genome)
       .member("logical_mb", workload.size_mb)
@@ -622,6 +630,111 @@ int main(int argc, char** argv) {
     json.end_object();
   }
 
+  // --- device_matrix --------------------------------------------------------
+  // The fleet axis measured for real. The profile block executes the EM-real
+  // winner with 1..4 emulated-device pools: the device remainder of the
+  // configured fraction is water-filled across the K devices by
+  // sim::MultiDeviceMachine::distribute (so identical devices finish
+  // together), and the rows record both the configured and the realized
+  // per-pool shares plus the steal traffic — the bench-side face of the
+  // distribute differential oracle. The tuned block then lets each Table II
+  // preset pick the fleet size on a device-count-enabled grid; the ML
+  // presets price fleets through the predictor's water-filled fleet
+  // extension of Eq. 2.
+  bool device_parity = true;
+  {
+    json.key("device_matrix").begin_object();
+    json.key("profile").begin_array();
+    for (int devices = 1; devices <= 4; ++devices) {
+      opt::SystemConfig c = rows.front().config;
+      c.device_count = devices;
+      const core::RealMeasurement m = real_eval->measure(c, workload);
+      const bool parity = m.matches == rw.sequential_matches();
+      device_parity = device_parity && parity;
+      const sim::ShareVector shares = sim::emil_with_phis(static_cast<std::size_t>(devices))
+                                          .distribute(rw.physical_mb(), c.host_percent,
+                                                      c.host_threads, c.host_affinity,
+                                                      c.device_threads, c.device_affinity);
+      json.begin_object()
+          .member("device_count", devices)
+          .member("pool_count", m.pool_count)
+          .member("seconds", m.seconds)
+          .member("throughput_mb_s", m.throughput_mb_s)
+          .member("matches", m.matches)
+          .member("match_parity", parity)
+          .member("imbalance", m.imbalance)
+          .member("sim_makespan_s", shares.makespan_s);
+      json.key("configured_percents").begin_array();
+      for (const double s : m.configured_percents) json.value(s);
+      json.end_array().key("realized_percents").begin_array();
+      for (const double s : m.realized_percents) json.value(s);
+      json.end_array().key("pool_steals").begin_array();
+      for (const std::uint64_t s : m.pool_steals) json.value(s);
+      json.end_array().end_object();
+      std::cout << "  device_matrix " << devices << " device"
+                << (devices == 1 ? "" : "s") << ": "
+                << util::format_double(m.throughput_mb_s, 1) << " MB/s, host "
+                << util::format_double(m.realized_percents.empty()
+                                           ? 0.0
+                                           : m.realized_percents.front(),
+                                       1)
+                << "% realized (configured "
+                << util::format_double(m.configured_percents.empty()
+                                           ? 0.0
+                                           : m.configured_percents.front(),
+                                       1)
+                << "%)\n";
+    }
+    json.end_array();
+
+    // Tuned-winner fleet size per Table II preset over a device-count-enabled
+    // grid (small thread/fraction axes — the interesting axis is the fleet).
+    {
+      const std::vector<int> threads_axis =
+          hw > 1 ? std::vector<int>{1, static_cast<int>(hw)} : std::vector<int>{1};
+      const opt::ConfigSpace device_space =
+          opt::ConfigSpace(threads_axis, {parallel::HostAffinity::kNone}, threads_axis,
+                           {parallel::DeviceAffinity::kBalanced}, {0.0, 50.0, 100.0},
+                           {automata::EngineKind::kCompiledDfa})
+              .with_device_counts({1, 2, 3, 4});
+      json.key("tuned").begin_array();
+      const auto tune_preset = [&](const std::string& method, const char* strategy_name,
+                                   const std::shared_ptr<core::Evaluator>& evaluator) {
+        core::TuningSession session(device_space);
+        session.with_strategy(strategy_name)
+            .with_evaluator(evaluator)
+            .with_budget(strategy_name == std::string_view("exhaustive")
+                             ? device_space.size()
+                             : iterations + 1)
+            .with_seed(seed);
+        const core::SessionReport report = session.run(workload);
+        const core::RealMeasurement real = real_eval->measure(report.config, workload);
+        const bool parity = real.matches == rw.sequential_matches();
+        device_parity = device_parity && parity;
+        json.begin_object()
+            .member("method", method)
+            .member("device_count", report.config.device_count)
+            .member("evaluations", report.evaluations)
+            .member("real_time_s", real.seconds)
+            .member("throughput_mb_s", real.throughput_mb_s)
+            .member("match_parity", parity)
+            .key("winner");
+        write_config(json, report.config);
+        json.end_object();
+        std::cout << "  device_matrix " << method << " -> "
+                  << report.config.device_count << " device"
+                  << (report.config.device_count == 1 ? "" : "s") << " ("
+                  << opt::to_string(report.config) << ")\n";
+      };
+      tune_preset("EM", "exhaustive", real_eval);
+      tune_preset("EML", "exhaustive", prediction);
+      tune_preset("SAM", "annealing", real_eval);
+      tune_preset("SAML", "annealing", prediction);
+      json.end_array();
+    }
+    json.end_object();
+  }
+
   // --- fraction_profile -----------------------------------------------------
   // Per-config real times along the fraction axis at the EM-real winner's
   // thread/affinity setting (the live-code analogue of Fig. 2).
@@ -701,6 +814,13 @@ int main(int argc, char** argv) {
   // counts, the skew block and the tuned winners — must be byte-exact too.
   if (!schedule_parity) {
     std::cerr << "bench_main: schedule_matrix MATCH MISMATCH\n";
+    return 1;
+  }
+  // Every device-matrix row — 1..4 emulated-device fleets and the tuned
+  // fleet-size winners — must reproduce the sequential count too: N-way
+  // parity is the whole point of the fleet runtime.
+  if (!device_parity) {
+    std::cerr << "bench_main: device_matrix MATCH MISMATCH\n";
     return 1;
   }
   if (fused_speedup < kKernelGuardMinSpeedup) {

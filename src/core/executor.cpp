@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <future>
+#include <limits>
 #include <stdexcept>
 #include <utility>
-#include <vector>
 
 #include "automata/compiled_dfa.hpp"
 #include "parallel/chunk_queue.hpp"
@@ -17,41 +18,206 @@ namespace hetopt::core {
 
 namespace {
 
-[[nodiscard]] parallel::ThreadPool::WorkerInit host_init(
-    std::optional<parallel::HostAffinity> affinity, std::size_t threads) {
-  if (!affinity) return nullptr;
-  return [a = *affinity, threads](std::size_t worker) {
-    parallel::pin_current_thread(a, worker, threads);
-  };
+[[nodiscard]] parallel::ThreadPool::WorkerInit pool_init(const PoolSpec& spec) {
+  if (spec.host_affinity) {
+    return [a = *spec.host_affinity, threads = spec.threads](std::size_t worker) {
+      parallel::pin_current_thread(a, worker, threads);
+    };
+  }
+  if (spec.device_affinity) {
+    return [a = *spec.device_affinity, threads = spec.threads](std::size_t worker) {
+      parallel::pin_current_thread(a, worker, threads);
+    };
+  }
+  return nullptr;
 }
 
-[[nodiscard]] parallel::ThreadPool::WorkerInit device_init(
-    std::optional<parallel::DeviceAffinity> affinity, std::size_t threads) {
-  if (!affinity) return nullptr;
-  return [a = *affinity, threads](std::size_t worker) {
-    parallel::pin_current_thread(a, worker, threads);
-  };
+[[nodiscard]] std::vector<PoolSpec> pair_specs(
+    std::size_t host_threads, std::size_t device_threads,
+    std::optional<parallel::HostAffinity> host_affinity,
+    std::optional<parallel::DeviceAffinity> device_affinity) {
+  PoolSpec host;
+  host.threads = host_threads;
+  host.host_affinity = host_affinity;
+  PoolSpec device;
+  device.threads = device_threads;
+  device.device_affinity = device_affinity;
+  return {host, device};
 }
 
-/// Derives the realized fraction and the imbalance metric from the filled
-/// bytes/seconds fields.
-void finalize_report(ExecutionReport& report) {
-  const std::size_t total = report.host_bytes + report.device_bytes;
-  report.realized_host_percent =
-      total > 0 ? 100.0 * static_cast<double>(report.host_bytes) / static_cast<double>(total)
-                : 0.0;
-  if (report.host_bytes > 0 && report.device_bytes > 0) {
-    const double slow = std::max(report.host_seconds, report.device_seconds);
-    const double fast = std::min(report.host_seconds, report.device_seconds);
-    report.imbalance = slow > 0.0 ? (slow - fast) / slow : 0.0;
+void validate_shares(const std::vector<double>& shares, std::size_t pool_count) {
+  if (shares.size() != pool_count) {
+    throw std::invalid_argument("HeterogeneousExecutor: one share per pool required");
+  }
+  double sum = 0.0;
+  for (const double s : shares) {
+    if (!(s >= 0.0 && s <= 100.0)) {
+      throw std::invalid_argument("HeterogeneousExecutor: share out of [0,100]");
+    }
+    sum += s;
+  }
+  if (std::abs(sum - 100.0) > 1e-6) {
+    throw std::invalid_argument("HeterogeneousExecutor: shares must sum to 100");
   }
 }
+
+/// Byte boundaries of the configured segments: bounds[i]..bounds[i+1] is pool
+/// i's share. Cumulative llround so a 2-pool fleet reproduces
+/// parallel::split_by_percent exactly; the last boundary absorbs rounding.
+[[nodiscard]] std::vector<std::size_t> segment_bounds(std::size_t total,
+                                                      const std::vector<double>& shares) {
+  std::vector<std::size_t> bounds(shares.size() + 1, 0);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i + 1 < shares.size(); ++i) {
+    cumulative += shares[i];
+    const auto cut = static_cast<std::size_t>(
+        std::llround(static_cast<double>(total) * cumulative / 100.0));
+    bounds[i + 1] = std::max(bounds[i], std::min(total, cut));
+  }
+  bounds[shares.size()] = total;
+  return bounds;
+}
+
+/// Derives realized shares and the imbalance metric from the filled per-pool
+/// bytes/seconds fields, and mirrors the fleet into the legacy host/device
+/// scalars (host = pool 0, device = the aggregate of pools 1..N-1).
+void finalize_fleet(ExecutionReport& report) {
+  std::size_t total = 0;
+  for (const PoolReport& p : report.pools) total += p.bytes;
+  for (PoolReport& p : report.pools) {
+    p.realized_percent =
+        total > 0 ? 100.0 * static_cast<double>(p.bytes) / static_cast<double>(total) : 0.0;
+  }
+  double slow = 0.0;
+  double fast = std::numeric_limits<double>::infinity();
+  std::size_t active = 0;
+  for (const PoolReport& p : report.pools) {
+    if (p.bytes == 0) continue;
+    ++active;
+    slow = std::max(slow, p.seconds);
+    fast = std::min(fast, p.seconds);
+  }
+  report.imbalance = active >= 2 && slow > 0.0 ? (slow - fast) / slow : 0.0;
+
+  const PoolReport& host = report.pools.front();
+  report.host_matches = host.matches;
+  report.host_bytes = host.bytes;
+  report.host_seconds = host.seconds;
+  report.host_steals = host.steals;
+  report.configured_host_percent = host.configured_percent;
+  report.realized_host_percent = host.realized_percent;
+  report.device_matches = 0;
+  report.device_bytes = 0;
+  report.device_seconds = 0.0;
+  report.device_steals = 0;
+  for (std::size_t i = 1; i < report.pools.size(); ++i) {
+    report.device_matches += report.pools[i].matches;
+    report.device_bytes += report.pools[i].bytes;
+    report.device_steals += report.pools[i].steals;
+    report.device_seconds = std::max(report.device_seconds, report.pools[i].seconds);
+  }
+  report.total_seconds = 0.0;
+  for (const PoolReport& p : report.pools) {
+    report.total_seconds = std::max(report.total_seconds, p.seconds);
+  }
+}
+
+/// The chunk layout of a run plus who owns each chunk. kStatic/kAdaptive cut
+/// every configured segment with its own granularity (per-segment queues);
+/// kDynamic/kGuided cut the whole input as one shared range.
+struct FleetLayout {
+  std::vector<parallel::Chunk> chunks;
+  /// The pool whose configured segment contains chunks[t].begin — a claim by
+  /// any other pool is a steal.
+  std::vector<std::uint32_t> owners;
+  /// chunks[seg_offset[i] .. seg_offset[i+1]) is segment i (per-segment
+  /// layouts only).
+  std::vector<std::size_t> seg_offset;
+  bool per_segment = false;
+};
+
+[[nodiscard]] FleetLayout build_layout(std::size_t total,
+                                       const std::vector<std::size_t>& bounds,
+                                       const std::vector<std::size_t>& chunk_counts,
+                                       std::size_t total_workers,
+                                       parallel::SchedulePolicy schedule) {
+  const std::size_t n = bounds.size() - 1;
+  FleetLayout layout;
+  layout.per_segment = schedule == parallel::SchedulePolicy::kStatic ||
+                       schedule == parallel::SchedulePolicy::kAdaptive;
+  layout.seg_offset.assign(n + 1, 0);
+  if (layout.per_segment) {
+    // Seed each pool with its configured segment, cut exactly as the static
+    // path would have cut it.
+    for (std::size_t i = 0; i < n; ++i) {
+      layout.seg_offset[i] = layout.chunks.size();
+      for (const parallel::Chunk& c :
+           parallel::make_chunks(bounds[i + 1] - bounds[i], chunk_counts[i], /*halo=*/0)) {
+        layout.chunks.push_back(
+            {c.begin + bounds[i], c.end + bounds[i], c.scan_end + bounds[i]});
+      }
+    }
+    layout.seg_offset[n] = layout.chunks.size();
+  } else {
+    std::size_t total_chunks = 0;
+    for (const std::size_t c : chunk_counts) total_chunks += c;
+    total_chunks = std::max<std::size_t>(1, total_chunks);
+    if (schedule == parallel::SchedulePolicy::kGuided) {
+      layout.chunks = parallel::make_chunks_guided(
+          total, total_workers, parallel::guided_min_chunk(total, total_chunks));
+    } else {
+      layout.chunks = parallel::make_chunks(total, total_chunks, /*halo=*/0);
+    }
+  }
+  layout.owners.resize(layout.chunks.size());
+  std::size_t seg = 0;
+  for (std::size_t t = 0; t < layout.chunks.size(); ++t) {
+    while (seg + 1 < n && layout.chunks[t].begin >= bounds[seg + 1]) ++seg;
+    layout.owners[t] = static_cast<std::uint32_t>(seg);
+  }
+  return layout;
+}
+
+/// Per-pool accumulators, fetch_add'ed by that pool's pull-loop workers.
+/// All operations are relaxed: the totals carry no payload another thread
+/// reads mid-run, and the pool join (parallel_pull's future.get plus the
+/// per-pool future.get) is the synchronization that publishes them before
+/// the single-threaded reads into the report.
+struct PoolTotals {
+  std::atomic<std::uint64_t> matches{0};
+  std::atomic<std::size_t> bytes{0};
+  std::atomic<std::uint64_t> steals{0};
+};
 
 }  // namespace
 
 std::string ExecutionReport::to_string() const {
-  const double total_mb =
-      static_cast<double>(host_bytes + device_bytes) / (1024.0 * 1024.0);
+  // Pre-fleet reports (pools empty) render through the legacy 2-pool view.
+  std::vector<PoolReport> view = pools;
+  if (view.empty()) {
+    const std::size_t total = host_bytes + device_bytes;
+    PoolReport host;
+    host.matches = host_matches;
+    host.bytes = host_bytes;
+    host.seconds = host_seconds;
+    host.configured_percent = configured_host_percent;
+    host.realized_percent = realized_host_percent;
+    host.steals = host_steals;
+    PoolReport device;
+    device.matches = device_matches;
+    device.bytes = device_bytes;
+    device.seconds = device_seconds;
+    device.configured_percent = 100.0 - configured_host_percent;
+    device.realized_percent =
+        total > 0 ? 100.0 * static_cast<double>(device_bytes) / static_cast<double>(total)
+                  : 0.0;
+    device.steals = device_steals;
+    view.push_back(host);
+    view.push_back(device);
+  }
+  std::size_t total_bytes = 0;
+  for (const PoolReport& p : view) total_bytes += p.bytes;
+  const double total_mb = static_cast<double>(total_bytes) / (1024.0 * 1024.0);
   std::string out = "[";
   out += parallel::to_string(schedule);
   out += "] ";
@@ -60,18 +226,23 @@ std::string ExecutionReport::to_string() const {
   out += util::format_double(total_mb, 2);
   out += " MB in ";
   out += util::format_double(total_seconds, 4);
-  out += " s | host ";
-  out += util::format_trimmed(realized_host_percent, 1);
-  out += "% of bytes (configured ";
-  out += util::format_trimmed(configured_host_percent, 1);
-  out += "%), ";
-  out += util::format_double(host_seconds, 4);
-  out += " s | device ";
-  out += util::format_double(device_seconds, 4);
-  out += " s | steals ";
-  out += std::to_string(host_steals);
-  out += "+";
-  out += std::to_string(device_steals);
+  out += " s";
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    out += " | ";
+    out += i == 0 ? "host" : "dev" + std::to_string(i);
+    out += " ";
+    out += util::format_trimmed(view[i].realized_percent, 1);
+    out += "% of bytes (configured ";
+    out += util::format_trimmed(view[i].configured_percent, 1);
+    out += "%), ";
+    out += util::format_double(view[i].seconds, 4);
+    out += " s";
+  }
+  out += " | steals ";
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    if (i > 0) out += "+";
+    out += std::to_string(view[i].steals);
+  }
   out += " | imbalance ";
   out += util::format_double(imbalance, 2);
   return out;
@@ -83,23 +254,54 @@ HeterogeneousExecutor::HeterogeneousExecutor(
     std::optional<parallel::DeviceAffinity> device_affinity)
     : owned_engine_(std::make_unique<automata::DenseDfaEngine>(
           automata::EngineKind::kCompiledDfa, dfa)),
-      engine_(owned_engine_.get()),
-      host_pool_(host_threads, host_init(host_affinity, host_threads)),
-      device_pool_(device_threads, device_init(device_affinity, device_threads)),
-      host_matcher_(*engine_, host_pool_),
-      device_matcher_(*engine_, device_pool_) {}
+      engine_(owned_engine_.get()) {
+  build_fleet(pair_specs(host_threads, device_threads, host_affinity, device_affinity));
+}
 
 HeterogeneousExecutor::HeterogeneousExecutor(
     const automata::MatchEngine& engine, std::size_t host_threads,
     std::size_t device_threads, std::optional<parallel::HostAffinity> host_affinity,
     std::optional<parallel::DeviceAffinity> device_affinity)
-    : engine_(&engine),
-      host_pool_(host_threads, host_init(host_affinity, host_threads)),
-      device_pool_(device_threads, device_init(device_affinity, device_threads)),
-      host_matcher_(*engine_, host_pool_),
-      device_matcher_(*engine_, device_pool_) {
-  // A boundless engine without a DFA is rejected by the ParallelMatcher
-  // members above, so the unbounded branch of run() can rely on kernel().
+    : engine_(&engine) {
+  build_fleet(pair_specs(host_threads, device_threads, host_affinity, device_affinity));
+}
+
+HeterogeneousExecutor::HeterogeneousExecutor(const automata::DenseDfa& dfa,
+                                             std::vector<PoolSpec> pools)
+    : owned_engine_(std::make_unique<automata::DenseDfaEngine>(
+          automata::EngineKind::kCompiledDfa, dfa)),
+      engine_(owned_engine_.get()) {
+  build_fleet(std::move(pools));
+}
+
+HeterogeneousExecutor::HeterogeneousExecutor(const automata::MatchEngine& engine,
+                                             std::vector<PoolSpec> pools)
+    : engine_(&engine) {
+  build_fleet(std::move(pools));
+}
+
+void HeterogeneousExecutor::build_fleet(std::vector<PoolSpec> pools) {
+  if (pools.empty()) {
+    throw std::invalid_argument("HeterogeneousExecutor: at least one pool required");
+  }
+  for (const PoolSpec& spec : pools) {
+    if (!(spec.share_percent >= 0.0 && spec.share_percent <= 100.0)) {
+      throw std::invalid_argument("HeterogeneousExecutor: pool share out of [0,100]");
+    }
+    if (spec.host_affinity && spec.device_affinity) {
+      throw std::invalid_argument(
+          "HeterogeneousExecutor: a pool pins as host or as device, not both");
+    }
+  }
+  specs_ = std::move(pools);
+  pools_.reserve(specs_.size());
+  matchers_.reserve(specs_.size());
+  for (const PoolSpec& spec : specs_) {
+    pools_.push_back(std::make_unique<parallel::ThreadPool>(spec.threads, pool_init(spec)));
+    // A boundless engine without a DFA is rejected by the ParallelMatcher
+    // constructor, so the unbounded branches below can rely on kernel().
+    matchers_.push_back(std::make_unique<automata::ParallelMatcher>(*engine_, *pools_.back()));
+  }
 }
 
 ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_percent) {
@@ -117,8 +319,46 @@ ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_pe
                                            std::size_t host_chunks,
                                            std::size_t device_chunks,
                                            parallel::SchedulePolicy schedule) {
-  if (host_chunks == 0) host_chunks = host_pool_.thread_count();
-  if (device_chunks == 0) device_chunks = device_pool_.thread_count();
+  if (specs_.size() != 2) {
+    throw std::logic_error(
+        "HeterogeneousExecutor::run(host_percent) needs the 2-pool fleet; use run_fleet");
+  }
+  if (!(host_percent >= 0.0 && host_percent <= 100.0)) {
+    throw std::invalid_argument("run: percent out of [0,100]");
+  }
+  if (host_chunks == 0) host_chunks = pools_[0]->thread_count();
+  if (device_chunks == 0) device_chunks = pools_[1]->thread_count();
+  return run_impl(text, {host_percent, 100.0 - host_percent}, {host_chunks, device_chunks},
+                  schedule);
+}
+
+ExecutionReport HeterogeneousExecutor::run_fleet(std::string_view text,
+                                                 parallel::SchedulePolicy schedule) {
+  std::vector<double> shares;
+  shares.reserve(specs_.size());
+  for (const PoolSpec& spec : specs_) shares.push_back(spec.share_percent);
+  return run_fleet(text, shares, schedule);
+}
+
+ExecutionReport HeterogeneousExecutor::run_fleet(std::string_view text,
+                                                 const std::vector<double>& shares,
+                                                 parallel::SchedulePolicy schedule) {
+  return run_impl(text, shares, resolve_chunk_counts(), schedule);
+}
+
+std::vector<std::size_t> HeterogeneousExecutor::resolve_chunk_counts() const {
+  std::vector<std::size_t> counts(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    counts[i] = specs_[i].chunks > 0 ? specs_[i].chunks : pools_[i]->thread_count();
+  }
+  return counts;
+}
+
+ExecutionReport HeterogeneousExecutor::run_impl(std::string_view text,
+                                                const std::vector<double>& shares,
+                                                const std::vector<std::size_t>& chunk_counts,
+                                                parallel::SchedulePolicy schedule) {
+  validate_shares(shares, specs_.size());
   // Shared-queue schedules scan every chunk independently (per-chunk
   // warm-up); an unbounded engine cannot, so it runs the static path.
   if (schedule != parallel::SchedulePolicy::kStatic &&
@@ -126,162 +366,160 @@ ExecutionReport HeterogeneousExecutor::run(std::string_view text, double host_pe
     schedule = parallel::SchedulePolicy::kStatic;
   }
   if (schedule == parallel::SchedulePolicy::kStatic) {
-    return run_static(text, host_percent, host_chunks, device_chunks);
+    return run_static_fleet(text, shares, chunk_counts);
   }
-  return run_shared(text, host_percent, host_chunks, device_chunks, schedule);
+  return run_shared_fleet(text, shares, chunk_counts, schedule);
 }
 
-ExecutionReport HeterogeneousExecutor::run_static(std::string_view text,
-                                                  double host_percent,
-                                                  std::size_t host_chunks,
-                                                  std::size_t device_chunks) {
-  const auto split = parallel::split_by_percent(text.size(), host_percent);
+ExecutionReport HeterogeneousExecutor::run_static_fleet(
+    std::string_view text, const std::vector<double>& shares,
+    const std::vector<std::size_t>& chunk_counts) {
+  const std::size_t n = specs_.size();
+  const auto bounds = segment_bounds(text.size(), shares);
   ExecutionReport report;
-  report.configured_host_percent = host_percent;
-  report.host_bytes = split.host_bytes;
-  report.device_bytes = split.device_bytes;
-  if (text.empty()) return report;
-
-  const std::string_view host_part = text.substr(0, split.host_bytes);
-  // The device part starts earlier by the warm-up so motifs spanning the cut
-  // are counted on the device side exactly once: the device share owns match
-  // end positions in [host_bytes, size).
-  const std::string_view device_part = text.substr(split.host_bytes);
-
-  // A 0%/100% fraction gives one side nothing: skip that side's dispatch
-  // entirely — no empty-share scan, no async launch, no pool wake — and
-  // keep its matches/bytes/seconds fields exactly zero.
-  std::future<std::pair<std::uint64_t, double>> device_future;
-  if (!device_part.empty()) {
-    // Launch the device share asynchronously (the "offload"), scan the host
-    // share on the calling thread's pool, then join — overlapped execution.
-    device_future = std::async(std::launch::async, [&]() {
+  report.pools.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    report.pools[i].configured_percent = shares[i];
+    report.pools[i].bytes = bounds[i + 1] - bounds[i];
+  }
+  if (!text.empty()) {
+    const bool bounded = engine_->synchronization_bound() > 0;
+    const auto scan_segment = [&](std::size_t i) {
       util::Timer timer;
+      const std::size_t begin = bounds[i];
+      const std::size_t end = bounds[i + 1];
       std::uint64_t matches = 0;
-      if (engine_->synchronization_bound() > 0) {
-        // Warm up over the host-side boundary bytes so motifs spanning the
-        // cut are counted: scan from (host_bytes - lead) and subtract the
-        // matches that end inside the warm-up prefix (the host owns those).
-        const std::size_t lead =
-            std::min(engine_->synchronization_bound() - 1, split.host_bytes);
+      if (bounded) {
+        // Warm up over the boundary bytes so motifs spanning the cut are
+        // counted exactly once: scan from (begin - lead) and subtract the
+        // matches that end inside the warm-up prefix (the pool to the left
+        // owns those). Pool 0 has lead 0, so this is a plain segment scan.
+        const std::size_t lead = std::min(engine_->synchronization_bound() - 1, begin);
         const auto stats =
-            device_matcher_.count(text.substr(split.host_bytes - lead), device_chunks);
-        const auto lead_matches =
-            engine_->count(text.substr(split.host_bytes - lead, lead));
-        matches = stats.match_count - lead_matches;
+            matchers_[i]->count(text.substr(begin - lead, end - begin + lead),
+                                chunk_counts[i]);
+        matches = stats.match_count - engine_->count(text.substr(begin - lead, lead));
+      } else if (begin == 0) {
+        matches = matchers_[i]->count(text.substr(0, end), chunk_counts[i]).match_count;
       } else {
-        // Unbounded patterns: the entry state depends on the whole prefix, so
-        // derive it by replaying the host share, then scan sequentially. Only
+        // Unbounded patterns: the entry state depends on the whole prefix,
+        // so derive it by replaying [0, begin), then scan sequentially. Only
         // DFA-backed engines can have unbounded patterns (checked at
         // construction), so the kernel is available here.
         const automata::CompiledDfa& kernel = *engine_->kernel();
         const automata::StateId entry =
-            kernel.count(host_part, kernel.start()).final_state;
-        matches = kernel.count(device_part, entry).match_count;
+            kernel.count(text.substr(0, begin), kernel.start()).final_state;
+        matches = kernel.count(text.substr(begin, end - begin), entry).match_count;
       }
       return std::pair<std::uint64_t, double>(matches, timer.seconds());
-    });
-  }
+    };
 
-  if (!host_part.empty()) {
-    util::Timer host_timer;
-    report.host_matches = host_matcher_.count(host_part, host_chunks).match_count;
-    report.host_seconds = host_timer.seconds();
+    // A zero-byte share gives a pool nothing: skip that pool's dispatch
+    // entirely — no empty-share scan, no async launch, no pool wake — and
+    // keep its matches/bytes/seconds fields exactly zero. Pools 1..N-1 run
+    // asynchronously (the "offload"); pool 0 scans on the calling thread's
+    // pool; the joins make the execution overlapped.
+    std::vector<std::future<std::pair<std::uint64_t, double>>> futures(n);
+    for (std::size_t i = 1; i < n; ++i) {
+      if (bounds[i + 1] > bounds[i]) {
+        futures[i] = std::async(std::launch::async, scan_segment, i);
+      }
+    }
+    if (bounds[1] > 0) {
+      const auto [matches, seconds] = scan_segment(0);
+      report.pools[0].matches = matches;
+      report.pools[0].seconds = seconds;
+    }
+    for (std::size_t i = 1; i < n; ++i) {
+      if (!futures[i].valid()) continue;
+      const auto [matches, seconds] = futures[i].get();
+      report.pools[i].matches = matches;
+      report.pools[i].seconds = seconds;
+    }
   }
-
-  if (device_future.valid()) {
-    const auto [device_matches, device_seconds] = device_future.get();
-    report.device_matches = device_matches;
-    report.device_seconds = device_seconds;
-  }
-  report.total_seconds = std::max(report.host_seconds, report.device_seconds);
-  finalize_report(report);
+  finalize_fleet(report);
   return report;
 }
 
-ExecutionReport HeterogeneousExecutor::run_shared(std::string_view text,
-                                                  double host_percent,
-                                                  std::size_t host_chunks,
-                                                  std::size_t device_chunks,
-                                                  parallel::SchedulePolicy schedule) {
-  const auto split = parallel::split_by_percent(text.size(), host_percent);
+ExecutionReport HeterogeneousExecutor::run_shared_fleet(
+    std::string_view text, const std::vector<double>& shares,
+    const std::vector<std::size_t>& chunk_counts, parallel::SchedulePolicy schedule) {
+  const std::size_t n = specs_.size();
+  const auto bounds = segment_bounds(text.size(), shares);
   ExecutionReport report;
   report.schedule = schedule;
-  report.configured_host_percent = host_percent;
-  if (text.empty()) return report;
-
-  // The chunk layout plus the configured-share boundary: chunks below it are
-  // host-preferred, chunks at/above it device-preferred. A side claiming a
-  // chunk across the boundary is recorded as a steal.
-  std::vector<parallel::Chunk> chunks;
-  std::size_t boundary = 0;
-  if (schedule == parallel::SchedulePolicy::kAdaptive) {
-    // Seed the pool with the configured split: each region keeps its own
-    // chunk granularity, exactly as the static path would have cut it.
-    chunks = parallel::make_chunks(split.host_bytes, host_chunks, /*halo=*/0);
-    boundary = chunks.size();
-    for (const parallel::Chunk& c :
-         parallel::make_chunks(split.device_bytes, device_chunks, /*halo=*/0)) {
-      chunks.push_back({c.begin + split.host_bytes, c.end + split.host_bytes,
-                        c.scan_end + split.host_bytes});
-    }
-  } else {
-    const std::size_t total_chunks = std::max<std::size_t>(1, host_chunks + device_chunks);
-    if (schedule == parallel::SchedulePolicy::kGuided) {
-      const std::size_t workers = host_pool_.thread_count() + device_pool_.thread_count();
-      chunks = parallel::make_chunks_guided(
-          text.size(), workers, parallel::guided_min_chunk(text.size(), total_chunks));
-    } else {
-      chunks = parallel::make_chunks(text.size(), total_chunks, /*halo=*/0);
-    }
-    while (boundary < chunks.size() && chunks[boundary].begin < split.host_bytes) {
-      ++boundary;
-    }
+  report.pools.resize(n);
+  for (std::size_t i = 0; i < n; ++i) report.pools[i].configured_percent = shares[i];
+  if (text.empty()) {
+    finalize_fleet(report);
+    return report;
   }
 
-  parallel::ChunkQueue queue(chunks.size());
-  // Per-side accumulators, fetch_add'ed by that side's pull-loop workers.
-  // All operations are relaxed: the totals carry no payload another thread
-  // reads mid-run, and the pool join below (parallel_pull's future.get plus
-  // device_future.get) is the synchronization that publishes them before
-  // the single-threaded reads into the report.
-  struct SideTotals {
-    std::atomic<std::uint64_t> matches{0};
-    std::atomic<std::size_t> bytes{0};
-    std::atomic<std::uint64_t> steals{0};
+  std::size_t total_workers = 0;
+  for (const auto& pool : pools_) total_workers += pool->thread_count();
+  const FleetLayout layout =
+      build_layout(text.size(), bounds, chunk_counts, total_workers, schedule);
+  const std::vector<parallel::Chunk>& chunks = layout.chunks;
+
+  // Adaptive: one queue per configured segment; every other shared schedule
+  // races every pool down one queue's front — fully demand-driven.
+  std::vector<std::unique_ptr<parallel::ChunkQueue>> queues;
+  if (layout.per_segment) {
+    for (std::size_t i = 0; i < n; ++i) {
+      queues.push_back(std::make_unique<parallel::ChunkQueue>(layout.seg_offset[i + 1] -
+                                                              layout.seg_offset[i]));
+    }
+  } else {
+    queues.push_back(std::make_unique<parallel::ChunkQueue>(chunks.size()));
+  }
+  // Claims a global chunk index for pool i. Adaptive: the pool drains its
+  // own segment first (the last pool descending from the back, everyone else
+  // ascending from the front), then steals from the nearest unfinished
+  // segment — forward steals take the stolen segment's front, backward
+  // steals its back, so every segment boundary keeps the two-ended meeting
+  // dynamics of the 2-pool host/device scheme.
+  const auto take_for = [&](std::size_t i) -> std::optional<std::size_t> {
+    if (!layout.per_segment) return queues[0]->take_front();
+    if (const auto t = i + 1 == n ? queues[i]->take_back() : queues[i]->take_front()) {
+      return layout.seg_offset[i] + *t;
+    }
+    for (std::size_t d = 1; d < n; ++d) {
+      if (i + d < n) {
+        if (const auto t = queues[i + d]->take_front()) return layout.seg_offset[i + d] + *t;
+      }
+      if (d <= i) {
+        if (const auto t = queues[i - d]->take_back()) return layout.seg_offset[i - d] + *t;
+      }
+    }
+    return std::nullopt;
   };
-  SideTotals host_side;
-  SideTotals device_side;
-  // Adaptive: the device drains descending from the back so the two sides
-  // meet where the hardware says the split belongs. Dynamic/guided: both
-  // sides race down the same front — fully demand-driven.
-  const bool device_from_back = schedule == parallel::SchedulePolicy::kAdaptive;
+
+  std::vector<PoolTotals> totals(n);
   // DFA-backed engines pull several tickets per claim and scan them as
   // interleaved streams (the same latency-hiding the static matcher path
   // uses); generic engines pull one chunk at a time through the chunk-aware
   // interface. Batch size = the chunks one worker would own anyway.
   const automata::CompiledDfa* kernel = engine_->kernel();
-  const auto drain = [&](parallel::ThreadPool& pool, SideTotals& side, bool device) {
+  const auto drain = [&](std::size_t pool_idx) {
+    parallel::ThreadPool& pool = *pools_[pool_idx];
+    PoolTotals& mine = totals[pool_idx];
     const std::size_t streams = std::clamp<std::size_t>(
         chunks.size() / std::max<std::size_t>(1, pool.thread_count()), 1,
         automata::CompiledDfa::kMaxStreams);
-    pool.parallel_pull([&, device, streams](std::size_t) {
+    pool.parallel_pull([&, pool_idx, streams](std::size_t) {
       std::uint64_t matches = 0;
       std::uint64_t steals = 0;
       std::size_t bytes = 0;
-      const auto take = [&] {
-        return device && device_from_back ? queue.take_back() : queue.take_front();
-      };
       if (kernel == nullptr || streams == 1) {
         for (;;) {
-          const auto t = take();
+          const auto t = take_for(pool_idx);
           if (!t) break;
           const parallel::Chunk& c = chunks[*t];
           // Chunk-aware engine scan: the engine reads its own warm-up lead
-          // before c.begin, so any side can scan any chunk exactly.
+          // before c.begin, so any pool can scan any chunk exactly.
           matches += engine_->count_chunk(text, c.begin, c.end);
           bytes += c.end - c.begin;
-          if (device ? *t < boundary : *t >= boundary) ++steals;
+          if (layout.owners[*t] != pool_idx) ++steals;
         }
       } else {
         const std::size_t warmup = engine_->synchronization_bound() - 1;
@@ -290,7 +528,7 @@ ExecutionReport HeterogeneousExecutor::run_shared(std::string_view text,
         for (;;) {
           std::size_t m = 0;
           while (m < streams) {
-            const auto t = take();
+            const auto t = take_for(pool_idx);
             if (!t) break;
             ids[m++] = *t;
           }
@@ -300,36 +538,160 @@ ExecutionReport HeterogeneousExecutor::run_shared(std::string_view text,
           for (std::size_t k = 0; k < m; ++k) {
             matches += res[k].match_count;
             bytes += chunks[ids[k]].end - chunks[ids[k]].begin;
-            if (device ? ids[k] < boundary : ids[k] >= boundary) ++steals;
+            if (layout.owners[ids[k]] != pool_idx) ++steals;
           }
         }
       }
-      side.matches.fetch_add(matches, std::memory_order_relaxed);
-      side.bytes.fetch_add(bytes, std::memory_order_relaxed);
-      side.steals.fetch_add(steals, std::memory_order_relaxed);
+      mine.matches.fetch_add(matches, std::memory_order_relaxed);
+      mine.bytes.fetch_add(bytes, std::memory_order_relaxed);
+      mine.steals.fetch_add(steals, std::memory_order_relaxed);
     });
   };
 
-  auto device_future = std::async(std::launch::async, [&]() {
-    util::Timer timer;
-    drain(device_pool_, device_side, /*device=*/true);
-    return timer.seconds();
-  });
+  std::vector<std::future<double>> futures(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    futures[i] = std::async(std::launch::async, [&drain, i]() {
+      util::Timer timer;
+      drain(i);
+      return timer.seconds();
+    });
+  }
   util::Timer host_timer;
-  drain(host_pool_, host_side, /*device=*/false);
-  report.host_seconds = host_timer.seconds();
-  report.device_seconds = device_future.get();
+  drain(0);
+  report.pools[0].seconds = host_timer.seconds();
+  for (std::size_t i = 1; i < n; ++i) report.pools[i].seconds = futures[i].get();
 
-  // Relaxed is enough: both drains have joined above, so these are
+  // Relaxed is enough: every drain has joined above, so these are
   // single-threaded reads ordered by the pool/future synchronization.
-  report.host_matches = host_side.matches.load(std::memory_order_relaxed);
-  report.device_matches = device_side.matches.load(std::memory_order_relaxed);
-  report.host_bytes = host_side.bytes.load(std::memory_order_relaxed);
-  report.device_bytes = device_side.bytes.load(std::memory_order_relaxed);
-  report.host_steals = host_side.steals.load(std::memory_order_relaxed);
-  report.device_steals = device_side.steals.load(std::memory_order_relaxed);
-  report.total_seconds = std::max(report.host_seconds, report.device_seconds);
-  finalize_report(report);
+  for (std::size_t i = 0; i < n; ++i) {
+    report.pools[i].matches = totals[i].matches.load(std::memory_order_relaxed);
+    report.pools[i].bytes = totals[i].bytes.load(std::memory_order_relaxed);
+    report.pools[i].steals = totals[i].steals.load(std::memory_order_relaxed);
+  }
+  finalize_fleet(report);
+  return report;
+}
+
+ExecutionReport HeterogeneousExecutor::collect_fleet(std::string_view text,
+                                                     const std::vector<double>& shares,
+                                                     parallel::SchedulePolicy schedule,
+                                                     std::vector<automata::Match>& out) {
+  if (!engine_->supports_collect()) {
+    throw std::invalid_argument("collect_fleet: engine does not support collection");
+  }
+  validate_shares(shares, specs_.size());
+  if (schedule != parallel::SchedulePolicy::kStatic &&
+      engine_->synchronization_bound() == 0) {
+    schedule = parallel::SchedulePolicy::kStatic;
+  }
+  const std::size_t n = specs_.size();
+  const auto chunk_counts = resolve_chunk_counts();
+  const auto bounds = segment_bounds(text.size(), shares);
+  ExecutionReport report;
+  report.schedule = schedule;
+  report.pools.resize(n);
+  for (std::size_t i = 0; i < n; ++i) report.pools[i].configured_percent = shares[i];
+  if (text.empty()) {
+    finalize_fleet(report);
+    return report;
+  }
+
+  std::size_t total_workers = 0;
+  for (const auto& pool : pools_) total_workers += pool->thread_count();
+  const FleetLayout layout =
+      build_layout(text.size(), bounds, chunk_counts, total_workers, schedule);
+  const std::vector<parallel::Chunk>& chunks = layout.chunks;
+  const bool is_static = schedule == parallel::SchedulePolicy::kStatic;
+
+  std::vector<std::unique_ptr<parallel::ChunkQueue>> queues;
+  if (layout.per_segment) {
+    for (std::size_t i = 0; i < n; ++i) {
+      queues.push_back(std::make_unique<parallel::ChunkQueue>(layout.seg_offset[i + 1] -
+                                                              layout.seg_offset[i]));
+    }
+  } else {
+    queues.push_back(std::make_unique<parallel::ChunkQueue>(chunks.size()));
+  }
+  // Static collection drains own-segment queues only (no stealing — the
+  // configured split is the realized split); the shared schedules use the
+  // same claim order as the counting path.
+  const auto take_for = [&](std::size_t i) -> std::optional<std::size_t> {
+    if (!layout.per_segment) return queues[0]->take_front();
+    if (const auto t = i + 1 == n ? queues[i]->take_back() : queues[i]->take_front()) {
+      return layout.seg_offset[i] + *t;
+    }
+    if (is_static) return std::nullopt;
+    for (std::size_t d = 1; d < n; ++d) {
+      if (i + d < n) {
+        if (const auto t = queues[i + d]->take_front()) return layout.seg_offset[i + d] + *t;
+      }
+      if (d <= i) {
+        if (const auto t = queues[i - d]->take_back()) return layout.seg_offset[i - d] + *t;
+      }
+    }
+    return std::nullopt;
+  };
+
+  // Whoever claims chunk t owns slot t exclusively; the joins below publish
+  // the slots before the single-threaded merge.
+  std::vector<std::vector<automata::Match>> slots(chunks.size());
+  std::vector<PoolTotals> totals(n);
+  const auto drain = [&](std::size_t pool_idx) {
+    PoolTotals& mine = totals[pool_idx];
+    pools_[pool_idx]->parallel_pull([&, pool_idx](std::size_t) {
+      std::uint64_t matches = 0;
+      std::uint64_t steals = 0;
+      std::size_t bytes = 0;
+      for (;;) {
+        const auto t = take_for(pool_idx);
+        if (!t) break;
+        const parallel::Chunk& c = chunks[*t];
+        matches += engine_->collect_chunk(text, c.begin, c.end, slots[*t]);
+        bytes += c.end - c.begin;
+        if (layout.owners[*t] != pool_idx) ++steals;
+      }
+      mine.matches.fetch_add(matches, std::memory_order_relaxed);
+      mine.bytes.fetch_add(bytes, std::memory_order_relaxed);
+      mine.steals.fetch_add(steals, std::memory_order_relaxed);
+    });
+  };
+
+  // Static runs skip pools with empty segments entirely, exactly like the
+  // counting path.
+  const auto pool_runs = [&](std::size_t i) {
+    return !is_static || layout.seg_offset[i + 1] > layout.seg_offset[i];
+  };
+  std::vector<std::future<double>> futures(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    if (!pool_runs(i)) continue;
+    futures[i] = std::async(std::launch::async, [&drain, i]() {
+      util::Timer timer;
+      drain(i);
+      return timer.seconds();
+    });
+  }
+  if (pool_runs(0)) {
+    util::Timer host_timer;
+    drain(0);
+    report.pools[0].seconds = host_timer.seconds();
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    if (futures[i].valid()) report.pools[i].seconds = futures[i].get();
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    report.pools[i].matches = totals[i].matches.load(std::memory_order_relaxed);
+    report.pools[i].bytes = totals[i].bytes.load(std::memory_order_relaxed);
+    report.pools[i].steals = totals[i].steals.load(std::memory_order_relaxed);
+  }
+  // Chunks are laid out in ascending byte order and every match end belongs
+  // to exactly one chunk, so a chunk-ordered merge is globally sorted — the
+  // same order scan_collect_naive produces.
+  std::size_t events = 0;
+  for (const auto& slot : slots) events += slot.size();
+  out.reserve(out.size() + events);
+  for (const auto& slot : slots) out.insert(out.end(), slot.begin(), slot.end());
+  finalize_fleet(report);
   return report;
 }
 

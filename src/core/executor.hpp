@@ -1,34 +1,40 @@
 // The real (non-simulated) heterogeneous execution path: given a match
-// engine and a physical DNA sequence, distribute the bytes across the host
-// pool and the emulated-device pool and scan both sides *concurrently*,
-// mirroring the paper's overlapped offload model.
+// engine and a physical DNA sequence, distribute the bytes across an ordered
+// fleet of worker pools — pool 0 is the host, pools 1..N-1 are emulated
+// devices — and scan every share *concurrently*, mirroring the paper's
+// overlapped offload model generalized to the multi-accelerator machines the
+// paper names as future work.
 //
 // How the bytes are distributed is a tuned axis (parallel/schedule.hpp):
 //
-//   static    split by the configured fraction, each side scans its share
+//   static    split by the configured shares, each pool scans its segment
 //             and joins — the seed behavior and the paper's model;
-//   dynamic   one shared chunk queue, both pools pull from the front, the
+//   dynamic   one shared chunk queue, every pool pulls from the front, the
 //             realized split emerges from relative speeds;
 //   guided    shared queue with guided (decreasing) chunk sizes;
-//   adaptive  the shared pool is seeded by the configured fraction — the
-//             host drains its region from the front, the device drains its
-//             region from the back, and a side that finishes early *steals*
-//             the other side's remaining chunks.
+//   adaptive  one queue per configured segment — each pool drains its own
+//             segment (the last pool descending from the back, everyone
+//             else ascending from the front, so adjacent pools meet at the
+//             boundary exactly as the 2-pool host/device pair did), and a
+//             pool that finishes early *steals* from the nearest unfinished
+//             segment: forward steals take the front, backward steals the
+//             back, so every boundary behaves like the classic two-ended
+//             scheme between its two neighbors.
 //
 // Every policy produces byte-identical match counts (each chunk scan warms
 // up over its own lead bytes); what changes is who scans what and when.
-// ExecutionReport records the realized fraction, steal counts, and an
+// ExecutionReport records per-pool realized shares, steal counts, and an
 // imbalance metric so the tuner and the benches can see the difference.
 //
 // The executor is engine-generic: any automata::MatchEngine (compiled DFA,
-// Aho–Corasick, bitap) drives both sides, which is how the tuner prices the
-// engine axis with live runs. The legacy DenseDfa constructor wraps the
-// automaton in an owned compiled-DFA engine and behaves exactly as before.
+// Aho–Corasick, bitap) drives every pool, which is how the tuner prices the
+// engine axis with live runs. The legacy host+device constructors build a
+// 2-pool fleet and behave exactly as before.
 //
-// Substitution note: with no Xeon Phi present, the "device" share runs on an
-// emulated device — a second thread pool on the host. Results (match counts,
+// Substitution note: with no Xeon Phi present, every device share runs on an
+// emulated device — another thread pool on the host. Results (match counts,
 // positions) are exactly what the offloaded code would produce; *performance*
-// of a real device is the business of hetopt::sim, not this class.
+// of a real device fleet is the business of hetopt::sim, not this class.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +42,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "automata/dense_dfa.hpp"
 #include "automata/match_engine.hpp"
@@ -46,7 +53,42 @@
 
 namespace hetopt::core {
 
+/// One pool of the fleet. Pool 0 is conventionally the host (pin with
+/// `host_affinity`); pools 1..N-1 are emulated devices (pin with
+/// `device_affinity`). Setting both affinities on one pool is rejected.
+struct PoolSpec {
+  /// Workers in this pool's thread pool (at least 1).
+  std::size_t threads = 1;
+  /// Configured share of the input bytes, in percent. The shares of a fleet
+  /// must sum to 100 (run_fleet overloads can override them per run).
+  double share_percent = 0.0;
+  /// Chunks this pool's segment is cut into under the static and adaptive
+  /// schedules; 0 means one chunk per worker.
+  std::size_t chunks = 0;
+  std::optional<parallel::HostAffinity> host_affinity;
+  std::optional<parallel::DeviceAffinity> device_affinity;
+};
+
+/// Per-pool slice of an ExecutionReport.
+struct PoolReport {
+  std::uint64_t matches = 0;
+  /// Bytes this pool *actually* scanned (configured share under static,
+  /// realized share under the shared-queue schedules).
+  std::size_t bytes = 0;
+  double seconds = 0.0;  // wall time of this pool's share
+  double configured_percent = 0.0;
+  /// bytes as a percentage of the input.
+  double realized_percent = 0.0;
+  /// Chunks this pool claimed out of another pool's configured segment.
+  std::uint64_t steals = 0;
+};
+
 struct ExecutionReport {
+  /// One entry per pool, in fleet order (pool 0 = host). The legacy scalar
+  /// fields below are always kept in sync: host_* mirrors pools[0] and
+  /// device_* aggregates pools[1..] (sums, with device_seconds the max).
+  std::vector<PoolReport> pools;
+
   std::uint64_t host_matches = 0;
   std::uint64_t device_matches = 0;
   /// Bytes each side *actually* scanned. Under the static schedule this is
@@ -55,8 +97,8 @@ struct ExecutionReport {
   std::size_t host_bytes = 0;
   std::size_t device_bytes = 0;
   double host_seconds = 0.0;    // wall time of the host share
-  double device_seconds = 0.0;  // wall time of the emulated-device share
-  double total_seconds = 0.0;   // max of the two (overlapped execution)
+  double device_seconds = 0.0;  // wall time of the slowest device share
+  double total_seconds = 0.0;   // max over the pools (overlapped execution)
 
   /// The schedule that actually ran (a requested demand-driven schedule
   /// degrades to kStatic when the engine has no synchronization bound).
@@ -66,27 +108,28 @@ struct ExecutionReport {
   /// fraction under static, emerges at runtime under the shared queues.
   double realized_host_percent = 0.0;
   /// Chunks a side claimed beyond its configured share (adaptive: work
-  /// stolen across the boundary; dynamic/guided: demand that crossed it;
-  /// static: always 0).
+  /// stolen across a segment boundary; dynamic/guided: demand that crossed
+  /// it; static: always 0).
   std::uint64_t host_steals = 0;
   std::uint64_t device_steals = 0;
-  /// (slowest side - fastest side) / slowest side, over the sides that
-  /// scanned bytes; 0 when one side (or neither) worked. 0 = perfectly
-  /// overlapped, → 1 = one side idled while the other carried the run.
+  /// (slowest pool - fastest pool) / slowest pool, over the pools that
+  /// scanned bytes; 0 when fewer than two pools worked. 0 = perfectly
+  /// overlapped, → 1 = a pool idled while another carried the run.
   double imbalance = 0.0;
 
   [[nodiscard]] std::uint64_t total_matches() const noexcept {
     return host_matches + device_matches;
   }
 
-  /// One human-readable line — matches, bytes, seconds, realized vs
-  /// configured fraction, steals, imbalance — for examples and bench logs.
+  /// One human-readable line — matches, bytes, seconds, then one section per
+  /// pool (realized vs configured share, wall time), per-pool steal counts,
+  /// imbalance — for examples and bench logs.
   [[nodiscard]] std::string to_string() const;
 };
 
 class HeterogeneousExecutor {
  public:
-  /// `host_threads` / `device_threads` size the two worker pools. The
+  /// `host_threads` / `device_threads` size a classic 2-pool fleet. The
   /// automaton is copied into an owned compiled-DFA engine (the pre-engine
   /// behavior). Pinning is opt-in: when an affinity policy is given, the
   /// corresponding pool's workers are placed at startup (best-effort, Linux
@@ -99,19 +142,30 @@ class HeterogeneousExecutor {
                         std::optional<parallel::HostAffinity> host_affinity = std::nullopt,
                         std::optional<parallel::DeviceAffinity> device_affinity = std::nullopt);
 
-  /// Engine-generic construction; the engine must outlive the executor.
-  /// Engines without a DFA behind them must have a positive synchronization
-  /// bound (throws std::invalid_argument otherwise).
+  /// Engine-generic 2-pool construction; the engine must outlive the
+  /// executor. Engines without a DFA behind them must have a positive
+  /// synchronization bound (throws std::invalid_argument otherwise).
   HeterogeneousExecutor(const automata::MatchEngine& engine, std::size_t host_threads,
                         std::size_t device_threads,
                         std::optional<parallel::HostAffinity> host_affinity = std::nullopt,
                         std::optional<parallel::DeviceAffinity> device_affinity = std::nullopt);
 
-  /// Scans `text`, assigning `host_percent` of the bytes to the host pool
-  /// and the remainder to the device pool, both running concurrently.
-  /// Match counts are exact across the split boundary (chunk-parallel
-  /// matching with warm-up handles motifs spanning the cut).
-  /// One chunk per pool worker, static schedule.
+  /// Fleet construction: one thread pool per PoolSpec, in order (thread
+  /// counts are clamped to at least 1, as ThreadPool does). Throws
+  /// std::invalid_argument when `pools` is empty, a share is outside
+  /// [0, 100], or a spec sets both affinity kinds. The automaton is copied
+  /// into an owned compiled-DFA engine.
+  HeterogeneousExecutor(const automata::DenseDfa& dfa, std::vector<PoolSpec> pools);
+
+  /// Engine-generic fleet construction; the engine must outlive the
+  /// executor.
+  HeterogeneousExecutor(const automata::MatchEngine& engine, std::vector<PoolSpec> pools);
+
+  /// Scans `text`, assigning `host_percent` of the bytes to pool 0 and the
+  /// remainder to pool 1 (requires a 2-pool fleet, the legacy shape; throws
+  /// std::logic_error otherwise). Match counts are exact across every split
+  /// boundary (chunk-parallel matching with warm-up handles motifs spanning
+  /// a cut). One chunk per pool worker, static schedule.
   [[nodiscard]] ExecutionReport run(std::string_view text, double host_percent);
 
   /// Same, with explicit chunk counts for the two sides (the real-workload
@@ -129,24 +183,59 @@ class HeterogeneousExecutor {
                                     std::size_t host_chunks, std::size_t device_chunks,
                                     parallel::SchedulePolicy schedule);
 
-  /// The engine both sides execute.
+  /// Scans `text` across the whole fleet using the constructed
+  /// share_percent of every pool.
+  [[nodiscard]] ExecutionReport run_fleet(
+      std::string_view text,
+      parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic);
+
+  /// Same, with per-run shares overriding the constructed ones. `shares`
+  /// must have one entry per pool, each in [0, 100], summing to 100. Pools
+  /// whose share rounds to zero bytes are skipped entirely under the static
+  /// schedule (no scan, no launch — their report fields stay exactly zero),
+  /// generalizing the 2-pool 0%/100% behavior.
+  [[nodiscard]] ExecutionReport run_fleet(std::string_view text,
+                                          const std::vector<double>& shares,
+                                          parallel::SchedulePolicy schedule);
+
+  /// run_fleet that additionally collects every match event into `out`
+  /// (global end offsets, ascending — byte-identical to a sequential
+  /// scan_collect_naive over the whole text). Requires an engine with
+  /// supports_collect(); throws std::invalid_argument otherwise. This is
+  /// the N-way position-parity hook the test layer drives.
+  [[nodiscard]] ExecutionReport collect_fleet(std::string_view text,
+                                              const std::vector<double>& shares,
+                                              parallel::SchedulePolicy schedule,
+                                              std::vector<automata::Match>& out);
+
+  [[nodiscard]] std::size_t pool_count() const noexcept { return specs_.size(); }
+  [[nodiscard]] const std::vector<PoolSpec>& pools() const noexcept { return specs_; }
+
+  /// The engine every pool executes.
   [[nodiscard]] const automata::MatchEngine& engine() const noexcept { return *engine_; }
 
  private:
-  [[nodiscard]] ExecutionReport run_static(std::string_view text, double host_percent,
-                                           std::size_t host_chunks,
-                                           std::size_t device_chunks);
-  [[nodiscard]] ExecutionReport run_shared(std::string_view text, double host_percent,
-                                           std::size_t host_chunks,
-                                           std::size_t device_chunks,
-                                           parallel::SchedulePolicy schedule);
+  void build_fleet(std::vector<PoolSpec> pools);
+  [[nodiscard]] ExecutionReport run_impl(std::string_view text,
+                                         const std::vector<double>& shares,
+                                         const std::vector<std::size_t>& chunk_counts,
+                                         parallel::SchedulePolicy schedule);
+  [[nodiscard]] ExecutionReport run_static_fleet(std::string_view text,
+                                                 const std::vector<double>& shares,
+                                                 const std::vector<std::size_t>& chunk_counts);
+  [[nodiscard]] ExecutionReport run_shared_fleet(std::string_view text,
+                                                 const std::vector<double>& shares,
+                                                 const std::vector<std::size_t>& chunk_counts,
+                                                 parallel::SchedulePolicy schedule);
+  [[nodiscard]] std::vector<std::size_t> resolve_chunk_counts() const;
 
   std::unique_ptr<const automata::MatchEngine> owned_engine_;  // DenseDfa compat path
-  const automata::MatchEngine* engine_;
-  parallel::ThreadPool host_pool_;
-  parallel::ThreadPool device_pool_;
-  automata::ParallelMatcher host_matcher_;
-  automata::ParallelMatcher device_matcher_;
+  const automata::MatchEngine* engine_ = nullptr;
+  std::vector<PoolSpec> specs_;
+  // ThreadPool and ParallelMatcher are pinned to their addresses
+  // (non-movable), so the fleet owns them through pointers.
+  std::vector<std::unique_ptr<parallel::ThreadPool>> pools_;
+  std::vector<std::unique_ptr<automata::ParallelMatcher>> matchers_;
 };
 
 }  // namespace hetopt::core

@@ -22,6 +22,20 @@ void append_schedule_names(std::vector<std::string>& names) {
   }
 }
 
+void append_fleet_names(std::vector<std::string>& names) {
+  names.push_back("pool_count");
+  names.push_back("pool_share_pct");
+}
+
+void require_valid_fleet(int pool_count, double pool_share_percent, const char* who) {
+  if (pool_count < 1) {
+    throw std::invalid_argument(std::string(who) + ": pool_count < 1");
+  }
+  if (!(pool_share_percent >= 0.0 && pool_share_percent <= 100.0)) {
+    throw std::invalid_argument(std::string(who) + ": pool share out of [0,100]");
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> host_feature_names() {
@@ -29,6 +43,7 @@ std::vector<std::string> host_feature_names() {
                                  "affinity_compact"};
   append_engine_names(names);
   append_schedule_names(names);
+  append_fleet_names(names);
   return names;
 }
 
@@ -37,36 +52,45 @@ std::vector<std::string> device_feature_names() {
                                  "affinity_scatter", "affinity_compact"};
   append_engine_names(names);
   append_schedule_names(names);
+  append_fleet_names(names);
   return names;
 }
 
 std::vector<double> host_features(double size_mb, int threads,
                                   parallel::HostAffinity affinity,
                                   automata::EngineKind engine,
-                                  parallel::SchedulePolicy schedule) {
+                                  parallel::SchedulePolicy schedule, int pool_count,
+                                  double pool_share_percent) {
   if (size_mb < 0.0) throw std::invalid_argument("host_features: negative size");
   if (threads < 1) throw std::invalid_argument("host_features: threads < 1");
+  require_valid_fleet(pool_count, pool_share_percent, "host_features");
   std::vector<double> f(kFeatureCount, 0.0);
   f[0] = size_mb;
   f[1] = static_cast<double>(threads);
   f[2 + static_cast<std::size_t>(affinity)] = 1.0;
   f[5 + static_cast<std::size_t>(engine)] = 1.0;
   f[8 + static_cast<std::size_t>(schedule)] = 1.0;
+  f[12] = static_cast<double>(pool_count);
+  f[13] = pool_share_percent;
   return f;
 }
 
 std::vector<double> device_features(double size_mb, int threads,
                                     parallel::DeviceAffinity affinity,
                                     automata::EngineKind engine,
-                                    parallel::SchedulePolicy schedule) {
+                                    parallel::SchedulePolicy schedule, int pool_count,
+                                    double pool_share_percent) {
   if (size_mb < 0.0) throw std::invalid_argument("device_features: negative size");
   if (threads < 1) throw std::invalid_argument("device_features: threads < 1");
+  require_valid_fleet(pool_count, pool_share_percent, "device_features");
   std::vector<double> f(kFeatureCount, 0.0);
   f[0] = size_mb;
   f[1] = static_cast<double>(threads);
   f[2 + static_cast<std::size_t>(affinity)] = 1.0;
   f[5 + static_cast<std::size_t>(engine)] = 1.0;
   f[8 + static_cast<std::size_t>(schedule)] = 1.0;
+  f[12] = static_cast<double>(pool_count);
+  f[13] = pool_share_percent;
   return f;
 }
 

@@ -2,14 +2,21 @@
 // on "the input size, the available computing resources, and the thread
 // allocation strategies" (§III-B); we encode these as
 //   [ size_mb, threads, one-hot affinity (3), one-hot engine (3),
-//     one-hot schedule (4) ]
+//     one-hot schedule (4), pool_count, pool_share_pct ]
 // separately per environment (host / device), mirroring the paper's two
-// models. The engine and schedule one-hots are this reproduction's
-// extensions: when the training data varies the match engine or the
-// distribution schedule, EML/SAML can predict across them too. Sweeps that
-// keep the defaults produce constant columns, which the min-max normalizer
-// maps to zero — boosted-tree splits and predictions are then identical to
-// the 5-feature layout.
+// models. The engine and schedule one-hots and the fleet columns are this
+// reproduction's extensions: when the training data varies the match
+// engine, the distribution schedule, or the device-fleet size, EML/SAML can
+// predict across them too. Sweeps that keep the defaults produce constant
+// columns, which the min-max normalizer maps to zero — boosted-tree splits
+// and predictions are then identical to the 5-feature layout.
+//
+// Fleet columns: `pool_count` is the total number of pools in the fleet
+// (host + devices; 2 = the paper's host+device pair), `pool_share_pct` the
+// percentage of this environment's bytes that one pool of the environment
+// holds (host: always 100; device: 100 / device_count, the water-filled
+// equal split across identical accelerators). The defaults encode the
+// classic pair, so legacy call sites produce constant columns.
 #pragma once
 
 #include <string>
@@ -21,7 +28,7 @@
 
 namespace hetopt::core {
 
-inline constexpr std::size_t kFeatureCount = 12;
+inline constexpr std::size_t kFeatureCount = 14;
 
 [[nodiscard]] std::vector<std::string> host_feature_names();
 [[nodiscard]] std::vector<std::string> device_feature_names();
@@ -29,10 +36,12 @@ inline constexpr std::size_t kFeatureCount = 12;
 [[nodiscard]] std::vector<double> host_features(
     double size_mb, int threads, parallel::HostAffinity affinity,
     automata::EngineKind engine = automata::EngineKind::kCompiledDfa,
-    parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic);
+    parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic,
+    int pool_count = 2, double pool_share_percent = 100.0);
 [[nodiscard]] std::vector<double> device_features(
     double size_mb, int threads, parallel::DeviceAffinity affinity,
     automata::EngineKind engine = automata::EngineKind::kCompiledDfa,
-    parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic);
+    parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic,
+    int pool_count = 2, double pool_share_percent = 100.0);
 
 }  // namespace hetopt::core

@@ -65,10 +65,13 @@ void PerformancePredictor::train(const ml::Dataset& host_data,
 double PerformancePredictor::predict_host(double size_mb, int threads,
                                           parallel::HostAffinity affinity,
                                           automata::EngineKind engine,
-                                          parallel::SchedulePolicy schedule) const {
+                                          parallel::SchedulePolicy schedule,
+                                          int pool_count,
+                                          double pool_share_percent) const {
   if (!trained_) throw std::logic_error("PerformancePredictor: predict before train");
   if (size_mb <= 0.0) return 0.0;
-  std::vector<double> f = host_features(size_mb, threads, affinity, engine, schedule);
+  std::vector<double> f = host_features(size_mb, threads, affinity, engine, schedule,
+                                        pool_count, pool_share_percent);
   if (options_.normalize) {
     std::vector<double> norm(f.size());
     host_norm_.transform_row(f, norm);
@@ -83,10 +86,13 @@ double PerformancePredictor::predict_host(double size_mb, int threads,
 double PerformancePredictor::predict_device(double size_mb, int threads,
                                             parallel::DeviceAffinity affinity,
                                             automata::EngineKind engine,
-                                            parallel::SchedulePolicy schedule) const {
+                                            parallel::SchedulePolicy schedule,
+                                            int pool_count,
+                                            double pool_share_percent) const {
   if (!trained_) throw std::logic_error("PerformancePredictor: predict before train");
   if (size_mb <= 0.0) return 0.0;
-  std::vector<double> f = device_features(size_mb, threads, affinity, engine, schedule);
+  std::vector<double> f = device_features(size_mb, threads, affinity, engine, schedule,
+                                          pool_count, pool_share_percent);
   if (options_.normalize) {
     std::vector<double> norm(f.size());
     device_norm_.transform_row(f, norm);
@@ -98,10 +104,11 @@ double PerformancePredictor::predict_device(double size_mb, int threads,
 
 void PerformancePredictor::save(std::ostream& os) const {
   if (!trained_) throw std::runtime_error("PerformancePredictor::save: not trained");
-  // v2 records the feature-layout width so a file saved under an older
-  // (narrower) layout fails at load time with a clear message instead of
-  // throwing a row-size mismatch on every predict.
-  os << "hetopt-predictor-v2 " << kFeatureCount << ' ' << (options_.normalize ? 1 : 0)
+  // The header records the feature-layout width so a file saved under an
+  // older (narrower) layout fails at load time with a clear message instead
+  // of throwing a row-size mismatch on every predict. v3 = the fleet-aware
+  // (pool_count / pool_share_pct) layout.
+  os << "hetopt-predictor-v3 " << kFeatureCount << ' ' << (options_.normalize ? 1 : 0)
      << ' ' << (options_.log_target ? 1 : 0) << '\n';
   if (options_.normalize) {
     ml::save(os, host_norm_);
@@ -121,10 +128,16 @@ PerformancePredictor PerformancePredictor::load(std::istream& is) {
         "PerformancePredictor::load: v1 file uses a pre-schedule-axis feature "
         "layout; retrain and re-save the predictor");
   }
+  if (magic == "hetopt-predictor-v2") {
+    throw std::runtime_error(
+        "PerformancePredictor::load: v2 file uses a pre-fleet feature layout "
+        "(no pool_count/pool_share_pct columns); retrain and re-save the "
+        "predictor");
+  }
   std::size_t features = 0;
   int normalize = 0;
   int log_target = 0;
-  if (!(is >> features >> normalize >> log_target) || magic != "hetopt-predictor-v2") {
+  if (!(is >> features >> normalize >> log_target) || magic != "hetopt-predictor-v3") {
     throw std::runtime_error("PerformancePredictor::load: bad header");
   }
   if (features != kFeatureCount) {
@@ -150,31 +163,48 @@ PerformancePredictor PerformancePredictor::load(std::istream& is) {
 double PerformancePredictor::predict_combined(const opt::SystemConfig& config,
                                               double total_mb) const {
   if (total_mb <= 0.0) throw std::invalid_argument("predict_combined: non-positive size");
+  if (config.device_count < 1) {
+    throw std::invalid_argument("predict_combined: device_count < 1");
+  }
+  // The fleet shape reaches the models as features: K identical devices make
+  // pool_count = K + 1 pools, the host keeps its whole side and each device
+  // holds 1/K of the device side (the water-filled equal split of
+  // sim::MultiDeviceMachine across identical accelerators). The K = 1
+  // defaults reproduce the pre-fleet feature rows bit for bit.
+  const int devices = config.device_count;
+  const int pool_count = devices + 1;
+  const double device_pool_share = 100.0 / static_cast<double>(devices);
   if (config.schedule != parallel::SchedulePolicy::kStatic) {
-    // Shared-queue schedules drain the combined input with both pools
+    // Shared-queue schedules drain the combined input with every pool
     // regardless of the configured fraction (the runtime ignores it for
     // dynamic/guided and steals its way off it for adaptive), so Eq. 2's
     // max-of-sides over a fraction split is the wrong shape. Predict each
-    // side scanning the whole input and combine the implied rates
-    // (harmonic sum) — the prediction-side analogue of the deterministic
-    // model's summed-rate drain time.
+    // environment scanning the whole input and combine the implied rates
+    // (harmonic sum, with the device rate counted K times) — the
+    // prediction-side analogue of the deterministic model's summed-rate
+    // drain time.
     const double t_host = predict_host(total_mb, config.host_threads,
                                        config.host_affinity, config.engine,
-                                       config.schedule);
+                                       config.schedule, pool_count, 100.0);
     const double t_device = predict_device(total_mb, config.device_threads,
                                            config.device_affinity, config.engine,
-                                           config.schedule);
+                                           config.schedule, pool_count,
+                                           device_pool_share);
     if (t_host <= 0.0) return t_device;
     if (t_device <= 0.0) return t_host;
-    return t_host * t_device / (t_host + t_device);
+    const double rate = 1.0 / t_host + static_cast<double>(devices) / t_device;
+    return 1.0 / rate;
   }
   const double host_mb = total_mb * config.host_percent / 100.0;
-  const double device_mb = total_mb - host_mb;
-  const double t_host = predict_host(host_mb, config.host_threads, config.host_affinity,
-                                     config.engine, config.schedule);
+  const double device_mb = (total_mb - host_mb) / static_cast<double>(devices);
+  const double t_host =
+      predict_host(host_mb, config.host_threads, config.host_affinity, config.engine,
+                   config.schedule, pool_count, 100.0);
+  // Identical devices with equal shares finish together, so the slowest
+  // device is any one of them scanning its 1/K slice.
   const double t_device =
       predict_device(device_mb, config.device_threads, config.device_affinity,
-                     config.engine, config.schedule);
+                     config.engine, config.schedule, pool_count, device_pool_share);
   return std::max(t_host, t_device);
 }
 

@@ -38,14 +38,20 @@ class PerformancePredictor {
   [[nodiscard]] double predict_host(
       double size_mb, int threads, parallel::HostAffinity affinity,
       automata::EngineKind engine = automata::EngineKind::kCompiledDfa,
-      parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic) const;
+      parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic,
+      int pool_count = 2, double pool_share_percent = 100.0) const;
   [[nodiscard]] double predict_device(
       double size_mb, int threads, parallel::DeviceAffinity affinity,
       automata::EngineKind engine = automata::EngineKind::kCompiledDfa,
-      parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic) const;
+      parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic,
+      int pool_count = 2, double pool_share_percent = 100.0) const;
 
   /// Eq. 2 over a configuration: split the workload by the configured
-  /// fraction and take the slower side. Zero-byte sides predict 0.
+  /// fraction and take the slower side. Zero-byte sides predict 0. With
+  /// device_count K > 1 the device fraction is shared equally by K identical
+  /// device pools (the water-filled split of sim::MultiDeviceMachine), so
+  /// static predicts max(host, one device's 1/K share) and the shared-queue
+  /// schedules combine one host rate with K device rates.
   [[nodiscard]] double predict_combined(const opt::SystemConfig& config,
                                         double total_mb) const;
 

@@ -12,7 +12,7 @@
 #include "automata/subset.hpp"
 #include "core/executor.hpp"
 #include "dna/alphabet.hpp"
-#include "parallel/partitioner.hpp"
+#include "sim/multi.hpp"
 
 namespace hetopt::core {
 
@@ -98,12 +98,20 @@ namespace {
 
 double real_workload_model_seconds(const opt::SystemConfig& config, std::size_t host_bytes,
                                    std::size_t device_bytes) {
+  return real_workload_model_fleet_seconds(config, host_bytes, {device_bytes});
+}
+
+double real_workload_model_fleet_seconds(const opt::SystemConfig& config,
+                                         std::size_t host_bytes,
+                                         const std::vector<std::size_t>& device_bytes) {
+  if (device_bytes.empty()) {
+    throw std::invalid_argument("real_workload_model_fleet_seconds: no device pools");
+  }
   // Sub-linear thread scaling (Amdahl-flavoured exponents) plus a fixed
   // offload launch cost; shapes match the simulated surface qualitatively so
   // searches face a realistic landscape, but the numbers are pure functions
   // of the executed work — that is what makes seeded runs reproducible.
   const double host_mb = static_cast<double>(host_bytes) / (1024.0 * 1024.0);
-  const double device_mb = static_cast<double>(device_bytes) / (1024.0 * 1024.0);
   const double host_rate =
       80.0 * std::pow(static_cast<double>(std::max(1, config.host_threads)), 0.8) /
       affinity_model_factor(config.host_affinity);
@@ -112,24 +120,35 @@ double real_workload_model_seconds(const opt::SystemConfig& config, std::size_t 
       affinity_model_factor(config.device_affinity);
   const double engine = engine_model_factor(config.engine);
   if (config.schedule != parallel::SchedulePolicy::kStatic) {
-    // Shared-queue schedules: both pools drain the combined work regardless
-    // of the configured fraction (dynamic/guided ignore it, adaptive steals
+    // Shared-queue schedules: every pool drains the combined work regardless
+    // of the configured shares (dynamic/guided ignore them, adaptive steals
     // its way there), so the model is the summed-rate drain time plus the
     // offload launch cost, scaled by the policy's queue-traffic overhead.
     // This rewards demand-driven schedules exactly where the real runtime
     // does — at badly configured fractions — while a well-tuned static
     // split (whose optimum approaches the same combined-rate time) still
-    // wins on overhead.
-    const double total_mb = host_mb + device_mb;
+    // wins on overhead. K identical devices contribute K device rates.
+    double total_mb = host_mb;
+    for (const std::size_t bytes : device_bytes) {
+      total_mb += static_cast<double>(bytes) / (1024.0 * 1024.0);
+    }
     if (total_mb <= 0.0) return 1e-9;
     return 0.002 +
            schedule_model_overhead(config.schedule) * engine * total_mb /
-               (host_rate + device_rate) +
+               (host_rate + static_cast<double>(device_bytes.size()) * device_rate) +
            1e-9;
   }
-  const double host_s = host_mb > 0.0 ? engine * host_mb / host_rate : 0.0;
-  const double device_s = device_mb > 0.0 ? 0.002 + engine * device_mb / device_rate : 0.0;
-  return std::max(host_s, device_s) + 1e-9;
+  // Static: every pool drains its own share standalone; the run is the
+  // slowest pool. Zero-share device pools are skipped entirely by the
+  // executor, so they cost nothing — not even the launch.
+  double worst = host_mb > 0.0 ? engine * host_mb / host_rate : 0.0;
+  for (const std::size_t bytes : device_bytes) {
+    const double device_mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+    const double device_s =
+        device_mb > 0.0 ? 0.002 + engine * device_mb / device_rate : 0.0;
+    worst = std::max(worst, device_s);
+  }
+  return worst + 1e-9;
 }
 
 // --- RealWorkload -----------------------------------------------------------
@@ -219,25 +238,61 @@ RealMeasurement RealWorkloadEvaluator::measure(const opt::SystemConfig& config,
   if (config.host_threads < 1 || config.device_threads < 1) {
     throw std::invalid_argument("RealWorkloadEvaluator: thread counts must be >= 1");
   }
+  if (config.device_count < 1) {
+    throw std::invalid_argument("RealWorkloadEvaluator: device_count must be >= 1");
+  }
   const std::shared_ptr<const RealWorkload> rw = cached(workload);
 
   const auto host_threads = static_cast<std::size_t>(config.host_threads);
   const auto device_threads = static_cast<std::size_t>(config.device_threads);
-  // The configured engine runs both sides; asking for an engine the motif
-  // set does not qualify for throws with the gap reason (callers size the
-  // engine axis from RealWorkload::engines(), so search never gets here).
-  HeterogeneousExecutor executor(
-      rw->engine(config.engine), host_threads, device_threads,
-      options_.pin_threads ? std::optional(config.host_affinity) : std::nullopt,
-      options_.pin_threads ? std::optional(config.device_affinity) : std::nullopt);
+  const auto devices = static_cast<std::size_t>(config.device_count);
 
   RealMeasurement m;
+  m.pool_count = config.device_count + 1;
   m.host_chunks = host_threads * options_.chunks_per_thread;
   m.device_chunks = device_threads * options_.chunks_per_thread;
+
+  // Configured shares, fleet order. The paper's pair splits by the raw
+  // fraction (run() would pass exactly this pair to the fleet runtime, so
+  // the classic path is unchanged); a larger fleet keeps the host fraction
+  // and water-fills the device remainder across K identical Phis so they
+  // finish together — the same sim::MultiDeviceMachine::distribute call the
+  // differential-oracle test compares against.
+  std::vector<double> shares;
+  shares.reserve(devices + 1);
+  if (devices == 1) {
+    shares = {config.host_percent, 100.0 - config.host_percent};
+  } else {
+    const sim::ShareVector sv = sim::emil_with_phis(devices).distribute(
+        rw->physical_mb(), config.host_percent, config.host_threads,
+        config.host_affinity, config.device_threads, config.device_affinity);
+    shares.push_back(sv.host_percent);
+    for (const double d : sv.device_percent) shares.push_back(d);
+  }
+
+  // The configured engine runs every pool; asking for an engine the motif
+  // set does not qualify for throws with the gap reason (callers size the
+  // engine axis from RealWorkload::engines(), so search never gets here).
+  std::vector<PoolSpec> specs;
+  specs.reserve(devices + 1);
+  PoolSpec host;
+  host.threads = host_threads;
+  host.share_percent = shares[0];
+  host.chunks = m.host_chunks;
+  if (options_.pin_threads) host.host_affinity = config.host_affinity;
+  specs.push_back(host);
+  for (std::size_t d = 0; d < devices; ++d) {
+    PoolSpec dev;
+    dev.threads = device_threads;
+    dev.share_percent = shares[d + 1];
+    dev.chunks = m.device_chunks;
+    if (options_.pin_threads) dev.device_affinity = config.device_affinity;
+    specs.push_back(dev);
+  }
+  HeterogeneousExecutor executor(rw->engine(config.engine), std::move(specs));
+
   for (std::size_t rep = 0; rep < options_.repeats; ++rep) {
-    const ExecutionReport report = executor.run(rw->text(), config.host_percent,
-                                                m.host_chunks, m.device_chunks,
-                                                config.schedule);
+    const ExecutionReport report = executor.run_fleet(rw->text(), config.schedule);
     if (rep == 0 || report.total_seconds < m.seconds) {
       m.seconds = report.total_seconds;
       m.host_seconds = report.host_seconds;
@@ -249,6 +304,18 @@ RealMeasurement RealWorkloadEvaluator::measure(const opt::SystemConfig& config,
       m.host_steals = report.host_steals;
       m.device_steals = report.device_steals;
       m.imbalance = report.imbalance;
+      m.configured_percents.clear();
+      m.realized_percents.clear();
+      m.pool_seconds.clear();
+      m.pool_bytes.clear();
+      m.pool_steals.clear();
+      for (const PoolReport& pool : report.pools) {
+        m.configured_percents.push_back(pool.configured_percent);
+        m.realized_percents.push_back(pool.realized_percent);
+        m.pool_seconds.push_back(pool.seconds);
+        m.pool_bytes.push_back(pool.bytes);
+        m.pool_steals.push_back(pool.steals);
+      }
     }
   }
   if (options_.deterministic_timing) {
@@ -259,21 +326,56 @@ RealMeasurement RealWorkloadEvaluator::measure(const opt::SystemConfig& config,
     // distribution-runtime fields are overridden to the configured split
     // too — a half-deterministic measurement whose bytes disagreed with its
     // modeled seconds would flake any test or JSON diff that reads them.
-    const auto split = parallel::split_by_percent(rw->text().size(), config.host_percent);
-    m.seconds = real_workload_model_seconds(config, split.host_bytes, split.device_bytes);
-    // The per-side display fields use the static per-side formula — a
-    // side's standalone drain time, deterministic in the config alone.
+    //
+    // The byte split uses the same cumulative-rounding scheme as the
+    // executor's segment layout; for the 2-pool pair this is exactly
+    // parallel::split_by_percent, so pre-fleet numbers are unchanged.
+    const std::size_t total = rw->text().size();
+    std::vector<std::size_t> bounds(shares.size() + 1, 0);
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      cumulative += shares[i];
+      const auto cut = static_cast<std::size_t>(
+          std::llround(static_cast<double>(total) * cumulative / 100.0));
+      bounds[i + 1] = std::max(bounds[i], std::min(total, cut));
+    }
+    bounds.back() = total;
+    const std::size_t host_b = bounds[1] - bounds[0];
+    std::vector<std::size_t> device_b(shares.size() - 1);
+    for (std::size_t d = 0; d + 1 < shares.size(); ++d) {
+      device_b[d] = bounds[d + 2] - bounds[d + 1];
+    }
+    m.seconds = real_workload_model_fleet_seconds(config, host_b, device_b);
+    // The per-pool display fields use the static per-pool formula — a
+    // pool's standalone drain time, deterministic in the config alone.
     opt::SystemConfig side = config;
     side.schedule = parallel::SchedulePolicy::kStatic;
-    m.host_seconds = real_workload_model_seconds(side, split.host_bytes, 0);
-    m.device_seconds = real_workload_model_seconds(side, 0, split.device_bytes);
-    m.host_bytes = split.host_bytes;
-    m.device_bytes = split.device_bytes;
-    m.realized_host_percent =
-        rw->text().empty()
-            ? 0.0
-            : 100.0 * static_cast<double>(split.host_bytes) /
-                  static_cast<double>(rw->text().size());
+    m.host_seconds = real_workload_model_seconds(side, host_b, 0);
+    m.device_seconds = 0.0;
+    m.configured_percents = shares;
+    m.realized_percents.assign(shares.size(), 0.0);
+    m.pool_seconds.assign(shares.size(), 0.0);
+    m.pool_bytes.assign(shares.size(), 0);
+    m.pool_steals.assign(shares.size(), 0);
+    m.pool_seconds[0] = m.host_seconds;
+    m.pool_bytes[0] = host_b;
+    std::size_t device_total = 0;
+    for (std::size_t d = 0; d < device_b.size(); ++d) {
+      const double device_s = real_workload_model_seconds(side, 0, device_b[d]);
+      m.device_seconds = std::max(m.device_seconds, device_s);
+      m.pool_seconds[d + 1] = device_s;
+      m.pool_bytes[d + 1] = device_b[d];
+      device_total += device_b[d];
+    }
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      m.realized_percents[i] =
+          total == 0 ? 0.0
+                     : 100.0 * static_cast<double>(m.pool_bytes[i]) /
+                           static_cast<double>(total);
+    }
+    m.host_bytes = host_b;
+    m.device_bytes = device_total;
+    m.realized_host_percent = m.realized_percents[0];
     m.host_steals = 0;
     m.device_steals = 0;
     m.imbalance = 0.0;

@@ -6,9 +6,10 @@
 // the motif set into the dense scanning automaton. core::RealWorkloadEvaluator
 // plugs into core::TuningSession exactly like the simulated evaluators: every
 // candidate configuration is priced by *running* the heterogeneous executor —
-// host pool and emulated-device pool sized, pinned and chunked from the
-// opt::SystemConfig — and timing the overlapped scan. EM/EML/SAM/SAML
-// therefore tune live code end-to-end, which is what the paper's testbed did.
+// one host pool plus `device_count` emulated-device pools, sized, pinned and
+// chunked from the opt::SystemConfig — and timing the overlapped scan.
+// EM/EML/SAM/SAML therefore tune live code end-to-end, which is what the
+// paper's testbed did.
 //
 // Two timing modes:
 //   wall          (default) monotonic wall-clock of the real scan, min over
@@ -123,22 +124,34 @@ class RealWorkload {
 
 /// Everything one timed run of a configuration produced.
 struct RealMeasurement {
-  double seconds = 0.0;          // overlapped time (max of sides; min over repeats)
+  double seconds = 0.0;          // overlapped time (max of pools; min over repeats)
   double host_seconds = 0.0;     // host-side wall time of the reported run
-  double device_seconds = 0.0;   // emulated-device-side wall time
+  double device_seconds = 0.0;   // slowest emulated-device-side wall time
   double throughput_mb_s = 0.0;  // physical MB scanned per reported second
   std::uint64_t matches = 0;     // total motif occurrences found
   std::size_t host_bytes = 0;    // bytes the host side actually scanned
-  std::size_t device_bytes = 0;
+  std::size_t device_bytes = 0;  // bytes all device pools scanned, summed
   std::size_t host_chunks = 0;
-  std::size_t device_chunks = 0;
+  std::size_t device_chunks = 0;  // chunks *per device pool*
   // The distribution runtime's view of the reported run (executor.hpp):
   // under the shared-queue schedules the realized fraction emerges at
   // runtime; under static it equals the configured one and steals are 0.
   double realized_host_percent = 0.0;
   std::uint64_t host_steals = 0;
-  std::uint64_t device_steals = 0;
+  std::uint64_t device_steals = 0;  // summed over all device pools
   double imbalance = 0.0;
+
+  // --- Fleet view (pool 0 = host, pools 1..K = devices) ----------------------
+  // One entry per pool of the executed fleet, in fleet order. For the
+  // paper's pair (device_count = 1) these have exactly two entries and
+  // mirror the scalars above; the differential-oracle test layer compares
+  // configured_percents against sim::MultiDeviceMachine::distribute.
+  int pool_count = 2;                       // host + device_count
+  std::vector<double> configured_percents;  // shares the run was asked for
+  std::vector<double> realized_percents;    // shares that actually emerged
+  std::vector<double> pool_seconds;         // per-pool wall time
+  std::vector<std::size_t> pool_bytes;      // per-pool scanned bytes
+  std::vector<std::uint64_t> pool_steals;   // per-pool cross-segment claims
 };
 
 /// Evaluator backend that prices configurations by executing the real
@@ -155,6 +168,13 @@ class RealWorkloadEvaluator final : public Evaluator {
 
   /// One full measurement of `config` (what value()/score() consume the
   /// seconds of); exposed so benches can report throughput and match counts.
+  ///
+  /// `config.device_count` sizes the executed fleet: 1 (the default) runs
+  /// the paper's host+device pair on the exact legacy path; K > 1 runs one
+  /// host pool plus K emulated-device pools, with the device remainder of
+  /// the configured fraction water-filled across the K devices by
+  /// sim::MultiDeviceMachine::distribute (the Emil host + K Phi model) so
+  /// identical devices finish together.
   [[nodiscard]] RealMeasurement measure(const opt::SystemConfig& config,
                                         const Workload& workload) const;
 
@@ -190,5 +210,17 @@ class RealWorkloadEvaluator final : public Evaluator {
 [[nodiscard]] double real_workload_model_seconds(const opt::SystemConfig& config,
                                                  std::size_t host_bytes,
                                                  std::size_t device_bytes);
+
+/// Fleet generalization of the work model: `device_bytes[i]` is the share of
+/// device pool i (all device pools run `config.device_threads` under
+/// `config.device_affinity` — the identical-accelerator assumption of
+/// sim::emil_with_phis). Static is the max over the host's drain and every
+/// device's launch + drain; the shared-queue schedules drain the combined
+/// bytes at the summed rate (one host rate + K device rates). With one
+/// device this is *literally* real_workload_model_seconds — the 2-arg form
+/// delegates here — so pre-fleet seeded numbers are unchanged. Pure.
+[[nodiscard]] double real_workload_model_fleet_seconds(
+    const opt::SystemConfig& config, std::size_t host_bytes,
+    const std::vector<std::size_t>& device_bytes);
 
 }  // namespace hetopt::core

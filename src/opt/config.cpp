@@ -28,6 +28,11 @@ std::string to_string(const SystemConfig& c) {
     out += parallel::to_string(c.schedule);
     out += ']';
   }
+  if (c.device_count != 1) {
+    out += " [";
+    out += std::to_string(c.device_count);
+    out += "dev]";
+  }
   return out;
 }
 

@@ -31,13 +31,20 @@ struct SystemConfig {
   /// one-shot static split, or one of the demand-driven chunk-queue
   /// schedules. The default is the pre-schedule-axis behavior.
   parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kStatic;
+  /// How many accelerator devices share the device-side workload (the
+  /// multi-accelerator scaling the paper names as future work). The device
+  /// fraction (100 - host_percent) is water-filled across `device_count`
+  /// device pools of `device_threads` each; 1 reproduces the paper's
+  /// host+device pair exactly.
+  int device_count = 1;
 
   friend bool operator==(const SystemConfig&, const SystemConfig&) = default;
 };
 
 /// "host 24t/scatter 70% | device 60t/balanced 30%"; a non-default engine is
-/// appended as " [bitap]" and a non-default schedule as " [dynamic]" (the
-/// defaults are implied, so paper-space strings are unchanged).
+/// appended as " [bitap]", a non-default schedule as " [dynamic]", and a
+/// non-default device count as " [3dev]" (the defaults are implied, so
+/// paper-space and 2-pool strings are unchanged).
 [[nodiscard]] std::string to_string(const SystemConfig& c);
 
 }  // namespace hetopt::opt

@@ -114,6 +114,16 @@ ConfigSpace ConfigSpace::with_schedules(
   return copy;
 }
 
+ConfigSpace ConfigSpace::with_device_counts(std::vector<int> device_counts) const {
+  require_sorted_unique(device_counts, "device_counts");
+  for (const int k : device_counts) {
+    if (k < 1) throw std::invalid_argument("ConfigSpace: device count below 1");
+  }
+  ConfigSpace copy = *this;
+  copy.device_counts_ = std::move(device_counts);
+  return copy;
+}
+
 ConfigSpace ConfigSpace::paper() {
   std::vector<double> fractions;
   for (int i = 0; i <= 40; ++i) fractions.push_back(2.5 * i);
@@ -163,7 +173,7 @@ ConfigSpace ConfigSpace::tiny() {
 std::size_t ConfigSpace::size() const noexcept {
   return host_threads_.size() * host_affinities_.size() * device_threads_.size() *
          device_affinities_.size() * fractions_.size() * engines_.size() *
-         schedules_.size();
+         schedules_.size() * device_counts_.size();
 }
 
 SystemConfig ConfigSpace::at(std::size_t flat_index) const {
@@ -179,12 +189,14 @@ SystemConfig ConfigSpace::at(std::size_t flat_index) const {
   flat_index /= device_affinities_.size();
   c.host_percent = fractions_[flat_index % fractions_.size()];
   flat_index /= fractions_.size();
-  // The engine and schedule axes are outermost (schedule outermost of all),
-  // so default single-value axes leave the decode of every paper axis (and
-  // thus every flat index) unchanged.
+  // The extension axes are outermost (engine, then schedule, then device
+  // count outermost of all), so default single-value axes leave the decode
+  // of every paper axis (and thus every flat index) unchanged.
   c.engine = engines_[flat_index % engines_.size()];
   flat_index /= engines_.size();
-  c.schedule = schedules_[flat_index];
+  c.schedule = schedules_[flat_index % schedules_.size()];
+  flat_index /= schedules_.size();
+  c.device_count = device_counts_[flat_index];
   return c;
 }
 
@@ -197,7 +209,9 @@ std::size_t ConfigSpace::index_of(const SystemConfig& config) const {
   const std::size_t i4 = axis_index(fractions_, config.host_percent, "fractions");
   const std::size_t i5 = axis_index(engines_, config.engine, "engines");
   const std::size_t i6 = axis_index(schedules_, config.schedule, "schedules");
-  std::size_t idx = i6;
+  const std::size_t i7 = axis_index(device_counts_, config.device_count, "device_counts");
+  std::size_t idx = i7;
+  idx = idx * schedules_.size() + i6;
   idx = idx * engines_.size() + i5;
   idx = idx * fractions_.size() + i4;
   idx = idx * device_affinities_.size() + i3;
@@ -222,14 +236,17 @@ SystemConfig ConfigSpace::random(util::Xoshiro256& rng) const {
 
 SystemConfig ConfigSpace::neighbor(const SystemConfig& config, util::Xoshiro256& rng) const {
   SystemConfig next = config;
-  // The engine and schedule axes join the move only when they have somewhere
-  // to move to; with the default single-value axes the draw below is
-  // bounded(5), which keeps pre-extension-axis seeded runs bit-identical
-  // (and bounded(6) with only the engine axis widened — the PR-4 stream).
+  // An extension axis joins the move only when it has somewhere to move to;
+  // with the default single-value axes the draw below is bounded(5), which
+  // keeps pre-extension-axis seeded runs bit-identical (bounded(6) with only
+  // the engine axis widened — the PR-4 stream — and bounded(7) with engine
+  // and schedule widened — the PR-5 stream).
   const bool engine_movable = engines_.size() > 1;
   const bool schedule_movable = schedules_.size() > 1;
+  const bool devices_movable = device_counts_.size() > 1;
   const std::uint64_t axis =
-      rng.bounded(5 + (engine_movable ? 1 : 0) + (schedule_movable ? 1 : 0));
+      rng.bounded(5 + (engine_movable ? 1 : 0) + (schedule_movable ? 1 : 0) +
+                  (devices_movable ? 1 : 0));
   switch (axis) {
     case 0: {
       const std::size_t i = axis_index(host_threads_, config.host_threads, "host_threads");
@@ -268,19 +285,40 @@ SystemConfig ConfigSpace::neighbor(const SystemConfig& config, util::Xoshiro256&
       break;
     }
     default: {
-      // Categorical jumps, like the affinity axes. Draw 5 is the engine when
-      // it is movable (the schedule then takes draw 6), otherwise the
-      // schedule — so each widened axis keeps a stable share of the move.
-      if (axis == 5 && engine_movable) {
-        const std::size_t i = axis_index(engines_, config.engine, "engines");
-        std::size_t j = static_cast<std::size_t>(rng.bounded(engines_.size() - 1));
-        if (j >= i) ++j;
-        next.engine = engines_[j];
-      } else {
-        const std::size_t i = axis_index(schedules_, config.schedule, "schedules");
-        std::size_t j = static_cast<std::size_t>(rng.bounded(schedules_.size() - 1));
-        if (j >= i) ++j;
-        next.schedule = schedules_[j];
+      // Extension-axis moves. The movable extension axes take the draws past
+      // the paper's five in a fixed order — engine, schedule, device count —
+      // skipping single-value axes, so each widened axis keeps a stable
+      // share of the move and every narrower space reproduces its historical
+      // stream (draw 5 was the engine in PR 4, draw 6 the schedule in PR 5).
+      enum Ext : int { kEngine, kSchedule, kDevices };
+      Ext movable[3];
+      std::size_t movable_count = 0;
+      if (engine_movable) movable[movable_count++] = kEngine;
+      if (schedule_movable) movable[movable_count++] = kSchedule;
+      if (devices_movable) movable[movable_count++] = kDevices;
+      switch (movable[axis - 5]) {
+        case kEngine: {
+          const std::size_t i = axis_index(engines_, config.engine, "engines");
+          std::size_t j = static_cast<std::size_t>(rng.bounded(engines_.size() - 1));
+          if (j >= i) ++j;
+          next.engine = engines_[j];
+          break;
+        }
+        case kSchedule: {
+          const std::size_t i = axis_index(schedules_, config.schedule, "schedules");
+          std::size_t j = static_cast<std::size_t>(rng.bounded(schedules_.size() - 1));
+          if (j >= i) ++j;
+          next.schedule = schedules_[j];
+          break;
+        }
+        case kDevices: {
+          // An ordered axis, like the thread counts: fleets grow or shrink
+          // by a few devices, they do not teleport.
+          const std::size_t i =
+              axis_index(device_counts_, config.device_count, "device_counts");
+          next.device_count = device_counts_[step_index(device_counts_, i, rng)];
+          break;
+        }
       }
       break;
     }

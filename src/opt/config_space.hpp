@@ -2,14 +2,16 @@
 // ranges). Provides flat indexing for enumeration, uniform sampling, and the
 // neighbour move used by simulated annealing.
 //
-// Beyond the paper's five Table I axes, the space can carry two optional
-// categorical axes: the match engine (which scan engine executes the
-// search) and the distribution schedule (how chunks reach the workers).
-// Both default to single-value axes ({compiled-dfa}, {static}) under which
+// Beyond the paper's five Table I axes, the space can carry three optional
+// axes: the match engine (which scan engine executes the search), the
+// distribution schedule (how chunks reach the workers), and the device
+// count (how many accelerators share the device fraction — sized in
+// practice by the sim layer's MultiDeviceMachine at the call site). All
+// default to single-value axes ({compiled-dfa}, {static}, {1}) under which
 // every operation — indexing order, sampling, the annealing move's random
 // stream — is bit-identical to the paper-axes-only space, so existing
-// presets and seeds reproduce exactly. with_engines() / with_schedules()
-// widen them.
+// presets and seeds reproduce exactly. with_engines() / with_schedules() /
+// with_device_counts() widen them.
 #pragma once
 
 #include <cstdint>
@@ -62,6 +64,12 @@ class ConfigSpace {
   [[nodiscard]] ConfigSpace with_schedules(
       std::vector<parallel::SchedulePolicy> schedules) const;
 
+  /// A copy of this space with the device-count axis replaced (strictly
+  /// increasing counts >= 1; e.g. {1, 2, 4} for the fleets a
+  /// sim::MultiDeviceMachine can seat). The default single-value axis {1}
+  /// leaves every index, sample, and neighbor stream unchanged.
+  [[nodiscard]] ConfigSpace with_device_counts(std::vector<int> device_counts) const;
+
   [[nodiscard]] std::size_t size() const noexcept;
   /// Mixed-radix decode of a flat index in [0, size()).
   [[nodiscard]] SystemConfig at(std::size_t flat_index) const;
@@ -73,10 +81,11 @@ class ConfigSpace {
   [[nodiscard]] SystemConfig random(util::Xoshiro256& rng) const;
 
   /// Simulated-annealing move: pick one parameter uniformly; ordered axes
-  /// (threads, fraction) step to a nearby value (±1..±3 positions), the
-  /// categorical axes (affinities, engine, schedule) jump to a different
-  /// value. Single-value engine/schedule axes are never picked, so with the
-  /// defaults the random stream matches the paper-axes-only move exactly.
+  /// (threads, fraction, device count) step to a nearby value (±1..±3
+  /// positions), the categorical axes (affinities, engine, schedule) jump to
+  /// a different value. Single-value extension axes (engine, schedule,
+  /// device count) are never picked, so with the defaults the random stream
+  /// matches the paper-axes-only move exactly.
   [[nodiscard]] SystemConfig neighbor(const SystemConfig& config,
                                       util::Xoshiro256& rng) const;
 
@@ -98,6 +107,9 @@ class ConfigSpace {
   [[nodiscard]] const std::vector<parallel::SchedulePolicy>& schedules() const noexcept {
     return schedules_;
   }
+  [[nodiscard]] const std::vector<int>& device_counts() const noexcept {
+    return device_counts_;
+  }
 
  private:
   std::vector<int> host_threads_;
@@ -107,6 +119,9 @@ class ConfigSpace {
   std::vector<double> fractions_;
   std::vector<automata::EngineKind> engines_;
   std::vector<parallel::SchedulePolicy> schedules_;
+  // Outermost of all axes so the default {1} keeps every flat index — and
+  // with it every seeded stream — bit-identical to the pre-fleet space.
+  std::vector<int> device_counts_ = {1};
 };
 
 }  // namespace hetopt::opt

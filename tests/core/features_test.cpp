@@ -99,6 +99,29 @@ TEST(Features, OneHotIsExclusive) {
   }
 }
 
+TEST(Features, FleetColumnsEncodePoolShapeWithPairDefaults) {
+  // Defaults encode the paper's pair: 2 pools, this environment holding
+  // 100% of its side — the constant columns legacy sweeps produce.
+  const auto h = host_features(1.0, 2, parallel::HostAffinity::kNone);
+  EXPECT_DOUBLE_EQ(h[12], 2.0);
+  EXPECT_DOUBLE_EQ(h[13], 100.0);
+  // A 4-device fleet: 5 pools, each device holding a quarter of the side.
+  const auto d = device_features(1.0, 2, parallel::DeviceAffinity::kBalanced,
+                                 automata::EngineKind::kCompiledDfa,
+                                 parallel::SchedulePolicy::kStatic, 5, 25.0);
+  EXPECT_DOUBLE_EQ(d[12], 5.0);
+  EXPECT_DOUBLE_EQ(d[13], 25.0);
+  // Out-of-range fleet shapes are rejected.
+  EXPECT_THROW((void)host_features(1.0, 2, parallel::HostAffinity::kNone,
+                                   automata::EngineKind::kCompiledDfa,
+                                   parallel::SchedulePolicy::kStatic, 0, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)device_features(1.0, 2, parallel::DeviceAffinity::kBalanced,
+                                     automata::EngineKind::kCompiledDfa,
+                                     parallel::SchedulePolicy::kStatic, 2, 101.0),
+               std::invalid_argument);
+}
+
 TEST(Features, NamesMatchLayoutWidth) {
   EXPECT_EQ(host_feature_names().size(), kFeatureCount);
   EXPECT_EQ(device_feature_names().size(), kFeatureCount);
@@ -111,6 +134,8 @@ TEST(Features, NamesMatchLayoutWidth) {
   EXPECT_EQ(host_feature_names()[9], "schedule_dynamic");
   EXPECT_EQ(host_feature_names()[10], "schedule_guided");
   EXPECT_EQ(device_feature_names()[11], "schedule_adaptive");
+  EXPECT_EQ(host_feature_names()[12], "pool_count");
+  EXPECT_EQ(device_feature_names()[13], "pool_share_pct");
 }
 
 TEST(Features, Validation) {

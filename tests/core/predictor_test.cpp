@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/training.hpp"
@@ -186,6 +187,71 @@ TEST(PredictorUsage, SaveLoadErrors) {
   // A v2 file whose recorded width disagrees with this build's layout too.
   std::stringstream narrow("hetopt-predictor-v2 8 1 1");
   EXPECT_THROW((void)PerformancePredictor::load(narrow), std::runtime_error);
+  // A v3 header with a stale feature width (pre-fleet 12 columns) is
+  // rejected with the retrain message, not a predict-time row mismatch.
+  std::stringstream stale("hetopt-predictor-v3 12 1 1");
+  EXPECT_THROW((void)PerformancePredictor::load(stale), std::runtime_error);
+}
+
+TEST(PredictorUsage, FleetDefaultsReproducePairPredictions) {
+  // The fleet columns are constant at their defaults (pool_count 2, share
+  // 100), and the normalizer maps constant columns to zero: predictions
+  // through the new signature must be bit-identical to the short calls, and
+  // predict_combined at device_count = 1 is the classic Eq. 2.
+  const sim::Machine machine = sim::emil_machine();
+  const dna::GenomeCatalog catalog;
+  const TrainingData data =
+      generate_training_data(machine, catalog, TrainingSweepOptions::tiny());
+  PerformancePredictor p;
+  p.train(data.host, data.device);
+  for (double mb : {100.0, 3170.0}) {
+    EXPECT_DOUBLE_EQ(
+        p.predict_host(mb, 12, parallel::HostAffinity::kScatter),
+        p.predict_host(mb, 12, parallel::HostAffinity::kScatter,
+                       automata::EngineKind::kCompiledDfa,
+                       parallel::SchedulePolicy::kStatic, 2, 100.0));
+    EXPECT_DOUBLE_EQ(
+        p.predict_device(mb, 120, parallel::DeviceAffinity::kBalanced),
+        p.predict_device(mb, 120, parallel::DeviceAffinity::kBalanced,
+                         automata::EngineKind::kCompiledDfa,
+                         parallel::SchedulePolicy::kStatic, 2, 100.0));
+  }
+  opt::SystemConfig c;
+  c.host_threads = 12;
+  c.device_threads = 120;
+  c.host_percent = 40.0;
+  ASSERT_EQ(c.device_count, 1);
+  const double pair = p.predict_combined(c, 1000.0);
+  const double host_t = p.predict_host(400.0, 12, c.host_affinity);
+  const double device_t = p.predict_device(600.0, 120, c.device_affinity);
+  EXPECT_DOUBLE_EQ(pair, std::max(host_t, device_t));
+}
+
+TEST(PredictorUsage, CombinedHandlesDeviceFleets) {
+  const sim::Machine machine = sim::emil_machine();
+  const dna::GenomeCatalog catalog;
+  const TrainingData data =
+      generate_training_data(machine, catalog, TrainingSweepOptions::tiny());
+  PerformancePredictor p;
+  p.train(data.host, data.device);
+  opt::SystemConfig c;
+  c.host_threads = 12;
+  c.device_threads = 120;
+  c.host_percent = 40.0;
+  c.device_count = 0;
+  EXPECT_THROW((void)p.predict_combined(c, 1000.0), std::invalid_argument);
+  // Static fleets: each of K identical devices prices a 1/K slice of the
+  // device side, so the device term can only shrink as K grows.
+  c.device_count = 1;
+  const double one = p.predict_combined(c, 1000.0);
+  c.device_count = 4;
+  const double four = p.predict_combined(c, 1000.0);
+  EXPECT_GT(one, 0.0);
+  EXPECT_GT(four, 0.0);
+  const double host_t = p.predict_host(400.0, 12, c.host_affinity,
+                                       automata::EngineKind::kCompiledDfa,
+                                       parallel::SchedulePolicy::kStatic, 5, 100.0);
+  EXPECT_GE(four, host_t);  // the host side is a floor on the fleet makespan
 }
 
 TEST(PredictorUsage, CombinedRejectsNonPositiveTotal) {

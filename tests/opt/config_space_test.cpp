@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <iterator>
 #include <set>
+#include <vector>
 
 namespace hetopt::opt {
 namespace {
@@ -307,6 +311,132 @@ TEST(ConfigSpaceTest, SingleValueScheduleAxisNeverJoinsTheMove) {
     EXPECT_LE(changed, 1);
     current = next;
   }
+}
+
+TEST(ConfigSpaceTest, DefaultDeviceCountAxisIsTheClassicPair) {
+  // Without with_device_counts the space is exactly the paper's host+device
+  // pair: a single-value {1} axis that neither multiplies the size nor ever
+  // appears in a decoded config as anything but 1.
+  const ConfigSpace space = ConfigSpace::tiny();
+  ASSERT_EQ(space.device_counts(), (std::vector<int>{1}));
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_EQ(space.at(i).device_count, 1);
+  }
+}
+
+TEST(ConfigSpaceTest, DeviceCountAxisMultipliesAndRoundTrips) {
+  const ConfigSpace base = ConfigSpace::tiny();
+  const ConfigSpace wide = base.with_device_counts({1, 2, 4});
+  EXPECT_EQ(wide.size(), 3 * base.size());
+  // The device-count axis is outermost — outside even the schedule axis —
+  // so the first base.size() indices decode exactly as the fleet-less space
+  // did: the PR-5 layout is the K=1 block.
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(wide.at(i), base.at(i));
+  }
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    const SystemConfig c = wide.at(i);
+    EXPECT_EQ(wide.index_of(c), i);
+    EXPECT_EQ(c.device_count,
+              wide.device_counts()[i / base.size()]);
+  }
+  SystemConfig off = wide.at(0);
+  off.device_count = 3;
+  EXPECT_FALSE(wide.contains(off));
+}
+
+TEST(ConfigSpaceTest, DeviceCountAxisStacksOutsideEveryOtherAxis) {
+  const ConfigSpace base = ConfigSpace::tiny();
+  const ConfigSpace all =
+      base.with_engines({automata::EngineKind::kCompiledDfa, automata::EngineKind::kBitap})
+          .with_schedules(
+              {parallel::SchedulePolicy::kStatic, parallel::SchedulePolicy::kDynamic})
+          .with_device_counts({1, 2});
+  EXPECT_EQ(all.size(), 8 * base.size());
+  // Engine cycles innermost of the extensions, then schedule, then fleet.
+  EXPECT_EQ(all.at(0).device_count, 1);
+  EXPECT_EQ(all.at(4 * base.size()).device_count, 2);
+  EXPECT_EQ(all.at(4 * base.size()).schedule, parallel::SchedulePolicy::kStatic);
+  EXPECT_EQ(all.at(2 * base.size()).schedule, parallel::SchedulePolicy::kDynamic);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all.index_of(all.at(i)), i);
+  }
+}
+
+TEST(ConfigSpaceTest, DeviceCountAxisValidation) {
+  EXPECT_THROW((void)ConfigSpace::tiny().with_device_counts({}), std::invalid_argument);
+  EXPECT_THROW((void)ConfigSpace::tiny().with_device_counts({2, 1}),
+               std::invalid_argument);  // unsorted
+  EXPECT_THROW((void)ConfigSpace::tiny().with_device_counts({1, 1}),
+               std::invalid_argument);  // duplicate
+  EXPECT_THROW((void)ConfigSpace::tiny().with_device_counts({0, 1}),
+               std::invalid_argument);  // no zero-device fleets
+}
+
+TEST(ConfigSpaceTest, NeighborMovesAcrossTheDeviceCountAxisLocally) {
+  // The fleet-size axis is ordered, not categorical: annealing reaches it,
+  // and every move slides at most three axis positions (the same +-1..3
+  // window the thread and fraction axes use), never teleporting across a
+  // long axis.
+  const std::vector<int> counts{1, 2, 3, 4, 5, 6, 7, 8};
+  const ConfigSpace wide = ConfigSpace::tiny().with_device_counts(counts);
+  const auto index_on_axis = [&](int k) {
+    return std::distance(counts.begin(),
+                         std::find(counts.begin(), counts.end(), k));
+  };
+  util::Xoshiro256 rng(321);
+  SystemConfig current = wide.at(0);
+  bool device_moved = false;
+  for (int step = 0; step < 400; ++step) {
+    const SystemConfig next = wide.neighbor(current, rng);
+    EXPECT_TRUE(wide.contains(next));
+    if (next.device_count != current.device_count) {
+      device_moved = true;
+      EXPECT_LE(std::abs(index_on_axis(next.device_count) -
+                         index_on_axis(current.device_count)),
+                3)
+          << current.device_count << " -> " << next.device_count;
+    }
+    current = next;
+  }
+  EXPECT_TRUE(device_moved);
+}
+
+TEST(ConfigSpaceTest, SingleValueDeviceAxisDrawsThePreFleetRngStream) {
+  // Bit-identity regression for every seeded PR-5-era run: when the
+  // device-count axis is left at its {1} default, neighbor() must consume
+  // the RNG exactly as the schedule-era space did — same draws, same moves
+  // — so Table II preset streams reproduce. Proven by lockstep comparison
+  // against a space built without ever touching the fleet axis.
+  const ConfigSpace pre = ConfigSpace::tiny().with_engines(
+      {automata::EngineKind::kCompiledDfa, automata::EngineKind::kBitap});
+  const ConfigSpace post = pre.with_device_counts({1});
+  util::Xoshiro256 rng_pre(4242);
+  util::Xoshiro256 rng_post(4242);
+  SystemConfig a = pre.at(3);
+  SystemConfig b = post.at(3);
+  for (int step = 0; step < 500; ++step) {
+    a = pre.neighbor(a, rng_pre);
+    b = post.neighbor(b, rng_post);
+    ASSERT_EQ(a, b) << "streams diverged at step " << step;
+    EXPECT_EQ(b.device_count, 1);
+  }
+}
+
+TEST(ConfigTest, ToStringAppendsOnlyNonDefaultFleetSizes) {
+  SystemConfig c;
+  c.host_threads = 24;
+  c.host_affinity = parallel::HostAffinity::kScatter;
+  c.device_threads = 60;
+  c.device_affinity = parallel::DeviceAffinity::kBalanced;
+  c.host_percent = 62.5;
+  // The paper's pair prints exactly the pre-fleet string (seeded logs and
+  // JSON diffs must not change)...
+  ASSERT_EQ(c.device_count, 1);
+  EXPECT_EQ(to_string(c), "host 24t/scatter 62.5% | device 60t/balanced 37.5%");
+  // ...while a real fleet announces its size.
+  c.device_count = 3;
+  EXPECT_EQ(to_string(c), "host 24t/scatter 62.5% | device 60t/balanced 37.5% [3dev]");
 }
 
 TEST(ConfigSpaceTest, NeighborMovesAcrossTheEngineAxis) {

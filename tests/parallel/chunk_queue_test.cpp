@@ -4,7 +4,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace hetopt::parallel {
@@ -83,6 +86,53 @@ TEST(ChunkQueueTest, ConcurrentTakersClaimEveryIndexExactlyOnce) {
   for (auto& th : threads) th.join();
   for (const auto& c : claimed) EXPECT_EQ(c.load(), 1);
   EXPECT_EQ(q.remaining(), 0u);
+}
+
+TEST(ChunkQueueTest, MultiQueueDrainClaimsEveryIndexExactlyOnce) {
+  // The N-pool adaptive layout: one queue per segment, each pool draining
+  // its own queue and stealing from its neighbors' (forward from the front,
+  // backward from the back). Whatever the interleaving, every global index
+  // must be claimed exactly once across all queues — the invariant the
+  // fleet executor's per-segment scheme rests on.
+  constexpr std::size_t kSegments = 4;
+  constexpr std::size_t kPerSegment = 2500;
+  std::vector<std::unique_ptr<ChunkQueue>> queues;
+  queues.reserve(kSegments);
+  for (std::size_t s = 0; s < kSegments; ++s) {
+    queues.push_back(std::make_unique<ChunkQueue>(kPerSegment));
+  }
+  std::vector<std::atomic<int>> claimed(kSegments * kPerSegment);
+  std::vector<std::thread> drains;
+  drains.reserve(kSegments);
+  for (std::size_t pool = 0; pool < kSegments; ++pool) {
+    drains.emplace_back([&queues, &claimed, pool] {
+      const auto take = [&]() -> std::optional<std::pair<std::size_t, std::size_t>> {
+        // Own segment first (last pool from the back, the rest from the
+        // front), then steal nearest-first from both directions.
+        const bool last = pool == kSegments - 1;
+        if (auto t = last ? queues[pool]->take_back() : queues[pool]->take_front()) {
+          return std::pair{pool, *t};
+        }
+        for (std::size_t d = 1; d < kSegments; ++d) {
+          if (pool + d < kSegments) {
+            if (auto t = queues[pool + d]->take_front()) return std::pair{pool + d, *t};
+          }
+          if (pool >= d) {
+            if (auto t = queues[pool - d]->take_back()) return std::pair{pool - d, *t};
+          }
+        }
+        return std::nullopt;
+      };
+      for (;;) {
+        const auto t = take();
+        if (!t) break;
+        claimed[t->first * kPerSegment + t->second].fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : drains) th.join();
+  for (const auto& c : claimed) EXPECT_EQ(c.load(), 1);
+  for (const auto& q : queues) EXPECT_EQ(q->remaining(), 0u);
 }
 
 }  // namespace

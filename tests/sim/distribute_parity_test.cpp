@@ -1,0 +1,178 @@
+// Differential oracle between the two halves of the reproduction: the
+// analytical multi-device model (sim::MultiDeviceMachine::distribute) and
+// the executed N-pool fleet (core::RealWorkloadEvaluator). The shares the
+// model water-fills must be *exactly* the shares the evaluator configures
+// its fleet with, and the shares the live runtime realizes must track them
+// — the latter only up to machine noise, so deviations warn instead of fail
+// (the PR-5 single_hw_thread convention: parallel-behavior expectations are
+// advisory on arbitrary CI hardware).
+#include "sim/multi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "core/real_workload.hpp"
+#include "opt/config.hpp"
+
+namespace hetopt::sim {
+namespace {
+
+core::RealWorkloadOptions tiny_options(bool deterministic) {
+  core::RealWorkloadOptions options;
+  options.bytes_per_logical_mb = 54.0;  // cat (2430 logical MB) -> ~128 KB
+  options.min_physical_bytes = 64 * 1024;
+  options.deterministic_timing = deterministic;
+  return options;
+}
+
+core::Workload cat() { return core::Workload("cat", 2430.0); }
+
+opt::SystemConfig fleet_config(int devices) {
+  opt::SystemConfig c;
+  c.host_threads = 2;
+  c.device_threads = 3;
+  c.host_percent = 40.0;
+  c.device_count = devices;
+  return c;
+}
+
+TEST(DistributeParityTest, ConfiguredSharesAgreeWithDistributeExactly) {
+  // The evaluator and this test make the *same* distribute call, so the
+  // configured shares must be bit-identical, for every fleet size.
+  const dna::GenomeCatalog catalog;
+  const core::RealWorkloadEvaluator evaluator(catalog, tiny_options(true));
+  const double mb = evaluator.real(cat()).physical_mb();
+  for (const int devices : {2, 3, 4}) {
+    const opt::SystemConfig c = fleet_config(devices);
+    const core::RealMeasurement m = evaluator.measure(c, cat());
+    const ShareVector sv = emil_with_phis(static_cast<std::size_t>(devices))
+                               .distribute(mb, c.host_percent, c.host_threads,
+                                           c.host_affinity, c.device_threads,
+                                           c.device_affinity);
+    ASSERT_EQ(m.pool_count, devices + 1);
+    ASSERT_EQ(m.configured_percents.size(), static_cast<std::size_t>(devices) + 1);
+    EXPECT_DOUBLE_EQ(m.configured_percents[0], sv.host_percent) << devices;
+    for (int d = 0; d < devices; ++d) {
+      EXPECT_DOUBLE_EQ(m.configured_percents[static_cast<std::size_t>(d) + 1],
+                       sv.device_percent[static_cast<std::size_t>(d)])
+          << devices << "/" << d;
+    }
+    EXPECT_NEAR(sv.total_percent(), 100.0, 1e-9);
+  }
+}
+
+TEST(DistributeParityTest, PairConfiguredSharesAreTheRawFraction) {
+  // device_count = 1 is the paper's pair: no water-filling, the configured
+  // shares are literally {host_percent, 100 - host_percent}.
+  const dna::GenomeCatalog catalog;
+  const core::RealWorkloadEvaluator evaluator(catalog, tiny_options(true));
+  const core::RealMeasurement m = evaluator.measure(fleet_config(1), cat());
+  ASSERT_EQ(m.configured_percents.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.configured_percents[0], 40.0);
+  EXPECT_DOUBLE_EQ(m.configured_percents[1], 60.0);
+}
+
+TEST(DistributeParityTest, StaticRealizedSharesMatchConfiguredUpToRounding) {
+  // Under the static schedule the realized split is the configured one cut
+  // at byte granularity: the live run's realized shares may differ from the
+  // model's only by segment rounding (< one percent on a 128 KB genome).
+  const dna::GenomeCatalog catalog;
+  const core::RealWorkloadEvaluator evaluator(catalog, tiny_options(false));
+  for (const int devices : {1, 3}) {
+    const core::RealMeasurement m = evaluator.measure(fleet_config(devices), cat());
+    ASSERT_EQ(m.realized_percents.size(), m.configured_percents.size());
+    double realized_total = 0.0;
+    for (std::size_t i = 0; i < m.realized_percents.size(); ++i) {
+      EXPECT_NEAR(m.realized_percents[i], m.configured_percents[i], 0.5)
+          << devices << "/" << i;
+      realized_total += m.realized_percents[i];
+      EXPECT_EQ(m.pool_steals[i], 0u);
+    }
+    EXPECT_NEAR(realized_total, 100.0, 1e-9);
+  }
+}
+
+TEST(DistributeParityTest, SharedQueueRealizedSharesTrackConfiguredOrWarn) {
+  // Under the adaptive schedule the realized distribution emerges from
+  // relative pool speeds on whatever machine CI gives us; a large drift from
+  // the configured water-filled shares is machine noise, not a bug, so it
+  // warns (stderr) instead of failing. The hard invariants — shares
+  // accounted for every byte, exact match counts — still fail loudly.
+  const dna::GenomeCatalog catalog;
+  const core::RealWorkloadEvaluator evaluator(catalog, tiny_options(false));
+  opt::SystemConfig c = fleet_config(3);
+  c.schedule = parallel::SchedulePolicy::kAdaptive;
+  const core::RealMeasurement m = evaluator.measure(c, cat());
+  EXPECT_EQ(m.matches, evaluator.real(cat()).sequential_matches());
+  std::size_t bytes = 0;
+  for (const std::size_t b : m.pool_bytes) bytes += b;
+  EXPECT_EQ(bytes, evaluator.real(cat()).physical_bytes());
+  constexpr double kAdvisoryTolerancePercent = 25.0;
+  for (std::size_t i = 0; i < m.realized_percents.size(); ++i) {
+    const double drift = std::abs(m.realized_percents[i] - m.configured_percents[i]);
+    if (drift > kAdvisoryTolerancePercent) {
+      std::cerr << "[          ] warning: pool " << i << " realized "
+                << m.realized_percents[i] << "% vs configured "
+                << m.configured_percents[i] << "% (drift " << drift
+                << " > " << kAdvisoryTolerancePercent
+                << "); machine-dependent, not failing\n";
+    }
+  }
+}
+
+TEST(DistributeParityTest, FleetModelCollapsesToThePairModel) {
+  // The 2-arg work model and the 1-device fleet model are the same function
+  // — the delegation the deterministic evaluator's bit-identity rests on.
+  const opt::SystemConfig c = fleet_config(1);
+  const std::size_t mb = 4 * 1024 * 1024;
+  for (const auto [host_b, device_b] :
+       {std::pair<std::size_t, std::size_t>{2 * mb, mb},
+        {0, mb},
+        {mb, 0},
+        {0, 0}}) {
+    EXPECT_DOUBLE_EQ(
+        core::real_workload_model_seconds(c, host_b, device_b),
+        core::real_workload_model_fleet_seconds(c, host_b, {device_b}));
+  }
+}
+
+TEST(DistributeParityTest, DeterministicFleetMeasurementsReproduce) {
+  // Seeded determinism across the whole differential surface: the same
+  // fleet config measured twice produces identical seconds and shares.
+  const dna::GenomeCatalog catalog;
+  const core::RealWorkloadEvaluator evaluator(catalog, tiny_options(true));
+  for (const int devices : {1, 2, 4}) {
+    opt::SystemConfig c = fleet_config(devices);
+    c.schedule = parallel::SchedulePolicy::kGuided;
+    const core::RealMeasurement a = evaluator.measure(c, cat());
+    const core::RealMeasurement b = evaluator.measure(c, cat());
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds) << devices;
+    EXPECT_EQ(a.matches, b.matches) << devices;
+    EXPECT_EQ(a.configured_percents, b.configured_percents) << devices;
+    EXPECT_EQ(a.pool_bytes, b.pool_bytes) << devices;
+    EXPECT_EQ(a.matches, evaluator.real(cat()).sequential_matches()) << devices;
+  }
+}
+
+TEST(DistributeParityTest, MoreDevicesNeverSlowTheModelDown) {
+  // Sanity on the model's fleet shape: under the shared-queue drain, extra
+  // identical devices only add rate; under static, splitting the device
+  // remainder K ways shrinks the slowest device share.
+  opt::SystemConfig c = fleet_config(1);
+  const std::size_t mb = 8 * 1024 * 1024;
+  c.schedule = parallel::SchedulePolicy::kDynamic;
+  const double one = core::real_workload_model_fleet_seconds(c, mb, {mb});
+  const double two =
+      core::real_workload_model_fleet_seconds(c, mb, {mb / 2, mb / 2});
+  EXPECT_LT(two, one);
+  c.schedule = parallel::SchedulePolicy::kStatic;
+  const double one_s = core::real_workload_model_fleet_seconds(c, mb / 4, {mb});
+  const double two_s =
+      core::real_workload_model_fleet_seconds(c, mb / 4, {mb / 2, mb / 2});
+  EXPECT_LT(two_s, one_s);
+}
+
+}  // namespace
+}  // namespace hetopt::sim

@@ -49,6 +49,8 @@ if command -v python3 >/dev/null 2>&1; then
   python3 - "${json_out}" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
+if doc.get("schema") != "hetopt-bench-v4":
+    sys.exit("unexpected schema: %r (want hetopt-bench-v4)" % doc.get("schema"))
 kernel = doc.get("scan_kernel", {})
 if kernel:
     print("scan_kernel: fused %.2fx naive (guard %.1fx, %s)" % (
@@ -81,6 +83,30 @@ if sched:
                       for t in sched.get("tuned", []))
     print("schedule_matrix: %s | skew@%s%%: %s | tuned: %s" % (
         rates, skew.get("host_percent"), flags, tuned))
+# device_matrix is required under hetopt-bench-v4: every profile row must
+# carry one configured/realized share per pool and keep match parity.
+fleet = doc["device_matrix"]
+profile = fleet["profile"]
+if [row["device_count"] for row in profile] != [1, 2, 3, 4]:
+    sys.exit("device_matrix: expected profile rows for 1..4 devices")
+for row in profile:
+    pools = row["pool_count"]
+    if pools != row["device_count"] + 1:
+        sys.exit("device_matrix: pool_count %s != device_count+1" % pools)
+    for k in ("configured_percents", "realized_percents", "pool_steals"):
+        if len(row[k]) != pools:
+            sys.exit("device_matrix: %s has %d entries, want %d" %
+                     (k, len(row[k]), pools))
+    for k in ("configured_percents", "realized_percents"):
+        if abs(sum(row[k]) - 100.0) > 1e-6:
+            sys.exit("device_matrix: %s sums to %s, want 100" % (k, sum(row[k])))
+    if not row["match_parity"]:
+        sys.exit("device_matrix: match parity lost at %d devices" % row["device_count"])
+rates = ", ".join("%dd %.0f MB/s" % (r["device_count"], r["throughput_mb_s"])
+                  for r in profile)
+tuned = ", ".join("%s->%sd" % (t["method"], t["device_count"])
+                  for t in fleet.get("tuned", []))
+print("device_matrix: %s | tuned: %s" % (rates, tuned))
 PY
 fi
 
