@@ -2,16 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <limits>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "automata/compiled_dfa.hpp"
+#include "automata/scanner.hpp"
 #include "parallel/chunk_queue.hpp"
 #include "parallel/partitioner.hpp"
+#include "util/fault.hpp"
 #include "util/strings.hpp"
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 
 namespace hetopt::core {
@@ -189,6 +194,80 @@ struct PoolTotals {
   std::atomic<std::uint64_t> steals{0};
 };
 
+/// Shared state of one fault-tolerant run (run_recovery_fleet). The failed
+/// mask and the per-pool progress words are the only state read across
+/// threads mid-run; everything else is telemetry merged after the joins.
+struct RecoveryContext {
+  explicit RecoveryContext(std::size_t pools)
+      : progress(pools), started(pools), finished(pools) {}
+
+  /// Bit i set = pool i declared dead or stalled. fetch_or with acq_rel so
+  /// the claim paths that acquire-load the mask observe everything the
+  /// failure handler published before raising the bit.
+  std::atomic<std::uint64_t> failed_mask{0};
+  /// Chunks completed per pool — the liveness signal the watchdog reads.
+  std::vector<std::atomic<std::uint64_t>> progress;
+  std::vector<std::atomic<bool>> started;
+  std::vector<std::atomic<bool>> finished;
+  std::atomic<std::uint64_t> requeued{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<bool> degraded{false};
+  std::atomic<bool> done{false};
+  util::Mutex mutex;
+  util::CondVar cv;  // parks stalled pools; signaled by mark_failed
+
+  void mark_failed(std::size_t pool) {
+    const std::uint64_t bit = std::uint64_t{1} << pool;
+    if ((failed_mask.fetch_or(bit, std::memory_order_acq_rel) & bit) != 0) return;
+    {
+      // Empty critical section: a stalled worker that has checked the mask
+      // but not yet blocked cannot miss the wakeup (lost-notify guard).
+      const util::MutexLock lock(mutex);
+    }
+    cv.notify_all();
+  }
+
+  [[nodiscard]] bool failed(std::size_t pool) const noexcept {
+    return ((failed_mask.load(std::memory_order_acquire) >> pool) & 1) != 0;
+  }
+
+  /// Blocks until this pool is declared failed — how an injected stall
+  /// hangs "like a wedged device" until the watchdog gives up on it.
+  void wait_until_failed(std::size_t pool) {
+    util::MutexLock lock(mutex);
+    while (!failed(pool)) cv.wait(mutex);
+  }
+};
+
+/// The watchdog: ticks on a fraction of the tightest deadline and declares a
+/// pool failed once it has gone `deadlines[i]` seconds without completing a
+/// chunk. Runs on its own thread until RecoveryContext::done.
+void watchdog_loop(RecoveryContext& ctx, const std::vector<double>& deadlines) {
+  const std::size_t n = deadlines.size();
+  double tick = *std::min_element(deadlines.begin(), deadlines.end()) / 4.0;
+  tick = std::max(tick, 0.001);
+  std::vector<std::uint64_t> last(n, 0);
+  std::vector<double> stagnant(n, 0.0);
+  while (!ctx.done.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(tick));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!ctx.started[i].load(std::memory_order_relaxed) ||
+          ctx.finished[i].load(std::memory_order_relaxed) || ctx.failed(i)) {
+        stagnant[i] = 0.0;
+        continue;
+      }
+      const std::uint64_t cur = ctx.progress[i].load(std::memory_order_relaxed);
+      if (cur != last[i]) {
+        last[i] = cur;
+        stagnant[i] = 0.0;
+        continue;
+      }
+      stagnant[i] += tick;
+      if (stagnant[i] >= deadlines[i]) ctx.mark_failed(i);
+    }
+  }
+}
+
 }  // namespace
 
 std::string ExecutionReport::to_string() const {
@@ -245,6 +324,20 @@ std::string ExecutionReport::to_string() const {
   }
   out += " | imbalance ";
   out += util::format_double(imbalance, 2);
+  // Failure section only when the recovery path did something — the no-fault
+  // report line stays byte-identical to the pre-fault-tolerance format.
+  if (!failed_pools.empty() || requeued_chunks > 0 || chunk_retries > 0 || degraded) {
+    out += " | faults: failed={";
+    for (std::size_t i = 0; i < failed_pools.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(failed_pools[i]);
+    }
+    out += "}, requeued ";
+    out += std::to_string(requeued_chunks);
+    out += ", retries ";
+    out += std::to_string(chunk_retries);
+    if (degraded) out += ", degraded";
+  }
   return out;
 }
 
@@ -364,6 +457,15 @@ ExecutionReport HeterogeneousExecutor::run_impl(std::string_view text,
   if (schedule != parallel::SchedulePolicy::kStatic &&
       engine_->synchronization_bound() == 0) {
     schedule = parallel::SchedulePolicy::kStatic;
+  }
+  // The fault-tolerant twin takes over only while an armed plan carries
+  // execution faults. It needs position-independent chunk scans (a positive
+  // synchronization bound) and one mask bit per pool; unbounded engines and
+  // >64-pool fleets keep the plain path (no injection there).
+  if (const util::FaultInjector* injector = util::FaultInjector::current();
+      injector != nullptr && injector->exercises_recovery() &&
+      engine_->synchronization_bound() > 0 && specs_.size() <= 64) {
+    return run_recovery_fleet(text, shares, chunk_counts, schedule, nullptr);
   }
   if (schedule == parallel::SchedulePolicy::kStatic) {
     return run_static_fleet(text, shares, chunk_counts);
@@ -584,6 +686,13 @@ ExecutionReport HeterogeneousExecutor::collect_fleet(std::string_view text,
       engine_->synchronization_bound() == 0) {
     schedule = parallel::SchedulePolicy::kStatic;
   }
+  // Same routing as run_impl: an armed execution-fault plan sends the
+  // collection run through the fault-tolerant twin.
+  if (const util::FaultInjector* injector = util::FaultInjector::current();
+      injector != nullptr && injector->exercises_recovery() &&
+      engine_->synchronization_bound() > 0 && specs_.size() <= 64) {
+    return run_recovery_fleet(text, shares, resolve_chunk_counts(), schedule, &out);
+  }
   const std::size_t n = specs_.size();
   const auto chunk_counts = resolve_chunk_counts();
   const auto bounds = segment_bounds(text.size(), shares);
@@ -692,6 +801,296 @@ ExecutionReport HeterogeneousExecutor::collect_fleet(std::string_view text,
   out.reserve(out.size() + events);
   for (const auto& slot : slots) out.insert(out.end(), slot.begin(), slot.end());
   finalize_fleet(report);
+  return report;
+}
+
+ExecutionReport HeterogeneousExecutor::run_recovery_fleet(
+    std::string_view text, const std::vector<double>& shares,
+    const std::vector<std::size_t>& chunk_counts, parallel::SchedulePolicy schedule,
+    std::vector<automata::Match>* out) {
+  const std::size_t n = specs_.size();
+  const auto bounds = segment_bounds(text.size(), shares);
+  ExecutionReport report;
+  report.schedule = schedule;
+  report.pools.resize(n);
+  for (std::size_t i = 0; i < n; ++i) report.pools[i].configured_percent = shares[i];
+  if (text.empty()) {
+    finalize_fleet(report);
+    return report;
+  }
+
+  std::size_t total_workers = 0;
+  for (const auto& pool : pools_) total_workers += pool->thread_count();
+  // kStatic gets the per-segment layout too (build_layout cuts it exactly as
+  // the static path would), so a failed pool's segment has a queue the
+  // survivors can drain; healthy pools never leave their own segment under
+  // static, keeping the configured split.
+  const FleetLayout layout =
+      build_layout(text.size(), bounds, chunk_counts, total_workers, schedule);
+  const std::vector<parallel::Chunk>& chunks = layout.chunks;
+  const bool collect = out != nullptr;
+  const bool steal_live = layout.per_segment && schedule != parallel::SchedulePolicy::kStatic;
+
+  std::vector<std::unique_ptr<parallel::ChunkQueue>> queues;
+  if (layout.per_segment) {
+    for (std::size_t i = 0; i < n; ++i) {
+      queues.push_back(std::make_unique<parallel::ChunkQueue>(layout.seg_offset[i + 1] -
+                                                              layout.seg_offset[i]));
+    }
+  } else {
+    queues.push_back(std::make_unique<parallel::ChunkQueue>(chunks.size()));
+  }
+
+  RecoveryContext ctx(n);
+  const util::FaultInjector* injector = util::FaultInjector::current();
+
+  // Claim order mirrors the plain paths (own segment, then nearest-first
+  // steal), with two changes: a failed pool claims nothing more, and under
+  // static the only legal steal source is a failed pool's segment — that
+  // steal IS the requeue of its unclaimed remainder.
+  const auto take_for = [&](std::size_t i) -> std::optional<std::size_t> {
+    if (ctx.failed(i)) return std::nullopt;
+    if (!layout.per_segment) return queues[0]->take_front();
+    if (const auto t = i + 1 == n ? queues[i]->take_back() : queues[i]->take_front()) {
+      return layout.seg_offset[i] + *t;
+    }
+    const std::uint64_t mask = ctx.failed_mask.load(std::memory_order_acquire);
+    for (std::size_t d = 1; d < n; ++d) {
+      if (i + d < n && (steal_live || ((mask >> (i + d)) & 1) != 0)) {
+        if (const auto t = queues[i + d]->take_front()) {
+          if (((mask >> (i + d)) & 1) != 0) ctx.requeued.fetch_add(1, std::memory_order_relaxed);
+          return layout.seg_offset[i + d] + *t;
+        }
+      }
+      if (d <= i && (steal_live || ((mask >> (i - d)) & 1) != 0)) {
+        if (const auto t = queues[i - d]->take_back()) {
+          if (((mask >> (i - d)) & 1) != 0) ctx.requeued.fetch_add(1, std::memory_order_relaxed);
+          return layout.seg_offset[i - d] + *t;
+        }
+      }
+    }
+    return std::nullopt;
+  };
+
+  std::vector<std::vector<automata::Match>> slots(collect ? chunks.size() : 0);
+  const automata::DenseDfa* dfa = engine_->dfa();
+  const std::size_t sync_bound = engine_->synchronization_bound();
+
+  // Degradation ladder, bottom rung: the per-byte reference scanner over the
+  // raw DFA with the same warm-up subtraction the static path uses. Engines
+  // without a DFA behind them get one last engine scan with no injection.
+  const auto scan_degraded = [&](std::size_t t) -> std::uint64_t {
+    const parallel::Chunk& c = chunks[t];
+    if (dfa == nullptr) {
+      return collect ? engine_->collect_chunk(text, c.begin, c.end, slots[t])
+                     : engine_->count_chunk(text, c.begin, c.end);
+    }
+    const std::size_t lead = std::min(sync_bound - 1, c.begin);
+    const std::string_view window = text.substr(c.begin - lead, c.end - c.begin + lead);
+    if (!collect) {
+      const std::uint64_t full =
+          automata::scan_count_naive(*dfa, window, dfa->start()).match_count;
+      const std::uint64_t prefix =
+          automata::scan_count_naive(*dfa, window.substr(0, lead), dfa->start()).match_count;
+      return full - prefix;
+    }
+    // Collect over the warmed-up window, then keep only the events ending
+    // inside (c.begin, c.end] — the chunk contract.
+    std::vector<automata::Match> events;
+    (void)automata::scan_collect_naive(*dfa, window, dfa->start(), c.begin - lead, events);
+    std::uint64_t kept = 0;
+    for (const automata::Match& m : events) {
+      if (m.end > c.begin) {
+        slots[t].push_back(m);
+        ++kept;
+      }
+    }
+    return kept;
+  };
+
+  // One chunk, healed: injected or genuine scan failures are retried up to
+  // the budget, then the chunk falls back to the naive scanner. An injected
+  // slowdown stretches the scan by the planned factor.
+  const auto scan_recover = [&](std::size_t t) -> std::uint64_t {
+    const parallel::Chunk& c = chunks[t];
+    for (std::size_t attempt = 0; attempt < recovery_.max_chunk_attempts; ++attempt) {
+      try {
+        if (injector != nullptr) injector->chunk_scan(t, attempt);
+        util::Timer timer;
+        const std::uint64_t m = collect
+                                    ? engine_->collect_chunk(text, c.begin, c.end, slots[t])
+                                    : engine_->count_chunk(text, c.begin, c.end);
+        if (injector != nullptr) {
+          const double slow = injector->chunk_slow_factor(t);
+          if (slow > 1.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>((slow - 1.0) * timer.seconds()));
+          }
+        }
+        return m;
+      } catch (...) {
+        // Count the failed attempt, drop any partial events, try again.
+        ctx.retries.fetch_add(1, std::memory_order_relaxed);
+        if (collect) slots[t].clear();
+      }
+    }
+    ctx.degraded.store(true, std::memory_order_relaxed);
+    return scan_degraded(t);
+  };
+
+  std::vector<PoolTotals> totals(n);
+  const automata::CompiledDfa* kernel = engine_->kernel();
+  const auto drain = [&](std::size_t pool_idx) {
+    parallel::ThreadPool& pool = *pools_[pool_idx];
+    PoolTotals& mine = totals[pool_idx];
+    const std::size_t streams =
+        collect ? 1
+                : std::clamp<std::size_t>(
+                      chunks.size() / std::max<std::size_t>(1, pool.thread_count()), 1,
+                      automata::CompiledDfa::kMaxStreams);
+    pool.parallel_pull([&, pool_idx, streams](std::size_t) {
+      ctx.started[pool_idx].store(true, std::memory_order_relaxed);
+      if (injector != nullptr && injector->pool_dies(pool_idx)) {
+        throw util::FaultInjectedError("injected pool-death: pool " +
+                                       std::to_string(pool_idx));
+      }
+      if (injector != nullptr && injector->pool_stalls(pool_idx)) {
+        // Hang exactly as a wedged device would: no progress until the
+        // watchdog declares the pool failed, then return empty-handed.
+        ctx.wait_until_failed(pool_idx);
+        return;
+      }
+      std::uint64_t matches = 0;
+      std::uint64_t steals = 0;
+      std::size_t bytes = 0;
+      const auto account = [&](std::size_t t, std::uint64_t m) {
+        matches += m;
+        bytes += chunks[t].end - chunks[t].begin;
+        if (layout.owners[t] != pool_idx) ++steals;
+        ctx.progress[pool_idx].fetch_add(1, std::memory_order_relaxed);
+      };
+      if (kernel == nullptr || streams == 1) {
+        for (;;) {
+          const auto t = take_for(pool_idx);
+          if (!t) break;
+          account(*t, scan_recover(*t));
+        }
+      } else {
+        // Clean chunks ride the multi-stream batch path (the hot path the
+        // zero-fault overhead probe measures); chunks with a planned fault
+        // take the one-at-a-time recovery scan.
+        const std::size_t warmup = sync_bound - 1;
+        std::size_t ids[automata::CompiledDfa::kMaxStreams] = {};
+        automata::ScanResult res[automata::CompiledDfa::kMaxStreams];
+        for (;;) {
+          std::size_t m = 0;
+          bool claimed_any = false;
+          while (m < streams) {
+            const auto t = take_for(pool_idx);
+            if (!t) break;
+            claimed_any = true;
+            if (injector != nullptr && injector->chunk_faulty(*t)) {
+              account(*t, scan_recover(*t));
+              continue;
+            }
+            ids[m++] = *t;
+          }
+          if (m > 0) {
+            automata::scan_chunk_streams(*kernel, text, warmup, chunks.data(), ids, m, res);
+            for (std::size_t k = 0; k < m; ++k) account(ids[k], res[k].match_count);
+          }
+          if (!claimed_any) break;
+        }
+      }
+      mine.matches.fetch_add(matches, std::memory_order_relaxed);
+      mine.bytes.fetch_add(bytes, std::memory_order_relaxed);
+      mine.steals.fetch_add(steals, std::memory_order_relaxed);
+    });
+  };
+
+  // A pool whose workers or join threw is dead: record the failure so the
+  // claim paths treat its segment as requeue material, and move on — the
+  // survivors and the final sweep own its work now.
+  const auto drain_guarded = [&](std::size_t pool_idx) {
+    util::Timer timer;
+    try {
+      drain(pool_idx);
+    } catch (...) {
+      ctx.mark_failed(pool_idx);
+    }
+    ctx.finished[pool_idx].store(true, std::memory_order_relaxed);
+    return timer.seconds();
+  };
+
+  std::vector<double> deadlines(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    deadlines[i] =
+        specs_[i].watchdog_seconds > 0.0 ? specs_[i].watchdog_seconds : recovery_.watchdog_seconds;
+  }
+  std::thread watchdog([&ctx, deadlines] { watchdog_loop(ctx, deadlines); });
+
+  std::vector<std::future<double>> futures(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    futures[i] = std::async(std::launch::async, drain_guarded, i);
+  }
+  report.pools[0].seconds = drain_guarded(0);
+  for (std::size_t i = 1; i < n; ++i) report.pools[i].seconds = futures[i].get();
+  ctx.done.store(true, std::memory_order_release);
+  watchdog.join();
+
+  // Final sweep on the caller thread: anything still unclaimed (total fleet
+  // loss, or a pool declared failed after the survivors had already left) is
+  // scanned here and attributed to pool 0 — parity holds unconditionally.
+  {
+    std::uint64_t matches = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t requeued = 0;
+    std::size_t bytes = 0;
+    const std::uint64_t mask = ctx.failed_mask.load(std::memory_order_acquire);
+    for (std::size_t qi = 0; qi < queues.size(); ++qi) {
+      for (;;) {
+        const auto local = queues[qi]->take_front();
+        if (!local) break;
+        const std::size_t t = layout.per_segment ? layout.seg_offset[qi] + *local : *local;
+        matches += scan_recover(t);
+        bytes += chunks[t].end - chunks[t].begin;
+        if (layout.owners[t] != 0) ++steals;
+        if (((mask >> layout.owners[t]) & 1) != 0) ++requeued;
+      }
+      // Poison the drained queue: a late-waking claimant cannot resurrect a
+      // range whose results are already merged.
+      (void)queues[qi]->close();
+    }
+    totals[0].matches.fetch_add(matches, std::memory_order_relaxed);
+    totals[0].bytes.fetch_add(bytes, std::memory_order_relaxed);
+    totals[0].steals.fetch_add(steals, std::memory_order_relaxed);
+    ctx.requeued.fetch_add(requeued, std::memory_order_relaxed);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    report.pools[i].matches = totals[i].matches.load(std::memory_order_relaxed);
+    report.pools[i].bytes = totals[i].bytes.load(std::memory_order_relaxed);
+    report.pools[i].steals = totals[i].steals.load(std::memory_order_relaxed);
+  }
+  const std::uint64_t mask = ctx.failed_mask.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (((mask >> i) & 1) != 0) {
+      report.pools[i].failed = true;
+      report.failed_pools.push_back(i);
+    }
+  }
+  report.requeued_chunks = ctx.requeued.load(std::memory_order_relaxed);
+  report.chunk_retries = ctx.retries.load(std::memory_order_relaxed);
+  report.degraded = ctx.degraded.load(std::memory_order_relaxed);
+  finalize_fleet(report);
+  if (collect) {
+    // Chunk-ordered merge: ascending chunks, each slot sorted, so the result
+    // is globally sorted — identical to a sequential scan_collect_naive.
+    std::size_t events = 0;
+    for (const auto& slot : slots) events += slot.size();
+    out->reserve(out->size() + events);
+    for (const auto& slot : slots) out->insert(out->end(), slot.begin(), slot.end());
+  }
   return report;
 }
 

@@ -65,8 +65,23 @@ struct PoolSpec {
   /// Chunks this pool's segment is cut into under the static and adaptive
   /// schedules; 0 means one chunk per worker.
   std::size_t chunks = 0;
+  /// Watchdog deadline for this pool when the recovery path is active: the
+  /// pool is declared failed after this long without completing a chunk.
+  /// 0 means "use the executor's RecoveryOptions::watchdog_seconds".
+  double watchdog_seconds = 0.0;
   std::optional<parallel::HostAffinity> host_affinity;
   std::optional<parallel::DeviceAffinity> device_affinity;
+};
+
+/// Tunables of the fault-tolerant execution path (active only while a
+/// util::FaultInjector plan with execution faults is armed — the no-fault
+/// hot path bypasses all of it).
+struct RecoveryOptions {
+  /// Default per-pool watchdog deadline: a pool that completes no chunk for
+  /// this long is declared failed and its unclaimed work is redistributed.
+  double watchdog_seconds = 0.05;
+  /// Scan attempts per chunk before degrading to the naive scanner.
+  std::size_t max_chunk_attempts = 3;
 };
 
 /// Per-pool slice of an ExecutionReport.
@@ -81,6 +96,9 @@ struct PoolReport {
   double realized_percent = 0.0;
   /// Chunks this pool claimed out of another pool's configured segment.
   std::uint64_t steals = 0;
+  /// True when the recovery path declared this pool dead or stalled; its
+  /// unclaimed chunks were requeued to the survivors.
+  bool failed = false;
 };
 
 struct ExecutionReport {
@@ -116,6 +134,19 @@ struct ExecutionReport {
   /// scanned bytes; 0 when fewer than two pools worked. 0 = perfectly
   /// overlapped, → 1 = a pool idled while another carried the run.
   double imbalance = 0.0;
+
+  // Failure telemetry, filled only by the recovery path (all stay at their
+  // zero defaults on a no-fault run, keeping the report bit-identical).
+  /// Pools declared dead or stalled, ascending.
+  std::vector<std::size_t> failed_pools;
+  /// Chunks claimed out of a failed pool's unclaimed remainder (by the
+  /// survivors or the coordinator's final sweep).
+  std::uint64_t requeued_chunks = 0;
+  /// Chunk scan attempts that failed and were retried.
+  std::uint64_t chunk_retries = 0;
+  /// True when some chunk exhausted its retry budget and fell back to the
+  /// naive reference scanner.
+  bool degraded = false;
 
   [[nodiscard]] std::uint64_t total_matches() const noexcept {
     return host_matches + device_matches;
@@ -211,6 +242,11 @@ class HeterogeneousExecutor {
   [[nodiscard]] std::size_t pool_count() const noexcept { return specs_.size(); }
   [[nodiscard]] const std::vector<PoolSpec>& pools() const noexcept { return specs_; }
 
+  /// Tunes the fault-tolerant path (watchdog deadline, retry budget). Takes
+  /// effect on the next run; irrelevant while no fault plan is armed.
+  void set_recovery(const RecoveryOptions& options) noexcept { recovery_ = options; }
+  [[nodiscard]] const RecoveryOptions& recovery() const noexcept { return recovery_; }
+
   /// The engine every pool executes.
   [[nodiscard]] const automata::MatchEngine& engine() const noexcept { return *engine_; }
 
@@ -227,6 +263,15 @@ class HeterogeneousExecutor {
                                                  const std::vector<double>& shares,
                                                  const std::vector<std::size_t>& chunk_counts,
                                                  parallel::SchedulePolicy schedule);
+  /// The fault-tolerant twin of run_shared_fleet/collect_fleet: watchdogged
+  /// pools, failed-pool requeue, per-chunk retry with naive-scanner
+  /// degradation. Entered only while an armed fault plan has execution
+  /// faults. `out` non-null collects match events (collect_fleet mode).
+  [[nodiscard]] ExecutionReport run_recovery_fleet(std::string_view text,
+                                                   const std::vector<double>& shares,
+                                                   const std::vector<std::size_t>& chunk_counts,
+                                                   parallel::SchedulePolicy schedule,
+                                                   std::vector<automata::Match>* out);
   [[nodiscard]] std::vector<std::size_t> resolve_chunk_counts() const;
 
   std::unique_ptr<const automata::MatchEngine> owned_engine_;  // DenseDfa compat path
@@ -236,6 +281,7 @@ class HeterogeneousExecutor {
   // (non-movable), so the fleet owns them through pointers.
   std::vector<std::unique_ptr<parallel::ThreadPool>> pools_;
   std::vector<std::unique_ptr<automata::ParallelMatcher>> matchers_;
+  RecoveryOptions recovery_;
 };
 
 }  // namespace hetopt::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -13,6 +14,8 @@
 #include "core/executor.hpp"
 #include "dna/alphabet.hpp"
 #include "sim/multi.hpp"
+#include "util/backoff.hpp"
+#include "util/fault.hpp"
 
 namespace hetopt::core {
 
@@ -291,32 +294,96 @@ RealMeasurement RealWorkloadEvaluator::measure(const opt::SystemConfig& config,
   }
   HeterogeneousExecutor executor(rw->engine(config.engine), std::move(specs));
 
-  for (std::size_t rep = 0; rep < options_.repeats; ++rep) {
-    const ExecutionReport report = executor.run_fleet(rw->text(), config.schedule);
-    if (rep == 0 || report.total_seconds < m.seconds) {
-      m.seconds = report.total_seconds;
-      m.host_seconds = report.host_seconds;
-      m.device_seconds = report.device_seconds;
-      m.matches = report.total_matches();
-      m.host_bytes = report.host_bytes;
-      m.device_bytes = report.device_bytes;
-      m.realized_host_percent = report.realized_host_percent;
-      m.host_steals = report.host_steals;
-      m.device_steals = report.device_steals;
-      m.imbalance = report.imbalance;
-      m.configured_percents.clear();
-      m.realized_percents.clear();
-      m.pool_seconds.clear();
-      m.pool_bytes.clear();
-      m.pool_steals.clear();
-      for (const PoolReport& pool : report.pools) {
-        m.configured_percents.push_back(pool.configured_percent);
-        m.realized_percents.push_back(pool.realized_percent);
-        m.pool_seconds.push_back(pool.seconds);
-        m.pool_bytes.push_back(pool.bytes);
-        m.pool_steals.push_back(pool.steals);
+  // --- Self-healing measurement loop ----------------------------------------
+  // Each successful attempt contributes one timing sample; an attempt that
+  // throws (a genuine executor error, or an injected measure-fail) burns one
+  // unit of the retry budget and backs off with seeded jitter before the
+  // next try. With no armed fault plan this collects exactly `repeats`
+  // samples, as before.
+  const util::FaultInjector* injector = util::FaultInjector::current();
+  util::Backoff backoff(injector != nullptr ? injector->plan().seed : 0);
+  struct Sample {
+    double seconds;
+    ExecutionReport report;
+  };
+  std::vector<Sample> samples;
+  samples.reserve(options_.repeats);
+  std::size_t budget = options_.measure_retry_budget;
+  while (samples.size() < options_.repeats) {
+    try {
+      if (injector != nullptr && injector->measure_fails()) {
+        throw util::FaultInjectedError("injected measure-fail");
       }
+      ExecutionReport report = executor.run_fleet(rw->text(), config.schedule);
+      double seconds = report.total_seconds;
+      if (injector != nullptr) {
+        seconds *= injector->measure_noise(samples.size());
+      }
+      samples.push_back(Sample{seconds, std::move(report)});
+    } catch (...) {
+      ++m.measure_failures;  // recorded failure; retried below or given up on
+      if (budget == 0) break;
+      --budget;
+      backoff.sleep();
     }
+  }
+  if (samples.empty()) {
+    // Total measurement loss: the candidate is priced out, not the session.
+    // seconds = +inf flows through opt::checked_energy (which admits +inf),
+    // so the search simply never picks this configuration.
+    m.valid = false;
+    m.seconds = std::numeric_limits<double>::infinity();
+    invalid_count_.fetch_add(1, std::memory_order_relaxed);
+    return m;
+  }
+  // Median-of-k outlier rejection: with three or more samples, samples slower
+  // than 4x the median are disqualified from being the reported run (a noise
+  // spike must not masquerade as a measurement). The minimum can never be
+  // rejected, so the no-fault reported run is unchanged.
+  double reject_above = std::numeric_limits<double>::infinity();
+  if (samples.size() >= 3) {
+    std::vector<double> sorted;
+    sorted.reserve(samples.size());
+    for (const Sample& s : samples) sorted.push_back(s.seconds);
+    std::sort(sorted.begin(), sorted.end());
+    reject_above = 4.0 * sorted[sorted.size() / 2];
+  }
+  const Sample* best = nullptr;
+  for (const Sample& s : samples) {
+    if (s.seconds > reject_above) {
+      ++m.rejected_outliers;
+      continue;
+    }
+    if (best == nullptr || s.seconds < best->seconds) best = &s;
+  }
+  {
+    const ExecutionReport& report = best->report;
+    m.seconds = best->seconds;
+    m.host_seconds = report.host_seconds;
+    m.device_seconds = report.device_seconds;
+    m.matches = report.total_matches();
+    m.host_bytes = report.host_bytes;
+    m.device_bytes = report.device_bytes;
+    m.realized_host_percent = report.realized_host_percent;
+    m.host_steals = report.host_steals;
+    m.device_steals = report.device_steals;
+    m.imbalance = report.imbalance;
+    m.configured_percents.clear();
+    m.realized_percents.clear();
+    m.pool_seconds.clear();
+    m.pool_bytes.clear();
+    m.pool_steals.clear();
+    for (const PoolReport& pool : report.pools) {
+      m.configured_percents.push_back(pool.configured_percent);
+      m.realized_percents.push_back(pool.realized_percent);
+      m.pool_seconds.push_back(pool.seconds);
+      m.pool_bytes.push_back(pool.bytes);
+      m.pool_steals.push_back(pool.steals);
+    }
+    m.failed_pools = report.failed_pools;
+    m.requeued_chunks = report.requeued_chunks;
+    m.chunk_retries = report.chunk_retries;
+    m.degraded = report.degraded;
   }
   if (options_.deterministic_timing) {
     // Model the *configured* split, not the realized bytes: under the

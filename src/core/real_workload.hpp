@@ -62,6 +62,10 @@ struct RealWorkloadOptions {
   bool pin_threads = true;
   /// Replace wall-clock with the deterministic work model (tests, CI).
   bool deterministic_timing = false;
+  /// Extra measurement attempts (beyond `repeats`) a self-healing measure()
+  /// may spend on failed runs before giving up and returning a marked-invalid
+  /// (infinite-seconds) measurement. Retries back off with seeded jitter.
+  std::size_t measure_retry_budget = 2;
 };
 
 /// A logical workload made physical: the scaled synthetic genome plus every
@@ -152,6 +156,21 @@ struct RealMeasurement {
   std::vector<double> pool_seconds;         // per-pool wall time
   std::vector<std::size_t> pool_bytes;      // per-pool scanned bytes
   std::vector<std::uint64_t> pool_steals;   // per-pool cross-segment claims
+
+  // --- Self-healing / failure view -------------------------------------------
+  /// False when every attempt failed and the retry budget ran out; `seconds`
+  /// is then +infinity, so opt::checked_energy prices the candidate out
+  /// instead of aborting the tuning session.
+  bool valid = true;
+  /// Measurement attempts that threw (and were retried with backoff).
+  std::uint64_t measure_failures = 0;
+  /// Timing samples rejected by the median-of-k outlier filter.
+  std::uint64_t rejected_outliers = 0;
+  // Executor failure telemetry of the reported run (ExecutionReport):
+  std::vector<std::size_t> failed_pools;
+  std::uint64_t requeued_chunks = 0;
+  std::uint64_t chunk_retries = 0;
+  bool degraded = false;
 };
 
 /// Evaluator backend that prices configurations by executing the real
@@ -183,6 +202,13 @@ class RealWorkloadEvaluator final : public Evaluator {
 
   [[nodiscard]] const RealWorkloadOptions& options() const noexcept { return options_; }
 
+  /// Measurements that exhausted their retry budget and were returned
+  /// marked-invalid (infinite seconds) over this evaluator's lifetime — how
+  /// a tuning run reports "kept searching through N hard failures".
+  [[nodiscard]] std::uint64_t invalid_measurements() const noexcept {
+    return invalid_count_.load(std::memory_order_relaxed);
+  }
+
  protected:
   [[nodiscard]] double value(const opt::SystemConfig& config,
                              const Workload& workload) const override;
@@ -193,6 +219,7 @@ class RealWorkloadEvaluator final : public Evaluator {
 
   dna::GenomeCatalog catalog_;
   RealWorkloadOptions options_;
+  mutable std::atomic<std::uint64_t> invalid_count_{0};
   mutable util::Mutex mutex_;
   mutable std::map<std::string, std::shared_ptr<const RealWorkload>> cache_
       HETOPT_GUARDED_BY(mutex_);

@@ -38,6 +38,20 @@ std::optional<std::size_t> ChunkQueue::take_back() noexcept {
   }
 }
 
+std::size_t ChunkQueue::close() noexcept {
+  closed_.store(true, std::memory_order_release);
+  // One atomic swap empties the range; a taker's in-flight CAS built on a
+  // pre-close snapshot fails against the new value and its retry observes
+  // lo >= end. pack(0, 0) is a value no live queue revisits once non-empty,
+  // so no ABA window exists for a stale CAS to sneak a claim through.
+  const std::uint64_t old = range_.exchange(pack(0, 0), std::memory_order_acq_rel);
+  const auto lo = static_cast<std::uint32_t>(old >> 32);
+  const auto end = static_cast<std::uint32_t>(old);
+  return lo < end ? end - lo : 0;
+}
+
+bool ChunkQueue::closed() const noexcept { return closed_.load(std::memory_order_acquire); }
+
 std::size_t ChunkQueue::remaining() const noexcept {
   const std::uint64_t cur = range_.load(std::memory_order_acquire);
   const auto lo = static_cast<std::uint32_t>(cur >> 32);

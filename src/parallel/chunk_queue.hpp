@@ -61,6 +61,19 @@ class ChunkQueue {
   [[nodiscard]] std::size_t remaining() const noexcept;
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
+  /// Poisons the queue: atomically discards every unclaimed index and
+  /// returns how many were discarded. Concurrent takers racing the close
+  /// either complete a valid claim just before it (the claim is honored and
+  /// not counted as discarded) or observe the emptied range and get nullopt
+  /// — nobody spins on an abandoned queue. Safe to call repeatedly and from
+  /// any thread (later calls discard 0); a closed queue never reopens. The
+  /// watchdog uses this to shut down a failed pool's segment before the
+  /// coordinator requeues its remainder.
+  std::size_t close() noexcept;
+  /// True once close() has been called (acquire; pairs with close()'s
+  /// release so the emptied range is visible alongside the flag).
+  [[nodiscard]] bool closed() const noexcept;
+
  private:
   // The unclaimed range [lo, end) packed into one atomic word so both ends
   // move under a single CAS and can never cross.
@@ -71,6 +84,7 @@ class ChunkQueue {
 
   std::size_t size_;
   std::atomic<std::uint64_t> range_;
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace hetopt::parallel

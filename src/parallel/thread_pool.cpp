@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <exception>
+#include <utility>
+
+#include "util/fault.hpp"
 
 namespace hetopt::parallel {
 
@@ -14,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t thread_count, WorkerInit init)
       if (init) {
         try {
           init(i);
-        } catch (...) {  // placement is best-effort
+        } catch (...) {  // hetopt-lint: allow(silent-catch) — placement is best-effort
         }
       }
       worker_loop();
@@ -41,8 +44,41 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // The injector must be consulted BEFORE task() runs: completing the task
+    // readies its future, which unblocks the caller's join — and the caller
+    // owns the (stack-scoped) injector. Reading it after task() races with
+    // its destruction; reading it before is ordered by the future handshake.
+    // The injected throw still fires after the task body, so no work is lost.
+    const util::FaultInjector* injector = util::FaultInjector::current();
+    const bool inject_throw = injector != nullptr && injector->worker_throws();
+    // The worker loop is a noexcept boundary: an exception escaping here
+    // would std::terminate the process. Tasks built by submit() wrap a
+    // packaged_task (exceptions land in the future), but raw task functions
+    // — and the fault-injection hook below — can throw, so the first
+    // escapee is recorded and rethrown at the join points instead.
+    try {
+      task();
+      if (inject_throw) {
+        throw util::FaultInjectedError("injected worker-throw after task");
+      }
+    } catch (...) {
+      record_worker_error(std::current_exception());
+    }
   }
+}
+
+void ThreadPool::record_worker_error(std::exception_ptr error) noexcept {
+  const util::MutexLock lock(mutex_);
+  if (!worker_error_) worker_error_ = std::move(error);
+}
+
+void ThreadPool::rethrow_worker_error() {
+  std::exception_ptr error;
+  {
+    const util::MutexLock lock(mutex_);
+    error = std::exchange(worker_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
@@ -80,6 +116,7 @@ void ThreadPool::parallel_chunks(
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+  rethrow_worker_error();
 }
 
 }  // namespace hetopt::parallel

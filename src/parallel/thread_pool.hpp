@@ -81,14 +81,24 @@ class ThreadPool {
   /// are propagated (the first one).
   void parallel_pull(const std::function<void(std::size_t)>& body);
 
+  /// Rethrows the first exception that escaped a task on a worker thread
+  /// (and clears it). Such an exception would otherwise cross the worker
+  /// loop's thread boundary and terminate the process; instead the worker
+  /// records it and keeps serving tasks, and the join points
+  /// (parallel_for/chunks/pull) call this so the error surfaces on the
+  /// caller thread. No-op when no worker error is pending.
+  void rethrow_worker_error();
+
  private:
   void worker_loop();
+  void record_worker_error(std::exception_ptr error) noexcept;
 
   std::vector<std::thread> workers_;
   util::Mutex mutex_;
   util::CondVar cv_;  // signaled on submit (one) and shutdown (all)
   std::deque<std::function<void()>> queue_ HETOPT_GUARDED_BY(mutex_);
   bool stopping_ HETOPT_GUARDED_BY(mutex_) = false;
+  std::exception_ptr worker_error_ HETOPT_GUARDED_BY(mutex_);  // first task escapee
   bool has_worker_init_ = false;  // immutable after construction
 };
 

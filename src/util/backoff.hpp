@@ -1,0 +1,84 @@
+// Bounded exponential backoff with seeded jitter.
+//
+// Retry loops (the evaluator's self-healing measure(), most prominently)
+// need spacing between attempts, but sleeping for wall-clock-derived or
+// entropy-derived durations would break the repo's determinism guarantee.
+// Backoff draws its jitter from util::rng::Xoshiro256 seeded explicitly, so
+// the full delay sequence is a pure function of (seed, options) — the same
+// run replays the same waits.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+
+#include "rng.hpp"
+
+namespace hetopt::util {
+
+class Backoff {
+ public:
+  struct Options {
+    double base_seconds = 0.0005;  ///< first delay before jitter
+    double max_seconds = 0.05;     ///< cap on the un-jittered delay
+    double multiplier = 2.0;       ///< growth per attempt
+    double jitter = 0.25;          ///< delay scaled uniformly in [1-j, 1+j)
+  };
+
+  explicit Backoff(std::uint64_t seed) : Backoff(seed, Options{}) {}
+
+  Backoff(std::uint64_t seed, const Options& options)
+      : options_(options), seed_(seed), rng_(seed) {
+    if (!(options_.base_seconds > 0.0)) {
+      throw std::invalid_argument("Backoff: base_seconds must be positive");
+    }
+    if (options_.max_seconds < options_.base_seconds) {
+      throw std::invalid_argument("Backoff: max_seconds must be >= base_seconds");
+    }
+    if (options_.multiplier < 1.0) {
+      throw std::invalid_argument("Backoff: multiplier must be >= 1");
+    }
+    if (options_.jitter < 0.0 || options_.jitter >= 1.0) {
+      throw std::invalid_argument("Backoff: jitter must be in [0, 1)");
+    }
+  }
+
+  /// The next delay in seconds, advancing the attempt counter. Delay n is
+  /// min(max, base * multiplier^n) scaled by a seeded uniform draw from
+  /// [1 - jitter, 1 + jitter).
+  [[nodiscard]] double next_delay() {
+    double raw = options_.base_seconds;
+    for (std::size_t i = 0; i < attempt_ && raw < options_.max_seconds; ++i) {
+      raw *= options_.multiplier;
+    }
+    raw = std::min(raw, options_.max_seconds);
+    ++attempt_;
+    const double scale = 1.0 - options_.jitter + 2.0 * options_.jitter * rng_.uniform();
+    return raw * scale;
+  }
+
+  /// Blocks the calling thread for next_delay() seconds.
+  void sleep() {
+    std::this_thread::sleep_for(std::chrono::duration<double>(next_delay()));
+  }
+
+  /// Delays handed out so far.
+  [[nodiscard]] std::size_t attempts() const noexcept { return attempt_; }
+
+  /// Restarts the sequence from attempt 0 with the original seed.
+  void reset() noexcept {
+    attempt_ = 0;
+    rng_ = Xoshiro256(seed_);
+  }
+
+ private:
+  Options options_;
+  std::uint64_t seed_;
+  Xoshiro256 rng_;
+  std::size_t attempt_ = 0;
+};
+
+}  // namespace hetopt::util

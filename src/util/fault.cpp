@@ -1,0 +1,282 @@
+#include "fault.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace hetopt::util {
+namespace {
+
+// The process-wide armed injector. Plain pointer publication: arming happens
+// before the run that observes it starts (and disarming after it ends), so
+// relaxed ordering suffices for the hot-path current() load; the arm/disarm
+// writes use acq_rel to order the plan's construction before publication.
+std::atomic<const FaultInjector*> g_armed{nullptr};
+
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[nodiscard]] FaultKind parse_kind(std::string_view word) {
+  if (word == "pool-death") return FaultKind::kPoolDeath;
+  if (word == "pool-stall") return FaultKind::kPoolStall;
+  if (word == "chunk-throw") return FaultKind::kChunkThrow;
+  if (word == "chunk-slow") return FaultKind::kChunkSlow;
+  if (word == "worker-throw") return FaultKind::kWorkerThrow;
+  if (word == "measure-fail") return FaultKind::kMeasureFail;
+  if (word == "measure-noise") return FaultKind::kMeasureNoise;
+  if (word == "probe") return FaultKind::kProbe;
+  throw std::invalid_argument("fault plan: unknown fault kind '" + std::string(word) + "'");
+}
+
+[[nodiscard]] std::size_t parse_size(std::string_view value, std::string_view key) {
+  std::size_t out = 0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    throw std::invalid_argument("fault plan: bad value '" + std::string(value) + "' for key '" +
+                                std::string(key) + "'");
+  }
+  return out;
+}
+
+[[nodiscard]] double parse_factor(std::string_view value) {
+  // std::from_chars<double> is still spotty across standard libraries; the
+  // values are short, so stringstream parsing is fine here.
+  std::istringstream in{std::string(value)};
+  double out = 0.0;
+  if (!(in >> out) || !in.eof() || !(out > 0.0)) {
+    throw std::invalid_argument("fault plan: factor must be a positive number, got '" +
+                                std::string(value) + "'");
+  }
+  return out;
+}
+
+[[nodiscard]] Fault parse_entry(std::string_view entry) {
+  Fault fault;
+  const std::size_t colon = entry.find(':');
+  fault.kind = parse_kind(trim(entry.substr(0, colon)));
+  if (colon == std::string_view::npos) {
+    return fault;
+  }
+  std::string_view rest = entry.substr(colon + 1);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view pair = trim(rest.substr(0, comma));
+    rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+    if (pair.empty()) {
+      continue;
+    }
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("fault plan: expected key=value, got '" + std::string(pair) +
+                                  "'");
+    }
+    const std::string_view key = trim(pair.substr(0, eq));
+    const std::string_view value = trim(pair.substr(eq + 1));
+    if (key == "pool") {
+      fault.pool = parse_size(value, key);
+    } else if (key == "chunk") {
+      fault.chunk = parse_size(value, key);
+    } else if (key == "after") {
+      fault.after = parse_size(value, key);
+    } else if (key == "times") {
+      fault.times = parse_size(value, key);
+    } else if (key == "factor") {
+      fault.factor = parse_factor(value);
+    } else if (key == "repeat") {
+      fault.repeat = parse_size(value, key);
+    } else {
+      throw std::invalid_argument("fault plan: unknown key '" + std::string(key) + "'");
+    }
+  }
+  return fault;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kPoolDeath: return "pool-death";
+    case FaultKind::kPoolStall: return "pool-stall";
+    case FaultKind::kChunkThrow: return "chunk-throw";
+    case FaultKind::kChunkSlow: return "chunk-slow";
+    case FaultKind::kWorkerThrow: return "worker-throw";
+    case FaultKind::kMeasureFail: return "measure-fail";
+    case FaultKind::kMeasureNoise: return "measure-noise";
+    case FaultKind::kProbe: return "probe";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  while (!spec.empty()) {
+    const std::size_t semi = spec.find(';');
+    const std::string_view entry = trim(spec.substr(0, semi));
+    spec = semi == std::string_view::npos ? std::string_view{} : spec.substr(semi + 1);
+    if (!entry.empty()) {
+      plan.faults.push_back(parse_entry(entry));
+    }
+  }
+  return plan;
+}
+
+bool FaultPlan::exercises_recovery() const noexcept {
+  for (const Fault& fault : faults) {
+    switch (fault.kind) {
+      case FaultKind::kPoolDeath:
+      case FaultKind::kPoolStall:
+      case FaultKind::kChunkThrow:
+      case FaultKind::kChunkSlow:
+      case FaultKind::kWorkerThrow:
+      case FaultKind::kProbe:
+        return true;
+      case FaultKind::kMeasureFail:
+      case FaultKind::kMeasureNoise:
+        break;
+    }
+  }
+  return false;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Fault& fault = faults[i];
+    if (i > 0) {
+      out << "; ";
+    }
+    out << util::to_string(fault.kind);
+    switch (fault.kind) {
+      case FaultKind::kPoolDeath:
+      case FaultKind::kPoolStall:
+        out << ":pool=" << fault.pool;
+        break;
+      case FaultKind::kChunkThrow:
+        out << ":chunk=" << fault.chunk << ",times=" << fault.times;
+        break;
+      case FaultKind::kChunkSlow:
+        out << ":chunk=" << fault.chunk << ",factor=" << fault.factor;
+        break;
+      case FaultKind::kWorkerThrow:
+        out << ":after=" << fault.after << ",times=" << fault.times;
+        break;
+      case FaultKind::kMeasureFail:
+        out << ":after=" << fault.after << ",times=" << fault.times;
+        break;
+      case FaultKind::kMeasureNoise:
+        out << ":repeat=" << fault.repeat << ",factor=" << fault.factor;
+        break;
+      case FaultKind::kProbe:
+        break;
+    }
+  }
+  return out.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  const FaultInjector* expected = nullptr;
+  if (!g_armed.compare_exchange_strong(expected, this, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+    throw std::logic_error("FaultInjector: another plan is already armed");
+  }
+}
+
+FaultInjector::~FaultInjector() { g_armed.store(nullptr, std::memory_order_release); }
+
+const FaultInjector* FaultInjector::current() noexcept {
+  return g_armed.load(std::memory_order_relaxed);
+}
+
+bool FaultInjector::pool_dies(std::size_t pool) const noexcept {
+  for (const Fault& fault : plan_.faults) {
+    if (fault.kind == FaultKind::kPoolDeath && fault.pool == pool) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::pool_stalls(std::size_t pool) const noexcept {
+  for (const Fault& fault : plan_.faults) {
+    if (fault.kind == FaultKind::kPoolStall && fault.pool == pool) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::chunk_scan(std::size_t chunk, std::size_t attempt) const {
+  for (const Fault& fault : plan_.faults) {
+    if (fault.kind == FaultKind::kChunkThrow && fault.chunk == chunk && attempt < fault.times) {
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      std::ostringstream what;
+      what << "injected chunk-throw: chunk " << chunk << " attempt " << attempt;
+      throw FaultInjectedError(what.str());
+    }
+  }
+}
+
+double FaultInjector::chunk_slow_factor(std::size_t chunk) const noexcept {
+  double factor = 1.0;
+  for (const Fault& fault : plan_.faults) {
+    if (fault.kind == FaultKind::kChunkSlow && fault.chunk == chunk) {
+      factor *= fault.factor;
+    }
+  }
+  return factor;
+}
+
+bool FaultInjector::chunk_faulty(std::size_t chunk) const noexcept {
+  for (const Fault& fault : plan_.faults) {
+    if ((fault.kind == FaultKind::kChunkThrow || fault.kind == FaultKind::kChunkSlow) &&
+        fault.chunk == chunk) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::worker_throws() const noexcept {
+  const std::uint64_t call = worker_tasks_.fetch_add(1, std::memory_order_relaxed);
+  for (const Fault& fault : plan_.faults) {
+    if (fault.kind == FaultKind::kWorkerThrow && call >= fault.after &&
+        call < fault.after + fault.times) {
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::measure_fails() const noexcept {
+  const std::uint64_t call = measure_calls_.fetch_add(1, std::memory_order_relaxed);
+  for (const Fault& fault : plan_.faults) {
+    if (fault.kind == FaultKind::kMeasureFail && call >= fault.after &&
+        call < fault.after + fault.times) {
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::measure_noise(std::size_t repeat) const noexcept {
+  double factor = 1.0;
+  for (const Fault& fault : plan_.faults) {
+    if (fault.kind == FaultKind::kMeasureNoise && fault.repeat == repeat) {
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      factor *= fault.factor;
+    }
+  }
+  return factor;
+}
+
+}  // namespace hetopt::util

@@ -1,0 +1,150 @@
+// Deterministic fault injection for the execution runtime.
+//
+// A FaultPlan is a seeded, declarative list of faults ("pool 1 dies", "chunk
+// 5's scan throws twice", "the first measurement fails") that an armed
+// FaultInjector delivers at fixed injection points compiled into
+// parallel::ThreadPool, core::HeterogeneousExecutor and
+// core::RealWorkloadEvaluator. Arming is scoped: constructing a FaultInjector
+// arms its plan process-wide, destroying it disarms, and the disarmed check
+// is a single relaxed atomic pointer load — the no-fault hot path pays one
+// predictable branch per chunk, nothing more.
+//
+// Faults are deterministic by construction: which pool dies, which chunk
+// throws and how often, and which repeat sees a noise spike are all fixed by
+// the plan, never by wall-clock or entropy (the seed only feeds jitter-style
+// consumers such as util::Backoff). That is what lets the parity-under-fault
+// property suite assert byte-identical match results against the sequential
+// oracle while the recovery machinery is being exercised.
+//
+// Plan syntax (FaultPlan::parse):
+//
+//   plan   := entry (';' entry)*
+//   entry  := kind (':' key '=' value (',' key '=' value)*)?
+//
+//   pool-death:pool=P            pool P's workers throw before claiming work
+//   pool-stall:pool=P            pool P hangs until the watchdog releases it
+//   chunk-throw:chunk=C,times=T  chunk C's scan throws on its first T attempts
+//   chunk-slow:chunk=C,factor=K  chunk C's scan is slowed down x K
+//   worker-throw:after=N,times=T the pool worker loop throws after task N
+//   measure-fail:after=N,times=T measurement attempts N..N+T-1 throw
+//   measure-noise:repeat=R,factor=K   repeat R's timing is multiplied by K
+//   probe                        no fault; forces the recovery machinery on
+//                                (used to measure its zero-fault overhead)
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetopt::util {
+
+enum class FaultKind {
+  kPoolDeath = 0,
+  kPoolStall,
+  kChunkThrow,
+  kChunkSlow,
+  kWorkerThrow,
+  kMeasureFail,
+  kMeasureNoise,
+  kProbe,
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+
+/// One planned fault. Which fields matter depends on `kind`; the rest keep
+/// their defaults (see the plan syntax above).
+struct Fault {
+  FaultKind kind = FaultKind::kProbe;
+  std::size_t pool = 0;    // pool-death / pool-stall target
+  std::size_t chunk = 0;   // chunk-throw / chunk-slow target (global chunk index)
+  std::size_t after = 0;   // worker-throw / measure-fail: first triggering call
+  std::size_t times = 1;   // how many calls/attempts the fault covers
+  double factor = 1.0;     // chunk-slow / measure-noise multiplier
+  std::size_t repeat = 0;  // measure-noise target repeat index
+};
+
+struct FaultPlan {
+  std::vector<Fault> faults;
+  /// Seeds jitter-style consumers (e.g. the evaluator's retry Backoff); the
+  /// faults themselves are position-determined, not sampled.
+  std::uint64_t seed = 0;
+
+  /// Parses the plan syntax documented above. Whitespace around tokens is
+  /// ignored; an empty spec is an empty (but armable) plan. Throws
+  /// std::invalid_argument on unknown kinds/keys or malformed values.
+  [[nodiscard]] static FaultPlan parse(std::string_view spec, std::uint64_t seed = 0);
+
+  /// True when the plan contains an executor-level fault (pool-death,
+  /// pool-stall, chunk-throw, chunk-slow, or probe) — the executor routes the
+  /// run through the recovery-capable path exactly when this holds.
+  [[nodiscard]] bool exercises_recovery() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// What an injection point throws. Recovery code catches this exactly like a
+/// genuine scan/measurement error — the injected and the real failure take
+/// the same healing path.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Scoped arming of a FaultPlan. At most one injector may be armed at a time
+/// (a second construction throws std::logic_error); arm/disarm must not race
+/// an in-flight run — arm, run, then disarm, as the test suites do.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The armed injector, or nullptr — the zero-cost disarmed check.
+  [[nodiscard]] static const FaultInjector* current() noexcept;
+
+  // --- Injection-point queries (thread-safe) --------------------------------
+
+  /// True when `pool`'s workers are planned to throw before claiming work.
+  [[nodiscard]] bool pool_dies(std::size_t pool) const noexcept;
+  /// True when `pool` is planned to hang until the watchdog releases it.
+  [[nodiscard]] bool pool_stalls(std::size_t pool) const noexcept;
+  /// Throws FaultInjectedError when `chunk`'s scan is planned to fail on
+  /// `attempt` (attempts are 0-based and fail while attempt < times).
+  void chunk_scan(std::size_t chunk, std::size_t attempt) const;
+  /// The planned slowdown of `chunk`'s scan (1.0 = none).
+  [[nodiscard]] double chunk_slow_factor(std::size_t chunk) const noexcept;
+  /// True when any chunk-level fault (throw or slow) targets `chunk` — lets
+  /// batch scanners route only the affected chunks through the slow
+  /// one-at-a-time recovery scan.
+  [[nodiscard]] bool chunk_faulty(std::size_t chunk) const noexcept;
+  /// Counts one executed pool task; true when the worker loop is planned to
+  /// throw after it (the ThreadPool injection point).
+  [[nodiscard]] bool worker_throws() const noexcept;
+  /// Counts one measurement attempt; true when it is planned to fail.
+  [[nodiscard]] bool measure_fails() const noexcept;
+  /// The planned timing-noise multiplier of measurement repeat `repeat`.
+  [[nodiscard]] double measure_noise(std::size_t repeat) const noexcept;
+
+  [[nodiscard]] bool exercises_recovery() const noexcept {
+    return plan_.exercises_recovery();
+  }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  /// Faults actually delivered so far (throws and noise spikes).
+  [[nodiscard]] std::uint64_t injected() const noexcept {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultPlan plan_;
+  mutable std::atomic<std::uint64_t> injected_{0};
+  mutable std::atomic<std::uint64_t> worker_tasks_{0};
+  mutable std::atomic<std::uint64_t> measure_calls_{0};
+};
+
+}  // namespace hetopt::util

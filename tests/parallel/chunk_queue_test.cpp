@@ -64,6 +64,66 @@ TEST(ChunkQueueTest, RejectsOversizedRange) {
   EXPECT_THROW(ChunkQueue(std::size_t{1} << 33), std::invalid_argument);
 }
 
+TEST(ChunkQueueTest, CloseDiscardsUnclaimedIndices) {
+  ChunkQueue q(10);
+  EXPECT_FALSE(q.closed());
+  (void)q.take_front();
+  (void)q.take_front();
+  (void)q.take_back();
+  EXPECT_EQ(q.close(), 7u);
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.remaining(), 0u);
+  EXPECT_FALSE(q.take_front().has_value());
+  EXPECT_FALSE(q.take_back().has_value());
+  // Closing again discards nothing and the queue never reopens.
+  EXPECT_EQ(q.close(), 0u);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(ChunkQueueTest, CloseOnDrainedQueueDiscardsNothing) {
+  ChunkQueue q(2);
+  (void)q.take_front();
+  (void)q.take_front();
+  EXPECT_EQ(q.close(), 0u);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(ChunkQueueTest, ConcurrentCloseVersusTakersNeverDuplicatesOrSpins) {
+  // The watchdog closes a failed pool's queue while its (and stealers')
+  // takers are mid-claim. Every index must end up either claimed by exactly
+  // one taker or discarded by exactly one close — claimed + discarded ==
+  // size — and every taker must terminate (nullopt) instead of spinning.
+  // Runs under TSan in CI via the parallel_tests drain job.
+  constexpr std::size_t kIndices = 20000;
+  constexpr std::size_t kTakers = 6;
+  ChunkQueue q(kIndices);
+  std::vector<std::atomic<int>> claimed(kIndices);
+  std::atomic<std::size_t> taken{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kTakers + 1);
+  for (std::size_t t = 0; t < kTakers; ++t) {
+    threads.emplace_back([&q, &claimed, &taken, t] {
+      for (;;) {
+        const auto i = (t % 2 == 0) ? q.take_front() : q.take_back();
+        if (!i) break;
+        claimed[*i].fetch_add(1);
+        taken.fetch_add(1);
+      }
+    });
+  }
+  std::atomic<std::size_t> discarded{0};
+  threads.emplace_back([&q, &discarded] {
+    // Let the takers make some progress, then poison the queue under them.
+    while (q.remaining() > kIndices / 2) std::this_thread::yield();
+    discarded.store(q.close());
+  });
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(taken.load() + discarded.load(), kIndices);
+  for (const auto& c : claimed) EXPECT_LE(c.load(), 1);
+  EXPECT_FALSE(q.take_front().has_value());
+}
+
 TEST(ChunkQueueTest, ConcurrentTakersClaimEveryIndexExactlyOnce) {
   // Hammer both ends from many threads; every index must be claimed exactly
   // once and the total must drain. This is the invariant the adaptive

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/fault.hpp"
+
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
@@ -189,6 +191,33 @@ TEST(ThreadPoolTest, OversubscribedPoolCompletesAllWork) {
   std::vector<std::atomic<int>> slots(32);
   pool.parallel_pull([&](std::size_t slot) { slots[slot].fetch_add(1); });
   for (const auto& s : slots) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPoolTest, RethrowWorkerErrorIsNoopByDefault) {
+  ThreadPool pool(2);
+  pool.parallel_for(20, [](std::size_t) {});
+  EXPECT_NO_THROW(pool.rethrow_worker_error());
+}
+
+TEST(ThreadPoolTest, WorkerThreadExceptionSurfacesAtJoinInsteadOfTerminating) {
+  // An exception escaping a task on the worker thread (here the injected
+  // worker-throw fault, which fires outside any packaged_task wrapper) used
+  // to hit the worker loop's noexcept boundary and terminate the process.
+  // Now the first escapee is recorded and rethrown at the join point.
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  {
+    const util::FaultInjector injector(util::FaultPlan::parse("worker-throw:after=0"));
+    EXPECT_THROW(pool.parallel_for(50, [&](std::size_t) { done.fetch_add(1); }),
+                 util::FaultInjectedError);
+  }
+  // The fault fires after its task completes, so no iteration was lost.
+  EXPECT_EQ(done.load(), 50);
+  // The join consumed the recorded error; the pool stays serviceable.
+  EXPECT_NO_THROW(pool.rethrow_worker_error());
+  std::atomic<int> more{0};
+  pool.parallel_for(10, [&](std::size_t) { more.fetch_add(1); });
+  EXPECT_EQ(more.load(), 10);
 }
 
 TEST(ThreadPoolTest, NestedParallelismViaSeparatePools) {

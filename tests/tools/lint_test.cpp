@@ -213,6 +213,82 @@ TEST_F(LintFixture, AllowCommentSuppresses) {
   EXPECT_TRUE(run().empty()) << dump(run());
 }
 
+// --- silent-catch -----------------------------------------------------------
+
+TEST_F(LintFixture, SwallowingCatchInCoreFires) {
+  write("core/bad_catch.cpp",
+        "void risky();\n"
+        "void run() {\n"
+        "  try {\n"
+        "    risky();\n"
+        "  } catch (...) {\n"
+        "  }\n"
+        "}\n");
+  expect_one(run(), "silent-catch", "core/bad_catch.cpp", 5);
+}
+
+TEST_F(LintFixture, CatchCommentAloneDoesNotCountAsHandling) {
+  write("parallel/bad_catch_comment.cpp",
+        "void risky();\n"
+        "void run() {\n"
+        "  try {\n"
+        "    risky();\n"
+        "  } catch (...) {\n"
+        "    // the error is fine, ignore it\n"
+        "  }\n"
+        "}\n");
+  expect_one(run(), "silent-catch", "parallel/bad_catch_comment.cpp", 5);
+}
+
+TEST_F(LintFixture, RethrowingCatchPasses) {
+  write("core/ok_catch_rethrow.cpp",
+        "void risky();\n"
+        "void run() {\n"
+        "  try {\n"
+        "    risky();\n"
+        "  } catch (...) {\n"
+        "    throw;\n"
+        "  }\n"
+        "}\n");
+  EXPECT_TRUE(run().empty()) << dump(run());
+}
+
+TEST_F(LintFixture, RecordingCatchPasses) {
+  write("parallel/ok_catch_record.cpp",
+        "void record_worker_error();\n"
+        "void run() {\n"
+        "  try {\n"
+        "  } catch (...) {\n"
+        "    record_worker_error();\n"
+        "  }\n"
+        "}\n");
+  EXPECT_TRUE(run().empty()) << dump(run());
+}
+
+TEST_F(LintFixture, SilentCatchRuleOnlyCoversRuntimeLayers) {
+  write("opt/free_catch.cpp",
+        "bool ok() {\n"
+        "  try {\n"
+        "    return true;\n"
+        "  } catch (...) {\n"
+        "    return false;\n"
+        "  }\n"
+        "}\n");
+  EXPECT_TRUE(run().empty()) << dump(run());
+}
+
+TEST_F(LintFixture, SilentCatchAllowCommentSuppresses) {
+  write("core/allowed_catch.cpp",
+        "void best_effort();\n"
+        "void run() {\n"
+        "  try {\n"
+        "    best_effort();\n"
+        "  } catch (...) {  // hetopt-lint: allow(silent-catch) — best-effort\n"
+        "  }\n"
+        "}\n");
+  EXPECT_TRUE(run().empty()) << dump(run());
+}
+
 // --- pragma-once ------------------------------------------------------------
 
 TEST_F(LintFixture, HeaderWithoutPragmaOnceFires) {

@@ -1,0 +1,98 @@
+// util::Backoff: the delay sequence is a pure function of (seed, options) —
+// deterministic replay, bounded jittered growth, and option validation.
+#include "util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace hetopt::util {
+namespace {
+
+TEST(BackoffTest, SameSeedReplaysTheSameDelaySequence) {
+  Backoff a(42);
+  Backoff b(42);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(a.next_delay(), b.next_delay()) << i;
+  }
+  EXPECT_EQ(a.attempts(), 8u);
+}
+
+TEST(BackoffTest, DifferentSeedsJitterDifferently) {
+  Backoff a(1);
+  Backoff b(2);
+  bool any_difference = false;
+  for (int i = 0; i < 8; ++i) {
+    if (a.next_delay() != b.next_delay()) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(BackoffTest, DelaysStayWithinTheJitteredEnvelope) {
+  Backoff::Options options;
+  options.base_seconds = 0.001;
+  options.max_seconds = 0.016;
+  options.multiplier = 2.0;
+  options.jitter = 0.25;
+  Backoff backoff(7, options);
+  double raw = options.base_seconds;
+  for (int i = 0; i < 10; ++i) {
+    const double delay = backoff.next_delay();
+    EXPECT_GE(delay, raw * (1.0 - options.jitter)) << i;
+    EXPECT_LT(delay, raw * (1.0 + options.jitter)) << i;
+    raw = std::min(raw * options.multiplier, options.max_seconds);
+  }
+}
+
+TEST(BackoffTest, ZeroJitterIsExactExponentialGrowthToTheCap) {
+  Backoff::Options options;
+  options.base_seconds = 0.001;
+  options.max_seconds = 0.004;
+  options.multiplier = 2.0;
+  options.jitter = 0.0;
+  Backoff backoff(0, options);
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 0.001);
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 0.002);
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 0.004);
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 0.004);  // capped thereafter
+}
+
+TEST(BackoffTest, ResetReplaysFromTheOriginalSeed) {
+  Backoff backoff(9);
+  std::vector<double> first;
+  for (int i = 0; i < 5; ++i) first.push_back(backoff.next_delay());
+  backoff.reset();
+  EXPECT_EQ(backoff.attempts(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(backoff.next_delay(), first[static_cast<std::size_t>(i)]) << i;
+  }
+}
+
+TEST(BackoffTest, InvalidOptionsThrow) {
+  Backoff::Options bad_base;
+  bad_base.base_seconds = 0.0;
+  EXPECT_THROW((void)Backoff(0, bad_base), std::invalid_argument);
+  Backoff::Options bad_max;
+  bad_max.max_seconds = bad_max.base_seconds / 2.0;
+  EXPECT_THROW((void)Backoff(0, bad_max), std::invalid_argument);
+  Backoff::Options bad_mult;
+  bad_mult.multiplier = 0.5;
+  EXPECT_THROW((void)Backoff(0, bad_mult), std::invalid_argument);
+  Backoff::Options bad_jitter;
+  bad_jitter.jitter = 1.0;
+  EXPECT_THROW((void)Backoff(0, bad_jitter), std::invalid_argument);
+}
+
+TEST(BackoffTest, SleepBlocksForRoughlyTheNextDelay) {
+  Backoff::Options options;
+  options.base_seconds = 0.0001;
+  options.max_seconds = 0.0001;
+  options.jitter = 0.0;
+  Backoff backoff(0, options);
+  backoff.sleep();  // just exercise the blocking path; duration is OS noise
+  EXPECT_EQ(backoff.attempts(), 1u);
+}
+
+}  // namespace
+}  // namespace hetopt::util

@@ -421,6 +421,70 @@ void rule_kernel_throw(const Source& source, std::vector<Diagnostic>& out) {
   }
 }
 
+void rule_silent_catch(const Source& source, std::vector<Diagnostic>& out) {
+  if (source.layer != "parallel" && source.layer != "core") return;
+  // A handler counts as non-silent when its body rethrows (`throw`) or calls
+  // into the error-recording machinery — identified by an identifier carrying
+  // one of these substrings (record_worker_error, mark_failed, retries,
+  // current_exception, ...). Comments are stripped before matching, so prose
+  // about errors cannot satisfy the rule.
+  static constexpr std::array<std::string_view, 6> kHandlingTokens = {
+      "record", "report", "fail", "error", "retr", "current_exception"};
+  const std::string_view text = source.stripped;
+  for (const std::size_t pos : find_identifiers(text, "catch")) {
+    std::size_t open = 0;
+    if (!followed_by_call(text, pos + 5, open)) continue;
+    const std::size_t params_end = matching_paren_end(text, open);
+    if (params_end == std::string_view::npos) continue;
+    std::size_t brace = params_end;
+    while (brace < text.size() &&
+           (text[brace] == ' ' || text[brace] == '\t' || text[brace] == '\n')) {
+      ++brace;
+    }
+    if (brace >= text.size() || text[brace] != '{') continue;
+    int depth = 0;
+    std::size_t body_end = std::string_view::npos;
+    for (std::size_t i = brace; i < text.size(); ++i) {
+      if (text[i] == '{') ++depth;
+      if (text[i] == '}' && --depth == 0) {
+        body_end = i;
+        break;
+      }
+    }
+    if (body_end == std::string_view::npos) continue;
+    const std::string_view body = text.substr(brace + 1, body_end - brace - 1);
+    bool handled = false;
+    std::size_t i = 0;
+    while (i < body.size() && !handled) {
+      if (!is_ident_char(body[i])) {
+        ++i;
+        continue;
+      }
+      std::size_t end = i;
+      while (end < body.size() && is_ident_char(body[end])) ++end;
+      const std::string_view token = body.substr(i, end - i);
+      if (token == "throw") {
+        handled = true;
+      } else {
+        for (const std::string_view needle : kHandlingTokens) {
+          if (token.find(needle) != std::string_view::npos) {
+            handled = true;
+            break;
+          }
+        }
+      }
+      i = end;
+    }
+    if (!handled) {
+      report(source, out, pos, "silent-catch",
+             "catch body neither rethrows nor records the error; in parallel/ "
+             "and core/ a swallowed exception silently corrupts recovery "
+             "telemetry — rethrow, record/report it, or justify with "
+             "`// hetopt-lint: allow(silent-catch)` on the catch line");
+    }
+  }
+}
+
 void rule_pragma_once(const Source& source, std::vector<Diagnostic>& out) {
   if (!source.is_header) return;
   if (source.stripped.find("#pragma once") == std::string::npos) {
@@ -452,6 +516,7 @@ std::vector<Diagnostic> lint_source(std::string_view display_path,
   rule_nondeterminism(source, out);
   rule_atomic_order(source, out);
   rule_kernel_throw(source, out);
+  rule_silent_catch(source, out);
   rule_pragma_once(source, out);
   return out;
 }

@@ -24,6 +24,12 @@
 //                                          bitap.cpp): invalid input is detected
 //                                          branch-free and reported once per
 //                                          chunk from the cold path.
+//   silent-catch     parallel/, core/      every catch body must rethrow or
+//                                          record the error (an identifier
+//                                          containing record/report/fail/error/
+//                                          retr/current_exception); a swallowed
+//                                          exception in the execution runtime
+//                                          silently corrupts recovery telemetry.
 //   pragma-once      *.hpp                 every header starts with #pragma once.
 //
 // Comments and string/character literals are stripped before matching, so

@@ -49,8 +49,8 @@ if command -v python3 >/dev/null 2>&1; then
   python3 - "${json_out}" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-if doc.get("schema") != "hetopt-bench-v4":
-    sys.exit("unexpected schema: %r (want hetopt-bench-v4)" % doc.get("schema"))
+if doc.get("schema") != "hetopt-bench-v5":
+    sys.exit("unexpected schema: %r (want hetopt-bench-v5)" % doc.get("schema"))
 kernel = doc.get("scan_kernel", {})
 if kernel:
     print("scan_kernel: fused %.2fx naive (guard %.1fx, %s)" % (
@@ -107,6 +107,35 @@ rates = ", ".join("%dd %.0f MB/s" % (r["device_count"], r["throughput_mb_s"])
 tuned = ", ".join("%s->%sd" % (t["method"], t["device_count"])
                   for t in fleet.get("tuned", []))
 print("device_matrix: %s | tuned: %s" % (rates, tuned))
+# fault_matrix is required under hetopt-bench-v5: the zero-fault overhead of
+# the recovery path is recorded, and every planned-fault recovery row must
+# keep byte-exact match parity.
+faults = doc["fault_matrix"]
+overhead = faults["overhead"]
+for k in ("plain_seconds", "probe_seconds", "overhead_percent",
+          "guard_max_percent", "overhead_ok"):
+    if k not in overhead:
+        sys.exit("fault_matrix.overhead: missing %s" % k)
+recovery = faults["recovery"]
+if not recovery:
+    sys.exit("fault_matrix: no recovery rows")
+for row in recovery:
+    for k in ("plan", "pools", "schedule", "match_parity", "failed_pools",
+              "requeued_chunks", "chunk_retries", "degraded"):
+        if k not in row:
+            sys.exit("fault_matrix.recovery: missing %s" % k)
+    if not row["match_parity"]:
+        sys.exit("fault_matrix: parity lost under %r (%d pools, %s)" % (
+            row["plan"], row["pools"], row["schedule"]))
+healing = faults["self_healing"]
+if not healing["transient_valid"] or healing["hopeless_valid"]:
+    sys.exit("fault_matrix.self_healing: transient_valid=%s hopeless_valid=%s" % (
+        healing["transient_valid"], healing["hopeless_valid"]))
+print("fault_matrix: overhead %.2f%% (%s), %d recovery rows all parity-exact, "
+      "%d invalid measurements absorbed" % (
+          overhead["overhead_percent"],
+          "ok" if overhead["overhead_ok"] else "OVER GUARD",
+          len(recovery), healing["invalid_measurements"]))
 PY
 fi
 
