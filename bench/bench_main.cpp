@@ -10,6 +10,12 @@
 //                        chunk-parallel), MB/s and speedup-vs-naive per row.
 //                        Exits non-zero when the fused kernel falls below a
 //                        coarse 1.5x guard over naive (CI gate).
+//   simd_matrix          the ISA tier measured for real: per-ISA whole-genome
+//                        MB/s for the lane-parallel bitap (vs the scalar
+//                        bitap engine) and the prefiltered DFA scan (vs the
+//                        plain compiled-dfa engine), match parity per row as
+//                        a hard exit gate; the >=2x-on-AVX2 expectation is
+//                        recorded with a warning, never gated
 //   matcher_throughput   chunk-parallel scan throughput (MB/s) vs chunk count
 //   engine_matrix        the match-engine axis measured for real: MB/s per
 //                        engine (compiled-dfa / aho-corasick / bitap) x chunk
@@ -52,9 +58,12 @@
 #include <thread>
 #include <vector>
 
+#include "automata/simd/simd_kernels.hpp"
+#include "automata/simd_engine.hpp"
 #include "core/hetopt.hpp"
 #include "sim/multi.hpp"
 #include "util/cli.hpp"
+#include "util/cpu_features.hpp"
 #include "util/fault.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
@@ -177,7 +186,7 @@ int main(int argc, char** argv) {
 
   util::JsonWriter json;
   json.begin_object()
-      .member("schema", "hetopt-bench-v5")
+      .member("schema", "hetopt-bench-v6")
       .member("suite", suite)
       .member("genome", genome)
       .member("logical_mb", workload.size_mb)
@@ -187,6 +196,30 @@ int main(int argc, char** argv) {
       .member("real_space_size", real_space.size())
       .member("iterations", iterations)
       .member("seed", seed);
+
+  // --- provenance -----------------------------------------------------------
+  // Every BENCH_*.json records what silicon the numbers came from and which
+  // ISA tier the SIMD engines actually ran — a row labeled "avx2" from a
+  // forced-scalar run would be a lie, so the active level and the override
+  // are part of the artifact (run_bench.sh validates this block).
+  const char* const forced_env = std::getenv("HETOPT_FORCE_ISA");
+  const util::IsaLevel active_isa = automata::simd::resolve_isa(std::nullopt);
+  {
+    json.key("provenance").begin_object();
+    json.member("cpu_model", util::cpu_features().model_name);
+    json.key("isa_detected").begin_array();
+    for (const util::IsaLevel level : automata::simd::available_isas()) {
+      json.value(util::to_string(level));
+    }
+    json.end_array();
+    json.member("isa_active", util::to_string(active_isa));
+    json.member("forced_isa", forced_env != nullptr ? forced_env : "");
+    json.end_object();
+    std::cout << "provenance: " << util::cpu_features().model_name << ", active ISA "
+              << util::to_string(active_isa)
+              << (forced_env != nullptr && forced_env[0] != '\0' ? " (forced)" : "")
+              << "\n";
+  }
 
   // --- scan_kernel ----------------------------------------------------------
   // The kernel ladder, all rows scanning the whole physical genome. The first
@@ -264,6 +297,95 @@ int main(int argc, char** argv) {
         .member("speedup_fused_vs_naive", fused_speedup)
         .member("guard_min_speedup", kKernelGuardMinSpeedup)
         .member("guard_ok", fused_speedup >= kKernelGuardMinSpeedup)
+        .end_object();
+  }
+
+  // --- simd_matrix ----------------------------------------------------------
+  // The ISA tier measured for real: every vector variant the host can run,
+  // whole-genome MB/s against its scalar-engine baseline. Match parity per
+  // row is a hard exit gate (a fast wrong kernel is worthless); the 2x-on-
+  // AVX2 expectation is recorded with a warning, never gated — a noisy or
+  // narrow runner must not flake CI over a throughput ratio.
+  bool simd_parity = true;
+  bool avx2_ge_2x_scalar = true;
+  {
+    const std::string_view text = rw.text();
+    const std::size_t simd_reps = suite == "full" ? 5 : 3;
+    const auto min_seconds = [&](const automata::MatchEngine& engine,
+                                 std::uint64_t* matches) {
+      double best = 0.0;
+      for (std::size_t rep = 0; rep < simd_reps; ++rep) {
+        util::Timer timer;
+        *matches = engine.count(text);
+        const double seconds = timer.seconds();
+        if (rep == 0 || seconds < best) best = seconds;
+      }
+      return best;
+    };
+    struct Family {
+      const char* name;
+      const automata::MatchEngine* baseline;
+    };
+    const automata::BitapEngine scalar_bitap(real_options.motifs);
+    const automata::MatchEngine& scalar_dfa =
+        rw.engine(automata::EngineKind::kCompiledDfa);
+    const std::vector<Family> families = {{"bitap", &scalar_bitap},
+                                          {"prefilter", &scalar_dfa}};
+    json.key("simd_matrix").begin_object().key("rows").begin_array();
+    for (const Family& family : families) {
+      std::uint64_t matches = 0;
+      const double base_seconds = min_seconds(*family.baseline, &matches);
+      const double base_mb_s =
+          base_seconds > 0.0 ? rw.physical_mb() / base_seconds : 0.0;
+      const bool base_parity = matches == rw.sequential_matches();
+      simd_parity = simd_parity && base_parity;
+      json.begin_object()
+          .member("family", family.name)
+          .member("isa", "baseline")
+          .member("engine", automata::to_string(family.baseline->kind()))
+          .member("seconds", base_seconds)
+          .member("mb_s", base_mb_s)
+          .member("matches", matches)
+          .member("match_parity", base_parity)
+          .member("speedup_vs_scalar_engine", 1.0)
+          .end_object();
+      std::cout << "  simd_matrix " << family.name << "/baseline ("
+                << automata::to_string(family.baseline->kind())
+                << "): " << util::format_double(base_mb_s, 1) << " MB/s\n";
+      for (const util::IsaLevel isa : automata::simd::available_isas()) {
+        std::unique_ptr<const automata::MatchEngine> engine;
+        if (std::string_view(family.name) == "bitap") {
+          engine = std::make_unique<automata::BitapSimdEngine>(real_options.motifs, isa);
+        } else {
+          engine = std::make_unique<automata::PrefilterDfaEngine>(real_options.motifs, isa);
+        }
+        const double seconds = min_seconds(*engine, &matches);
+        const double mb_s = seconds > 0.0 ? rw.physical_mb() / seconds : 0.0;
+        const double speedup = base_mb_s > 0.0 ? mb_s / base_mb_s : 0.0;
+        const bool parity = matches == rw.sequential_matches();
+        simd_parity = simd_parity && parity;
+        if (std::string_view(family.name) == "bitap" &&
+            isa == util::IsaLevel::kAvx2 && speedup < 2.0) {
+          avx2_ge_2x_scalar = false;
+        }
+        json.begin_object()
+            .member("family", family.name)
+            .member("isa", util::to_string(isa))
+            .member("engine", automata::to_string(engine->kind()))
+            .member("seconds", seconds)
+            .member("mb_s", mb_s)
+            .member("matches", matches)
+            .member("match_parity", parity)
+            .member("speedup_vs_scalar_engine", speedup)
+            .end_object();
+        std::cout << "  simd_matrix " << family.name << "/" << util::to_string(isa)
+                  << ": " << util::format_double(mb_s, 1) << " MB/s ("
+                  << util::format_double(speedup, 2) << "x scalar engine)\n";
+      }
+    }
+    json.end_array()
+        .member("parity_ok", simd_parity)
+        .member("avx2_ge_2x_scalar", avx2_ge_2x_scalar)
         .end_object();
   }
 
@@ -978,6 +1100,16 @@ int main(int argc, char** argv) {
   if (!fault_parity) {
     std::cerr << "bench_main: fault_matrix MATCH MISMATCH\n";
     return 1;
+  }
+  // Every simd-matrix row must reproduce the sequential count — the hard
+  // cross-ISA gate. The AVX2 throughput expectation is a warning only.
+  if (!simd_parity) {
+    std::cerr << "bench_main: simd_matrix MATCH MISMATCH\n";
+    return 1;
+  }
+  if (!avx2_ge_2x_scalar) {
+    std::cerr << "bench_main: WARNING: avx2 bitap-simd below 2x the scalar "
+                 "bitap engine on this host (recorded, not gated)\n";
   }
   if (fused_speedup < kKernelGuardMinSpeedup) {
     std::cerr << "bench_main: fused kernel only " << util::format_double(fused_speedup, 2)

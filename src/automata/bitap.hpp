@@ -61,6 +61,19 @@ class BitapMatcher {
   /// with a warm-up prefix, mirroring ParallelMatcher::kWarmup.
   [[nodiscard]] std::uint64_t scan(std::string_view text, std::uint64_t& d) const;
 
+  /// Read-only view of the compiled tables for the vector kernels in
+  /// src/automata/simd/, which run the same recurrence one sub-stream per
+  /// lane. The pointers alias this matcher and share its lifetime.
+  struct Tables {
+    const std::uint64_t* byte_mask;  // [256]
+    const std::uint8_t* byte_ok;     // [256]
+    std::uint64_t initial;
+    std::uint64_t final;
+  };
+  [[nodiscard]] Tables tables() const noexcept {
+    return Tables{byte_mask_, byte_ok_, initial_, final_};
+  }
+
  private:
   /// Locates the first invalid byte of `text` and throws the matcher's
   /// exception for it.

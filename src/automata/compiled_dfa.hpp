@@ -42,6 +42,7 @@
 
 #include "automata/dense_dfa.hpp"
 #include "automata/scanner.hpp"
+#include "util/aligned_buffer.hpp"
 
 namespace hetopt::automata {
 
@@ -100,6 +101,14 @@ class CompiledDfa {
                                    std::size_t base_offset,
                                    std::vector<Match>& out) const;
 
+  /// Raw fused byte table, next[state * 256 + byte], 64-byte aligned.
+  /// Exposed for the prefiltered scan engine (simd_engine.hpp), which
+  /// interleaves SIMD candidate-skips with single fused steps; invalid bytes
+  /// lead to sink() like everywhere else.
+  [[nodiscard]] const std::uint32_t* byte_table() const noexcept {
+    return byte_next_.data();
+  }
+
  private:
   void check_entry(StateId state) const;
   void count_multi_batch(const std::string_view* texts, const StateId* entries,
@@ -108,11 +117,14 @@ class CompiledDfa {
   /// exact exception for it.
   [[noreturn]] void throw_invalid(std::string_view text) const;
 
-  std::vector<std::uint32_t> byte_next_;     // (states + 1) * 256
-  std::vector<std::uint32_t> pair_next_;     // (states + 1) * 16
-  std::vector<std::uint32_t> pair_count_;    // accept sum of the two half-steps
-  std::vector<std::uint32_t> accept_count_;  // states + 1 (sink accepts nothing)
-  std::vector<std::uint64_t> accept_mask_;   // states + 1
+  // The hot tables live in 64-byte-aligned storage (util::AlignedBuffer):
+  // cache-line-aligned rows for the scalar kernels, aligned-load targets for
+  // the SIMD tier.
+  util::AlignedBuffer<std::uint32_t> byte_next_;     // (states + 1) * 256
+  util::AlignedBuffer<std::uint32_t> pair_next_;     // (states + 1) * 16
+  util::AlignedBuffer<std::uint32_t> pair_count_;    // accept sum of the two half-steps
+  util::AlignedBuffer<std::uint32_t> accept_count_;  // states + 1 (sink accepts nothing)
+  util::AlignedBuffer<std::uint64_t> accept_mask_;   // states + 1
   std::uint8_t code_[256] = {};              // byte -> 2-bit base code, 0xFF invalid
   std::uint32_t state_count_ = 0;
   StateId start_ = 0;

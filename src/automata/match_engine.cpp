@@ -7,6 +7,7 @@
 #include "automata/aho_corasick.hpp"
 #include "automata/hopcroft.hpp"
 #include "automata/regex.hpp"
+#include "automata/simd_engine.hpp"
 #include "automata/subset.hpp"
 #include "dna/alphabet.hpp"
 
@@ -79,11 +80,27 @@ std::string engine_gap(EngineKind kind, const std::vector<std::string>& motifs) 
         }
       }
       return "";
-    case EngineKind::kBitap: {
+    case EngineKind::kBitap:
+    case EngineKind::kBitapSimd: {
+      // The SIMD variant executes the same recurrence, so it carries exactly
+      // the scalar matcher's applicability.
       std::string why;
       if (!BitapMatcher::supports(motifs, &why)) return why;
       return "";
     }
+    case EngineKind::kPrefilterDfa:
+      // The prefilter warms up per chunk, which needs a positive
+      // synchronization bound: no unbounded operators.
+      for (const std::string& m : motifs) {
+        for (const char c : m) {
+          if (c == '*' || c == '+') {
+            return "pattern '" + m + "' uses the unbounded operator '" +
+                   std::string(1, c) +
+                   "' (no synchronization bound for the prefilter warm-up)";
+          }
+        }
+      }
+      return "";
   }
   return "unknown engine kind";
 }
@@ -106,6 +123,10 @@ std::unique_ptr<const MatchEngine> try_lower(EngineKind kind,
       return std::make_unique<DenseDfaEngine>(kind, build_aho_corasick(motifs));
     case EngineKind::kBitap:
       return std::make_unique<BitapEngine>(motifs);
+    case EngineKind::kBitapSimd:
+      return std::make_unique<BitapSimdEngine>(motifs);
+    case EngineKind::kPrefilterDfa:
+      return std::make_unique<PrefilterDfaEngine>(motifs);
   }
   return nullptr;
 }

@@ -45,6 +45,7 @@
 #include "parallel/partitioner.hpp"
 #include "parallel/schedule.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/aligned_buffer.hpp"
 
 namespace hetopt::automata {
 
@@ -156,7 +157,10 @@ class ParallelMatcher {
   parallel::ThreadPool& pool_;
   CompiledDfa owned_kernel_;                 // lowered here on the DenseDfa path
   const CompiledDfa* kernel_ = nullptr;      // owned_kernel_ or the engine's kernel
-  mutable std::vector<ChunkResult> scratch_;  // reused across runs (capacity kept)
+  // Per-chunk scratch in cache-line-aligned storage: workers write disjoint
+  // slots concurrently, and the 64-byte alignment keeps slot boundaries off
+  // shared cache lines. Reused across runs (element capacity kept).
+  mutable util::AlignedBuffer<ChunkResult> scratch_;
 };
 
 }  // namespace hetopt::automata

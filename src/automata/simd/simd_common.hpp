@@ -1,0 +1,71 @@
+// Shared scalar building blocks for the per-ISA kernel TUs: warm-up, scalar
+// Shift-And scanning, and lane geometry. Header-only, intrinsic-free — the
+// vector TUs use these for lane warm-ups and ragged tails so every variant
+// shares one definition of the reference recurrence.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "automata/bitap.hpp"
+
+namespace hetopt::automata::simd::detail {
+
+/// Below this many bytes per lane the vector kernels fall back to the plain
+/// scalar scan: the per-lane warm-up (bound - 1 bytes each) would dominate.
+inline constexpr std::size_t kMinLaneBytes = 64;
+
+/// Advances a Shift-And state over text[from, to) without counting — the
+/// per-lane warm-up. Invalid bytes accumulate into `badc` (deferred
+/// detection; the caller reports once per range).
+[[nodiscard]] inline std::uint64_t warm(const BitapMatcher::Tables& t,
+                                        std::string_view text, std::size_t from,
+                                        std::size_t to, std::uint64_t& badc) {
+  std::uint64_t state = 0;
+  for (std::size_t i = from; i < to; ++i) {
+    const auto byte = static_cast<unsigned char>(text[i]);
+    badc += static_cast<std::uint64_t>(t.byte_ok[byte] ^ 1U);
+    state = ((state << 1) | t.initial) & t.byte_mask[byte];
+  }
+  return state;
+}
+
+/// The reference counting scan over text[from, to) from state `d` (updated
+/// in place) — the exact BitapMatcher::scan recurrence with the deferred
+/// invalid-byte accounting externalized.
+[[nodiscard]] inline std::uint64_t scan_count(const BitapMatcher::Tables& t,
+                                              std::string_view text, std::size_t from,
+                                              std::size_t to, std::uint64_t& d,
+                                              std::uint64_t& badc) {
+  std::uint64_t count = 0;
+  std::uint64_t state = d;
+  for (std::size_t i = from; i < to; ++i) {
+    const auto byte = static_cast<unsigned char>(text[i]);
+    badc += static_cast<std::uint64_t>(t.byte_ok[byte] ^ 1U);
+    state = ((state << 1) | t.initial) & t.byte_mask[byte];
+    count += static_cast<std::uint64_t>(std::popcount(state & t.final));
+  }
+  d = state;
+  return count;
+}
+
+/// Warm-up entry state for a lane whose sub-stream starts at `at`: advance
+/// over the up-to-(bound-1) preceding bytes, exactly the PaREM chunk entry.
+[[nodiscard]] inline std::uint64_t lane_entry(const BitapMatcher::Tables& t,
+                                              std::string_view text, std::size_t at,
+                                              std::size_t bound, std::uint64_t& badc) {
+  const std::size_t lead = std::min(bound - 1, at);
+  return warm(t, text, at - lead, at, badc);
+}
+
+/// Start of lane k when [begin, begin + len) splits into `lanes` contiguous
+/// sub-streams (lane `lanes` yields the exclusive end).
+[[nodiscard]] inline std::size_t lane_begin(std::size_t begin, std::size_t len,
+                                            std::size_t lanes, std::size_t k) {
+  return begin + (len / lanes) * k;
+}
+
+}  // namespace hetopt::automata::simd::detail

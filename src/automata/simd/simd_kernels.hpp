@@ -1,0 +1,89 @@
+// The SIMD kernel tier: per-ISA vector kernels behind a runtime dispatcher.
+//
+// Everything that touches raw intrinsics lives in this directory — the
+// hetopt_lint `raw-intrinsics` rule enforces it — and is reached only
+// through the kernel tables declared here. One binary compiles every
+// variant its toolchain can build (the AVX2 translation unit gets a
+// per-file -mavx2; SSE2 is the x86-64 baseline; non-x86 builds compile the
+// vector TUs to stubs), and resolve_isa() picks per *running* CPU:
+//
+//     requested ISA (engine ctor)  >  HETOPT_FORCE_ISA  >  widest available
+//
+// Forcing a level the build or the CPU cannot run is a hard error — a
+// result labeled "avx2" must actually have executed AVX2. The scalar
+// variants are the bit-identical reference implementations: every vector
+// kernel is property-tested against them (tests/automata/simd_engine_test).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "automata/bitap.hpp"
+#include "util/cpu_features.hpp"
+
+namespace hetopt::automata::simd {
+
+/// One ISA variant of the lane-parallel Shift-And kernel. The range
+/// (begin, end] is split into `lanes` contiguous sub-streams; each lane
+/// warms up over the `bound - 1` bytes preceding its sub-stream (the PaREM
+/// chunk-entry protocol) and all lanes then advance in vector lockstep.
+struct BitapKernel {
+  util::IsaLevel isa;
+  std::size_t lanes;
+  /// Counts occurrences with end positions in (begin, end]. Invalid bytes
+  /// are detected branch-free and reported via *bad (set to true, count
+  /// then meaningless); the caller re-walks the range and throws the
+  /// scalar matcher's exact exception. Never throws itself.
+  std::uint64_t (*count_range)(const BitapMatcher::Tables& t, std::string_view text,
+                               std::size_t begin, std::size_t end, std::size_t bound,
+                               bool* bad);
+};
+
+/// Byte classes for the prefilter: quiet bytes are the valid bases that keep
+/// the DFA start state put (delta(start, b) == start); every other byte —
+/// invalid ones included — is a candidate the DFA must actually step on.
+struct PrefilterClasses {
+  std::uint8_t quiet[256] = {};  // 1 = quiet
+  /// The distinct quiet bases, lowercase; vector kernels case-fold the
+  /// input (| 0x20) and compare against these. At most 4 (a/c/g/t).
+  char quiet_bases[4] = {};
+  std::size_t quiet_base_count = 0;
+};
+
+/// One ISA variant of the candidate finder: the first position in
+/// [pos, end) holding a non-quiet byte, or end when the run is all quiet.
+struct PrefilterKernel {
+  util::IsaLevel isa;
+  std::size_t (*find_candidate)(const PrefilterClasses& c, std::string_view text,
+                                std::size_t pos, std::size_t end);
+};
+
+// Per-ISA kernel tables. The scalar pair always exists; a vector getter
+// returns nullptr when its TU was compiled without the ISA. Whether the
+// *CPU* can run a compiled-in variant is resolve_isa()'s job.
+[[nodiscard]] const BitapKernel& scalar_bitap_kernel() noexcept;
+[[nodiscard]] const BitapKernel* sse2_bitap_kernel() noexcept;
+[[nodiscard]] const BitapKernel* avx2_bitap_kernel() noexcept;
+[[nodiscard]] const PrefilterKernel& scalar_prefilter_kernel() noexcept;
+[[nodiscard]] const PrefilterKernel* sse2_prefilter_kernel() noexcept;
+[[nodiscard]] const PrefilterKernel* avx2_prefilter_kernel() noexcept;
+
+/// ISA levels this binary can execute here and now (compiled in AND
+/// supported by the running CPU). Always contains kScalar, ascending order.
+[[nodiscard]] std::vector<util::IsaLevel> available_isas();
+
+/// Resolves the level an engine runs at: `request` when given, else the
+/// HETOPT_FORCE_ISA override, else the widest available. Throws
+/// std::runtime_error when the resolved level is not available (and names
+/// whether the build or the CPU is the gap).
+[[nodiscard]] util::IsaLevel resolve_isa(std::optional<util::IsaLevel> request);
+
+/// The kernel tables for an *available* level (resolve_isa() output).
+/// Throws std::runtime_error for unavailable levels.
+[[nodiscard]] const BitapKernel& bitap_kernel(util::IsaLevel isa);
+[[nodiscard]] const PrefilterKernel& prefilter_kernel(util::IsaLevel isa);
+
+}  // namespace hetopt::automata::simd

@@ -1,0 +1,132 @@
+// The SIMD engine tier as MatchEngines: the vector kernels from
+// src/automata/simd/ packaged behind the same chunk-aware contract every
+// other engine honors, so the parallel matcher, the executor fleet, and the
+// tuner price them like any other EngineKind.
+//
+//  BitapSimdEngine   (kBitapSimd)   lane-parallel Shift-And: each chunk is
+//                                   split into one contiguous sub-stream per
+//                                   vector lane, each lane warms up over its
+//                                   bound-1 preceding bytes (the PaREM chunk
+//                                   protocol applied *inside* the chunk), and
+//                                   all lanes advance in lockstep. Counts are
+//                                   sums over disjoint end-position ranges —
+//                                   bit-identical to BitapEngine by
+//                                   construction, property-tested to stay so.
+//
+//  PrefilterDfaEngine (kPrefilterDfa) compiled-DFA scan behind a vectorized
+//                                   byte-class prefilter: bytes that cannot
+//                                   move the DFA off its start state are
+//                                   skipped at vector speed whenever the scan
+//                                   sits in the start state; the fused kernel
+//                                   only runs while the automaton is live.
+//                                   Exact because skipping quiet bytes from
+//                                   the start state is the identity on both
+//                                   state and count (the start state accepts
+//                                   nothing, or skipping is disabled).
+//
+// Both resolve their ISA at construction: explicit request > HETOPT_FORCE_ISA
+// > widest the CPU supports. Forcing an unavailable level throws.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/bitap.hpp"
+#include "automata/compiled_dfa.hpp"
+#include "automata/dense_dfa.hpp"
+#include "automata/match_engine.hpp"
+#include "automata/simd/simd_kernels.hpp"
+#include "util/cpu_features.hpp"
+
+namespace hetopt::automata {
+
+class BitapSimdEngine final : public MatchEngine {
+ public:
+  /// Same applicability as BitapEngine (IUPAC, <= 64 summed bits). `isa`
+  /// pins a specific variant (tests sweep every available level); nullopt
+  /// defers to HETOPT_FORCE_ISA, then the widest available.
+  explicit BitapSimdEngine(const std::vector<std::string>& patterns,
+                           std::optional<util::IsaLevel> isa = std::nullopt);
+
+  [[nodiscard]] EngineKind kind() const noexcept override {
+    return EngineKind::kBitapSimd;
+  }
+  [[nodiscard]] std::size_t synchronization_bound() const noexcept override {
+    return matcher_.synchronization_bound();
+  }
+  [[nodiscard]] std::size_t pattern_count() const noexcept override {
+    return matcher_.pattern_count();
+  }
+
+  [[nodiscard]] std::uint64_t count_chunk(std::string_view text, std::size_t begin,
+                                          std::size_t end) const override;
+  [[nodiscard]] std::uint64_t collect_chunk(std::string_view text, std::size_t begin,
+                                            std::size_t end,
+                                            std::vector<Match>& out) const override;
+
+  /// The ISA variant this engine resolved to at construction.
+  [[nodiscard]] util::IsaLevel isa() const noexcept { return isa_; }
+  /// Vector lanes the resolved kernel advances in lockstep.
+  [[nodiscard]] std::size_t lanes() const noexcept { return kernel_->lanes; }
+
+ private:
+  BitapMatcher matcher_;
+  util::IsaLevel isa_;
+  const simd::BitapKernel* kernel_;
+};
+
+class PrefilterDfaEngine final : public MatchEngine {
+ public:
+  /// Full motif language minus the unbounded operators '*' and '+' (the
+  /// prefilter's per-chunk warm-up needs a positive synchronization bound).
+  /// Throws std::invalid_argument via compile_motifs on syntax errors.
+  explicit PrefilterDfaEngine(const std::vector<std::string>& motifs,
+                              std::optional<util::IsaLevel> isa = std::nullopt);
+
+  [[nodiscard]] EngineKind kind() const noexcept override {
+    return EngineKind::kPrefilterDfa;
+  }
+  [[nodiscard]] std::size_t synchronization_bound() const noexcept override {
+    return dfa_.synchronization_bound();
+  }
+  [[nodiscard]] std::size_t pattern_count() const noexcept override {
+    return dfa_.pattern_count();
+  }
+
+  [[nodiscard]] std::uint64_t count_chunk(std::string_view text, std::size_t begin,
+                                          std::size_t end) const override;
+  [[nodiscard]] std::uint64_t collect_chunk(std::string_view text, std::size_t begin,
+                                            std::size_t end,
+                                            std::vector<Match>& out) const override;
+
+  // dfa()/kernel() stay nullptr on purpose: the parallel matcher and the
+  // executor must drive this engine through the chunk-aware interface so the
+  // prefilter actually runs (the kernel() fast path would bypass it).
+
+  [[nodiscard]] util::IsaLevel isa() const noexcept { return isa_; }
+  /// True when the quiet-byte skip is active (the DFA start state accepts
+  /// nothing and at least one base is quiet); false degenerates to the plain
+  /// fused scan, still exact.
+  [[nodiscard]] bool skip_enabled() const noexcept { return can_skip_; }
+  /// The candidate bytes' count (256 - quiet bytes); bench provenance.
+  [[nodiscard]] std::size_t quiet_base_count() const noexcept {
+    return classes_.quiet_base_count;
+  }
+
+ private:
+  /// Warm-up entry state for a chunk starting at `begin` — identical to
+  /// DenseDfaEngine's (throws on invalid warm-up bytes like the oracle).
+  [[nodiscard]] StateId entry_state(std::string_view text, std::size_t begin) const;
+
+  DenseDfa dfa_;
+  CompiledDfa kernel_;
+  simd::PrefilterClasses classes_;
+  util::IsaLevel isa_;
+  const simd::PrefilterKernel* prefilter_;
+  bool can_skip_ = false;
+};
+
+}  // namespace hetopt::automata

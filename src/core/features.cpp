@@ -69,9 +69,9 @@ std::vector<double> host_features(double size_mb, int threads,
   f[1] = static_cast<double>(threads);
   f[2 + static_cast<std::size_t>(affinity)] = 1.0;
   f[5 + static_cast<std::size_t>(engine)] = 1.0;
-  f[8 + static_cast<std::size_t>(schedule)] = 1.0;
-  f[12] = static_cast<double>(pool_count);
-  f[13] = pool_share_percent;
+  f[10 + static_cast<std::size_t>(schedule)] = 1.0;
+  f[14] = static_cast<double>(pool_count);
+  f[15] = pool_share_percent;
   return f;
 }
 
@@ -88,9 +88,9 @@ std::vector<double> device_features(double size_mb, int threads,
   f[1] = static_cast<double>(threads);
   f[2 + static_cast<std::size_t>(affinity)] = 1.0;
   f[5 + static_cast<std::size_t>(engine)] = 1.0;
-  f[8 + static_cast<std::size_t>(schedule)] = 1.0;
-  f[12] = static_cast<double>(pool_count);
-  f[13] = pool_share_percent;
+  f[10 + static_cast<std::size_t>(schedule)] = 1.0;
+  f[14] = static_cast<double>(pool_count);
+  f[15] = pool_share_percent;
   return f;
 }
 

@@ -1,7 +1,7 @@
 // Feature encoding for the performance-prediction models. The paper trains
 // on "the input size, the available computing resources, and the thread
 // allocation strategies" (§III-B); we encode these as
-//   [ size_mb, threads, one-hot affinity (3), one-hot engine (3),
+//   [ size_mb, threads, one-hot affinity (3), one-hot engine (5),
 //     one-hot schedule (4), pool_count, pool_share_pct ]
 // separately per environment (host / device), mirroring the paper's two
 // models. The engine and schedule one-hots and the fleet columns are this
@@ -28,7 +28,7 @@
 
 namespace hetopt::core {
 
-inline constexpr std::size_t kFeatureCount = 14;
+inline constexpr std::size_t kFeatureCount = 16;
 
 [[nodiscard]] std::vector<std::string> host_feature_names();
 [[nodiscard]] std::vector<std::string> device_feature_names();

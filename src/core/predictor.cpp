@@ -106,9 +106,9 @@ void PerformancePredictor::save(std::ostream& os) const {
   if (!trained_) throw std::runtime_error("PerformancePredictor::save: not trained");
   // The header records the feature-layout width so a file saved under an
   // older (narrower) layout fails at load time with a clear message instead
-  // of throwing a row-size mismatch on every predict. v3 = the fleet-aware
-  // (pool_count / pool_share_pct) layout.
-  os << "hetopt-predictor-v3 " << kFeatureCount << ' ' << (options_.normalize ? 1 : 0)
+  // of throwing a row-size mismatch on every predict. v4 = the SIMD-era
+  // layout (five-way engine one-hot: bitap-simd and prefilter-dfa columns).
+  os << "hetopt-predictor-v4 " << kFeatureCount << ' ' << (options_.normalize ? 1 : 0)
      << ' ' << (options_.log_target ? 1 : 0) << '\n';
   if (options_.normalize) {
     ml::save(os, host_norm_);
@@ -134,10 +134,16 @@ PerformancePredictor PerformancePredictor::load(std::istream& is) {
         "(no pool_count/pool_share_pct columns); retrain and re-save the "
         "predictor");
   }
+  if (magic == "hetopt-predictor-v3") {
+    throw std::runtime_error(
+        "PerformancePredictor::load: v3 file uses the pre-SIMD three-way "
+        "engine one-hot (no bitap-simd/prefilter-dfa columns); retrain and "
+        "re-save the predictor");
+  }
   std::size_t features = 0;
   int normalize = 0;
   int log_target = 0;
-  if (!(is >> features >> normalize >> log_target) || magic != "hetopt-predictor-v3") {
+  if (!(is >> features >> normalize >> log_target) || magic != "hetopt-predictor-v4") {
     throw std::runtime_error("PerformancePredictor::load: bad header");
   }
   if (features != kFeatureCount) {

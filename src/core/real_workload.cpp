@@ -77,6 +77,12 @@ namespace {
     case automata::EngineKind::kCompiledDfa: return 1.00;
     case automata::EngineKind::kAhoCorasick: return 1.08;
     case automata::EngineKind::kBitap: return 0.85;
+    // The SIMD bitap amortizes the same recurrence over vector lanes, so the
+    // model prices it cheapest of all; the prefiltered DFA only wins on
+    // sparse inputs, which the deterministic model does not see — slightly
+    // under the plain DFA, never under bitap.
+    case automata::EngineKind::kBitapSimd: return 0.70;
+    case automata::EngineKind::kPrefilterDfa: return 0.95;
   }
   return 1.0;
 }

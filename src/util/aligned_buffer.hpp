@@ -1,0 +1,128 @@
+#pragma once
+
+// 64-byte-aligned dynamic array.
+//
+// std::vector's allocator aligns to alignof(T) — for the scan kernels' hot
+// tables (CompiledDfa's fused byte table, the matcher's per-chunk scratch)
+// that means cache lines and vector loads straddle boundaries at the
+// allocator's whim. AlignedBuffer guarantees the storage starts on a cache
+// line (which is also every SSE/AVX alignment), so aligned SIMD loads are
+// always legal on its data() and the tables never split a line they don't
+// have to.
+//
+// Deliberately minimal: sized construction, assign-and-fill, grow-only
+// resize, element access. No push_back/insert — the kernels size their
+// tables once and index into them.
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace hetopt::util {
+
+template <typename T>
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+  static_assert(alignof(T) <= kAlignment, "element over-aligned past a cache line");
+
+  AlignedBuffer() noexcept = default;
+  explicit AlignedBuffer(std::size_t n, const T& value = T()) { assign(n, value); }
+
+  AlignedBuffer(const AlignedBuffer& other) {
+    reallocate(other.size_);
+    std::uninitialized_copy_n(other.data(), other.size_, data_);
+    size_ = other.size_;
+  }
+  AlignedBuffer(AlignedBuffer&& other) noexcept { swap(other); }
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      AlignedBuffer copy(other);
+      swap(copy);
+    }
+    return *this;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      swap(other);
+    }
+    return *this;
+  }
+  ~AlignedBuffer() { destroy(); }
+
+  /// Discards the contents and refills with `n` copies of `value` —
+  /// the vector::assign shape the table builders use.
+  void assign(std::size_t n, const T& value) {
+    destroy();
+    reallocate(n);
+    std::uninitialized_fill_n(data_, n, value);
+    size_ = n;
+  }
+
+  /// Grows to `n` elements, preserving the existing prefix (shrink requests
+  /// keep the buffer as-is: the scratch user sizes for the largest run and
+  /// reuses element capacity across runs). New elements are value-built.
+  void resize(std::size_t n) {
+    if (n <= size_) return;
+    if (n <= capacity_) {
+      for (; size_ < n; ++size_) ::new (static_cast<void*>(data_ + size_)) T();
+      return;
+    }
+    AlignedBuffer grown;
+    grown.reallocate(n);
+    std::uninitialized_move_n(data_, size_, grown.data_);
+    grown.size_ = size_;
+    for (; grown.size_ < n; ++grown.size_) {
+      ::new (static_cast<void*>(grown.data_ + grown.size_)) T();
+    }
+    destroy();
+    swap(grown);
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(capacity_, other.capacity_);
+  }
+
+  friend bool operator==(const AlignedBuffer& a, const AlignedBuffer& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  void reallocate(std::size_t n) {
+    data_ = n == 0 ? nullptr
+                   : static_cast<T*>(::operator new(n * sizeof(T),
+                                                    std::align_val_t{kAlignment}));
+    capacity_ = n;
+  }
+  void destroy() noexcept {
+    std::destroy_n(data_, size_);
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{kAlignment});
+    }
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace hetopt::util

@@ -1,0 +1,72 @@
+#pragma once
+
+// Runtime CPU capability probe for the SIMD engine tier.
+//
+// One binary carries every compiled vector kernel (scalar always, SSE2/AVX2
+// when the toolchain can build them); the dispatch layer in
+// src/automata/simd/ picks the widest variant the *running* CPU supports.
+// `HETOPT_FORCE_ISA` overrides the pick so every code path is testable on any
+// host: forcing a level the machine cannot run is a hard error, never a
+// silent fallback (a bench labeled "avx2" must actually have run AVX2).
+//
+// On non-x86 targets every feature probe reports false and only the scalar
+// level is available; the API shape is identical.
+
+#include <optional>
+#include <string>
+
+namespace hetopt::util {
+
+/// The ISA tiers the dispatch layer distinguishes, narrowest first. The
+/// numeric order is meaningful: dispatch picks the largest supported value.
+enum class IsaLevel : int {
+  kScalar = 0,  ///< portable C++, bit-identical reference for every kernel
+  kSse2 = 1,    ///< 128-bit vectors (x86-64 baseline)
+  kAvx2 = 2,    ///< 256-bit vectors
+};
+
+inline constexpr int kIsaLevelCount = 3;
+
+[[nodiscard]] constexpr const char* to_string(IsaLevel level) noexcept {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kSse2:
+      return "sse2";
+    case IsaLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+/// Parses "scalar" / "sse2" / "avx2"; nullopt on anything else.
+[[nodiscard]] std::optional<IsaLevel> isa_from_string(const std::string& name) noexcept;
+
+/// What the running CPU can execute (independent of what was compiled).
+struct CpuFeatures {
+  bool sse2 = false;
+  bool ssse3 = false;
+  bool avx = false;
+  bool avx2 = false;
+  /// Brand string from CPUID leaves 0x80000002-4 ("unknown" off x86 or when
+  /// the leaves are unavailable), trimmed of padding.
+  std::string model_name = "unknown";
+};
+
+/// The cached CPUID probe of the running machine. The probe runs once; the
+/// result never changes for the life of the process.
+[[nodiscard]] const CpuFeatures& cpu_features();
+
+/// The widest IsaLevel the running CPU supports.
+[[nodiscard]] IsaLevel detected_isa();
+
+/// The `HETOPT_FORCE_ISA` override, re-read on every call so tests can set
+/// and clear it around engine construction. Returns nullopt when the
+/// variable is unset or empty; throws std::runtime_error on an
+/// unrecognized value (a typo must not silently run the wrong kernel).
+[[nodiscard]] std::optional<IsaLevel> forced_isa();
+
+/// True when `level` can execute on the running CPU (scalar always can).
+[[nodiscard]] bool cpu_supports(IsaLevel level);
+
+}  // namespace hetopt::util

@@ -75,24 +75,42 @@ TEST(MatchEngine, LowerBuildsTheRightBackends) {
   EXPECT_EQ(lower(EngineKind::kAhoCorasick, literal)->kind(), EngineKind::kAhoCorasick);
   EXPECT_EQ(lower(EngineKind::kBitap, literal)->kind(), EngineKind::kBitap);
   EXPECT_EQ(lower(EngineKind::kBitap, literal)->name(), "bitap");
+  EXPECT_EQ(lower(EngineKind::kBitapSimd, literal)->kind(), EngineKind::kBitapSimd);
+  EXPECT_EQ(lower(EngineKind::kBitapSimd, literal)->name(), "bitap-simd");
+  EXPECT_EQ(lower(EngineKind::kPrefilterDfa, literal)->kind(),
+            EngineKind::kPrefilterDfa);
+  EXPECT_EQ(lower(EngineKind::kPrefilterDfa, literal)->name(), "prefilter-dfa");
 
   // IUPAC classes: no Aho–Corasick (it needs literal ACGT).
   const std::vector<std::string> iupac{"TATAWAW"};
   EXPECT_EQ(try_lower(EngineKind::kAhoCorasick, iupac), nullptr);
   EXPECT_NE(try_lower(EngineKind::kBitap, iupac), nullptr);
+  EXPECT_NE(try_lower(EngineKind::kBitapSimd, iupac), nullptr);
+  EXPECT_NE(try_lower(EngineKind::kPrefilterDfa, iupac), nullptr);
   EXPECT_FALSE(engine_gap(EngineKind::kAhoCorasick, iupac).empty());
 
-  // Regex operators: compiled DFA only.
+  // Regex operators: compiled DFA only ('*'/'+' also defeat the prefilter's
+  // bounded warm-up).
   const std::vector<std::string> regex{"GC(N)*GC"};
   EXPECT_NE(try_lower(EngineKind::kCompiledDfa, regex), nullptr);
   EXPECT_EQ(try_lower(EngineKind::kAhoCorasick, regex), nullptr);
   EXPECT_EQ(try_lower(EngineKind::kBitap, regex), nullptr);
+  EXPECT_EQ(try_lower(EngineKind::kBitapSimd, regex), nullptr);
+  std::string prefilter_why;
+  EXPECT_EQ(try_lower(EngineKind::kPrefilterDfa, regex, &prefilter_why), nullptr);
+  EXPECT_NE(prefilter_why.find("unbounded"), std::string::npos);
+  // The optional operator '?' keeps the bound finite: prefilter stays in.
+  const std::vector<std::string> optional{"GAT?TACA"};
+  EXPECT_NE(try_lower(EngineKind::kPrefilterDfa, optional), nullptr);
 
-  // > 64 summed bits: no bitap, and the gap says why.
+  // > 64 summed bits: no bitap (scalar or SIMD), and the gap says why.
   const std::vector<std::string> wide{std::string(40, 'A'), std::string(30, 'C')};
   std::string why;
   EXPECT_EQ(try_lower(EngineKind::kBitap, wide, &why), nullptr);
   EXPECT_NE(why.find("64"), std::string::npos);
+  std::string simd_why;
+  EXPECT_EQ(try_lower(EngineKind::kBitapSimd, wide, &simd_why), nullptr);
+  EXPECT_EQ(simd_why, why);  // same matcher, same applicability, same message
   EXPECT_THROW((void)lower(EngineKind::kBitap, wide), std::invalid_argument);
 }
 
@@ -107,7 +125,7 @@ TEST(MatchEngine, CountParityOnRandomLiteralSets) {
     const std::uint64_t expected = oracle_count(motifs, text);
 
     const auto engines = applicable_engines(motifs);
-    ASSERT_EQ(engines.size(), 3u);  // literal sets qualify for every engine
+    ASSERT_EQ(engines.size(), 5u);  // literal sets qualify for every engine
     for (const auto& engine : engines) {
       EXPECT_EQ(engine->count(text), expected)
           << engine->name() << " round " << round;

@@ -187,9 +187,13 @@ TEST(PredictorUsage, SaveLoadErrors) {
   // A v2 file whose recorded width disagrees with this build's layout too.
   std::stringstream narrow("hetopt-predictor-v2 8 1 1");
   EXPECT_THROW((void)PerformancePredictor::load(narrow), std::runtime_error);
-  // A v3 header with a stale feature width (pre-fleet 12 columns) is
+  // A v3 file uses the pre-SIMD three-way engine one-hot; rejected at load
+  // time with the retrain message.
+  std::stringstream v3("hetopt-predictor-v3 14 1 1");
+  EXPECT_THROW((void)PerformancePredictor::load(v3), std::runtime_error);
+  // A v4 header with a stale feature width (the pre-SIMD 14 columns) is
   // rejected with the retrain message, not a predict-time row mismatch.
-  std::stringstream stale("hetopt-predictor-v3 12 1 1");
+  std::stringstream stale("hetopt-predictor-v4 14 1 1");
   EXPECT_THROW((void)PerformancePredictor::load(stale), std::runtime_error);
 }
 

@@ -127,21 +127,24 @@ TEST(RealWorkloadEvaluatorTest, CachesMaterializedWorkloads) {
 
 TEST(RealWorkloadTest, BuildsEveryApplicableEngine) {
   const dna::GenomeCatalog catalog;
-  // The default motifs (TATAWAW has IUPAC W): compiled DFA + bitap, no AC.
+  // The default motifs (TATAWAW has IUPAC W): every engine but AC (IUPAC
+  // classes are fine for bitap, its SIMD twin, and the prefiltered DFA).
   const RealWorkload iupac(catalog, cat(), tiny_options(false));
   EXPECT_EQ(iupac.engines(),
-            (std::vector<automata::EngineKind>{automata::EngineKind::kCompiledDfa,
-                                               automata::EngineKind::kBitap}));
+            (std::vector<automata::EngineKind>{
+                automata::EngineKind::kCompiledDfa, automata::EngineKind::kBitap,
+                automata::EngineKind::kBitapSimd,
+                automata::EngineKind::kPrefilterDfa}));
   EXPECT_EQ(iupac.find_engine(automata::EngineKind::kAhoCorasick), nullptr);
   EXPECT_FALSE(iupac.engine_gap(automata::EngineKind::kAhoCorasick).empty());
   EXPECT_THROW((void)iupac.engine(automata::EngineKind::kAhoCorasick),
                std::invalid_argument);
 
-  // Literal motifs qualify for all three engines.
+  // Literal motifs qualify for every engine.
   RealWorkloadOptions literal = tiny_options(false);
   literal.motifs = {"GATTACA", "GGGCGG"};
   const RealWorkload all(catalog, cat(), literal);
-  EXPECT_EQ(all.engines().size(), 3u);
+  EXPECT_EQ(all.engines().size(), 5u);
   for (const automata::EngineKind kind : automata::kAllEngineKinds) {
     ASSERT_NE(all.find_engine(kind), nullptr);
     EXPECT_EQ(all.find_engine(kind)->count(all.text()), all.sequential_matches())
@@ -157,10 +160,15 @@ TEST(RealWorkloadTest, SkipsBitapCleanlyBeyond64Bits) {
   wide.motifs = {std::string(40, 'A') + "CGT", std::string(30, 'C') + "GTA"};
   const RealWorkload rw(catalog, cat(), wide);
   EXPECT_EQ(rw.engines(),
-            (std::vector<automata::EngineKind>{automata::EngineKind::kCompiledDfa,
-                                               automata::EngineKind::kAhoCorasick}));
+            (std::vector<automata::EngineKind>{
+                automata::EngineKind::kCompiledDfa, automata::EngineKind::kAhoCorasick,
+                automata::EngineKind::kPrefilterDfa}));
   EXPECT_EQ(rw.find_engine(automata::EngineKind::kBitap), nullptr);
   EXPECT_NE(rw.engine_gap(automata::EngineKind::kBitap).find("64"), std::string::npos);
+  // The SIMD bitap shares the scalar matcher's 64-bit budget exactly.
+  EXPECT_EQ(rw.find_engine(automata::EngineKind::kBitapSimd), nullptr);
+  EXPECT_NE(rw.engine_gap(automata::EngineKind::kBitapSimd).find("64"),
+            std::string::npos);
   // Both surviving engines agree with the oracle.
   for (const automata::EngineKind kind : rw.engines()) {
     EXPECT_EQ(rw.engine(kind).count(rw.text()), rw.sequential_matches());
@@ -198,20 +206,29 @@ TEST(RealWorkloadEvaluatorTest, DeterministicModelDifferentiatesEngines) {
   const double bitap_s = real_workload_model_seconds(c, mb, mb);
   c.engine = automata::EngineKind::kAhoCorasick;
   const double ac_s = real_workload_model_seconds(c, mb, mb);
+  c.engine = automata::EngineKind::kBitapSimd;
+  const double simd_s = real_workload_model_seconds(c, mb, mb);
+  c.engine = automata::EngineKind::kPrefilterDfa;
+  const double prefilter_s = real_workload_model_seconds(c, mb, mb);
   EXPECT_LT(bitap_s, dfa_s);
   EXPECT_GT(ac_s, dfa_s);
+  // The SIMD tier: vectorized bitap under the scalar one, the prefiltered
+  // DFA between bitap and the plain DFA.
+  EXPECT_LT(simd_s, bitap_s);
+  EXPECT_LT(prefilter_s, dfa_s);
+  EXPECT_GT(prefilter_s, bitap_s);
 }
 
 TEST(RealWorkloadEvaluatorTest, TuningWithTheEngineAxisPicksTheModelWinner) {
-  // Deterministic timing makes the engine landscape a pure function: bitap's
-  // model factor is the cheapest, so an exhaustive search over an
-  // engine-enabled space must select it.
+  // Deterministic timing makes the engine landscape a pure function: the
+  // SIMD bitap's model factor is the cheapest, so an exhaustive search over
+  // an engine-enabled space must select it.
   const dna::GenomeCatalog catalog;
   const auto evaluator =
       std::make_shared<RealWorkloadEvaluator>(catalog, tiny_options(true));
   const opt::ConfigSpace space =
       opt::ConfigSpace::real(2).with_engines(evaluator->real(cat()).engines());
-  EXPECT_EQ(space.engines().size(), 2u);
+  EXPECT_EQ(space.engines().size(), 4u);
 
   TuningSession session(space);
   session.with_strategy("exhaustive")
@@ -219,7 +236,7 @@ TEST(RealWorkloadEvaluatorTest, TuningWithTheEngineAxisPicksTheModelWinner) {
       .with_budget(space.size())
       .with_seed(7);
   const SessionReport report = session.run(cat());
-  EXPECT_EQ(report.config.engine, automata::EngineKind::kBitap);
+  EXPECT_EQ(report.config.engine, automata::EngineKind::kBitapSimd);
   EXPECT_TRUE(space.contains(report.config));
 }
 

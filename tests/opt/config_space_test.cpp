@@ -423,6 +423,55 @@ TEST(ConfigSpaceTest, SingleValueDeviceAxisDrawsThePreFleetRngStream) {
   }
 }
 
+TEST(ConfigSpaceTest, EngineAxisStreamDependsOnLengthNotMembers) {
+  // The documented RNG-stream contract for the SIMD era: neighbor() draws
+  // depend only on each axis's *length*, never on which engines populate it.
+  // Swapping the three pre-SIMD kinds for three SIMD-era kinds must consume
+  // the RNG identically and make the same moves (by flat index), so seeded
+  // presets stay bit-identical as long as the axis length is unchanged.
+  const ConfigSpace pre = ConfigSpace::tiny().with_engines(
+      {automata::EngineKind::kCompiledDfa, automata::EngineKind::kAhoCorasick,
+       automata::EngineKind::kBitap});
+  const ConfigSpace post = ConfigSpace::tiny().with_engines(
+      {automata::EngineKind::kCompiledDfa, automata::EngineKind::kBitapSimd,
+       automata::EngineKind::kPrefilterDfa});
+  ASSERT_EQ(pre.size(), post.size());
+  util::Xoshiro256 rng_pre(4242);
+  util::Xoshiro256 rng_post(4242);
+  SystemConfig a = pre.at(3);
+  SystemConfig b = post.at(3);
+  for (int step = 0; step < 500; ++step) {
+    a = pre.neighbor(a, rng_pre);
+    b = post.neighbor(b, rng_post);
+    ASSERT_EQ(pre.index_of(a), post.index_of(b))
+        << "streams diverged at step " << step;
+  }
+}
+
+TEST(ConfigSpaceTest, FullEngineAxisReachesEveryKindAndRoundTrips) {
+  // Widening the axis to all five kinds: the space multiplies by five,
+  // decode/index round-trips, and annealing reaches the SIMD-era kinds.
+  const ConfigSpace base = ConfigSpace::tiny();
+  const ConfigSpace wide = base.with_engines(std::vector<automata::EngineKind>(
+      automata::kAllEngineKinds.begin(), automata::kAllEngineKinds.end()));
+  EXPECT_EQ(wide.size(), automata::kEngineKindCount * base.size());
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    EXPECT_EQ(wide.index_of(wide.at(i)), i);
+  }
+  util::Xoshiro256 rng(99);
+  SystemConfig current = wide.at(0);
+  bool saw_simd = false;
+  bool saw_prefilter = false;
+  for (int step = 0; step < 600; ++step) {
+    current = wide.neighbor(current, rng);
+    EXPECT_TRUE(wide.contains(current));
+    saw_simd |= current.engine == automata::EngineKind::kBitapSimd;
+    saw_prefilter |= current.engine == automata::EngineKind::kPrefilterDfa;
+  }
+  EXPECT_TRUE(saw_simd);
+  EXPECT_TRUE(saw_prefilter);
+}
+
 TEST(ConfigTest, ToStringAppendsOnlyNonDefaultFleetSizes) {
   SystemConfig c;
   c.host_threads = 24;

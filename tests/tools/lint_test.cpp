@@ -289,6 +289,50 @@ TEST_F(LintFixture, SilentCatchAllowCommentSuppresses) {
   EXPECT_TRUE(run().empty()) << dump(run());
 }
 
+// --- raw-intrinsics ---------------------------------------------------------
+
+TEST_F(LintFixture, IntrinsicCallOutsideSimdDirFires) {
+  write("automata/bad_vector.cpp",
+        "#include <immintrin.h>\n"
+        "int hits(const char* p) { return _mm_movemask_epi8(_mm_set1_epi8(p[0])); }\n");
+  // Two intrinsic identifiers on the line; expect_one wants a single hit, so
+  // count directly.
+  std::size_t hits = 0;
+  for (const auto& d : run()) {
+    if (d.rule == "raw-intrinsics") {
+      ++hits;
+      EXPECT_EQ(d.line, 2u) << hetopt::lint::to_string(d);
+    }
+  }
+  EXPECT_EQ(hits, 2u);
+}
+
+TEST_F(LintFixture, VectorTypeOutsideSimdDirFires) {
+  write("parallel/bad_vector_type.cpp", "struct S { void* lanes; };\n__m256i g;\n");
+  expect_one(run(), "raw-intrinsics", "parallel/bad_vector_type.cpp", 2);
+}
+
+TEST_F(LintFixture, SimdDirectoryMayUseIntrinsics) {
+  write("automata/simd/simd_avx2.cpp",
+        "#include <immintrin.h>\n"
+        "__m256i load(const void* p) { return _mm256_loadu_si256((const __m256i*)p); }\n");
+  EXPECT_TRUE(run().empty()) << dump(run());
+}
+
+TEST_F(LintFixture, IntrinsicLikeProseAndSubstringsDoNotFire) {
+  write("core/ok_mentions.cpp",
+        "// _mm256_add_epi64 is only a comment, and \"_mm_set1_epi8\" a string\n"
+        "const char* label() { return \"_mm_set1_epi8\"; }\n"
+        "int summ_mm_total = 0;  // contains _mm_ but not as a prefix\n");
+  EXPECT_TRUE(run().empty()) << dump(run());
+}
+
+TEST_F(LintFixture, RawIntrinsicsAllowCommentSuppresses) {
+  write("core/justified_vector.cpp",
+        "__m128i special;  // hetopt-lint: allow(raw-intrinsics)\n");
+  EXPECT_TRUE(run().empty()) << dump(run());
+}
+
 // --- pragma-once ------------------------------------------------------------
 
 TEST_F(LintFixture, HeaderWithoutPragmaOnceFires) {

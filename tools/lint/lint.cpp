@@ -47,9 +47,11 @@ const Layer* find_layer(std::string_view name) {
 }
 
 // Scan-kernel translation units for the kernel-throw rule (basenames within
-// the automata layer).
-constexpr std::array<std::string_view, 2> kKernelFiles = {"compiled_dfa.cpp",
-                                                          "bitap.cpp"};
+// the automata layer). The SIMD kernel TUs inherit the same discipline: the
+// vector loops report invalid input through a flag, never a throw.
+constexpr std::array<std::string_view, 5> kKernelFiles = {
+    "compiled_dfa.cpp", "bitap.cpp", "simd_scalar.cpp", "simd_sse2.cpp",
+    "simd_avx2.cpp"};
 
 [[nodiscard]] bool is_ident_char(char c) noexcept {
   return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
@@ -71,6 +73,7 @@ struct Source {
   std::string_view basename;
   bool is_header = false;
   bool is_kernel_file = false;
+  bool in_simd_dir = false;     // under automata/simd/: may use raw intrinsics
 
   [[nodiscard]] std::size_t line_of(std::size_t offset) const {
     const auto it =
@@ -204,6 +207,16 @@ Source make_source(std::string_view display_path, std::string_view content) {
       source.layer == "automata" &&
       std::find(kKernelFiles.begin(), kKernelFiles.end(), source.basename) !=
           kKernelFiles.end();
+  // A *directory* component "simd" inside the automata layer (the basename
+  // itself does not count): automata/simd/** is the intrinsics enclave.
+  if (source.layer == "automata") {
+    for (std::size_t i = 0; i + 1 < components.size(); ++i) {
+      if (components[i] == "simd") {
+        source.in_simd_dir = true;
+        break;
+      }
+    }
+  }
   return source;
 }
 
@@ -421,6 +434,36 @@ void rule_kernel_throw(const Source& source, std::vector<Diagnostic>& out) {
   }
 }
 
+void rule_raw_intrinsics(const Source& source, std::vector<Diagnostic>& out) {
+  if (source.in_simd_dir) return;  // the one directory allowed raw vector code
+  static constexpr std::array<std::string_view, 6> kPrefixes = {
+      "_mm_", "_mm256_", "_mm512_", "__m128", "__m256", "__m512"};
+  const std::string_view text = source.stripped;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (!is_ident_char(text[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < text.size() && is_ident_char(text[end])) ++end;
+    const std::string_view token = text.substr(i, end - i);
+    for (const std::string_view prefix : kPrefixes) {
+      if (token.size() >= prefix.size() && token.substr(0, prefix.size()) == prefix) {
+        std::string message = "raw vector intrinsic/type '";
+        message.append(token);
+        message.append(
+            "' outside automata/simd/ — all vector code lives behind the "
+            "kernel tables in automata/simd/simd_kernels.hpp so scalar builds "
+            "stub one directory");
+        report(source, out, i, "raw-intrinsics", std::move(message));
+        break;
+      }
+    }
+    i = end;
+  }
+}
+
 void rule_silent_catch(const Source& source, std::vector<Diagnostic>& out) {
   if (source.layer != "parallel" && source.layer != "core") return;
   // A handler counts as non-silent when its body rethrows (`throw`) or calls
@@ -516,6 +559,7 @@ std::vector<Diagnostic> lint_source(std::string_view display_path,
   rule_nondeterminism(source, out);
   rule_atomic_order(source, out);
   rule_kernel_throw(source, out);
+  rule_raw_intrinsics(source, out);
   rule_silent_catch(source, out);
   rule_pragma_once(source, out);
   return out;

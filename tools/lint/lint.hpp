@@ -24,6 +24,15 @@
 //                                          bitap.cpp): invalid input is detected
 //                                          branch-free and reported once per
 //                                          chunk from the cold path.
+//   raw-intrinsics   everywhere but        no raw vector intrinsics or vector
+//                    automata/simd/        types (_mm_*/_mm256_*/_mm512_*,
+//                                          __m128*/__m256*/__m512*) outside the
+//                                          SIMD kernel directory — every other
+//                                          layer reaches vector code through
+//                                          the dispatch table in
+//                                          automata/simd/simd_kernels.hpp, so
+//                                          a scalar build only has to stub one
+//                                          directory.
 //   silent-catch     parallel/, core/      every catch body must rethrow or
 //                                          record the error (an identifier
 //                                          containing record/report/fail/error/

@@ -49,13 +49,47 @@ if command -v python3 >/dev/null 2>&1; then
   python3 - "${json_out}" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-if doc.get("schema") != "hetopt-bench-v5":
-    sys.exit("unexpected schema: %r (want hetopt-bench-v5)" % doc.get("schema"))
+if doc.get("schema") != "hetopt-bench-v6":
+    sys.exit("unexpected schema: %r (want hetopt-bench-v6)" % doc.get("schema"))
+# provenance is required under hetopt-bench-v6: the artifact must say what
+# silicon it ran on and which ISA tier the SIMD engines actually used.
+prov = doc["provenance"]
+for k in ("cpu_model", "isa_detected", "isa_active", "forced_isa"):
+    if k not in prov:
+        sys.exit("provenance: missing %s" % k)
+if "scalar" not in prov["isa_detected"]:
+    sys.exit("provenance: isa_detected must always carry 'scalar'")
+if prov["isa_active"] not in prov["isa_detected"]:
+    sys.exit("provenance: active ISA %r not among detected %r" % (
+        prov["isa_active"], prov["isa_detected"]))
+print("provenance: %s, active ISA %s%s" % (
+    prov["cpu_model"], prov["isa_active"],
+    " (forced)" if prov["forced_isa"] else ""))
 kernel = doc.get("scan_kernel", {})
 if kernel:
     print("scan_kernel: fused %.2fx naive (guard %.1fx, %s)" % (
         kernel["speedup_fused_vs_naive"], kernel["guard_min_speedup"],
         "ok" if kernel["guard_ok"] else "FAILED"))
+# simd_matrix is required under hetopt-bench-v6: every row must keep match
+# parity (bench_main already gates on it; re-check the artifact), and the
+# AVX2 throughput expectation is summarized as a warning.
+simd = doc["simd_matrix"]
+if not simd["rows"]:
+    sys.exit("simd_matrix: no rows")
+for row in simd["rows"]:
+    for k in ("family", "isa", "engine", "mb_s", "matches", "match_parity",
+              "speedup_vs_scalar_engine"):
+        if k not in row:
+            sys.exit("simd_matrix: missing %s" % k)
+    if not row["match_parity"]:
+        sys.exit("simd_matrix: parity lost at %s/%s" % (row["family"], row["isa"]))
+if not simd["parity_ok"]:
+    sys.exit("simd_matrix: parity_ok is false")
+rates = ", ".join("%s/%s %.0f MB/s (%.2fx)" % (
+    r["family"], r["isa"], r["mb_s"], r["speedup_vs_scalar_engine"])
+    for r in simd["rows"] if r["isa"] != "baseline")
+warn = "" if simd["avx2_ge_2x_scalar"] else " | WARNING: avx2 below 2x scalar bitap"
+print("simd_matrix: %s%s" % (rates, warn))
 for entry in doc.get("engine_matrix", []):
     best = {}
     for row in entry.get("throughput", []):
