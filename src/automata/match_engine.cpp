@@ -107,7 +107,8 @@ std::string engine_gap(EngineKind kind, const std::vector<std::string>& motifs) 
 
 std::unique_ptr<const MatchEngine> try_lower(EngineKind kind,
                                              const std::vector<std::string>& motifs,
-                                             std::string* why) {
+                                             std::string* why,
+                                             std::string_view density_sample) {
   std::string gap = engine_gap(kind, motifs);
   if (!gap.empty()) {
     if (why != nullptr) *why = std::move(gap);
@@ -126,15 +127,16 @@ std::unique_ptr<const MatchEngine> try_lower(EngineKind kind,
     case EngineKind::kBitapSimd:
       return std::make_unique<BitapSimdEngine>(motifs);
     case EngineKind::kPrefilterDfa:
-      return std::make_unique<PrefilterDfaEngine>(motifs);
+      return std::make_unique<PrefilterDfaEngine>(motifs, std::nullopt, density_sample);
   }
   return nullptr;
 }
 
 std::unique_ptr<const MatchEngine> lower(EngineKind kind,
-                                         const std::vector<std::string>& motifs) {
+                                         const std::vector<std::string>& motifs,
+                                         std::string_view density_sample) {
   std::string why;
-  auto engine = try_lower(kind, motifs, &why);
+  auto engine = try_lower(kind, motifs, &why, density_sample);
   if (engine == nullptr) {
     throw std::invalid_argument("lower: engine '" + std::string(to_string(kind)) +
                                 "' cannot execute the motif set: " + why);

@@ -150,12 +150,19 @@ class BitapEngine final : public MatchEngine {
 
 /// Builds the engine of `kind` for `motifs`, or returns nullptr with the gap
 /// reason in *why (when given) if the kind does not support the set.
+/// `density_sample` — a representative slice of the corpus the engine will
+/// scan (callers typically pass the first page) — feeds engines that tune
+/// themselves to the input at lowering time; today only the prefiltered DFA
+/// uses it (the density-aware skip cutoff). An empty sample keeps every
+/// engine's static behavior.
 [[nodiscard]] std::unique_ptr<const MatchEngine> try_lower(
-    EngineKind kind, const std::vector<std::string>& motifs, std::string* why = nullptr);
+    EngineKind kind, const std::vector<std::string>& motifs, std::string* why = nullptr,
+    std::string_view density_sample = {});
 
 /// Builds the engine of `kind` for `motifs`; throws std::invalid_argument
 /// with the gap reason when the kind does not support the set.
-[[nodiscard]] std::unique_ptr<const MatchEngine> lower(EngineKind kind,
-                                                       const std::vector<std::string>& motifs);
+[[nodiscard]] std::unique_ptr<const MatchEngine> lower(
+    EngineKind kind, const std::vector<std::string>& motifs,
+    std::string_view density_sample = {});
 
 }  // namespace hetopt::automata

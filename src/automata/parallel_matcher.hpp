@@ -42,6 +42,8 @@
 #include "automata/dense_dfa.hpp"
 #include "automata/match_engine.hpp"
 #include "automata/scanner.hpp"
+#include "dna/paged_genome.hpp"
+#include "dna/prefetch_reader.hpp"
 #include "parallel/partitioner.hpp"
 #include "parallel/schedule.hpp"
 #include "parallel/thread_pool.hpp"
@@ -88,6 +90,56 @@ struct ParallelScanStats {
   std::size_t rescanned_chunks = 0;  // speculative only (rescans summed over waves)
 };
 
+/// Options for the paged (out-of-core) scan path. Chunks are cut *within*
+/// pages (no chunk ever spans a page seam; the stored halo carries the
+/// warm-up context across seams instead), so every schedule's results stay
+/// byte-identical to an in-memory scan of the same bytes.
+struct PagedScanOptions {
+  /// kStatic pre-assigns contiguous chunk groups per worker (each worker
+  /// streams its own page range); the demand-driven schedules pull chunk
+  /// tickets in ascending page order — the shape the prefetch ring is built
+  /// for, and the recommended paged default. kAdaptive degenerates to
+  /// kDynamic here, as in the in-memory matcher.
+  parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kDynamic;
+  /// Chunks each page's payload is cut into; 0 = one per pool worker.
+  std::size_t chunks_per_page = 0;
+  /// Lookahead pages for the background PrefetchReader; clamped so the ring,
+  /// one in-flight load, and every worker's pin fit the resident budget
+  /// together (progress is never deadlocked on backpressure). 0 = no
+  /// prefetch thread — every page is a cold consumer load (the baseline the
+  /// io_bound bench's depth sweep compares against).
+  std::size_t prefetch_depth = 2;
+  /// Page range [first_page, last_page) to scan; last clamps to page_count.
+  std::size_t first_page = 0;
+  std::size_t last_page = static_cast<std::size_t>(-1);
+  /// Resident-budget share this run may pin at once; 0 = the genome's whole
+  /// budget. The heterogeneous executor divides the budget across its
+  /// concurrently running pools through this knob.
+  std::size_t pin_budget = 0;
+};
+
+struct PagedScanStats {
+  std::uint64_t match_count = 0;
+  std::size_t chunks = 0;
+  std::size_t pages = 0;
+  std::size_t bytes = 0;            // payload bytes scanned
+  double seconds = 0.0;             // wall time of the paged run
+  std::size_t prefetch_depth = 0;   // effective depth after budget clamping
+  /// Genome-wide cache-stat delta over the run window (equals this run's
+  /// activity when it is the only scanner of the genome).
+  dna::CacheStats cache;
+  dna::PrefetchStats prefetch;
+
+  /// Fraction of page-load time hidden from the consumers: 1 minus
+  /// cold-stall time over load time, clamped to [0, 1] (1 when nothing was
+  /// loaded). The io_bound bench's overlap metric.
+  [[nodiscard]] double overlap_efficiency() const noexcept {
+    if (cache.load_seconds <= 0.0) return 1.0;
+    const double ratio = cache.cold_stall_seconds / cache.load_seconds;
+    return ratio >= 1.0 ? 0.0 : 1.0 - ratio;
+  }
+};
+
 class ParallelMatcher {
  public:
   /// The matcher borrows the automaton and pool; both must outlive it.
@@ -125,6 +177,22 @@ class ParallelMatcher {
                                           std::vector<Match>& out,
                                           const MatcherOptions& options) const;
 
+  /// Counts occurrences across a paged corpus, streaming pages through the
+  /// genome's bounded cache (pool workers block only on genuinely-cold
+  /// pages; a PrefetchReader loads ahead of the scan frontier when
+  /// prefetch_depth > 0). Byte-identical to count() over the same bytes.
+  /// Requires an automaton with a positive synchronization bound, a genome
+  /// halo of at least bound-1 bytes, and a resident budget that covers the
+  /// pool's workers (throws std::invalid_argument otherwise).
+  [[nodiscard]] PagedScanStats count_paged(dna::PagedGenome& genome,
+                                           const PagedScanOptions& options = {}) const;
+
+  /// Same, collecting every match event (global end offsets, sorted
+  /// ascending — byte-identical to collect() over the same bytes).
+  [[nodiscard]] PagedScanStats collect_paged(dna::PagedGenome& genome,
+                                             std::vector<Match>& out,
+                                             const PagedScanOptions& options = {}) const;
+
   /// The lowered automaton (shared with callers that scan outside the
   /// chunked path, e.g. the heterogeneous executor's boundary scans). Only
   /// valid for DFA-backed matchers — see dfa_backed().
@@ -148,6 +216,12 @@ class ParallelMatcher {
                                              parallel::SchedulePolicy schedule,
                                              bool want_matches,
                                              std::vector<Match>* out) const;
+  /// The paged-input mode (automata/paged_scan.cpp): pages pinned on
+  /// demand, chunk tickets in page order, per-chunk warm-up out of the halo.
+  [[nodiscard]] PagedScanStats run_paged(dna::PagedGenome& genome,
+                                         const PagedScanOptions& options,
+                                         bool want_matches,
+                                         std::vector<Match>* out) const;
   /// Merges the first `range_count` scratch slots' matches into *out, sorted
   /// by end offset.
   void collect_sorted(std::size_t range_count, std::vector<Match>* out) const;

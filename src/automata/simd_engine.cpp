@@ -57,10 +57,24 @@ DenseDfa build_minimized(const std::vector<std::string>& motifs) {
   return minimize(determinize(compiled.nfa, compiled.synchronization_bound));
 }
 
+/// Minimum mean quiet-run length for the skip to pay: the wider the probe,
+/// the more bytes each find_candidate call must clear to beat the plain
+/// fused scan's per-byte table step. (The scalar probe is a cheap byte loop;
+/// the vector probes carry load/compare/movemask setup per step.)
+[[nodiscard]] double density_skip_cutoff(util::IsaLevel isa) noexcept {
+  switch (isa) {
+    case util::IsaLevel::kScalar: return 2.0;
+    case util::IsaLevel::kSse2: return 4.0;
+    case util::IsaLevel::kAvx2: return 4.0;
+  }
+  return 2.0;
+}
+
 }  // namespace
 
 PrefilterDfaEngine::PrefilterDfaEngine(const std::vector<std::string>& motifs,
-                                       std::optional<util::IsaLevel> isa)
+                                       std::optional<util::IsaLevel> isa,
+                                       std::string_view density_sample)
     : dfa_(build_minimized(motifs)),
       kernel_(dfa_),
       isa_(simd::resolve_isa(isa)),
@@ -92,6 +106,32 @@ PrefilterDfaEngine::PrefilterDfaEngine(const std::vector<std::string>& motifs,
   // (motifs are non-empty), but all-optional motifs like "A?" can — those
   // degenerate to the plain fused scan.
   can_skip_ = kernel_.accept_count(start) == 0 && classes_.quiet_base_count > 0;
+
+  // Density probe: measure the mean quiet-run length on the sample and
+  // self-disable the skip below the ISA-adaptive cutoff. A sample with no
+  // quiet bytes (every byte a candidate) measures 0 and always disables;
+  // exactness never depends on the decision — only the scan strategy does.
+  if (can_skip_ && !density_sample.empty()) {
+    std::uint64_t quiet_bytes = 0;
+    std::uint64_t quiet_runs = 0;
+    bool in_run = false;
+    for (const char c : density_sample) {
+      if (classes_.quiet[static_cast<unsigned char>(c)] != 0) {
+        ++quiet_bytes;
+        if (!in_run) {
+          ++quiet_runs;
+          in_run = true;
+        }
+      } else {
+        in_run = false;
+      }
+    }
+    sampled_quiet_run_ = quiet_runs > 0 ? static_cast<double>(quiet_bytes) /
+                                              static_cast<double>(quiet_runs)
+                                        : 0.0;
+    density_cutoff_ = density_skip_cutoff(isa_);
+    if (sampled_quiet_run_ < density_cutoff_) can_skip_ = false;
+  }
 }
 
 StateId PrefilterDfaEngine::entry_state(std::string_view text, std::size_t begin) const {

@@ -83,8 +83,17 @@ class PrefilterDfaEngine final : public MatchEngine {
   /// Full motif language minus the unbounded operators '*' and '+' (the
   /// prefilter's per-chunk warm-up needs a positive synchronization bound).
   /// Throws std::invalid_argument via compile_motifs on syntax errors.
+  ///
+  /// `density_sample` (typically the corpus' first page) makes the skip
+  /// density-aware: the sample's mean quiet-run length is measured against
+  /// an ISA-adaptive cutoff and the quiet-byte skip self-disables below it
+  /// — on candidate-dense input the vector probe rarely clears its own
+  /// cost, so the plain fused scan is faster. Exactness is unaffected
+  /// either way. An empty sample keeps the static rule (skip whenever the
+  /// classes allow it), the pre-probe behavior.
   explicit PrefilterDfaEngine(const std::vector<std::string>& motifs,
-                              std::optional<util::IsaLevel> isa = std::nullopt);
+                              std::optional<util::IsaLevel> isa = std::nullopt,
+                              std::string_view density_sample = {});
 
   [[nodiscard]] EngineKind kind() const noexcept override {
     return EngineKind::kPrefilterDfa;
@@ -115,6 +124,11 @@ class PrefilterDfaEngine final : public MatchEngine {
   [[nodiscard]] std::size_t quiet_base_count() const noexcept {
     return classes_.quiet_base_count;
   }
+  /// Mean quiet-run length measured on the construction sample, and the
+  /// adaptive cutoff it was held against (both 0 when no sample was given);
+  /// bench provenance for the density-aware skip decision.
+  [[nodiscard]] double sampled_quiet_run() const noexcept { return sampled_quiet_run_; }
+  [[nodiscard]] double density_cutoff() const noexcept { return density_cutoff_; }
 
  private:
   /// Warm-up entry state for a chunk starting at `begin` — identical to
@@ -127,6 +141,8 @@ class PrefilterDfaEngine final : public MatchEngine {
   util::IsaLevel isa_;
   const simd::PrefilterKernel* prefilter_;
   bool can_skip_ = false;
+  double sampled_quiet_run_ = 0.0;
+  double density_cutoff_ = 0.0;
 };
 
 }  // namespace hetopt::automata

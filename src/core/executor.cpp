@@ -439,6 +439,88 @@ ExecutionReport HeterogeneousExecutor::run_fleet(std::string_view text,
   return run_impl(text, shares, resolve_chunk_counts(), schedule);
 }
 
+ExecutionReport HeterogeneousExecutor::run_fleet_paged(dna::PagedGenome& genome,
+                                                       const PagedFleetOptions& options) {
+  std::vector<double> shares;
+  shares.reserve(specs_.size());
+  for (const PoolSpec& spec : specs_) shares.push_back(spec.share_percent);
+  return run_fleet_paged(genome, shares, options);
+}
+
+ExecutionReport HeterogeneousExecutor::run_fleet_paged(dna::PagedGenome& genome,
+                                                       const std::vector<double>& shares,
+                                                       const PagedFleetOptions& options) {
+  validate_shares(shares, specs_.size());
+  const std::size_t n = specs_.size();
+  std::size_t total_workers = 0;
+  for (const auto& pool : pools_) total_workers += pool->thread_count();
+  const std::size_t resident = genome.options().resident_pages;
+  if (resident < total_workers) {
+    throw std::invalid_argument(
+        "HeterogeneousExecutor: resident budget (" + std::to_string(resident) +
+        " pages) must cover the fleet's " + std::to_string(total_workers) +
+        " workers for a paged run");
+  }
+
+  // Page-granular segment cuts: the same cumulative-rounding split as the
+  // static byte path, but over pages so every pool boundary is a page seam
+  // (the halo makes counts exact across it, like any other seam).
+  const auto bounds = segment_bounds(genome.page_count(), shares);
+
+  // The shared cache serves every pool at once, so the resident budget is
+  // divided up front in proportion to worker counts: each slice covers its
+  // pool's workers (floor(resident * w / W) >= w because resident >= W) and
+  // the slices sum to at most `resident`, which bounds the fleet's total
+  // pins below the budget — concurrent backpressure always has a free slot.
+  std::vector<std::size_t> budget(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    budget[i] = resident * pools_[i]->thread_count() / total_workers;
+  }
+
+  ExecutionReport report;
+  report.schedule = options.schedule == parallel::SchedulePolicy::kAdaptive
+                        ? parallel::SchedulePolicy::kDynamic
+                        : options.schedule;
+  report.pools.resize(n);
+  for (std::size_t i = 0; i < n; ++i) report.pools[i].configured_percent = shares[i];
+
+  const auto scan_pages = [&](std::size_t i) {
+    automata::PagedScanOptions popts;
+    popts.schedule = report.schedule;
+    popts.chunks_per_page = options.chunks_per_page;
+    popts.prefetch_depth = options.prefetch_depth;
+    popts.first_page = bounds[i];
+    popts.last_page = bounds[i + 1];
+    popts.pin_budget = budget[i];
+    return matchers_[i]->count_paged(genome, popts);
+  };
+
+  // Pools 1..N-1 stream their page ranges asynchronously (the "offload");
+  // pool 0 streams on the calling thread's pool. Zero-page shares are
+  // skipped entirely, as under the static in-memory schedule.
+  std::vector<std::future<automata::PagedScanStats>> futures(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    if (bounds[i + 1] > bounds[i]) {
+      futures[i] = std::async(std::launch::async, scan_pages, i);
+    }
+  }
+  if (bounds[1] > 0) {
+    const automata::PagedScanStats stats = scan_pages(0);
+    report.pools[0].matches = stats.match_count;
+    report.pools[0].bytes = stats.bytes;
+    report.pools[0].seconds = stats.seconds;
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    if (!futures[i].valid()) continue;
+    const automata::PagedScanStats stats = futures[i].get();
+    report.pools[i].matches = stats.match_count;
+    report.pools[i].bytes = stats.bytes;
+    report.pools[i].seconds = stats.seconds;
+  }
+  finalize_fleet(report);
+  return report;
+}
+
 std::vector<std::size_t> HeterogeneousExecutor::resolve_chunk_counts() const {
   std::vector<std::size_t> counts(specs_.size());
   for (std::size_t i = 0; i < specs_.size(); ++i) {

@@ -84,6 +84,21 @@ struct RecoveryOptions {
   std::size_t max_chunk_attempts = 3;
 };
 
+/// Tunables of the fleet's paged (out-of-core) scan mode. Each pool streams
+/// its contiguous page range through the shared PagedGenome cache with its
+/// own PrefetchReader; the per-pool schedule/chunking/prefetch knobs of
+/// automata::PagedScanOptions are set from these.
+struct PagedFleetOptions {
+  /// Distribution *within* each pool's page range (the range itself is cut
+  /// by the shares, statically). kAdaptive degenerates to kDynamic on the
+  /// paged path; the report records the effective schedule.
+  parallel::SchedulePolicy schedule = parallel::SchedulePolicy::kDynamic;
+  /// Per-pool prefetch lookahead, clamped inside each pool's budget slice.
+  std::size_t prefetch_depth = 2;
+  /// Chunks each page is cut into per pool; 0 = one per pool worker.
+  std::size_t chunks_per_page = 0;
+};
+
 /// Per-pool slice of an ExecutionReport.
 struct PoolReport {
   std::uint64_t matches = 0;
@@ -228,6 +243,26 @@ class HeterogeneousExecutor {
   [[nodiscard]] ExecutionReport run_fleet(std::string_view text,
                                           const std::vector<double>& shares,
                                           parallel::SchedulePolicy schedule);
+
+  /// Scans a paged (out-of-core) corpus across the whole fleet: the page
+  /// range is divided by the constructed share_percent of every pool (cuts
+  /// land on page seams; the stored halos keep counts exact across them),
+  /// every pool runs the streaming scan path concurrently, and the genome's
+  /// resident budget is divided across the pools in proportion to their
+  /// worker counts so concurrent backpressure can never deadlock. Requires
+  /// an engine with a positive synchronization bound, a genome halo of at
+  /// least bound-1 bytes, and a resident budget covering the fleet's total
+  /// workers (throws std::invalid_argument otherwise). Counts are
+  /// byte-identical to run_fleet over the same bytes (property-tested).
+  [[nodiscard]] ExecutionReport run_fleet_paged(dna::PagedGenome& genome,
+                                                const PagedFleetOptions& options = {});
+
+  /// Same, with per-run shares overriding the constructed ones (one entry
+  /// per pool, each in [0, 100], summing to 100; zero-page pools are skipped
+  /// entirely, as under the static in-memory schedule).
+  [[nodiscard]] ExecutionReport run_fleet_paged(dna::PagedGenome& genome,
+                                                const std::vector<double>& shares,
+                                                const PagedFleetOptions& options = {});
 
   /// run_fleet that additionally collects every match event into `out`
   /// (global end offsets, ascending — byte-identical to a sequential

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <optional>
 #include <stdexcept>
@@ -16,6 +18,7 @@
 #include "sim/multi.hpp"
 #include "util/backoff.hpp"
 #include "util/fault.hpp"
+#include "util/rng.hpp"
 
 namespace hetopt::core {
 
@@ -168,14 +171,6 @@ RealWorkload::RealWorkload(const dna::GenomeCatalog& catalog, const Workload& lo
   if (options.motifs.empty()) {
     throw std::invalid_argument("RealWorkload: no motifs to search for");
   }
-  // Build every engine the motif set qualifies for; record why the others
-  // are skipped. The compiled-DFA engine handles the full motif language and
-  // is therefore always present (compile errors propagate from here).
-  for (const automata::EngineKind kind : automata::kAllEngineKinds) {
-    const auto i = static_cast<std::size_t>(kind);
-    engines_[i] = automata::try_lower(kind, options.motifs, &engine_gaps_[i]);
-  }
-
   const std::size_t bytes = scaled_bytes(logical, options);
   // Plant a handful of findable copies per motif so tuning runs always have
   // non-trivial match counts to cross-check.
@@ -186,11 +181,69 @@ RealWorkload::RealWorkload(const dna::GenomeCatalog& catalog, const Workload& lo
     planted.push_back({std::move(concrete), std::max<std::size_t>(8, bytes / 65536)});
   }
   sequence_ = catalog.materialize(logical.name, bytes, planted);
+
+  // Build every engine the motif set qualifies for; record why the others
+  // are skipped. The compiled-DFA engine handles the full motif language and
+  // is therefore always present (compile errors propagate from here). The
+  // materialized genome's first page is the density sample input-adaptive
+  // engines (the prefiltered DFA's skip cutoff) probe at lowering time.
+  const std::string_view sample =
+      sequence_.view().substr(0, std::min(options.paged.page_bytes, sequence_.size()));
+  for (const automata::EngineKind kind : automata::kAllEngineKinds) {
+    const auto i = static_cast<std::size_t>(kind);
+    engines_[i] = automata::try_lower(kind, options.motifs, &engine_gaps_[i], sample);
+  }
   // The oracle every parallel/kernel run is checked against must stay
   // independent of the kernels under test: use the naive reference loop.
   // One slow scan per materialized workload (cached) is cheap.
   sequential_matches_ =
       automata::scan_count_naive(dfa(), sequence_.view(), dfa().start()).match_count;
+
+  if (options.out_of_core) {
+    // Materialize-to-disk fixture: the same bytes written raw to a temp
+    // file and re-served through the bounded page cache, so out-of-core
+    // measurements are checked against the in-memory oracle above. The path
+    // is keyed by workload identity plus this object's address — unique per
+    // live fixture without reaching for banned entropy sources.
+    const std::uint64_t tag = util::hash_combine(
+        util::hash_combine(util::hash_string(logical.name), sequence_.size()),
+        reinterpret_cast<std::uintptr_t>(this));
+    const std::filesystem::path path =
+        std::filesystem::temp_directory_path() /
+        ("hetopt_ooc_" + std::to_string(tag) + ".raw");
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        throw std::runtime_error("RealWorkload: cannot create out-of-core fixture at " +
+                                 path.string());
+      }
+      const std::string_view view = sequence_.view();
+      out.write(view.data(), static_cast<std::streamsize>(view.size()));
+      if (!out) {
+        throw std::runtime_error("RealWorkload: short write to out-of-core fixture " +
+                                 path.string());
+      }
+    }
+    paged_path_ = path.string();
+    paged_ = std::make_unique<dna::PagedGenome>(
+        std::make_unique<dna::FilePageSource>(paged_path_), options.paged);
+  }
+}
+
+RealWorkload::~RealWorkload() {
+  if (!paged_path_.empty()) {
+    paged_.reset();  // drop the open file handle before removing the fixture
+    std::error_code ec;
+    std::filesystem::remove(paged_path_, ec);  // best-effort temp cleanup
+  }
+}
+
+dna::PagedGenome& RealWorkload::paged_genome() const {
+  if (paged_ == nullptr) {
+    throw std::logic_error(
+        "RealWorkload: paged_genome() requires RealWorkloadOptions::out_of_core");
+  }
+  return *paged_;
 }
 
 const automata::MatchEngine& RealWorkload::engine(automata::EngineKind kind) const {
@@ -320,7 +373,17 @@ RealMeasurement RealWorkloadEvaluator::measure(const opt::SystemConfig& config,
       if (injector != nullptr && injector->measure_fails()) {
         throw util::FaultInjectedError("injected measure-fail");
       }
-      ExecutionReport report = executor.run_fleet(rw->text(), config.schedule);
+      // Out-of-core mode streams the on-disk fixture through the paged
+      // fleet path; the default scans the in-memory copy, as always.
+      ExecutionReport report;
+      if (options_.out_of_core) {
+        PagedFleetOptions po;
+        po.schedule = config.schedule;
+        po.prefetch_depth = options_.paged_prefetch_depth;
+        report = executor.run_fleet_paged(rw->paged_genome(), shares, po);
+      } else {
+        report = executor.run_fleet(rw->text(), config.schedule);
+      }
       double seconds = report.total_seconds;
       if (injector != nullptr) {
         seconds *= injector->measure_noise(samples.size());

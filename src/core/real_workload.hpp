@@ -37,6 +37,7 @@
 #include "core/evaluator.hpp"
 #include "core/workload.hpp"
 #include "dna/catalog.hpp"
+#include "dna/paged_genome.hpp"
 #include "dna/sequence.hpp"
 #include "opt/config.hpp"
 #include "util/annotations.hpp"
@@ -66,6 +67,21 @@ struct RealWorkloadOptions {
   /// may spend on failed runs before giving up and returning a marked-invalid
   /// (infinite-seconds) measurement. Retries back off with seeded jitter.
   std::size_t measure_retry_budget = 2;
+  /// Opt-in out-of-core mode: the materialized genome is additionally
+  /// written to a temporary raw file and every measurement streams it
+  /// through a bounded page cache (dna::PagedGenome + the executor's paged
+  /// fleet mode) instead of scanning the in-memory copy. Match counts stay
+  /// checked against the same in-memory sequential oracle. The `paged`
+  /// resident budget must cover the largest fleet a measured configuration
+  /// builds (total workers across pools) or measure() attempts fail. The
+  /// default (false) leaves every path byte-identical to before.
+  bool out_of_core = false;
+  /// Page geometry/budget of the out-of-core cache. The halo default (63)
+  /// covers any motif shorter than 64 bases; longer motif sets need a
+  /// larger halo (>= synchronization bound - 1).
+  dna::PagedGenomeOptions paged{};
+  /// Prefetch lookahead per pool for out-of-core measurements.
+  std::size_t paged_prefetch_depth = 2;
 };
 
 /// A logical workload made physical: the scaled synthetic genome plus every
@@ -78,6 +94,12 @@ class RealWorkload {
  public:
   RealWorkload(const dna::GenomeCatalog& catalog, const Workload& logical,
                const RealWorkloadOptions& options);
+
+  // The out-of-core fixture owns a temp file; neither it nor the engines
+  // are copyable.
+  RealWorkload(const RealWorkload&) = delete;
+  RealWorkload& operator=(const RealWorkload&) = delete;
+  ~RealWorkload();
 
   [[nodiscard]] const Workload& logical() const noexcept { return logical_; }
   [[nodiscard]] std::string_view text() const noexcept { return sequence_.view(); }
@@ -98,6 +120,19 @@ class RealWorkload {
   [[nodiscard]] std::uint64_t sequential_matches() const noexcept {
     return sequential_matches_;
   }
+
+  // --- Out-of-core fixture ---------------------------------------------------
+  /// True when this workload was materialized with
+  /// RealWorkloadOptions::out_of_core: the genome also lives in a temp raw
+  /// file behind a bounded page cache, and measurements stream it.
+  [[nodiscard]] bool out_of_core() const noexcept { return paged_ != nullptr; }
+  /// The paged view of the materialized genome (same bytes as text(), served
+  /// from disk through the bounded cache — the parity tests check both the
+  /// content and the match counts against the in-memory copy). Thread-safe
+  /// like any PagedGenome; throws std::logic_error when not out-of-core.
+  [[nodiscard]] dna::PagedGenome& paged_genome() const;
+  /// Path of the on-disk raw fixture ("" when not out-of-core).
+  [[nodiscard]] const std::string& paged_path() const noexcept { return paged_path_; }
 
   // --- Engine selection ------------------------------------------------------
   /// The engine of `kind`, or nullptr when the motif set does not qualify.
@@ -124,6 +159,10 @@ class RealWorkload {
   std::array<std::string, automata::kEngineKindCount> engine_gaps_;
   dna::Sequence sequence_;
   std::uint64_t sequential_matches_ = 0;
+  // Out-of-core fixture: the on-disk raw copy of sequence_ plus its paged
+  // view (null when the mode is off). The file is removed in the dtor.
+  std::string paged_path_;
+  std::unique_ptr<dna::PagedGenome> paged_;
 };
 
 /// Everything one timed run of a configuration produced.

@@ -69,4 +69,59 @@ std::vector<Sequence> read_fasta(std::istream& is, AmbiguityPolicy policy) {
   return out;
 }
 
+void FastaStreamDecoder::feed(std::string_view block, std::string& out) {
+  for (const char c : block) {
+    if (c == '\n') {
+      in_header_ = false;
+      at_line_start_ = true;
+      continue;
+    }
+    if (c == '\r') continue;  // CRLF line breaks: the '\n' resets state
+    if (at_line_start_ && c == '>') {
+      in_header_ = true;
+      ++records_;
+      at_line_start_ = false;
+      continue;
+    }
+    at_line_start_ = false;
+    if (in_header_) continue;
+    const char upper = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (base_from_char(upper)) {
+      out.push_back(upper);
+      continue;
+    }
+    switch (policy_) {
+      case AmbiguityPolicy::kReject:
+        throw std::invalid_argument("FastaStreamDecoder: non-ACGT base '" +
+                                    std::string(1, c) + "'");
+      case AmbiguityPolicy::kSkip:
+        break;
+      case AmbiguityPolicy::kRandomize:
+        out.push_back(kBaseChars[rng_.bounded(kAlphabetSize)]);
+        break;
+    }
+  }
+}
+
+std::size_t materialize_fasta_to_raw(std::istream& in, std::ostream& out,
+                                     AmbiguityPolicy policy, std::size_t block_bytes) {
+  if (block_bytes == 0) {
+    throw std::invalid_argument("materialize_fasta_to_raw: block_bytes == 0");
+  }
+  FastaStreamDecoder decoder(policy);
+  std::string block(block_bytes, '\0');
+  std::string decoded;
+  std::size_t written = 0;
+  while (in) {
+    in.read(block.data(), static_cast<std::streamsize>(block.size()));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) break;
+    decoded.clear();
+    decoder.feed(std::string_view(block.data(), got), decoded);
+    out.write(decoded.data(), static_cast<std::streamsize>(decoded.size()));
+    written += decoded.size();
+  }
+  return written;
+}
+
 }  // namespace hetopt::dna

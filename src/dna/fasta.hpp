@@ -1,12 +1,15 @@
 // Minimal FASTA reader/writer so example applications can exchange
-// sequences with standard bioinformatics tooling.
+// sequences with standard bioinformatics tooling, plus a streaming decoder
+// for block-wise ingestion (the out-of-core materialization path).
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dna/sequence.hpp"
+#include "util/rng.hpp"
 
 namespace hetopt::dna {
 
@@ -24,5 +27,41 @@ enum class AmbiguityPolicy {
 
 [[nodiscard]] std::vector<Sequence> read_fasta(std::istream& is,
                                                AmbiguityPolicy policy = AmbiguityPolicy::kSkip);
+
+/// Streaming FASTA decoder for block-wise ingestion: feed() arbitrary byte
+/// blocks and the decoded bases (concatenated across records, uppercased,
+/// ambiguity handled per policy) accumulate into the caller's sink. All
+/// parser state — inside-a-header, at-line-start, the randomizer stream —
+/// carries across feeds, so headers and newlines straddling block
+/// boundaries decode exactly as they would in one contiguous read: the
+/// decoded output is byte-identical for every blocking of the same input
+/// (property-tested). This is what lets the paged materializer cut FASTA
+/// files at arbitrary page boundaries.
+class FastaStreamDecoder {
+ public:
+  explicit FastaStreamDecoder(AmbiguityPolicy policy = AmbiguityPolicy::kSkip)
+      : policy_(policy) {}
+
+  /// Decodes `block`, appending bases to `out`. Throws std::invalid_argument
+  /// under AmbiguityPolicy::kReject on a non-ACGT base.
+  void feed(std::string_view block, std::string& out);
+
+  /// FASTA records seen so far ('>' headers at line starts).
+  [[nodiscard]] std::size_t records() const noexcept { return records_; }
+
+ private:
+  AmbiguityPolicy policy_;
+  bool in_header_ = false;
+  bool at_line_start_ = true;
+  std::size_t records_ = 0;
+  util::Xoshiro256 rng_{0xFA57Aull};  // same stream as read_fasta's randomizer
+};
+
+/// Materializes a FASTA stream into the raw one-byte-per-base shape
+/// dna::FilePageSource serves, reading and decoding in fixed blocks so the
+/// corpus never needs to fit in memory. Returns the number of bases written.
+std::size_t materialize_fasta_to_raw(std::istream& in, std::ostream& out,
+                                     AmbiguityPolicy policy = AmbiguityPolicy::kSkip,
+                                     std::size_t block_bytes = std::size_t{64} << 10);
 
 }  // namespace hetopt::dna

@@ -1,0 +1,83 @@
+#include "dna/prefetch_reader.hpp"
+
+#include <algorithm>
+
+namespace hetopt::dna {
+
+PrefetchReader::PrefetchReader(PagedGenome& genome, std::size_t first_page,
+                               std::size_t last_page, std::size_t depth)
+    : genome_(genome), first_page_(first_page),
+      last_page_(std::min(last_page, genome.page_count())),
+      // The ring alone must never pin the whole budget (resident_pages >= 1
+      // is a construction invariant of the genome).
+      depth_(std::min(depth, genome.options().resident_pages - 1)),
+      frontier_(first_page) {
+  if (depth_ > 0 && first_page_ < last_page_) {
+    thread_ = std::thread([this] { fetch_loop(); });
+  }
+}
+
+void PrefetchReader::publish(std::size_t page) {
+  {
+    const util::MutexLock lock(mutex_);
+    if (page <= frontier_) return;
+    frontier_ = page;
+  }
+  cv_.notify_all();
+}
+
+void PrefetchReader::stop() {
+  cancel_.store(true, std::memory_order_release);
+  {
+    const util::MutexLock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // The fetch thread may be blocked inside the *cache* (backpressure or a
+  // load in flight); nudge those waiters so the cancel flag is seen.
+  genome_.wake_waiters();
+  if (thread_.joinable()) thread_.join();
+}
+
+PrefetchStats PrefetchReader::stats() const {
+  const util::MutexLock lock(mutex_);
+  return stats_;
+}
+
+void PrefetchReader::fetch_loop() {
+  // The ring: pinned pages in [frontier, frontier + depth), ascending. Local
+  // to the fetch thread; pins drop as the consumer passes them and all at
+  // once when the loop exits (stop or completion).
+  std::deque<PagedGenome::PageRef> ring;
+  std::size_t next = first_page_;
+  for (;;) {
+    std::size_t frontier = 0;
+    {
+      util::MutexLock lock(mutex_);
+      for (;;) {
+        if (stopping_) return;
+        // Chase the frontier: when the consumers outran the ring, fetching
+        // the pages they already passed would re-load the corpus behind
+        // them (they are evicted or about to be) — skip straight ahead.
+        if (next < frontier_) next = frontier_;
+        if (next < std::min(frontier_ + depth_, last_page_)) break;
+        if (next < last_page_) ++stats_.ring_full_waits;
+        cv_.wait(mutex_);
+      }
+      frontier = frontier_;
+    }
+    // Pages the consumer has passed leave the ring (they stay resident
+    // until the LRU needs their slot — dropping the pin only makes them
+    // evictable again).
+    while (!ring.empty() && ring.front().page() < frontier) ring.pop_front();
+    // May block on backpressure; stop() cancels the wait through the flag.
+    auto ref = genome_.acquire_prefetch(next, &cancel_);
+    if (!ref.valid()) return;  // canceled while waiting
+    ring.push_back(std::move(ref));
+    ++next;
+    const util::MutexLock lock(mutex_);
+    ++stats_.pages_prefetched;
+  }
+}
+
+}  // namespace hetopt::dna

@@ -363,5 +363,93 @@ TEST(SimdDispatch, UnknownOrUnavailableForcedIsaIsAHardError) {
   }
 }
 
+// --- Density-aware prefilter cutoff ----------------------------------------
+
+TEST(SimdEngine, DenseSampleDisablesTheSkipButStaysExact) {
+  // "CCGT"/"GWCC" leave A and T quiet. A sample with no quiet byte at all
+  // (pure CG alternation) measures a mean quiet run of zero: the vector
+  // probe would fire on every byte, so the skip self-disables and the
+  // engine degenerates to the plain fused scan — still exact.
+  const std::vector<std::string> motifs{"CCGT", "GWCC"};
+  const std::string dense_sample(4096, 'C');
+  std::mt19937_64 rng(91);
+  std::string text = random_text(rng, 30000, 7);
+  text.replace(100, 4, "CCGT");
+  const auto oracle = lower(EngineKind::kCompiledDfa, motifs);
+  for (const util::IsaLevel isa : simd::available_isas()) {
+    const PrefilterDfaEngine probed(motifs, isa, dense_sample);
+    EXPECT_FALSE(probed.skip_enabled()) << util::to_string(isa);
+    EXPECT_EQ(probed.sampled_quiet_run(), 0.0);
+    EXPECT_GT(probed.density_cutoff(), 0.0);
+    EXPECT_EQ(probed.count(text), oracle->count(text)) << util::to_string(isa);
+    std::vector<Match> got;
+    std::vector<Match> want;
+    (void)probed.collect(text, got);
+    (void)oracle->collect(text, want);
+    EXPECT_EQ(got, want) << util::to_string(isa);
+  }
+}
+
+TEST(SimdEngine, SparseSampleKeepsTheSkipEnabled) {
+  // Long quiet runs (mostly-'A' corpus) are exactly what the skip is for.
+  const std::vector<std::string> motifs{"CCGT", "GWCC"};
+  std::string sparse_sample(4096, 'A');
+  sparse_sample.replace(1000, 4, "CCGT");
+  std::string text(30000, 'A');
+  text.replace(500, 4, "CCGT");
+  text.replace(20000, 4, "CCGT");
+  const auto oracle = lower(EngineKind::kCompiledDfa, motifs);
+  for (const util::IsaLevel isa : simd::available_isas()) {
+    const PrefilterDfaEngine probed(motifs, isa, sparse_sample);
+    EXPECT_TRUE(probed.skip_enabled()) << util::to_string(isa);
+    EXPECT_GE(probed.sampled_quiet_run(), probed.density_cutoff());
+    EXPECT_EQ(probed.count(text), oracle->count(text)) << util::to_string(isa);
+  }
+}
+
+TEST(SimdEngine, EmptySampleKeepsTheStaticRule) {
+  // No sample means no probe: the pre-probe behavior (skip whenever the
+  // byte classes allow it) is preserved, so existing callers see no change.
+  const std::vector<std::string> motifs{"CCGT", "GWCC"};
+  const PrefilterDfaEngine unprobed(motifs, std::nullopt, std::string_view{});
+  EXPECT_TRUE(unprobed.skip_enabled());
+  EXPECT_EQ(unprobed.sampled_quiet_run(), 0.0);
+  EXPECT_EQ(unprobed.density_cutoff(), 0.0);  // probe never ran
+}
+
+TEST(SimdEngine, DensityCutoffIsIsaAdaptive) {
+  // Mean quiet run of exactly 3: "AAA" quiet islands between candidate 'C's.
+  // The scalar probe (cutoff 2) keeps the skip; a vector probe (cutoff 4)
+  // must clear more bytes per step to pay for itself and disables it.
+  const std::vector<std::string> motifs{"CCGT", "GWCC"};
+  std::string sample;
+  for (int i = 0; i < 512; ++i) sample += "AAAC";
+  const PrefilterDfaEngine scalar(motifs, util::IsaLevel::kScalar, sample);
+  EXPECT_DOUBLE_EQ(scalar.sampled_quiet_run(), 3.0);
+  EXPECT_DOUBLE_EQ(scalar.density_cutoff(), 2.0);
+  EXPECT_TRUE(scalar.skip_enabled());
+  for (const util::IsaLevel isa : simd::available_isas()) {
+    if (isa == util::IsaLevel::kScalar) continue;
+    const PrefilterDfaEngine vector(motifs, isa, sample);
+    EXPECT_DOUBLE_EQ(vector.sampled_quiet_run(), 3.0);
+    EXPECT_DOUBLE_EQ(vector.density_cutoff(), 4.0);
+    EXPECT_FALSE(vector.skip_enabled()) << util::to_string(isa);
+  }
+}
+
+TEST(SimdEngine, TryLowerThreadsTheDensitySampleThrough) {
+  const std::vector<std::string> motifs{"CCGT"};
+  const std::string dense(1024, 'C');
+  const auto probed = try_lower(EngineKind::kPrefilterDfa, motifs, nullptr, dense);
+  ASSERT_NE(probed, nullptr);
+  const auto* engine = dynamic_cast<const PrefilterDfaEngine*>(probed.get());
+  ASSERT_NE(engine, nullptr);
+  EXPECT_FALSE(engine->skip_enabled());
+  // Other engine kinds ignore the sample (it is advisory, not semantic).
+  const auto bitap = try_lower(EngineKind::kBitap, motifs, nullptr, dense);
+  ASSERT_NE(bitap, nullptr);
+  EXPECT_EQ(bitap->kind(), EngineKind::kBitap);
+}
+
 }  // namespace
 }  // namespace hetopt::automata

@@ -76,5 +76,121 @@ TEST(Fasta, HeaderlessBasesGetDefaultName) {
   EXPECT_EQ(seqs[0].name(), "unnamed");
 }
 
+// --- FastaStreamDecoder: block-wise ingestion ------------------------------
+
+/// Oracle: all bases of every record, concatenated, via the whole-file reader.
+[[nodiscard]] std::string read_all_bases(const std::string& fasta, AmbiguityPolicy policy) {
+  std::stringstream ss(fasta);
+  std::string bases;
+  for (const Sequence& s : read_fasta(ss, policy)) bases += s.bases();
+  return bases;
+}
+
+/// Streams `fasta` through a fresh decoder in `block` byte pieces.
+[[nodiscard]] std::string decode_blocked(const std::string& fasta, std::size_t block,
+                                         AmbiguityPolicy policy = AmbiguityPolicy::kSkip) {
+  FastaStreamDecoder decoder(policy);
+  std::string out;
+  for (std::size_t pos = 0; pos < fasta.size(); pos += block) {
+    decoder.feed(std::string_view(fasta).substr(pos, block), out);
+  }
+  return out;
+}
+
+TEST(FastaStream, BlockingInvarianceProperty) {
+  // The load-bearing guarantee of the paged materializer: the decoded bases
+  // are byte-identical for EVERY blocking of the same input, even when
+  // headers, CRLF pairs and line breaks straddle block boundaries.
+  const std::string fasta =
+      ">chr1 some long description that blocks will cut\r\n"
+      "ACGTacgtNNGTACCA\r\nTTGGCCAA\r\n"
+      ">chr2\nACGT\nacgtn\n"
+      ">chr3 trailing, no final newline\nGATTACA";
+  const std::string oracle = read_all_bases(fasta, AmbiguityPolicy::kSkip);
+  ASSERT_FALSE(oracle.empty());
+  for (const std::size_t block : {1u, 2u, 3u, 5u, 7u, 11u, 16u, 64u, 4096u}) {
+    EXPECT_EQ(decode_blocked(fasta, block), oracle) << "block=" << block;
+  }
+}
+
+TEST(FastaStream, HeaderStraddlingBlocksIsNotDecoded) {
+  // '>' arrives in one block, the header body and newline in later ones.
+  FastaStreamDecoder decoder;
+  std::string out;
+  decoder.feed(">", out);
+  decoder.feed("chrACGT name with base letters", out);
+  decoder.feed("\nACGT", out);
+  EXPECT_EQ(out, "ACGT");  // nothing inside the header leaked into the bases
+  EXPECT_EQ(decoder.records(), 1u);
+}
+
+TEST(FastaStream, MidLineGreaterThanIsNotAHeader) {
+  // A '>' that is not at a line start is data, not a record marker; under
+  // kSkip it is dropped as a non-base, and no record is counted.
+  FastaStreamDecoder decoder;
+  std::string out;
+  decoder.feed("AC", out);
+  decoder.feed(">GT\n", out);
+  EXPECT_EQ(out, "ACGT");
+  EXPECT_EQ(decoder.records(), 0u);
+}
+
+TEST(FastaStream, CountsRecordsAcrossFeeds) {
+  const std::string fasta = ">a\nAC\n>b\nGT\n>c\nTT\n";
+  for (const std::size_t block : {1u, 4u, 100u}) {
+    FastaStreamDecoder decoder;
+    std::string out;
+    for (std::size_t pos = 0; pos < fasta.size(); pos += block) {
+      decoder.feed(std::string_view(fasta).substr(pos, block), out);
+    }
+    EXPECT_EQ(decoder.records(), 3u) << "block=" << block;
+    EXPECT_EQ(out, "ACGTTT") << "block=" << block;
+  }
+}
+
+TEST(FastaStream, RejectPolicyThrowsAcrossBlockBoundary) {
+  FastaStreamDecoder decoder(AmbiguityPolicy::kReject);
+  std::string out;
+  decoder.feed(">s\nAC", out);
+  EXPECT_THROW(decoder.feed("NT\n", out), std::invalid_argument);
+}
+
+TEST(FastaStream, RandomizePolicyIsBlockingInvariant) {
+  // The randomizer stream carries across feeds, so even the pseudo-random
+  // replacements are identical for every blocking.
+  const std::string fasta = ">s\nACNNNNGTNNACGTNN\n>t\nNNNN\n";
+  const std::string whole = decode_blocked(fasta, fasta.size(), AmbiguityPolicy::kRandomize);
+  EXPECT_EQ(whole.size(), 20u);
+  EXPECT_EQ(whole, read_all_bases(fasta, AmbiguityPolicy::kRandomize));
+  for (const std::size_t block : {1u, 3u, 7u}) {
+    EXPECT_EQ(decode_blocked(fasta, block, AmbiguityPolicy::kRandomize), whole)
+        << "block=" << block;
+  }
+}
+
+TEST(FastaStream, MaterializeToRawMatchesTheWholeFileReader) {
+  std::string fasta;
+  for (int r = 0; r < 5; ++r) {
+    fasta += ">record" + std::to_string(r) + " description\n";
+    for (int line = 0; line < 40; ++line) fasta += "ACGTACGTACGTacgtNACGT\n";
+  }
+  const std::string oracle = read_all_bases(fasta, AmbiguityPolicy::kSkip);
+  // Tiny blocks force header/newline straddling inside the materializer.
+  for (const std::size_t block : {3u, 64u, 1u << 16}) {
+    std::stringstream in(fasta);
+    std::stringstream raw;
+    const std::size_t written = materialize_fasta_to_raw(in, raw, AmbiguityPolicy::kSkip, block);
+    EXPECT_EQ(written, oracle.size()) << "block=" << block;
+    EXPECT_EQ(raw.str(), oracle) << "block=" << block;
+  }
+}
+
+TEST(FastaStream, MaterializeRejectsZeroBlock) {
+  std::stringstream in(">s\nACGT\n");
+  std::stringstream out;
+  EXPECT_THROW((void)materialize_fasta_to_raw(in, out, AmbiguityPolicy::kSkip, 0),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace hetopt::dna

@@ -1,0 +1,300 @@
+// Unit tests of the out-of-core page cache: LRU eviction under a bounded
+// resident budget, pin refcounts blocking eviction, backpressure when every
+// slot is pinned, halo layout, per-source byte parity, and the background
+// PrefetchReader's ring/backpressure behavior. Everything here must be
+// TSan-clean (the `io` ctest label runs under the sanitizer jobs).
+#include "dna/paged_genome.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dna/generator.hpp"
+#include "dna/prefetch_reader.hpp"
+#include "util/rng.hpp"
+
+namespace hetopt::dna {
+namespace {
+
+[[nodiscard]] std::string pattern_text(std::size_t n) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string s(n, 'A');
+  for (std::size_t i = 0; i < n; ++i) s[i] = kBases[(i / 3 + i) % 4];
+  return s;
+}
+
+[[nodiscard]] PagedGenome make_buffer_genome(const std::string& text,
+                                             std::size_t page_bytes,
+                                             std::size_t resident,
+                                             std::size_t halo = 63) {
+  PagedGenomeOptions options;
+  options.page_bytes = page_bytes;
+  options.resident_pages = resident;
+  options.halo_bytes = halo;
+  return PagedGenome(std::make_unique<BufferPageSource>(text), options);
+}
+
+TEST(PagedGenome, RejectsBadConstruction) {
+  PagedGenomeOptions zero_page;
+  zero_page.page_bytes = 0;
+  EXPECT_THROW(PagedGenome(std::make_unique<BufferPageSource>("ACGT"), zero_page),
+               std::invalid_argument);
+  PagedGenomeOptions zero_budget;
+  zero_budget.resident_pages = 0;
+  EXPECT_THROW(PagedGenome(std::make_unique<BufferPageSource>("ACGT"), zero_budget),
+               std::invalid_argument);
+  EXPECT_THROW(PagedGenome(nullptr, PagedGenomeOptions{}), std::invalid_argument);
+}
+
+TEST(PagedGenome, PageGeometryAndPayloadParity) {
+  const std::string text = pattern_text(1000);
+  PagedGenome genome = make_buffer_genome(text, 256, 4);
+  EXPECT_EQ(genome.size(), text.size());
+  EXPECT_EQ(genome.page_count(), 4u);  // 256+256+256+232
+  EXPECT_EQ(genome.page_payload_bytes(3), 232u);
+
+  std::string reassembled;
+  for (std::size_t p = 0; p < genome.page_count(); ++p) {
+    auto ref = genome.acquire(p);
+    EXPECT_EQ(ref.page(), p);
+    EXPECT_EQ(ref.begin(), p * 256);
+    reassembled.append(ref.payload());
+  }
+  EXPECT_EQ(reassembled, text);
+}
+
+TEST(PagedGenome, HaloCarriesPrecedingBytes) {
+  const std::string text = pattern_text(1024);
+  PagedGenome genome = make_buffer_genome(text, 256, 4, /*halo=*/16);
+  {
+    auto ref = genome.acquire(0);
+    EXPECT_EQ(ref.halo(), 0u);  // nothing precedes page 0
+    EXPECT_EQ(ref.view(), ref.payload());
+  }
+  {
+    auto ref = genome.acquire(2);
+    EXPECT_EQ(ref.halo(), 16u);
+    // view = 16 halo bytes (the tail of page 1) + the payload.
+    EXPECT_EQ(ref.view().substr(0, 16), text.substr(2 * 256 - 16, 16));
+    EXPECT_EQ(ref.payload(), text.substr(2 * 256, 256));
+  }
+}
+
+TEST(PagedGenome, AcquireOutOfRangeThrows) {
+  PagedGenome genome = make_buffer_genome(pattern_text(100), 64, 2);
+  EXPECT_THROW((void)genome.acquire(genome.page_count()), std::out_of_range);
+}
+
+TEST(PagedGenome, LruEvictsLeastRecentlyUsedUnpinnedPage) {
+  const std::string text = pattern_text(1024);
+  PagedGenome genome = make_buffer_genome(text, 128, 2);  // 8 pages, 2 resident
+  (void)genome.acquire(0);  // released immediately
+  (void)genome.acquire(1);
+  EXPECT_EQ(genome.stats().loads, 2u);
+  EXPECT_EQ(genome.stats().evictions, 0u);
+
+  // Touch page 0 so page 1 is the LRU victim; page 2 must evict page 1.
+  (void)genome.acquire(0);
+  EXPECT_EQ(genome.stats().hits, 1u);
+  (void)genome.acquire(2);
+  EXPECT_EQ(genome.stats().evictions, 1u);
+  // Page 0 stayed resident; page 1 was evicted and reloads.
+  (void)genome.acquire(0);
+  EXPECT_EQ(genome.stats().hits, 2u);
+  (void)genome.acquire(1);
+  EXPECT_EQ(genome.stats().loads, 4u);
+}
+
+TEST(PagedGenome, PinBlocksEviction) {
+  const std::string text = pattern_text(512);
+  PagedGenome genome = make_buffer_genome(text, 128, 2);  // 4 pages, 2 resident
+  auto pinned = genome.acquire(0);
+  (void)genome.acquire(1);
+  (void)genome.acquire(2);  // must evict page 1 (page 0 is pinned), not page 0
+  (void)genome.acquire(3);  // must evict page 2
+  EXPECT_EQ(genome.stats().evictions, 2u);
+  // Page 0 never left the cache while pinned.
+  const auto again = genome.acquire(0);
+  EXPECT_EQ(genome.stats().hits, 1u);
+  EXPECT_EQ(again.payload(), text.substr(0, 128));
+}
+
+TEST(PagedGenome, BackpressureWaitsUntilAPinDrops) {
+  const std::string text = pattern_text(512);
+  PagedGenome genome = make_buffer_genome(text, 128, 2);
+  auto pin0 = genome.acquire(0);
+  auto pin1 = genome.acquire(1);
+
+  // Every slot pinned: a third acquire must block until one pin releases.
+  std::atomic<bool> acquired{false};
+  std::thread blocked([&] {
+    const auto ref = genome.acquire(2);
+    acquired.store(true, std::memory_order_release);
+    EXPECT_EQ(ref.payload(), text.substr(2 * 128, 128));
+  });
+  // Give the thread a chance to hit the wait (not a proof, but the stats
+  // check below confirms the wait actually happened).
+  while (genome.stats().backpressure_waits == 0) std::this_thread::yield();
+  EXPECT_FALSE(acquired.load(std::memory_order_acquire));
+  pin0.release();
+  blocked.join();
+  EXPECT_TRUE(acquired.load(std::memory_order_acquire));
+  EXPECT_GE(genome.stats().backpressure_waits, 1u);
+}
+
+TEST(PagedGenome, PageRefMoveTransfersThePin) {
+  PagedGenome genome = make_buffer_genome(pattern_text(512), 128, 2);
+  auto a = genome.acquire(0);
+  auto b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): moved-from query is the point
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.page(), 0u);
+  b.release();
+  EXPECT_FALSE(b.valid());
+  // The pin is gone: both slots are evictable again.
+  (void)genome.acquire(1);
+  (void)genome.acquire(2);
+  ASSERT_NO_THROW((void)genome.acquire(3));
+}
+
+TEST(PagedGenome, GeneratorSourceIsDeterministicAcrossAccessOrder) {
+  MarkovParams params;
+  auto make = [&] {
+    PagedGenomeOptions options;
+    options.page_bytes = 4096;
+    options.resident_pages = 3;
+    return PagedGenome(std::make_unique<GeneratorPageSource>(
+                           std::size_t{64} * 1024, /*seed=*/42u, params,
+                           std::vector<std::string>{"TATAAA"}, /*copies_per_block=*/2),
+                       options);
+  };
+  PagedGenome forward = make();
+  PagedGenome backward = make();
+  std::string a;
+  std::string b;
+  for (std::size_t p = 0; p < forward.page_count(); ++p) {
+    a.append(forward.acquire(p).payload());
+  }
+  for (std::size_t p = backward.page_count(); p-- > 0;) {
+    const auto ref = backward.acquire(p);
+    b.insert(0, std::string(ref.payload()));
+  }
+  EXPECT_EQ(a, b);
+  // The planted motif actually appears.
+  EXPECT_NE(a.find("TATAAA"), std::string::npos);
+}
+
+TEST(PagedGenome, FileSourceServesExactBytes) {
+  const std::string text = pattern_text(3000);
+  const std::string path = ::testing::TempDir() + "hetopt_paged_file_test.raw";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    ASSERT_TRUE(out.good());
+  }
+  PagedGenomeOptions options;
+  options.page_bytes = 512;
+  options.resident_pages = 2;
+  PagedGenome genome(std::make_unique<FilePageSource>(path), options);
+  EXPECT_EQ(genome.size(), text.size());
+  std::string reassembled;
+  for (std::size_t p = 0; p < genome.page_count(); ++p) {
+    reassembled.append(genome.acquire(p).payload());
+  }
+  EXPECT_EQ(reassembled, text);
+  EXPECT_GE(genome.stats().bytes_read, text.size());
+  std::remove(path.c_str());
+}
+
+TEST(PagedGenome, FileSourceMissingFileThrows) {
+  EXPECT_THROW(FilePageSource("/nonexistent/hetopt-no-such-file.raw"),
+               std::runtime_error);
+}
+
+TEST(PagedGenome, ColdStallsCountConsumerLoadsOnly) {
+  PagedGenome genome = make_buffer_genome(pattern_text(1024), 256, 4);
+  (void)genome.acquire(0);            // consumer load: a cold stall
+  (void)genome.acquire_prefetch(1);   // prefetch load: not a stall
+  const CacheStats stats = genome.stats();
+  EXPECT_EQ(stats.loads, 2u);
+  EXPECT_EQ(stats.cold_stalls, 1u);
+  genome.reset_stats();
+  EXPECT_EQ(genome.stats().loads, 0u);
+}
+
+// --- PrefetchReader ----------------------------------------------------------
+
+TEST(PrefetchReader, LoadsAheadOfThePublishedFrontier) {
+  const std::string text = pattern_text(2048);
+  PagedGenome genome = make_buffer_genome(text, 256, 6);  // 8 pages
+  PrefetchReader reader(genome, 0, genome.page_count(), /*depth=*/2);
+  // Pages 0..1 load without the consumer asking.
+  while (genome.stats().loads < 2) std::this_thread::yield();
+  // Publishing page 4 moves the window to [4, 6). The reader chases the
+  // frontier: pages 2..3 were passed by the consumer and are skipped, not
+  // re-fetched behind it.
+  reader.publish(4);
+  while (genome.stats().loads < 4) std::this_thread::yield();
+  reader.stop();
+  EXPECT_EQ(genome.stats().loads, 4u);  // pages 0, 1, 4, 5 only
+  const PrefetchStats stats = reader.stats();
+  EXPECT_GE(stats.pages_prefetched, 4u);
+  // Everything the reader loaded was a prefetch, not a consumer stall.
+  EXPECT_EQ(genome.stats().cold_stalls, 0u);
+}
+
+TEST(PrefetchReader, RingFullWaitsUntilFrontierMoves) {
+  PagedGenome genome = make_buffer_genome(pattern_text(2048), 256, 6);
+  PrefetchReader reader(genome, 0, genome.page_count(), /*depth=*/1);
+  while (genome.stats().loads < 1) std::this_thread::yield();
+  // Depth 1 with frontier 0: the ring is full after page 0 — the reader
+  // must wait rather than run ahead.
+  while (reader.stats().ring_full_waits == 0) std::this_thread::yield();
+  EXPECT_EQ(genome.stats().loads, 1u);
+  // Publishing page 3 moves the one-page window to [3, 4): the reader
+  // jumps straight there instead of walking 1..2 behind the consumer.
+  reader.publish(3);
+  while (genome.stats().loads < 2) std::this_thread::yield();
+  reader.stop();
+  EXPECT_EQ(genome.stats().loads, 2u);  // pages 0 and 3 only
+  EXPECT_GE(reader.stats().pages_prefetched, 2u);
+}
+
+TEST(PrefetchReader, DepthZeroStartsNoThread) {
+  PagedGenome genome = make_buffer_genome(pattern_text(1024), 256, 4);
+  PrefetchReader reader(genome, 0, genome.page_count(), /*depth=*/0);
+  reader.publish(2);
+  reader.stop();
+  EXPECT_EQ(genome.stats().loads, 0u);
+  EXPECT_EQ(reader.stats().pages_prefetched, 0u);
+}
+
+TEST(PrefetchReader, DepthSelfClampsToTheResidentBudget) {
+  PagedGenome genome = make_buffer_genome(pattern_text(2048), 256, 3);
+  PrefetchReader reader(genome, 0, genome.page_count(), /*depth=*/100);
+  EXPECT_EQ(reader.depth(), 2u);  // resident_pages - 1
+  reader.stop();
+}
+
+TEST(PrefetchReader, StopCancelsAnAcquireBlockedOnBackpressure) {
+  // Budget 3, two consumer pins held for the whole test: after prefetching
+  // page 0 the reader's acquire of page 1 blocks on backpressure (all three
+  // slots pinned). stop() must cancel that wait and join anyway.
+  PagedGenome genome = make_buffer_genome(pattern_text(2560), 256, 3);
+  auto pin_a = genome.acquire(8);
+  auto pin_b = genome.acquire(9);
+  PrefetchReader reader(genome, 0, 8, /*depth=*/2);
+  while (genome.stats().loads < 3) std::this_thread::yield();
+  while (genome.stats().backpressure_waits == 0) std::this_thread::yield();
+  reader.stop();  // joins even though the acquire never completed
+  EXPECT_GE(reader.stats().pages_prefetched, 1u);
+  EXPECT_EQ(genome.stats().loads, 3u);
+}
+
+}  // namespace
+}  // namespace hetopt::dna

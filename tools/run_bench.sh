@@ -49,9 +49,9 @@ if command -v python3 >/dev/null 2>&1; then
   python3 - "${json_out}" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-if doc.get("schema") != "hetopt-bench-v6":
-    sys.exit("unexpected schema: %r (want hetopt-bench-v6)" % doc.get("schema"))
-# provenance is required under hetopt-bench-v6: the artifact must say what
+if doc.get("schema") != "hetopt-bench-v7":
+    sys.exit("unexpected schema: %r (want hetopt-bench-v7)" % doc.get("schema"))
+# provenance is required since hetopt-bench-v6: the artifact must say what
 # silicon it ran on and which ISA tier the SIMD engines actually used.
 prov = doc["provenance"]
 for k in ("cpu_model", "isa_detected", "isa_active", "forced_isa"):
@@ -70,7 +70,7 @@ if kernel:
     print("scan_kernel: fused %.2fx naive (guard %.1fx, %s)" % (
         kernel["speedup_fused_vs_naive"], kernel["guard_min_speedup"],
         "ok" if kernel["guard_ok"] else "FAILED"))
-# simd_matrix is required under hetopt-bench-v6: every row must keep match
+# simd_matrix is required since hetopt-bench-v6: every row must keep match
 # parity (bench_main already gates on it; re-check the artifact), and the
 # AVX2 throughput expectation is summarized as a warning.
 simd = doc["simd_matrix"]
@@ -170,7 +170,53 @@ print("fault_matrix: overhead %.2f%% (%s), %d recovery rows all parity-exact, "
           overhead["overhead_percent"],
           "ok" if overhead["overhead_ok"] else "OVER GUARD",
           len(recovery), healing["invalid_measurements"]))
+# io_bound is required under hetopt-bench-v7: the out-of-core stream must
+# cover a corpus at least 8x its resident budget with byte-exact parity on
+# every row; the warm and stall expectations are escape-hatched on
+# single-hardware-thread hosts (recorded as single_hw_thread).
+io = doc["io_bound"]
+for k in ("corpus_bytes", "page_bytes", "resident_pages", "corpus_over_budget",
+          "budget_ratio_ge_8", "single_hw_thread", "in_memory", "cold", "warm",
+          "prefetch_sweep", "budget_sweep", "stall_ok"):
+    if k not in io:
+        sys.exit("io_bound: missing %s" % k)
+if not io["budget_ratio_ge_8"]:
+    sys.exit("io_bound: corpus only %.2fx the resident budget (want >= 8x)" %
+             io["corpus_over_budget"])
+for name in ("in_memory", "cold", "warm"):
+    if not io[name]["match_parity"]:
+        sys.exit("io_bound: %s lost match parity" % name)
+for row in io["prefetch_sweep"] + io["budget_sweep"]:
+    if not row["match_parity"]:
+        sys.exit("io_bound: sweep row lost match parity: %r" % row)
+if not io["warm"]["warm_ok"]:
+    sys.exit("io_bound: warm scan below tolerance")
+if not io["stall_ok"]:
+    sys.exit("io_bound: prefetch failed to reduce cold stalls")
+depths = {row["depth"]: row["cold_stalls"] for row in io["prefetch_sweep"]}
+print("io_bound: corpus %.1fx budget, cold %.0f MB/s (overlap %.3f), "
+      "warm %.2fx in-memory, stalls by depth %s%s" % (
+          io["corpus_over_budget"], io["cold"]["mb_s"],
+          io["cold"]["overlap_efficiency"], io["warm"]["warm_over_in_memory"],
+          sorted(depths.items()),
+          " [single hw thread]" if io["single_hw_thread"] else ""))
 PY
+  # The repo commits one canonical smoke artifact; fail loudly when a schema
+  # bump forgets to regenerate it (tools/run_bench.sh --smoke refreshes it).
+  committed="${repo}/bench_out/BENCH_smoke.json"
+  if [[ -f "${committed}" && "${json_out}" -ef "${committed}" ]]; then
+    : # just regenerated above
+  elif [[ -f "${committed}" ]]; then
+    python3 - "${committed}" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+if doc.get("schema") != "hetopt-bench-v7":
+    sys.exit("committed bench_out/BENCH_smoke.json has drifted: schema %r "
+             "(want hetopt-bench-v7) — regenerate with tools/run_bench.sh --smoke"
+             % doc.get("schema"))
+print("committed artifact schema ok")
+PY
+  fi
 fi
 
 if [[ "${suite}" == "full" ]]; then
